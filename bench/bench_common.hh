@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benches.
+ *
+ * Every bench binary regenerates one table/figure of the paper: it
+ * builds fresh worlds per data point, drives them with the workload
+ * harness, and prints the same rows/series the paper reports, with the
+ * paper's headline numbers quoted alongside for comparison (see
+ * EXPERIMENTS.md). Durations scale down when UQSIM_FAST is set.
+ */
+
+#ifndef UQSIM_BENCH_COMMON_HH
+#define UQSIM_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "apps/catalog.hh"
+#include "apps/single_tier.hh"
+#include "apps/social_network.hh"
+#include "apps/swarm.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+#include "workload/load_sweep.hh"
+
+namespace uqsim::bench {
+
+/** Global duration scale: 1.0 normally, 0.4 under UQSIM_FAST. */
+inline double
+timeScale()
+{
+    static const double scale = std::getenv("UQSIM_FAST") ? 0.4 : 1.0;
+    return scale;
+}
+
+/** Scaled simulated duration. */
+inline Tick
+simTime(double seconds)
+{
+    return secToTicks(seconds * timeScale());
+}
+
+/** Fresh world with the given worker count / core model. */
+inline std::unique_ptr<apps::World>
+makeWorld(unsigned servers, std::uint64_t seed = 42,
+          cpu::CoreModel model = cpu::CoreModel::xeon())
+{
+    apps::WorldConfig c;
+    c.workerServers = servers;
+    c.coreModel = std::move(model);
+    c.seed = seed;
+    return std::make_unique<apps::World>(c);
+}
+
+/** Drive an app with its own query mix at the given rate. */
+inline workload::LoadResult
+drive(service::App &app, double qps, double warm_s, double measure_s,
+      std::uint64_t seed = 7, std::uint64_t users = 1000)
+{
+    return workload::runLoad(app, qps, simTime(warm_s),
+                             simTime(measure_s),
+                             workload::QueryMix::fromApp(app),
+                             workload::UserPopulation::uniform(users),
+                             seed);
+}
+
+/** Print the bench header with the paper reference. */
+inline void
+header(const std::string &what, const std::string &paper_claim)
+{
+    std::cout << "\n################################################\n"
+              << "# " << what << "\n"
+              << "# Paper reference: " << paper_claim << "\n"
+              << "################################################\n";
+}
+
+} // namespace uqsim::bench
+
+#endif // UQSIM_BENCH_COMMON_HH

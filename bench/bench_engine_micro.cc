@@ -1,0 +1,89 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation engine itself:
+ * event queue throughput, RNG draws, histogram recording, and
+ * end-to-end cost per simulated request on the Social Network graph.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/social_network.hh"
+#include "core/histogram.hh"
+#include "core/rng.hh"
+#include "core/simulator.hh"
+#include "workload/generators.hh"
+
+using namespace uqsim;
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulator sim;
+        for (int i = 0; i < 1000; ++i)
+            sim.schedule(static_cast<Tick>(i * 7 % 500), [] {});
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_RngExponential(benchmark::State &state)
+{
+    Rng rng(1);
+    double sink = 0.0;
+    for (auto _ : state)
+        sink += rng.exponential(100.0);
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngExponential);
+
+static void
+BM_HistogramRecord(benchmark::State &state)
+{
+    Histogram h;
+    Rng rng(2);
+    for (auto _ : state)
+        h.record(static_cast<std::uint64_t>(rng.exponential(1e6)));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+static void
+BM_HistogramPercentile(benchmark::State &state)
+{
+    Histogram h;
+    Rng rng(3);
+    for (int i = 0; i < 100000; ++i)
+        h.record(static_cast<std::uint64_t>(rng.exponential(1e6)));
+    std::uint64_t sink = 0;
+    for (auto _ : state)
+        sink += h.p99();
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_HistogramPercentile);
+
+static void
+BM_SocialNetworkRequest(benchmark::State &state)
+{
+    // Cost of one fully simulated end-to-end request through the
+    // 36-service graph (events, RPC hops, tracing).
+    apps::WorldConfig c;
+    c.workerServers = 5;
+    apps::World w(c);
+    apps::buildSocialNetwork(w);
+    workload::QueryMix mix = workload::QueryMix::fromApp(*w.app);
+    workload::UserPopulation users = workload::UserPopulation::uniform(100);
+    Rng rng(7);
+    for (auto _ : state) {
+        w.app->inject(mix.sample(rng), users.sample(rng));
+        w.sim.run();
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["events/req"] = benchmark::Counter(
+        static_cast<double>(w.sim.eventsExecuted()) /
+        static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_SocialNetworkRequest);

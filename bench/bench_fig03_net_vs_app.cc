@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig 3: share of execution time spent on network processing vs
+ * application processing, for three monolithic single-tier services
+ * (NGINX, memcached, MongoDB) and the end-to-end Social Network, plus
+ * the monolithic Social Network for contrast.
+ */
+
+#include "bench_common.hh"
+
+using namespace uqsim;
+using namespace uqsim::bench;
+
+int
+main()
+{
+    header("Fig 3: network vs application processing",
+           "NGINX 5.3% (1293us), memcached 19.8% (186us), MongoDB 13.6% "
+           "(383us), Social Network 36.3% (3827us)");
+
+    TextTable table({"Workload", "Mean latency", "Network proc %",
+                     "App proc %", "Paper net%"});
+
+    struct SingleRow
+    {
+        apps::SingleTierKind kind;
+        double qps;
+        const char *paper;
+    };
+    for (const SingleRow &row :
+         {SingleRow{apps::SingleTierKind::Nginx, 150.0, "5.3%"},
+          SingleRow{apps::SingleTierKind::Memcached, 400.0, "19.8%"},
+          SingleRow{apps::SingleTierKind::MongoDB, 250.0, "13.6%"}}) {
+        auto w = makeWorld(3);
+        apps::buildSingleTier(*w, row.kind);
+        auto r = drive(*w->app, row.qps, 1.0, 4.0);
+        table.add(apps::singleTierName(row.kind),
+                  fmtDouble(r.meanMs * 1000.0, 0) + "us",
+                  fmtDouble(100.0 * r.networkShare, 1),
+                  fmtDouble(100.0 * (1.0 - r.networkShare), 1), row.paper);
+    }
+
+    {
+        auto w = makeWorld(5);
+        apps::buildSocialNetwork(*w);
+        auto r = drive(*w->app, 250.0, 1.0, 5.0);
+        table.add("Social Network (microservices)",
+                  fmtDouble(r.meanMs * 1000.0, 0) + "us",
+                  fmtDouble(100.0 * r.networkShare, 1),
+                  fmtDouble(100.0 * (1.0 - r.networkShare), 1), "36.3%");
+    }
+    {
+        auto w = makeWorld(5);
+        apps::buildSocialNetworkMonolith(*w);
+        auto r = drive(*w->app, 250.0, 1.0, 5.0);
+        table.add("Social Network (monolith)",
+                  fmtDouble(r.meanMs * 1000.0, 0) + "us",
+                  fmtDouble(100.0 * r.networkShare, 1),
+                  fmtDouble(100.0 * (1.0 - r.networkShare), 1),
+                  "(small)");
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig 10: top-down cycle breakdown and IPC for every microservice of
+ * the Social Network and E-commerce applications, plus back-ends and
+ * the monolithic counterparts.
+ */
+
+#include "bench_common.hh"
+#include "apps/profiles.hh"
+#include "cpu/microarch.hh"
+
+using namespace uqsim;
+using namespace uqsim::bench;
+
+namespace {
+
+void
+breakdownFor(apps::AppId id, const std::string &monolith_note)
+{
+    auto w = makeWorld(5);
+    apps::buildApp(*w, id);
+    const cpu::CoreModel xeon = cpu::CoreModel::xeon();
+
+    TextTable table({"Service", "Front-end%", "BadSpec%", "Back-end%",
+                     "Retiring%", "IPC"});
+    double retiring_sum = 0.0;
+    unsigned n = 0;
+    for (const auto *svc : w->app->services()) {
+        const auto &p = svc->def().profile;
+        const auto b = cpu::MicroarchModel::cycleBreakdown(p, xeon);
+        const double ipc = cpu::MicroarchModel::effectiveIpc(p, xeon);
+        table.add(svc->name(), fmtDouble(100 * b.frontend, 1),
+                  fmtDouble(100 * b.badSpec, 1),
+                  fmtDouble(100 * b.backend, 1),
+                  fmtDouble(100 * b.retiring, 1), fmtDouble(ipc, 2));
+        retiring_sum += b.retiring;
+        ++n;
+    }
+    // Monolithic counterpart.
+    {
+        const auto p = apps::monolithProfile();
+        const auto b = cpu::MicroarchModel::cycleBreakdown(p, xeon);
+        const double ipc = cpu::MicroarchModel::effectiveIpc(p, xeon);
+        table.add("Monolith", fmtDouble(100 * b.frontend, 1),
+                  fmtDouble(100 * b.badSpec, 1),
+                  fmtDouble(100 * b.backend, 1),
+                  fmtDouble(100 * b.retiring, 1), fmtDouble(ipc, 2));
+    }
+    printBanner(std::cout, apps::appName(id));
+    table.print(std::cout);
+    std::cout << "mean retiring across microservices: "
+              << fmtDouble(100.0 * retiring_sum / n, 1) << "% ("
+              << monolith_note << ")\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Fig 10: cycle breakdown and IPC",
+           "front-end-stall dominated; ~21% average retiring (Social "
+           "Network); Search high IPC; Recommender lowest IPC; monolith "
+           "slightly higher retiring");
+    breakdownFor(apps::AppId::SocialNetwork,
+                 "paper: ~21% average for Social Network");
+    breakdownFor(apps::AppId::Ecommerce,
+                 "paper: Search is the high-IPC outlier, recommender "
+                 "lowest");
+    return 0;
+}

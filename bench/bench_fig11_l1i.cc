@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig 11: L1 instruction-cache MPKI for every microservice of the
+ * Social Network and E-commerce applications, their back-ends, and the
+ * monolithic implementations.
+ */
+
+#include <algorithm>
+
+#include "bench_common.hh"
+#include "apps/profiles.hh"
+#include "cpu/microarch.hh"
+
+using namespace uqsim;
+using namespace uqsim::bench;
+
+namespace {
+
+void
+mpkiFor(apps::AppId id)
+{
+    auto w = makeWorld(5);
+    apps::buildApp(*w, id);
+    const cpu::CoreModel xeon = cpu::CoreModel::xeon();
+
+    TextTable table({"Service", "Footprint(KB)", "L1i MPKI"});
+    for (const auto *svc : w->app->services()) {
+        const auto &p = svc->def().profile;
+        table.add(svc->name(), fmtDouble(p.codeFootprintKb, 0),
+                  fmtDouble(cpu::MicroarchModel::l1iMpki(p, xeon), 1));
+    }
+    const auto mono = apps::monolithProfile();
+    table.add("Monolith", fmtDouble(mono.codeFootprintKb, 0),
+              fmtDouble(cpu::MicroarchModel::l1iMpki(mono, xeon), 1));
+    printBanner(std::cout, apps::appName(id));
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Fig 11: L1-i MPKI",
+           "monolith ~65-75 >> nginx ~30, MongoDB ~38, memcached ~12 >> "
+           "single-concern microservices (wishlist ~0)");
+    mpkiFor(apps::AppId::SocialNetwork);
+    mpkiFor(apps::AppId::Ecommerce);
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fig 12: tail latency with increasing load and decreasing frequency
+ * (RAPL), for five single-tier interactive services (top row) and the
+ * five end-to-end DeathStarBench services (bottom row).
+ *
+ * For each application the bench first finds the max load sustaining
+ * QoS at nominal frequency, then sweeps (load fraction x frequency)
+ * and reports p99 normalized to the QoS target - the same quantity the
+ * paper's heatmaps encode (values > 1 are QoS violations).
+ */
+
+#include <functional>
+
+#include "bench_common.hh"
+
+using namespace uqsim;
+using namespace uqsim::bench;
+
+namespace {
+
+using BuildFn = std::function<void(apps::World &)>;
+
+void
+panel(const std::string &name, const BuildFn &build, double lo_qps,
+      double hi_qps)
+{
+    auto probe = [&](double qps, double freq) {
+        auto w = makeWorld(5, 42);
+        build(*w);
+        if (freq > 0.0)
+            w->cluster.setAllFrequenciesMhz(freq);
+        return drive(*w->app, qps, 0.8, 1.6, 7);
+    };
+
+    // Saturation point at nominal frequency.
+    Tick qos = 0;
+    {
+        auto w = makeWorld(5, 42);
+        build(*w);
+        qos = w->app->config().qosLatency;
+    }
+    const double max_qps = workload::findMaxQps(
+        [&](double qps) { return probe(qps, 0.0).meetsQos(qos); },
+        lo_qps, hi_qps, 5);
+
+    TextTable table({"load", "2400MHz", "1800MHz", "1200MHz", "1000MHz"});
+    for (double frac : {0.45, 0.9}) {
+        std::vector<std::string> row{fmtDouble(frac * 100, 0) + "% (" +
+                                     fmtDouble(frac * max_qps, 0) +
+                                     " qps)"};
+        for (double freq : {2400.0, 1800.0, 1200.0, 1000.0}) {
+            const auto r = probe(frac * max_qps, freq);
+            const double norm = static_cast<double>(r.p99) /
+                                static_cast<double>(qos);
+            row.push_back(fmtDouble(norm, 2) +
+                          (norm > 1.0 ? " *VIOL*" : ""));
+        }
+        table.addRow(row);
+    }
+    printBanner(std::cout,
+                name + "  (p99 / QoS; max QPS under QoS at nominal = " +
+                    fmtDouble(max_qps, 0) + ")");
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Fig 12: tail latency vs load x frequency (RAPL)",
+           "MongoDB tolerates minimum frequency (I/O-bound); Xapian "
+           "most frequency-sensitive; end-to-end microservice apps more "
+           "sensitive than any single-tier service; Swarm least "
+           "(network-bound)");
+
+    // Top row: traditional single-tier interactive services.
+    for (auto kind :
+         {apps::SingleTierKind::Nginx, apps::SingleTierKind::Memcached,
+          apps::SingleTierKind::MongoDB, apps::SingleTierKind::Xapian,
+          apps::SingleTierKind::Recommender}) {
+        panel(apps::singleTierName(kind),
+              [kind](apps::World &w) {
+                  apps::buildSingleTier(w, kind, 1);
+                  w.app->service(w.app->entry())
+                      .setThreadsPerInstance(8);
+              },
+              20.0, 30000.0);
+    }
+
+    // Bottom row: the end-to-end services.
+    for (apps::AppId id : apps::cloudApps()) {
+        panel(apps::appName(id),
+              [id](apps::World &w) { apps::buildApp(w, id); }, 100.0,
+              20000.0);
+    }
+    panel("Swarm-Cloud",
+          [](apps::World &w) {
+              apps::SwarmOptions so;
+              so.drones = 16;
+              apps::buildSwarm(w, apps::SwarmVariant::Cloud, so);
+          },
+          2.0, 120.0);
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig 13: throughput vs tail latency on a high-end Xeon server, the
+ * same Xeon capped to 1.8GHz, and a Cavium ThunderX (in-order wimpy
+ * cores), for the end-to-end services. Prints the latency curves the
+ * figure plots: the ThunderX meets latency targets only at low load
+ * and saturates far earlier than either Xeon configuration.
+ */
+
+#include "bench_common.hh"
+
+using namespace uqsim;
+using namespace uqsim::bench;
+
+namespace {
+
+Tick
+p99At(apps::AppId id, const cpu::CoreModel &model, double qps)
+{
+    apps::WorldConfig c;
+    c.workerServers = 5;
+    c.coreModel = model;
+    apps::World w(c);
+    apps::buildApp(w, id);
+    auto r = drive(*w.app, qps, 0.8, 1.6, 7);
+    return r.p99;
+}
+
+void
+curves(apps::AppId id, const std::vector<double> &grid)
+{
+    TextTable table({"QPS", "Xeon p99(ms)", "Xeon@1.8 p99(ms)",
+                     "ThunderX p99(ms)"});
+    for (double qps : grid) {
+        table.add(
+            fmtDouble(qps, 0),
+            fmtDouble(ticksToMs(p99At(id, cpu::CoreModel::xeon(), qps)),
+                      1),
+            fmtDouble(
+                ticksToMs(p99At(id, cpu::CoreModel::xeonAt1800(), qps)),
+                1),
+            fmtDouble(
+                ticksToMs(p99At(id, cpu::CoreModel::thunderx(), qps)),
+                1));
+    }
+    printBanner(std::cout, apps::appName(id));
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Fig 13: brawny vs wimpy cores",
+           "ThunderX meets the QoS target only at low load and "
+           "saturates much earlier; Xeon@1.8GHz sits in between; "
+           "Social Network / Media are hit hardest (strict latency), "
+           "E-commerce because it is compute-heavy; Swarm least");
+
+    const std::vector<double> cloud_grid = {250, 1000, 2500, 5000,
+                                            9000, 14000};
+    curves(apps::AppId::SocialNetwork, cloud_grid);
+    curves(apps::AppId::MediaService, cloud_grid);
+    curves(apps::AppId::Ecommerce, cloud_grid);
+    curves(apps::AppId::Banking, cloud_grid);
+    curves(apps::AppId::SwarmCloud, {2, 10, 25, 60, 100});
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig 14: breakdown of cycles (C) and instructions (I) into kernel,
+ * user and library execution for each end-to-end service. The shares
+ * here are *measured*: every simulated task charges its cycles and
+ * retired instructions to a mode, and the bench aggregates over all
+ * services of each application after serving real traffic.
+ */
+
+#include "bench_common.hh"
+
+using namespace uqsim;
+using namespace uqsim::bench;
+
+int
+main()
+{
+    header("Fig 14: OS vs user vs library time",
+           "Social/Media kernel-heavy (memcached, high network traffic); "
+           "E-commerce/Banking more user time; Swarm ~half in libraries");
+
+    TextTable table({"Service", "C kernel%", "C user%", "C libs%",
+                     "I kernel%", "I user%", "I libs%"});
+    for (apps::AppId id : apps::allApps()) {
+        auto w = makeWorld(5);
+        apps::buildApp(*w, id);
+        const bool swarm = id == apps::AppId::SwarmCloud ||
+                           id == apps::AppId::SwarmEdge;
+        drive(*w->app, swarm ? 8.0 : 250.0, 1.0, 4.0);
+
+        double ck = 0, cu = 0, cl = 0, ik = 0, iu = 0, il = 0;
+        for (const auto *svc : w->app->services()) {
+            ck += svc->kernelCycles();
+            cu += svc->userCycles();
+            cl += svc->libCycles();
+            ik += svc->kernelInstr();
+            iu += svc->userInstr();
+            il += svc->libInstr();
+        }
+        const double ct = std::max(1.0, ck + cu + cl);
+        const double it = std::max(1.0, ik + iu + il);
+        table.add(apps::appName(id), fmtDouble(100 * ck / ct, 1),
+                  fmtDouble(100 * cu / ct, 1), fmtDouble(100 * cl / ct, 1),
+                  fmtDouble(100 * ik / it, 1), fmtDouble(100 * iu / it, 1),
+                  fmtDouble(100 * il / it, 1));
+    }
+    table.print(std::cout);
+    return 0;
+}

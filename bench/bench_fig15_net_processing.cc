@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fig 15: (a) per-microservice time in application vs network
+ * processing for the Social Network at low and high load (and for the
+ * monolith); (b) the network-processing share of tail latency for all
+ * end-to-end services at low vs high load.
+ */
+
+#include "bench_common.hh"
+#include "trace/analysis.hh"
+
+using namespace uqsim;
+using namespace uqsim::bench;
+
+namespace {
+
+struct AppRun
+{
+    double networkShare = 0.0;
+    Tick p99 = 0;
+};
+
+AppRun
+runShare(apps::AppId id, double qps)
+{
+    auto w = makeWorld(5);
+    apps::buildApp(*w, id);
+    auto r = drive(*w->app, qps, 1.0, 3.0);
+    return AppRun{r.networkShare, r.p99};
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Fig 15: application vs network processing time",
+           "RPC processing is 5-75% per Social Network microservice at "
+           "low load (18% of end-to-end tail), growing sharply at high "
+           "load (3.2x tail impact); E-commerce/Banking less affected; "
+           "monolith dramatically lower");
+
+    // ---- (a) per-microservice, Social Network, low vs high load -----
+    for (double qps : {200.0, 4000.0}) {
+        auto w = makeWorld(5);
+        apps::buildSocialNetwork(*w);
+        drive(*w->app, qps, 1.0, 3.0);
+        trace::TraceAnalysis ta(w->app->traceStore());
+        TextTable table({"Microservice", "mean lat(us)", "app proc %",
+                         "network proc %", "queue %"});
+        for (const auto &s : ta.perService()) {
+            if (s.service == "client")
+                continue;
+            table.add(s.service, fmtDouble(s.meanLatencyUs, 0),
+                      fmtDouble(100 * s.appShare, 1),
+                      fmtDouble(100 * s.networkShare, 1),
+                      fmtDouble(100 * s.queueShare, 1));
+        }
+        printBanner(std::cout,
+                    strCat("Social Network per-microservice @ ",
+                           fmtDouble(qps, 0), " QPS"));
+        table.print(std::cout);
+    }
+
+    // ---- (b) end-to-end network-processing share, low vs high load --
+    TextTable table({"Service", "net share @low", "net share @high",
+                     "p99 @low", "p99 @high"});
+    struct Loads
+    {
+        apps::AppId id;
+        double lo, hi;
+    };
+    for (const Loads &l :
+         {Loads{apps::AppId::SocialNetwork, 150, 4000},
+          Loads{apps::AppId::MediaService, 150, 3500},
+          Loads{apps::AppId::Ecommerce, 150, 3500},
+          Loads{apps::AppId::Banking, 150, 3500},
+          Loads{apps::AppId::SwarmCloud, 4, 40},
+          Loads{apps::AppId::SwarmEdge, 2, 12}}) {
+        const AppRun low = runShare(l.id, l.lo);
+        const AppRun high = runShare(l.id, l.hi);
+        table.add(apps::appName(l.id),
+                  fmtDouble(100 * low.networkShare, 1) + "%",
+                  fmtDouble(100 * high.networkShare, 1) + "%",
+                  fmtMs(low.p99), fmtMs(high.p99));
+    }
+    // Monolith row for contrast (Fig 15a right-most bars).
+    {
+        auto w = makeWorld(5);
+        apps::buildSocialNetworkMonolith(*w);
+        auto lo = drive(*w->app, 150, 1.0, 3.0);
+        auto w2 = makeWorld(5);
+        apps::buildSocialNetworkMonolith(*w2);
+        auto hi = drive(*w2->app, 4000, 1.0, 3.0);
+        table.add("Social Network (monolith)",
+                  fmtDouble(100 * lo.networkShare, 1) + "%",
+                  fmtDouble(100 * hi.networkShare, 1) + "%",
+                  fmtMs(lo.p99), fmtMs(hi.p99));
+    }
+    printBanner(std::cout, "End-to-end network-processing share");
+    table.print(std::cout);
+    return 0;
+}

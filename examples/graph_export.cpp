@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Example: export every application's microservice dependency graph
+ * (Figs 4-8 / the "DeathStar" graphs of Fig 18) as Graphviz DOT, one
+ * file per app in the current directory.
+ *
+ *   $ ./build/examples/graph_export
+ *   $ dot -Tsvg social_network.dot -o social_network.svg
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "apps/catalog.hh"
+
+using namespace uqsim;
+
+int
+main()
+{
+    for (apps::AppId id : apps::allApps()) {
+        apps::WorldConfig config;
+        config.workerServers = 5;
+        apps::World world(config);
+        apps::buildApp(world, id);
+
+        std::string filename = apps::appName(id);
+        for (char &c : filename)
+            c = (c == ' ' || c == '-') ? '_' : static_cast<char>(
+                                                   tolower(c));
+        filename += ".dot";
+
+        std::ofstream out(filename);
+        out << world.app->exportDot();
+        std::cout << "wrote " << filename << " ("
+                  << world.app->services().size() << " services)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Example: a characterization study of the Social Network, mirroring
+ * how the paper uses the suite. Builds the full 36-microservice
+ * application, drives it with the mixed query workload at increasing
+ * load, and reports:
+ *   - per-query-type latency (composePost vs readTimeline vs repost)
+ *   - the per-microservice latency breakdown from distributed traces
+ *   - the critical-path attribution at low vs high load (Sec 7)
+ *
+ *   $ ./build/examples/social_network_study
+ */
+
+#include <iostream>
+
+#include "apps/social_network.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+#include "trace/analysis.hh"
+#include "workload/load_sweep.hh"
+
+using namespace uqsim;
+
+namespace {
+
+void
+studyAtLoad(double qps)
+{
+    apps::WorldConfig config;
+    config.workerServers = 5;
+    apps::World world(config);
+    const auto queries = apps::buildSocialNetwork(world);
+    service::App &app = *world.app;
+
+    workload::runLoad(app, qps, secToTicks(1.0), secToTicks(5.0),
+                      workload::QueryMix::fromApp(app),
+                      workload::UserPopulation::zipf(500, 0.9), 21);
+
+    printBanner(std::cout, strCat("Social Network @ ", qps, " QPS"));
+
+    // Query diversity (Sec 3.8): repost reads, prepends and
+    // re-broadcasts, so it is the slowest class.
+    TextTable queries_table({"query type", "share", "p50(ms)", "p99(ms)"});
+    for (unsigned qt = 0; qt < app.queryTypes().size(); ++qt) {
+        const auto &h = app.endToEndLatencyFor(qt);
+        if (h.count() == 0)
+            continue;
+        queries_table.add(
+            app.queryTypes()[qt].name,
+            fmtDouble(100.0 * static_cast<double>(h.count()) /
+                          static_cast<double>(app.completed()),
+                      1) + "%",
+            fmtDouble(ticksToMs(h.p50()), 2),
+            fmtDouble(ticksToMs(h.p99()), 2));
+    }
+    queries_table.print(std::cout);
+    (void)queries;
+
+    // Critical path: which tiers own the end-to-end time?
+    trace::TraceAnalysis analysis(app.traceStore());
+    const auto critical = analysis.criticalPath();
+    std::vector<std::pair<double, std::string>> ranked;
+    for (const auto &[svc, ns] : critical)
+        ranked.emplace_back(ns, svc);
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::cout << "top critical-path contributors (mean us/request):\n";
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, ranked.size());
+         ++i)
+        std::cout << "  " << ranked[i].second << ": "
+                  << fmtDouble(ranked[i].first / 1000.0, 0) << " us\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    // At low load the front-end dominates latency; at high load the
+    // back-end storage tiers take over (Sec 7).
+    studyAtLoad(200.0);
+    studyAtLoad(1800.0);
+    return 0;
+}

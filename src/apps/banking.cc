@@ -1,0 +1,252 @@
+#include "apps/banking.hh"
+
+#include "apps/profiles.hh"
+
+namespace uqsim::apps {
+
+namespace {
+
+using service::HandlerSpec;
+using service::ServiceDef;
+using service::ServiceKind;
+
+ServiceDef
+logic(const std::string &name, cpu::ServiceProfile profile,
+      HandlerSpec handler, unsigned threads = 16)
+{
+    ServiceDef def;
+    def.name = name;
+    def.profile = std::move(profile);
+    def.handler = std::move(handler);
+    def.kind = ServiceKind::Stateless;
+    def.threadsPerInstance = threads;
+    def.protocol = rpc::ProtocolModel::thrift();
+    return def;
+}
+
+} // namespace
+
+BankingQueries
+buildBanking(World &w, const AppOptions &opt)
+{
+    service::App &app = *w.app;
+
+    // ---- State: 5 memcached tiers + 4 MongoDB + relational BankInfoDB --
+    addCacheTier(w, "customer-memcached", opt.cacheShards);
+    addCacheTier(w, "transaction-memcached", opt.cacheShards);
+    addCacheTier(w, "offer-memcached", opt.cacheShards, 40.0);
+    addCacheTier(w, "wealth-memcached", opt.cacheShards, 45.0);
+    addCacheTier(w, "account-memcached", opt.cacheShards);
+    addMongoTier(w, "customer-db", opt.dbShards, 280.0);
+    addMongoTier(w, "transaction-db", opt.dbShards, 360.0);
+    addMongoTier(w, "wealth-db", opt.dbShards, 280.0);
+    addMongoTier(w, "offer-db", opt.dbShards, 240.0);
+    addMysqlTier(w, "bank-info-db", opt.dbShards, 420.0);
+
+    // ---- Leaves -----------------------------------------------------------
+    addLogicTier(w,
+                 logic("customerInfo", javaMicroProfile("customerInfo"),
+                       HandlerSpec{}
+                           .compute(computeUs(80.0, 0.4))
+                           .cache("customer-memcached", "customer-db",
+                                  0.95)),
+                 opt.instancesPerTier);
+    addLogicTier(
+        w,
+        logic("customerActivity", javaMicroProfile("customerActivity"),
+              HandlerSpec{}
+                  .compute(computeUs(90.0, 0.4))
+                  .cache("transaction-memcached", "transaction-db", 0.90)),
+        opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("userPreferences",
+                       nodejsMicroProfile("userPreferences"),
+                       HandlerSpec{}
+                           .compute(computeUs(60.0, 0.4))
+                           .cache("customer-memcached", "customer-db",
+                                  0.96)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("contact", nodejsMicroProfile("contact"),
+                       HandlerSpec{}
+                           .compute(computeUs(70.0, 0.4))
+                           .call("bank-info-db")),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("offerBanners", nodejsMicroProfile("offerBanners"),
+                       HandlerSpec{}
+                           .compute(computeUs(60.0, 0.4))
+                           .cache("offer-memcached", "offer-db", 0.95)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("media", nodejsMicroProfile("media"),
+                       HandlerSpec{}.compute(computeUs(90.0, 0.5))),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("ads", javaMicroProfile("ads"),
+                       HandlerSpec{}.compute(computeUs(140.0, 0.5))),
+                 opt.instancesPerTier);
+    for (const char *idx : {"index0", "index1"}) {
+        addLogicTier(w,
+                     logic(idx, xapianProfile(idx),
+                           HandlerSpec{}.compute(computeUs(170.0, 0.5))),
+                     opt.instancesPerTier);
+    }
+    addLogicTier(w,
+                 logic("search", xapianProfile("search"),
+                       HandlerSpec{}
+                           .compute(computeUs(40.0, 0.4))
+                           .parallelCall("index0", 1)
+                           .parallelCall("index1", 1)),
+                 opt.instancesPerTier);
+
+    // ---- Security / ledger -----------------------------------------------
+    addLogicTier(w,
+                 logic("ACL", javaMicroProfile("ACL"),
+                       HandlerSpec{}
+                           .compute(computeUs(120.0, 0.4))
+                           .cache("customer-memcached", "customer-db", 0.97)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("authentication",
+                       javaMicroProfile("authentication"),
+                       HandlerSpec{}
+                           .compute(computeUs(420.0, 0.5)) // crypto checks
+                           .cache("customer-memcached", "customer-db", 0.92)
+                           .call("ACL")),
+                 opt.instancesPerTier);
+    addLogicTier(
+        w,
+        logic("transactionPosting",
+              javaMicroProfile("transactionPosting"),
+              HandlerSpec{}
+                  .compute(computeUs(260.0, 0.5))
+                  .call("transaction-db")
+                  .call("transaction-memcached"),
+              32),
+        opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("payments", javaMicroProfile("payments"),
+                       HandlerSpec{}
+                           .compute(computeUs(540.0, 0.5))
+                           .call("customerInfo")
+                           .call("transactionPosting"),
+                       32),
+                 opt.instancesPerTier);
+
+    // ---- Products -----------------------------------------------------------
+    addLogicTier(w,
+                 logic("investmentAccount",
+                       javaMicroProfile("investmentAccount"),
+                       HandlerSpec{}
+                           .compute(computeUs(200.0, 0.5))
+                           .cache("account-memcached", "customer-db",
+                                  0.94)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("depositAccount",
+                       javaMicroProfile("depositAccount"),
+                       HandlerSpec{}
+                           .compute(computeUs(160.0, 0.5))
+                           .cache("account-memcached", "customer-db",
+                                  0.94)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("personalLending",
+                       javaMicroProfile("personalLending"),
+                       HandlerSpec{}
+                           .compute(computeUs(380.0, 0.5))
+                           .call("customerInfo")
+                           .call("customerActivity")),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("businessLending",
+                       javaMicroProfile("businessLending"),
+                       HandlerSpec{}
+                           .compute(computeUs(420.0, 0.5))
+                           .call("customerInfo")
+                           .call("customerActivity")),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("creditCard", javaMicroProfile("creditCard"),
+                       HandlerSpec{}
+                           .compute(computeUs(300.0, 0.5))
+                           .call("customerInfo")
+                           .call("payments")),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("mortgages", javaMicroProfile("mortgages"),
+                       HandlerSpec{}
+                           .compute(computeUs(360.0, 0.5))
+                           .call("customerInfo")
+                           .call("customerActivity")),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("wealthMgmt", javaMicroProfile("wealthMgmt"),
+                       HandlerSpec{}
+                           .compute(computeUs(320.0, 0.5))
+                           .cache("wealth-memcached", "wealth-db", 0.93)
+                           .call("customerInfo")),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("openAccount", javaMicroProfile("openAccount"),
+                       HandlerSpec{}
+                           .compute(computeUs(280.0, 0.5))
+                           .call("customerInfo")
+                           .call("depositAccount")),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("openCreditCard",
+                       javaMicroProfile("openCreditCard"),
+                       HandlerSpec{}
+                           .compute(computeUs(300.0, 0.5))
+                           .call("customerInfo")
+                           .call("creditCard")),
+                 opt.instancesPerTier);
+
+    // ---- Front end -----------------------------------------------------------
+    {
+        ServiceDef fe = logic(
+            "front-end", nodejsMicroProfile("front-end"),
+            HandlerSpec{}
+                .compute(computeUs(200.0, 0.5))
+                .call("authentication")
+                .callTagged("payment", "payments")
+                .callTagged("creditcard", "creditCard")
+                .callTagged("loan", "personalLending")
+                .callTagged("bizloan", "businessLending")
+                .callTagged("browse", "contact")
+                .callTagged("browse", "offerBanners")
+                .callTagged("wealth", "wealthMgmt")
+                .callTagged("open", "openAccount")
+                .callWithProbability("ads", 0.25)
+                .callWithProbability("search", 0.1)
+                .callWithProbability("media", 0.2),
+            64);
+        fe.kind = ServiceKind::Frontend;
+        fe.protocol = rpc::ProtocolModel::restHttp1();
+        fe.protocol.connectionsPerPair = 8192; // per-user client connections
+        addLogicTier(w, std::move(fe), opt.frontendInstances);
+    }
+
+    app.setEntry("front-end");
+    app.setQosLatency(20 * kTicksPerMs);
+
+    BankingQueries q;
+    q.processPayment =
+        app.addQueryType({"processPayment", 30.0, 1.0, 0, {"payment"}});
+    q.payCreditCard =
+        app.addQueryType({"payCreditCard", 15.0, 1.0, 0, {"creditcard"}});
+    q.requestLoan =
+        app.addQueryType({"requestLoan", 10.0, 1.1, 0, {"loan"}});
+    q.browseInfo =
+        app.addQueryType({"browseInfo", 25.0, 1.0, 0, {"browse"}});
+    q.wealthMgmt =
+        app.addQueryType({"wealthMgmt", 10.0, 1.0, 0, {"wealth"}});
+    q.openAccount =
+        app.addQueryType({"openAccount", 10.0, 1.0, 0, {"open"}});
+    app.validate();
+    return q;
+}
+
+} // namespace uqsim::apps

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The secure Banking System end-to-end service (Sec 3.5, Fig 7).
+ *
+ * Payments, credit cards, loans and wealth management behind a node.js
+ * front-end: 34 unique microservices. Every money-moving path passes
+ * authentication and ACL checks before transactionPosting commits to
+ * the ledger; a relational BankInfoDB holds bank/representative
+ * information. Most tiers are Java/Javascript, making the service more
+ * compute-intensive and less kernel-bound than Social Network (Fig 14).
+ */
+
+#ifndef UQSIM_APPS_BANKING_HH
+#define UQSIM_APPS_BANKING_HH
+
+#include "apps/builder.hh"
+
+namespace uqsim::apps {
+
+/** Query-type indices registered by buildBanking. */
+struct BankingQueries
+{
+    unsigned processPayment = 0;
+    unsigned payCreditCard = 0;
+    unsigned requestLoan = 0;
+    unsigned browseInfo = 0;
+    unsigned wealthMgmt = 0;
+    unsigned openAccount = 0;
+};
+
+/**
+ * Build the Banking System into @p w. Entry "front-end"; QoS 20ms.
+ */
+BankingQueries buildBanking(World &w, const AppOptions &opt = {});
+
+} // namespace uqsim::apps
+
+#endif // UQSIM_APPS_BANKING_HH

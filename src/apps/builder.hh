@@ -1,0 +1,156 @@
+/**
+ * @file
+ * World construction and tier-building helpers shared by all six
+ * end-to-end applications.
+ *
+ * A World bundles one Simulator with its compute cluster, network
+ * fabric and App runtime in the right construction order, plus a
+ * dedicated client server that injects user requests (so client-side
+ * protocol costs are modelled but never bottleneck).
+ */
+
+#ifndef UQSIM_APPS_BUILDER_HH
+#define UQSIM_APPS_BUILDER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/distributions.hh"
+#include "core/simulator.hh"
+#include "cpu/core_model.hh"
+#include "cpu/server.hh"
+#include "net/network.hh"
+#include "service/app.hh"
+
+namespace uqsim::apps {
+
+/** Configuration of one simulated deployment. */
+struct WorldConfig
+{
+    /** Servers available for service placement. */
+    unsigned workerServers = 5;
+
+    /** Core type of every worker server. */
+    cpu::CoreModel coreModel = cpu::CoreModel::xeon();
+
+    /** Fabric parameters. */
+    net::NetworkConfig netConfig{};
+
+    /** Runtime parameters (QoS, protocols, tracing, FPGA). */
+    service::App::Config appConfig{};
+
+    /** Root seed; every stochastic component forks from it. */
+    std::uint64_t seed = 42;
+};
+
+/**
+ * A complete simulated deployment.
+ */
+class World
+{
+  public:
+    explicit World(WorldConfig config = {});
+
+    World(const World &) = delete;
+    World &operator=(const World &) = delete;
+
+    Simulator sim;
+    cpu::Cluster cluster;
+    std::unique_ptr<net::Network> network;
+    std::unique_ptr<service::App> app;
+
+    const WorldConfig &config() const { return config_; }
+
+    /** The client machine (outside the worker pool). */
+    cpu::Server &clientServer() { return *client_; }
+
+    /** Next worker server, round-robin (placement helper). */
+    cpu::Server &nextWorker();
+
+    /** Worker server by index. */
+    cpu::Server &worker(unsigned idx);
+
+    /** Number of worker servers. */
+    unsigned workers() const { return config_.workerServers; }
+
+  private:
+    WorldConfig config_;
+    cpu::Server *client_ = nullptr;
+    std::size_t cursor_ = 0;
+};
+
+/**
+ * Scale-out options shared by the application builders.
+ */
+struct AppOptions
+{
+    /** Instances per logic tier. */
+    unsigned instancesPerTier = 1;
+
+    /** Instances of the entry tier (front-ends get more). */
+    unsigned frontendInstances = 2;
+
+    /** Shards per cache tier. */
+    unsigned cacheShards = 2;
+
+    /** Shards per database tier. */
+    unsigned dbShards = 2;
+};
+
+/**
+ * Convert microseconds of work on a nominal Xeon core into cycles,
+ * assuming the suite-average effective IPC (~0.6 at 2.4GHz). Handler
+ * compute is specified through this for readability; exact per-service
+ * time additionally depends on the service's own IPC on its server.
+ */
+Dist computeUs(double mean_us, double sigma = 0.5);
+
+/** Deterministic compute amount in microseconds (no variance). */
+Dist computeUsConst(double us);
+
+// -- Tier helpers -------------------------------------------------------
+
+/** Add a logic tier with @p instances instances placed round-robin. */
+service::Microservice &
+addLogicTier(World &w, service::ServiceDef def, unsigned instances);
+
+/** Add a memcached-style cache tier (@p shards shards). */
+service::Microservice &
+addCacheTier(World &w, const std::string &name, unsigned shards,
+             double mean_us = 55.0);
+
+/** Add a MongoDB-style persistent tier. */
+service::Microservice &
+addMongoTier(World &w, const std::string &name, unsigned shards,
+             double mean_us = 320.0);
+
+/** Add a MySQL-style relational tier. */
+service::Microservice &
+addMysqlTier(World &w, const std::string &name, unsigned shards,
+             double mean_us = 450.0);
+
+/**
+ * Re-provision every stateful tier (caches and databases) of a built
+ * app so the per-shard capacity is comparable to the rest of the
+ * system - the paper's Sec 3.8 balanced-provisioning regime, needed
+ * for the request-skew study (Fig 22b) where hot shards must be able
+ * to become the bottleneck. Scales each stateful tier's compute
+ * stages and overrides its worker-thread count. Call before any load.
+ */
+void tightenStatefulTiers(service::App &app, double cache_cost_scale,
+                          unsigned cache_threads, double db_cost_scale,
+                          unsigned db_threads);
+
+/**
+ * Cap the worker-thread count of every stateless/front-end tier: the
+ * balanced-provisioning lever for cluster-management experiments
+ * (Figs 17, 20-22), where tiers must be able to saturate at loads the
+ * simulated cluster can reach. Call before any load.
+ */
+void throttleLogicTiers(service::App &app, unsigned frontend_threads,
+                        unsigned logic_threads);
+
+} // namespace uqsim::apps
+
+#endif // UQSIM_APPS_BUILDER_HH

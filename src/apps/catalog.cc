@@ -1,0 +1,106 @@
+#include "apps/catalog.hh"
+
+#include "apps/banking.hh"
+#include "apps/ecommerce.hh"
+#include "apps/media_service.hh"
+#include "apps/social_network.hh"
+#include "apps/swarm.hh"
+#include "core/logging.hh"
+
+namespace uqsim::apps {
+
+const std::vector<AppId> &
+allApps()
+{
+    static const std::vector<AppId> apps = {
+        AppId::SocialNetwork, AppId::MediaService, AppId::Ecommerce,
+        AppId::Banking,       AppId::SwarmCloud,   AppId::SwarmEdge,
+    };
+    return apps;
+}
+
+const std::vector<AppId> &
+cloudApps()
+{
+    static const std::vector<AppId> apps = {
+        AppId::SocialNetwork,
+        AppId::MediaService,
+        AppId::Ecommerce,
+        AppId::Banking,
+    };
+    return apps;
+}
+
+const AppInfo &
+appInfo(AppId id)
+{
+    // Metadata transcribed from Table 1 of the paper.
+    static const std::vector<AppInfo> table = {
+        {AppId::SocialNetwork, "Social Network", 36, 15198, "RPC", 9286,
+         52863,
+         "34% C, 23% C++, 18% Java, 7% node.js, 6% Python, 5% Scala, "
+         "3% PHP, 2% Javascript, 2% Go"},
+        {AppId::MediaService, "Movie Reviewing", 38, 12155, "RPC", 9853,
+         48001,
+         "30% C, 21% C++, 20% Java, 10% PHP, 8% Scala, 5% node.js, "
+         "3% Python, 3% Javascript"},
+        {AppId::Ecommerce, "E-commerce Website", 41, 16194, "REST+RPC",
+         7456, 12085,
+         "21% Java, 16% C++, 15% C, 14% Go, 10% Javascript, 7% node.js, "
+         "5% Scala, 4% HTML, 3% Ruby"},
+        {AppId::Banking, "Banking System", 34, 13876, "RPC", 4757, 31156,
+         "29% C, 25% Javascript, 16% Java, 16% node.js, 11% C++, "
+         "3% Python"},
+        {AppId::SwarmCloud, "Swarm Cloud", 25, 11283, "REST+RPC", 7224,
+         21574,
+         "36% C, 19% Java, 16% Javascript, 14% node.js, 13% C++, "
+         "2% Python"},
+        {AppId::SwarmEdge, "Swarm Edge", 21, 13876, "REST", 4757, 0,
+         "29% C, 25% Javascript, 16% Java, 16% node.js, 11% C++, "
+         "3% Python"},
+    };
+    for (const AppInfo &info : table)
+        if (info.id == id)
+            return info;
+    panic("appInfo: unknown app id");
+}
+
+void
+buildApp(World &w, AppId id, const AppOptions &opt)
+{
+    switch (id) {
+      case AppId::SocialNetwork:
+        buildSocialNetwork(w, opt);
+        return;
+      case AppId::MediaService:
+        buildMediaService(w, opt);
+        return;
+      case AppId::Ecommerce:
+        buildEcommerce(w, opt);
+        return;
+      case AppId::Banking:
+        buildBanking(w, opt);
+        return;
+      case AppId::SwarmCloud: {
+        SwarmOptions so;
+        so.base = opt;
+        buildSwarm(w, SwarmVariant::Cloud, so);
+        return;
+      }
+      case AppId::SwarmEdge: {
+        SwarmOptions so;
+        so.base = opt;
+        buildSwarm(w, SwarmVariant::Edge, so);
+        return;
+      }
+    }
+    panic("buildApp: unknown app id");
+}
+
+std::string
+appName(AppId id)
+{
+    return appInfo(id).name;
+}
+
+} // namespace uqsim::apps

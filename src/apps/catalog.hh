@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Suite catalog: one registry over all six end-to-end applications
+ * with the Table-1 metadata of the original suite, plus a generic
+ * dispatcher so sweeps (Figs 12-16, 21) can iterate over every app.
+ */
+
+#ifndef UQSIM_APPS_CATALOG_HH
+#define UQSIM_APPS_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+#include "apps/builder.hh"
+
+namespace uqsim::apps {
+
+/** The six end-to-end applications. */
+enum class AppId
+{
+    SocialNetwork,
+    MediaService,
+    Ecommerce,
+    Banking,
+    SwarmCloud,
+    SwarmEdge,
+};
+
+/** All AppIds, in Table-1 order. */
+const std::vector<AppId> &allApps();
+
+/** The four cloud-only applications (Swarm excluded). */
+const std::vector<AppId> &cloudApps();
+
+/**
+ * Table-1 row: characteristics and code composition of the original
+ * open-source release, plus the structural facts our models must
+ * reproduce (unique microservice count).
+ */
+struct AppInfo
+{
+    AppId id;
+    std::string name;
+    unsigned uniqueMicroservices; ///< Table 1 "Unique Microservices"
+    unsigned totalLoc;            ///< Table 1 "Total New LoCs"
+    std::string protocol;         ///< RPC / REST+RPC
+    unsigned handwrittenCommLoc;  ///< Comm-protocol LoCs, handwritten
+    unsigned autogenCommLoc;      ///< Comm-protocol LoCs, Thrift-generated
+    std::string languageMix;      ///< per-language LoC breakdown
+};
+
+/** Table-1 metadata for @p id. */
+const AppInfo &appInfo(AppId id);
+
+/** Build @p id into @p w with default options. */
+void buildApp(World &w, AppId id, const AppOptions &opt = {});
+
+/** Printable app name. */
+std::string appName(AppId id);
+
+} // namespace uqsim::apps
+
+#endif // UQSIM_APPS_CATALOG_HH

@@ -1,0 +1,297 @@
+#include "apps/ecommerce.hh"
+
+#include "apps/profiles.hh"
+
+namespace uqsim::apps {
+
+namespace {
+
+using service::HandlerSpec;
+using service::ServiceDef;
+using service::ServiceKind;
+
+ServiceDef
+logic(const std::string &name, cpu::ServiceProfile profile,
+      HandlerSpec handler, unsigned threads = 16, bool rest = false)
+{
+    ServiceDef def;
+    def.name = name;
+    def.profile = std::move(profile);
+    def.handler = std::move(handler);
+    def.kind = ServiceKind::Stateless;
+    def.threadsPerInstance = threads;
+    def.protocol = rest ? rpc::ProtocolModel::restHttp1()
+                        : rpc::ProtocolModel::thrift();
+    return def;
+}
+
+} // namespace
+
+EcommerceQueries
+buildEcommerce(World &w, const AppOptions &opt)
+{
+    service::App &app = *w.app;
+
+    // ---- State: 6 memcached tiers + 12 MongoDB tiers --------------------
+    addCacheTier(w, "catalogue-memcached", opt.cacheShards);
+    addCacheTier(w, "cart-memcached", opt.cacheShards);
+    addCacheTier(w, "orders-memcached", opt.cacheShards);
+    addCacheTier(w, "account-memcached", opt.cacheShards);
+    addCacheTier(w, "discount-memcached", opt.cacheShards, 40.0);
+    addCacheTier(w, "session-memcached", opt.cacheShards, 40.0);
+    addMongoTier(w, "catalogue-db", opt.dbShards);
+    addMongoTier(w, "cart-db", opt.dbShards, 280.0);
+    addMongoTier(w, "orders-db", opt.dbShards, 360.0);
+    addMongoTier(w, "account-db", opt.dbShards, 280.0);
+    addMongoTier(w, "shipping-db", opt.dbShards, 300.0);
+    addMongoTier(w, "invoice-db", opt.dbShards, 300.0);
+    addMongoTier(w, "wishlist-db", opt.dbShards, 260.0);
+    addMongoTier(w, "media-db", opt.dbShards, 420.0);
+    addMongoTier(w, "social-db", opt.dbShards, 280.0);
+    addMongoTier(w, "discounts-db", opt.dbShards, 240.0);
+    addMongoTier(w, "payment-db", opt.dbShards, 320.0);
+    addMongoTier(w, "queue-db", opt.dbShards, 300.0);
+
+    // ---- Leaves -----------------------------------------------------------
+    addLogicTier(w,
+                 logic("transactionID", cppMicroProfile("transactionID"),
+                       HandlerSpec{}.compute(computeUs(10.0, 0.3))),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("media", nodejsMicroProfile("media"),
+                       HandlerSpec{}
+                           .compute(computeUs(90.0, 0.5))
+                           .cache("catalogue-memcached", "media-db", 0.92)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("socialNet", nodejsMicroProfile("socialNet"),
+                       HandlerSpec{}
+                           .compute(computeUs(80.0, 0.5))
+                           .call("social-db")),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("recommender", recommenderProfile("recommender"),
+                       HandlerSpec{}.compute(computeUs(380.0, 0.6))),
+                 opt.instancesPerTier);
+    for (const char *idx : {"index0", "index1", "index2"}) {
+        addLogicTier(w,
+                     logic(idx, xapianProfile(idx),
+                           HandlerSpec{}.compute(computeUs(170.0, 0.5))),
+                     opt.instancesPerTier);
+    }
+    addLogicTier(w,
+                 logic("ads", javaMicroProfile("ads"),
+                       HandlerSpec{}
+                           .compute(computeUs(140.0, 0.5))
+                           .callWithProbability("recommender", 0.5)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("search", xapianProfile("search"),
+                       HandlerSpec{}
+                           .compute(computeUs(40.0, 0.4))
+                           .parallelCall("index0", 1)
+                           .parallelCall("index1", 1)
+                           .parallelCall("index2", 1)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("discounts", nodejsMicroProfile("discounts"),
+                       HandlerSpec{}
+                           .compute(computeUs(60.0, 0.4))
+                           .cache("discount-memcached", "discounts-db",
+                                  0.95)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("accountInfo", javaMicroProfile("accountInfo"),
+                       HandlerSpec{}
+                           .compute(computeUs(70.0, 0.4))
+                           .cache("account-memcached", "account-db", 0.95)),
+                 opt.instancesPerTier);
+
+    // ---- Business logic ----------------------------------------------------
+    addLogicTier(w,
+                 logic("login", goMicroProfile("login"),
+                       HandlerSpec{}
+                           .compute(computeUs(180.0, 0.5))
+                           .cache("session-memcached", "account-db", 0.90)
+                           .call("accountInfo")),
+                 opt.instancesPerTier);
+    addLogicTier(
+        w,
+        logic("catalogue", goMicroProfile("catalogue"),
+              HandlerSpec{}
+                  .compute(computeUs(320.0, 0.5))
+                  .cache("catalogue-memcached", "catalogue-db", 0.93)
+                  .callWithProbability("media", 0.6)
+                  .callWithProbability("discounts", 0.5),
+              32),
+        opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("wishlist", javaMicroProfile("wishlist"),
+                       HandlerSpec{}
+                           .compute(computeUs(50.0, 0.4))
+                           .call("wishlist-db")),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("cart", javaMicroProfile("cart"),
+                       HandlerSpec{}
+                           .compute(computeUs(160.0, 0.5))
+                           .cache("cart-memcached", "cart-db", 0.88)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("shipping", javaMicroProfile("shipping"),
+                       HandlerSpec{}
+                           .compute(computeUs(240.0, 0.5))
+                           .call("shipping-db")),
+                 opt.instancesPerTier);
+    addLogicTier(
+        w,
+        logic("payment-authorization",
+              goMicroProfile("payment-authorization"),
+              HandlerSpec{}
+                  .compute(computeUs(420.0, 0.5))
+                  .call("transactionID")
+                  .call("payment-db")),
+        opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("payment", goMicroProfile("payment"),
+                       HandlerSpec{}
+                           .compute(computeUs(380.0, 0.5))
+                           .call("payment-authorization")),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("invoicing", javaMicroProfile("invoicing"),
+                       HandlerSpec{}
+                           .compute(computeUs(280.0, 0.5))
+                           .call("transactionID")
+                           .call("invoice-db")),
+                 opt.instancesPerTier);
+    // orderQueue: RabbitMQ-like broker feeding the order pipeline.
+    addLogicTier(w,
+                 logic("orderQueue", queueProfile("orderQueue"),
+                       HandlerSpec{}
+                           .compute(computeUs(90.0, 0.4))
+                           .call("queue-db"),
+                       32),
+                 opt.instancesPerTier);
+    // queueMaster serializes committed orders: few worker threads by
+    // design (the synchronization bottleneck of Sec 7).
+    addLogicTier(w,
+                 logic("queueMaster", goMicroProfile("queueMaster"),
+                       HandlerSpec{}
+                           .compute(computeUs(220.0, 0.4))
+                           .call("orderQueue"),
+                       4),
+                 opt.instancesPerTier);
+    addLogicTier(
+        w,
+        logic("orders", goMicroProfile("orders"),
+              HandlerSpec{}
+                  .compute(computeUs(340.0, 0.5))
+                  .call("cart")
+                  .call("accountInfo")
+                  .call("shipping")
+                  .call("payment")
+                  .call("invoicing")
+                  .call("queueMaster")
+                  .cache("orders-memcached", "orders-db", 0.80),
+              32),
+        opt.instancesPerTier);
+
+    // ---- Front end (node.js, REST) ----------------------------------------
+    {
+        ServiceDef fe = logic(
+            "front-end", nodejsMicroProfile("front-end"),
+            HandlerSpec{}
+                .compute(computeUs(200.0, 0.5))
+                .callTagged("login", "login")
+                .callTagged("browse", "catalogue")
+                .callTagged("cart", "cart")
+                .callTagged("wish", "wishlist")
+                .callTagged("order", "login")
+                .callTagged("order", "orders")
+                .callWithProbability("ads", 0.3)
+                .callWithProbability("search", 0.2)
+                .callWithProbability("recommender", 0.15),
+            64, /*rest=*/true);
+        fe.kind = ServiceKind::Frontend;
+        fe.protocol.connectionsPerPair = 8192; // per-user client connections
+        addLogicTier(w, std::move(fe), opt.frontendInstances);
+    }
+
+    app.setEntry("front-end");
+    app.setQosLatency(20 * kTicksPerMs);
+
+    EcommerceQueries q;
+    q.browseCatalogue =
+        app.addQueryType({"browseCatalogue", 50.0, 1.0, 0, {"browse"}});
+    q.addToCart = app.addQueryType({"addToCart", 20.0, 1.0, 0, {"cart"}});
+    q.placeOrder =
+        app.addQueryType({"placeOrder", 15.0, 1.0, 0, {"order"}});
+    q.wishlist = app.addQueryType({"wishlist", 10.0, 1.0, 0, {"wish"}});
+    q.login = app.addQueryType({"login", 5.0, 1.0, 0, {"login"}});
+    app.validate();
+    return q;
+}
+
+EcommerceQueries
+buildEcommerceMonolith(World &w, const AppOptions &opt)
+{
+    service::App &app = *w.app;
+
+    addCacheTier(w, "catalogue-memcached", opt.cacheShards);
+    addCacheTier(w, "session-memcached", opt.cacheShards, 40.0);
+    addMongoTier(w, "catalogue-db", opt.dbShards);
+    addMongoTier(w, "orders-db", opt.dbShards, 360.0);
+
+    // All shop logic in one Java binary; placing an order still runs
+    // its long multi-step path, now as one big compute burst plus the
+    // order commit to the database.
+    ServiceDef mono;
+    mono.name = "monolith";
+    mono.profile = monolithProfile("monolith");
+    mono.kind = ServiceKind::Stateless;
+    mono.threadsPerInstance = 64;
+    mono.queueCapacity = 64;
+    mono.protocol = rpc::ProtocolModel::restHttp1();
+    mono.protocol.perByteCycles = 0.2;
+    mono.protocol.connectionsPerPair = 8192;
+    mono.handler
+        .compute(computeUs(700.0, 0.5))
+        .cache("catalogue-memcached", "catalogue-db", 0.93)
+        .cache("session-memcached", "catalogue-db", 0.95)
+        .computeTagged("order", computeUs(1800.0, 0.5))
+        .add([] {
+            service::Stage s;
+            s.kind = service::Stage::Kind::Call;
+            s.target = "orders-db";
+            s.onlyForTag = "order";
+            return s;
+        }());
+    addLogicTier(w, std::move(mono), std::max(2u, opt.frontendInstances));
+
+    ServiceDef lb;
+    lb.name = "nginx-lb";
+    lb.profile = nginxProfile("nginx-lb");
+    lb.kind = ServiceKind::Frontend;
+    lb.threadsPerInstance = 128;
+    lb.protocol = rpc::ProtocolModel::restHttp1();
+    lb.protocol.connectionsPerPair = 8192;
+    lb.handler.compute(computeUs(45.0, 0.4)).call("monolith");
+    addLogicTier(w, std::move(lb), opt.frontendInstances);
+
+    app.setEntry("nginx-lb");
+    app.setQosLatency(20 * kTicksPerMs);
+
+    EcommerceQueries q;
+    q.browseCatalogue =
+        app.addQueryType({"browseCatalogue", 50.0, 1.0, 0, {"browse"}});
+    q.addToCart = app.addQueryType({"addToCart", 20.0, 1.0, 0, {"cart"}});
+    q.placeOrder =
+        app.addQueryType({"placeOrder", 15.0, 1.0, 0, {"order"}});
+    q.wishlist = app.addQueryType({"wishlist", 10.0, 1.0, 0, {"wish"}});
+    q.login = app.addQueryType({"login", 5.0, 1.0, 0, {"login"}});
+    app.validate();
+    return q;
+}
+
+} // namespace uqsim::apps

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The E-commerce end-to-end service (Sec 3.4, Fig 6).
+ *
+ * Clothing web shop inspired by Weave Sockshop: 41 unique
+ * microservices behind a node.js front-end. Mixed protocols as in the
+ * paper (Table 1): REST/HTTP between the front-end and first-level
+ * services, Thrift RPC deeper in the graph. Orders are serialized and
+ * committed through queueMaster, whose synchronization constrains
+ * scalability at high load (Sec 7).
+ */
+
+#ifndef UQSIM_APPS_ECOMMERCE_HH
+#define UQSIM_APPS_ECOMMERCE_HH
+
+#include "apps/builder.hh"
+
+namespace uqsim::apps {
+
+/** Query-type indices registered by buildEcommerce. */
+struct EcommerceQueries
+{
+    unsigned browseCatalogue = 0;
+    unsigned addToCart = 0;
+    unsigned placeOrder = 0;
+    unsigned wishlist = 0;
+    unsigned login = 0;
+};
+
+/**
+ * Build the E-commerce site into @p w. Entry is "front-end"; QoS 20ms
+ * (placing an order is 1-2 orders of magnitude slower than browsing).
+ */
+EcommerceQueries buildEcommerce(World &w, const AppOptions &opt = {});
+
+/**
+ * Monolithic counterpart (Sec 4 / Fig 10): the full shop logic in one
+ * Java binary behind nginx, with external memcached/MongoDB backends.
+ */
+EcommerceQueries buildEcommerceMonolith(World &w,
+                                        const AppOptions &opt = {});
+
+} // namespace uqsim::apps
+
+#endif // UQSIM_APPS_ECOMMERCE_HH

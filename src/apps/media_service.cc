@@ -1,0 +1,261 @@
+#include "apps/media_service.hh"
+
+#include "apps/profiles.hh"
+
+namespace uqsim::apps {
+
+namespace {
+
+using service::HandlerSpec;
+using service::ServiceDef;
+using service::ServiceKind;
+
+ServiceDef
+logic(const std::string &name, cpu::ServiceProfile profile,
+      HandlerSpec handler, unsigned threads = 16)
+{
+    ServiceDef def;
+    def.name = name;
+    def.profile = std::move(profile);
+    def.handler = std::move(handler);
+    def.kind = ServiceKind::Stateless;
+    def.threadsPerInstance = threads;
+    def.protocol = rpc::ProtocolModel::thrift();
+    return def;
+}
+
+} // namespace
+
+MediaServiceQueries
+buildMediaService(World &w, const AppOptions &opt)
+{
+    service::App &app = *w.app;
+
+    // ---- State: 5 memcached tiers, 4 MongoDB tiers, MovieDB (MySQL),
+    // NFS for the movie files ------------------------------------------
+    addCacheTier(w, "review-memcached", opt.cacheShards);
+    addCacheTier(w, "movie-memcached", opt.cacheShards);
+    addCacheTier(w, "user-memcached", opt.cacheShards);
+    addCacheTier(w, "media-memcached", opt.cacheShards, 75.0);
+    addCacheTier(w, "rating-memcached", opt.cacheShards, 40.0);
+    addMongoTier(w, "review-db", opt.dbShards);
+    addMongoTier(w, "user-db", opt.dbShards, 280.0);
+    addMongoTier(w, "media-db", opt.dbShards, 450.0);
+    addMongoTier(w, "rating-db", opt.dbShards, 260.0);
+    addMysqlTier(w, "movie-db", opt.dbShards, 480.0);
+    {
+        ServiceDef nfs;
+        nfs.name = "nfs";
+        nfs.profile = nfsProfile("nfs");
+        nfs.kind = ServiceKind::Database;
+        nfs.threadsPerInstance = 64;
+        nfs.handler.compute(computeUs(900.0, 0.5));
+        nfs.defaultResponseBytes = 256 * kKiB; // video chunk
+        service::Microservice &svc = app.addService(std::move(nfs));
+        for (unsigned i = 0; i < std::max(1u, opt.dbShards); ++i)
+            svc.addInstance(w.nextWorker());
+    }
+
+    // ---- Leaf logic -----------------------------------------------------
+    addLogicTier(w,
+                 logic("uniqueID", cppMicroProfile("uniqueID"),
+                       HandlerSpec{}.compute(computeUs(8.0, 0.3))),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("movieID", cppMicroProfile("movieID"),
+                       HandlerSpec{}
+                           .compute(computeUs(25.0, 0.4))
+                           .cache("movie-memcached", "movie-db", 0.97)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("textRating", cppMicroProfile("textRating"),
+                       HandlerSpec{}.compute(computeUs(45.0, 0.4))),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("userInfo", cppMicroProfile("userInfo"),
+                       HandlerSpec{}
+                           .compute(computeUs(35.0, 0.4))
+                           .cache("user-memcached", "user-db", 0.96)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("cast", cppMicroProfile("cast"),
+                       HandlerSpec{}
+                           .compute(computeUs(40.0, 0.4))
+                           .cache("movie-memcached", "movie-db", 0.93)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("plot", cppMicroProfile("plot"),
+                       HandlerSpec{}
+                           .compute(computeUs(35.0, 0.4))
+                           .cache("movie-memcached", "movie-db", 0.95)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("thumbnail", cppMicroProfile("thumbnail"),
+                       HandlerSpec{}
+                           .compute(computeUs(90.0, 0.5))
+                           .cache("media-memcached", "media-db", 0.92)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("photos", cppMicroProfile("photos"),
+                       HandlerSpec{}
+                           .compute(computeUs(110.0, 0.5))
+                           .cache("media-memcached", "media-db", 0.90)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("videos", cppMicroProfile("videos"),
+                       HandlerSpec{}
+                           .compute(computeUs(130.0, 0.5))
+                           .cache("media-memcached", "media-db", 0.90)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("rating", goMicroProfile("rating"),
+                       HandlerSpec{}
+                           .compute(computeUs(35.0, 0.4))
+                           .cache("rating-memcached", "rating-db", 0.90)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("recommender", recommenderProfile("recommender"),
+                       HandlerSpec{}.compute(computeUs(350.0, 0.6))),
+                 opt.instancesPerTier);
+    for (const char *idx : {"index0", "index1", "index2"}) {
+        addLogicTier(w,
+                     logic(idx, xapianProfile(idx),
+                           HandlerSpec{}.compute(computeUs(180.0, 0.5))),
+                     opt.instancesPerTier);
+    }
+
+    // ---- Mid-tier logic --------------------------------------------------
+    addLogicTier(w,
+                 logic("ads", javaMicroProfile("ads"),
+                       HandlerSpec{}
+                           .compute(computeUs(150.0, 0.5))
+                           .callWithProbability("recommender", 0.5)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("search", xapianProfile("search"),
+                       HandlerSpec{}
+                           .compute(computeUs(40.0, 0.4))
+                           .parallelCall("index0", 1)
+                           .parallelCall("index1", 1)
+                           .parallelCall("index2", 1)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("movie", javaMicroProfile("movie"),
+                       HandlerSpec{}
+                           .compute(computeUs(70.0, 0.4))
+                           .cache("movie-memcached", "movie-db", 0.93)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("movieReview", javaMicroProfile("movieReview"),
+                       HandlerSpec{}
+                           .compute(computeUs(60.0, 0.4))
+                           .cache("review-memcached", "review-db", 0.92)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("userReview", javaMicroProfile("userReview"),
+                       HandlerSpec{}
+                           .compute(computeUs(55.0, 0.4))
+                           .cache("review-memcached", "review-db", 0.92)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("reviewStorage", cppMicroProfile("reviewStorage"),
+                       HandlerSpec{}
+                           .compute(computeUs(45.0, 0.4))
+                           .cache("review-memcached", "review-db", 0.85)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("login", cppMicroProfile("login"),
+                       HandlerSpec{}
+                           .compute(computeUs(70.0, 0.4))
+                           .cache("user-memcached", "user-db", 0.95)
+                           .call("userInfo")),
+                 opt.instancesPerTier);
+    addLogicTier(
+        w,
+        logic("video-streaming", streamingProfile("video-streaming"),
+              HandlerSpec{}.compute(computeUs(250.0, 0.4)).call("nfs"), 64),
+        opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("rent", goMicroProfile("rent"),
+                       HandlerSpec{}
+                           .compute(computeUs(500.0, 0.5)) // payment auth
+                           .call("userInfo")
+                           .call("video-streaming")),
+                 opt.instancesPerTier);
+    addLogicTier(
+        w,
+        logic("composeReview", cppMicroProfile("composeReview"),
+              HandlerSpec{}
+                  .compute(computeUs(120.0, 0.5))
+                  .call("uniqueID")
+                  .call("movieID")
+                  .call("textRating")
+                  .call("userReview")
+                  .call("movieReview")
+                  .call("reviewStorage")
+                  .call("rating"),
+              32),
+        opt.instancesPerTier);
+    addLogicTier(
+        w,
+        logic("composePage", cppMicroProfile("composePage"),
+              HandlerSpec{}
+                  .compute(computeUs(110.0, 0.5))
+                  .call("movie")
+                  .call("plot")
+                  .call("cast")
+                  .parallelCall("thumbnail", 2)
+                  .call("photos")
+                  .call("videos")
+                  .call("rating")
+                  .call("movieReview"),
+              32),
+        opt.instancesPerTier);
+
+    // ---- Front end --------------------------------------------------------
+    {
+        ServiceDef php = logic(
+            "php-fpm", phpFpmProfile("php-fpm"),
+            HandlerSpec{}
+                .compute(computeUs(130.0, 0.5))
+                .callTagged("browse", "composePage")
+                .callTagged("review", "composeReview")
+                .callTagged("rent", "rent")
+                .callTagged("stream", "video-streaming")
+                .callTagged("login", "login")
+                .callWithProbability("ads", 0.3)
+                .callWithProbability("search", 0.15),
+            64);
+        php.kind = ServiceKind::Frontend;
+        addLogicTier(w, std::move(php), opt.frontendInstances);
+    }
+    {
+        ServiceDef lb = logic("nginx-lb", nginxProfile("nginx-lb"),
+                              HandlerSpec{}
+                                  .compute(computeUs(45.0, 0.4))
+                                  .callWithMedia("php-fpm"),
+                              128);
+        lb.kind = ServiceKind::Frontend;
+        lb.protocol = rpc::ProtocolModel::restHttp1();
+        lb.protocol.connectionsPerPair = 8192; // per-user client connections
+        addLogicTier(w, std::move(lb), opt.frontendInstances);
+    }
+
+    app.setEntry("nginx-lb");
+    app.setQosLatency(10 * kTicksPerMs);
+
+    MediaServiceQueries q;
+    q.browseMovie =
+        app.addQueryType({"browseMovie", 45.0, 1.0, 0, {"browse"}});
+    q.composeReview =
+        app.addQueryType({"composeReview", 20.0, 1.0, 0, {"review"}});
+    q.rentMovie =
+        app.addQueryType({"rentMovie", 10.0, 1.2, 0, {"rent"}});
+    q.streamMovie = app.addQueryType(
+        {"streamMovie", 20.0, 1.0, 64 * kKiB, {"stream"}});
+    q.login = app.addQueryType({"login", 5.0, 1.0, 0, {"login"}});
+    app.validate();
+    return q;
+}
+
+} // namespace uqsim::apps

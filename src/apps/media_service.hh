@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The Media Service end-to-end application (Sec 3.3, Fig 5).
+ *
+ * Browsing movie information, reviewing, rating, renting and streaming
+ * movies: 38 unique microservices. Movie metadata lives in a sharded
+ * MySQL database (MovieDB), reviews in memcached+MongoDB, movie files
+ * in NFS served by an nginx-hls streaming module; renting goes through
+ * a payment-authentication step.
+ */
+
+#ifndef UQSIM_APPS_MEDIA_SERVICE_HH
+#define UQSIM_APPS_MEDIA_SERVICE_HH
+
+#include "apps/builder.hh"
+
+namespace uqsim::apps {
+
+/** Query-type indices registered by buildMediaService. */
+struct MediaServiceQueries
+{
+    unsigned browseMovie = 0;
+    unsigned composeReview = 0;
+    unsigned rentMovie = 0;
+    unsigned streamMovie = 0;
+    unsigned login = 0;
+};
+
+/**
+ * Build the Media Service into @p w. Entry is "nginx-lb"; QoS 10ms.
+ */
+MediaServiceQueries buildMediaService(World &w, const AppOptions &opt = {});
+
+} // namespace uqsim::apps
+
+#endif // UQSIM_APPS_MEDIA_SERVICE_HH

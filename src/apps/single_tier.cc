@@ -1,0 +1,93 @@
+#include "apps/single_tier.hh"
+
+#include "apps/profiles.hh"
+#include "core/logging.hh"
+
+namespace uqsim::apps {
+
+std::string
+singleTierName(SingleTierKind kind)
+{
+    switch (kind) {
+      case SingleTierKind::Nginx:
+        return "NGINX";
+      case SingleTierKind::Memcached:
+        return "memcached";
+      case SingleTierKind::MongoDB:
+        return "MongoDB";
+      case SingleTierKind::Xapian:
+        return "Xapian";
+      case SingleTierKind::Recommender:
+        return "Recommender";
+    }
+    return "unknown";
+}
+
+void
+buildSingleTier(World &w, SingleTierKind kind, unsigned instances)
+{
+    service::ServiceDef def;
+    Tick qos = 10 * kTicksPerMs;
+
+    switch (kind) {
+      case SingleTierKind::Nginx:
+        def.name = "nginx";
+        def.profile = nginxProfile("nginx");
+        def.handler.compute(computeUs(1150.0, 0.4));
+        def.threadsPerInstance = 128;
+        def.protocol = rpc::ProtocolModel::restHttp1();
+        def.protocol.connectionsPerPair = 256;
+        def.defaultResponseBytes = 64 * kKiB;
+        qos = 10 * kTicksPerMs;
+        break;
+      case SingleTierKind::Memcached:
+        def.name = "memcached";
+        def.profile = memcachedProfile("memcached");
+        def.handler.compute(computeUs(130.0, 0.4));
+        def.threadsPerInstance = 64;
+        def.protocol = rpc::ProtocolModel::thrift();
+        def.defaultResponseBytes = 2 * kKiB;
+        qos = 2 * kTicksPerMs;
+        break;
+      case SingleTierKind::MongoDB:
+        def.name = "mongodb";
+        def.profile = mongodbProfile("mongodb");
+        def.handler.compute(computeUs(330.0, 0.5));
+        def.threadsPerInstance = 64;
+        def.protocol = rpc::ProtocolModel::thrift();
+        def.defaultResponseBytes = 8 * kKiB;
+        qos = 4 * kTicksPerMs;
+        break;
+      case SingleTierKind::Xapian:
+        def.name = "xapian";
+        def.profile = xapianProfile("xapian");
+        def.handler.compute(computeUs(750.0, 0.5));
+        def.threadsPerInstance = 32;
+        def.protocol = rpc::ProtocolModel::restHttp1();
+        def.defaultResponseBytes = 16 * kKiB;
+        qos = 8 * kTicksPerMs;
+        break;
+      case SingleTierKind::Recommender:
+        def.name = "recommender";
+        def.profile = recommenderProfile("recommender");
+        def.handler.compute(computeUs(2200.0, 0.5));
+        def.threadsPerInstance = 32;
+        def.protocol = rpc::ProtocolModel::grpc();
+        def.defaultResponseBytes = 4 * kKiB;
+        qos = 20 * kTicksPerMs;
+        break;
+    }
+
+    def.kind = service::ServiceKind::Frontend;
+    const std::string entry = def.name;
+    service::Microservice &svc = w.app->addService(std::move(def));
+    for (unsigned i = 0; i < std::max(1u, instances); ++i)
+        svc.addInstance(w.nextWorker());
+
+    w.app->setEntry(entry);
+    w.app->setQosLatency(qos);
+    w.app->addQueryType({entry, 1.0, 1.0, 0, {}});
+    w.app->validate();
+}
+
+} // namespace uqsim::apps

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Single-tier monolithic baselines (Figs 3, 12): the traditional
+ * interactive cloud applications the paper contrasts the end-to-end
+ * microservice graphs against.
+ */
+
+#ifndef UQSIM_APPS_SINGLE_TIER_HH
+#define UQSIM_APPS_SINGLE_TIER_HH
+
+#include <string>
+
+#include "apps/builder.hh"
+
+namespace uqsim::apps {
+
+/** The five standalone interactive services of Fig 12 (top row). */
+enum class SingleTierKind
+{
+    Nginx,        ///< static web serving
+    Memcached,    ///< in-memory KV store
+    MongoDB,      ///< persistent store (I/O-bound)
+    Xapian,       ///< websearch leaf (TailBench)
+    Recommender,  ///< ML inference
+};
+
+/** @return printable name. */
+std::string singleTierName(SingleTierKind kind);
+
+/**
+ * Build the standalone service into @p w: client -> service, no other
+ * tiers. Entry is the service itself; QoS is service-specific
+ * (5x the unloaded mean latency, the usual tail SLO convention).
+ */
+void buildSingleTier(World &w, SingleTierKind kind,
+                     unsigned instances = 2);
+
+} // namespace uqsim::apps
+
+#endif // UQSIM_APPS_SINGLE_TIER_HH

@@ -1,0 +1,334 @@
+#include "apps/social_network.hh"
+
+#include "apps/profiles.hh"
+
+namespace uqsim::apps {
+
+namespace {
+
+using service::HandlerSpec;
+using service::QueryType;
+using service::ServiceDef;
+using service::ServiceKind;
+
+/** Shorthand for a Thrift logic tier. */
+ServiceDef
+logic(const std::string &name, cpu::ServiceProfile profile,
+      HandlerSpec handler, unsigned threads = 16)
+{
+    ServiceDef def;
+    def.name = name;
+    def.profile = std::move(profile);
+    def.handler = std::move(handler);
+    def.kind = ServiceKind::Stateless;
+    def.threadsPerInstance = threads;
+    def.protocol = rpc::ProtocolModel::thrift();
+    return def;
+}
+
+SocialNetworkQueries
+registerQueries(service::App &app)
+{
+    SocialNetworkQueries q;
+    q.readTimeline = app.addQueryType(
+        {"readTimeline", 55.0, 1.0, 0, {"read"}});
+    q.composeText = app.addQueryType(
+        {"composePost-text", 20.0, 1.0, 0, {"compose"}});
+    q.composeImage = app.addQueryType(
+        {"composePost-image", 8.0, 1.15, 200 * kKiB, {"compose", "image"}});
+    q.composeVideo = app.addQueryType(
+        {"composePost-video", 4.0, 1.3, 1536 * kKiB, {"compose", "video"}});
+    q.repost = app.addQueryType(
+        {"repost", 4.0, 1.1, 0, {"read", "compose"}});
+    // Replying publicly reads the post then composes the reply; a
+    // direct message writes straight into one user's inbox timeline.
+    q.reply = app.addQueryType({"reply", 3.0, 1.0, 0, {"reply"}});
+    q.directMessage =
+        app.addQueryType({"directMessage", 3.0, 1.0, 0, {"dm"}});
+    q.login = app.addQueryType({"login", 4.0, 1.0, 0, {"login"}});
+    q.followUser = app.addQueryType(
+        {"followUser", 5.0, 1.0, 0, {"follow"}});
+    q.unfollowUser = app.addQueryType(
+        {"unfollowUser", 2.0, 1.0, 0, {"follow"}});
+    q.blockUser = app.addQueryType(
+        {"blockUser", 1.0, 1.0, 0, {"block"}});
+    return q;
+}
+
+} // namespace
+
+SocialNetworkQueries
+buildSocialNetwork(World &w, const AppOptions &opt)
+{
+    service::App &app = *w.app;
+
+    // ---- Back-end state: 6 memcached tiers + 5 MongoDB tiers -------
+    addCacheTier(w, "posts-memcached", opt.cacheShards);
+    addCacheTier(w, "timeline-memcached", opt.cacheShards);
+    addCacheTier(w, "profile-memcached", opt.cacheShards);
+    addCacheTier(w, "media-memcached", opt.cacheShards, 75.0);
+    addCacheTier(w, "social-graph-memcached", opt.cacheShards);
+    addCacheTier(w, "url-memcached", opt.cacheShards, 40.0);
+    addMongoTier(w, "posts-db", opt.dbShards);
+    addMongoTier(w, "timeline-db", opt.dbShards);
+    addMongoTier(w, "profile-db", opt.dbShards, 280.0);
+    addMongoTier(w, "media-db", opt.dbShards, 450.0);
+    addMongoTier(w, "social-graph-db", opt.dbShards, 300.0);
+
+    // ---- Leaf logic tiers -------------------------------------------
+    addLogicTier(w,
+                 logic("uniqueID", cppMicroProfile("uniqueID"),
+                       HandlerSpec{}.compute(computeUs(8.0, 0.3))),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("urlShorten", cppMicroProfile("urlShorten"),
+                       HandlerSpec{}
+                           .compute(computeUs(30.0, 0.4))
+                           .cache("url-memcached", "posts-db", 0.97)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("userTag", cppMicroProfile("userTag"),
+                       HandlerSpec{}
+                           .compute(computeUs(25.0, 0.4))
+                           .cache("social-graph-memcached",
+                                  "social-graph-db", 0.95)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("image", cppMicroProfile("image"),
+                       HandlerSpec{}
+                           .compute(computeUs(120.0, 0.5))
+                           .cache("media-memcached", "media-db", 0.90)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("video", cppMicroProfile("video"),
+                       HandlerSpec{}
+                           .compute(computeUs(300.0, 0.5))
+                           .cache("media-memcached", "media-db", 0.90)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("recommender", recommenderProfile("recommender"),
+                       HandlerSpec{}.compute(computeUs(350.0, 0.6))),
+                 opt.instancesPerTier);
+    for (const char *idx : {"index0", "index1", "index2"}) {
+        addLogicTier(w,
+                     logic(idx, xapianProfile(idx),
+                           HandlerSpec{}.compute(computeUs(180.0, 0.5))),
+                     opt.instancesPerTier);
+    }
+    addLogicTier(w,
+                 logic("blockedUsers", cppMicroProfile("blockedUsers"),
+                       HandlerSpec{}
+                           .compute(computeUs(20.0, 0.4))
+                           .cache("profile-memcached", "profile-db", 0.97)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("userInfo", cppMicroProfile("userInfo"),
+                       HandlerSpec{}
+                           .compute(computeUs(35.0, 0.4))
+                           .cache("profile-memcached", "profile-db", 0.96)),
+                 opt.instancesPerTier);
+
+    // ---- Mid-tier logic ----------------------------------------------
+    addLogicTier(w,
+                 logic("text", cppMicroProfile("text"),
+                       HandlerSpec{}
+                           .compute(computeUs(50.0, 0.5))
+                           .call("urlShorten")
+                           .call("userTag")),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("ads", javaMicroProfile("ads"),
+                       HandlerSpec{}
+                           .compute(computeUs(150.0, 0.5))
+                           .callWithProbability("recommender", 0.5)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("search", xapianProfile("search"),
+                       HandlerSpec{}
+                           .compute(computeUs(40.0, 0.4))
+                           .parallelCall("index0", 1)
+                           .parallelCall("index1", 1)
+                           .parallelCall("index2", 1)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("postsStorage", cppMicroProfile("postsStorage"),
+                       HandlerSpec{}
+                           .compute(computeUs(40.0, 0.4))
+                           .cache("posts-memcached", "posts-db", 0.92)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("writeTimeline", cppMicroProfile("writeTimeline"),
+                       HandlerSpec{}
+                           .compute(computeUs(45.0, 0.4))
+                           .cache("timeline-memcached", "timeline-db",
+                                  0.85)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("writeGraph", cppMicroProfile("writeGraph"),
+                       HandlerSpec{}
+                           .compute(computeUs(40.0, 0.4))
+                           .call("social-graph-db")
+                           .call("social-graph-memcached")),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("readPost", cppMicroProfile("readPost"),
+                       HandlerSpec{}
+                           .compute(computeUs(45.0, 0.4))
+                           .cache("posts-memcached", "posts-db", 0.95)),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("readTimeline", cppMicroProfile("readTimeline"),
+                       HandlerSpec{}
+                           .compute(computeUs(55.0, 0.4))
+                           .cache("timeline-memcached", "timeline-db",
+                                  0.92)
+                           .parallelCall("readPost", 3)
+                           .call("blockedUsers")),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("favorite", cppMicroProfile("favorite"),
+                       HandlerSpec{}
+                           .compute(computeUs(25.0, 0.4))
+                           .call("postsStorage")),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("login", cppMicroProfile("login"),
+                       HandlerSpec{}
+                           .compute(computeUs(70.0, 0.4))
+                           .cache("profile-memcached", "profile-db", 0.95)
+                           .call("userInfo")),
+                 opt.instancesPerTier);
+    addLogicTier(w,
+                 logic("followUser", cppMicroProfile("followUser"),
+                       HandlerSpec{}
+                           .compute(computeUs(40.0, 0.4))
+                           .call("writeGraph")
+                           .call("userInfo")),
+                 opt.instancesPerTier);
+    addLogicTier(
+        w,
+        logic("composePost", cppMicroProfile("composePost"),
+              HandlerSpec{}
+                  .compute(computeUs(160.0, 0.5))
+                  .call("uniqueID")
+                  .call("text")
+                  .callTaggedWithMedia("image", "image")
+                  .callTaggedWithMedia("video", "video")
+                  .call("postsStorage")
+                  .call("writeTimeline")
+                  .call("writeGraph"),
+              32),
+        opt.instancesPerTier);
+
+    // ---- Front end -----------------------------------------------------
+    {
+        ServiceDef php = logic(
+            "php-fpm", phpFpmProfile("php-fpm"),
+            HandlerSpec{}
+                .compute(computeUs(130.0, 0.5))
+                .callTagged("login", "login")
+                .callTagged("follow", "followUser")
+                .callTagged("read", "readTimeline")
+                .callTaggedWithMedia("compose", "composePost")
+                .callTagged("reply", "readPost")
+                .callTagged("reply", "composePost")
+                .callTagged("dm", "writeTimeline")
+                .callTagged("block", "blockedUsers")
+                .callTagged("block", "writeGraph")
+                .add([] {
+                    service::Stage s;
+                    s.kind = service::Stage::Kind::Call;
+                    s.target = "favorite";
+                    s.probability = 0.05;
+                    s.onlyForTag = "read";
+                    return s;
+                }())
+                .callWithProbability("ads", 0.3)
+                .callWithProbability("search", 0.1),
+            64);
+        php.kind = ServiceKind::Frontend;
+        addLogicTier(w, std::move(php), opt.frontendInstances);
+    }
+    {
+        ServiceDef lb = logic("nginx-lb", nginxProfile("nginx-lb"),
+                              HandlerSpec{}
+                                  .compute(computeUs(45.0, 0.4))
+                                  .callWithMedia("php-fpm"),
+                              128);
+        lb.kind = ServiceKind::Frontend;
+        lb.protocol = rpc::ProtocolModel::restHttp1();
+        lb.protocol.connectionsPerPair = 8192; // per-user client connections
+        addLogicTier(w, std::move(lb), opt.frontendInstances);
+    }
+
+    app.setEntry("nginx-lb");
+    // The tail includes video-composition requests (tens of ms), so
+    // the end-to-end QoS sits well above the mean (Sec 3.8).
+    app.setQosLatency(35 * kTicksPerMs);
+    SocialNetworkQueries q = registerQueries(app);
+    app.validate();
+    return q;
+}
+
+SocialNetworkQueries
+buildSocialNetworkMonolith(World &w, const AppOptions &opt)
+{
+    service::App &app = *w.app;
+
+    addCacheTier(w, "posts-memcached", opt.cacheShards);
+    addCacheTier(w, "timeline-memcached", opt.cacheShards);
+    addMongoTier(w, "posts-db", opt.dbShards);
+    addMongoTier(w, "timeline-db", opt.dbShards);
+
+    // All logic in one binary: one big compute burst per request plus
+    // the external cache/database accesses. The compute covers what
+    // the microservices version spreads over ~10 tiers.
+    ServiceDef mono;
+    mono.name = "monolith";
+    mono.profile = monolithProfile("monolith");
+    mono.kind = ServiceKind::Stateless;
+    mono.threadsPerInstance = 64;
+    mono.protocol = rpc::ProtocolModel::restHttp1();
+    // Media uploads are passed through as opaque bytes, not re-encoded
+    // through the JSON layer.
+    mono.protocol.perByteCycles = 0.2;
+    // The LB keeps a deep keep-alive pool per monolith instance, so a
+    // slow instance never head-of-line-blocks traffic to healthy ones
+    // (monolith copies operate independently, Sec 8).
+    mono.protocol.connectionsPerPair = 8192; // per-user client connections
+    // One binary, one bounded listen backlog: an overloaded monolith
+    // instance sheds load quickly instead of stalling the LB, unlike
+    // the deep per-tier queues of the microservices version.
+    mono.queueCapacity = 64;
+    mono.handler
+        .compute(computeUs(820.0, 0.5))
+        .cache("timeline-memcached", "timeline-db", 0.92)
+        .cache("posts-memcached", "posts-db", 0.94)
+        .computeTagged("compose", computeUs(260.0, 0.5))
+        .add([] {
+            service::Stage s;
+            s.kind = service::Stage::Kind::Call;
+            s.target = "timeline-db";
+            s.onlyForTag = "compose";
+            return s;
+        }());
+    addLogicTier(w, std::move(mono), std::max(2u, opt.frontendInstances));
+
+    ServiceDef lb;
+    lb.name = "nginx-lb";
+    lb.profile = nginxProfile("nginx-lb");
+    lb.kind = ServiceKind::Frontend;
+    lb.threadsPerInstance = 128;
+    lb.protocol = rpc::ProtocolModel::restHttp1();
+    lb.protocol.connectionsPerPair = 8192; // per-user client connections
+    lb.handler.compute(computeUs(25.0, 0.4)).call("monolith");
+    addLogicTier(w, std::move(lb), opt.frontendInstances);
+
+    app.setEntry("nginx-lb");
+    app.setQosLatency(35 * kTicksPerMs);
+    SocialNetworkQueries q = registerQueries(app);
+    app.validate();
+    return q;
+}
+
+} // namespace uqsim::apps

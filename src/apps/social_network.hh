@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The Social Network end-to-end service (Sec 3.2, Fig 4).
+ *
+ * Broadcast-style social network with unidirectional follow
+ * relationships: 36 unique microservices (25 logic tiers, 6 memcached
+ * caches, 5 MongoDB stores). Requests arrive over http at an nginx
+ * load balancer, a php-fpm web tier fans out to Thrift microservices
+ * for composing/reading posts, ads, search (Xapian leaves), ML
+ * recommendations and social-graph maintenance.
+ *
+ * Query types follow Sec 3.8: readTimeline dominates; composePost
+ * varies by embedded media (text / image / video); repost is the most
+ * expensive (read + prepend + re-broadcast); login and followUser
+ * round out the mix.
+ */
+
+#ifndef UQSIM_APPS_SOCIAL_NETWORK_HH
+#define UQSIM_APPS_SOCIAL_NETWORK_HH
+
+#include "apps/builder.hh"
+
+namespace uqsim::apps {
+
+/** Query-type indices registered by buildSocialNetwork. */
+struct SocialNetworkQueries
+{
+    unsigned readTimeline = 0;
+    unsigned composeText = 0;
+    unsigned composeImage = 0;
+    unsigned composeVideo = 0;
+    unsigned repost = 0;
+    unsigned reply = 0;
+    unsigned directMessage = 0;
+    unsigned login = 0;
+    unsigned followUser = 0;
+    unsigned unfollowUser = 0;
+    unsigned blockUser = 0;
+};
+
+/**
+ * Build the Social Network into @p w. Returns the registered query
+ * type indices. The app entry is "nginx-lb"; QoS defaults to 10ms.
+ */
+SocialNetworkQueries buildSocialNetwork(World &w,
+                                        const AppOptions &opt = {});
+
+/**
+ * Monolithic counterpart (Sec 4): all logic in one Java binary behind
+ * nginx, with the memcached/MongoDB back-ends kept external.
+ */
+SocialNetworkQueries buildSocialNetworkMonolith(World &w,
+                                                const AppOptions &opt = {});
+
+} // namespace uqsim::apps
+
+#endif // UQSIM_APPS_SOCIAL_NETWORK_HH

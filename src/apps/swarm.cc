@@ -1,0 +1,264 @@
+#include "apps/swarm.hh"
+
+#include "apps/profiles.hh"
+#include "core/logging.hh"
+
+namespace uqsim::apps {
+
+namespace {
+
+using service::HandlerSpec;
+using service::ServiceDef;
+using service::ServiceKind;
+
+/** Profile of a drone-local sensing/actuation service. */
+cpu::ServiceProfile
+droneProfile(const std::string &name, const std::string &lang = "Javascript")
+{
+    cpu::ServiceProfile p;
+    p.name = name;
+    p.codeFootprintKb = 180.0;
+    p.branchEntropy = 0.2;
+    p.memIntensity = 0.35;
+    p.kernelShare = 0.20;
+    p.libShare = 0.45; // Cylon.js / ardrone-autonomy libraries
+    p.language = lang;
+    return p;
+}
+
+/** Image recognition (jimp / OpenCV): memory-streaming, low IPC. */
+cpu::ServiceProfile
+imageRecProfile()
+{
+    cpu::ServiceProfile p;
+    p.name = "imageRecognition";
+    p.codeFootprintKb = 350.0;
+    p.branchEntropy = 0.10;
+    p.memIntensity = 0.85;
+    p.kernelShare = 0.10;
+    p.libShare = 0.50;
+    p.language = "node.js";
+    return p;
+}
+
+/**
+ * A service sharded one-instance-per-drone. ServiceKind::Cache gives
+ * user-keyed shard selection, and because every drone-local tier has
+ * the same instance count, a request (keyed by its drone id) stays on
+ * one drone for its whole local pipeline - IPC over loopback, exactly
+ * like the paper's native on-drone deployment.
+ */
+service::Microservice &
+addDroneTier(World &w, ServiceDef def,
+             const std::vector<unsigned> &drone_servers)
+{
+    def.kind = ServiceKind::Cache;
+    service::Microservice &svc = w.app->addService(std::move(def));
+    for (unsigned sid : drone_servers)
+        svc.addInstance(w.cluster.server(sid));
+    return svc;
+}
+
+ServiceDef
+tier(const std::string &name, cpu::ServiceProfile profile,
+     HandlerSpec handler, unsigned threads = 8)
+{
+    ServiceDef def;
+    def.name = name;
+    def.profile = std::move(profile);
+    def.handler = std::move(handler);
+    def.threadsPerInstance = threads;
+    // Cloud and drones talk over http to avoid Thrift's dependencies
+    // on the edge devices (Sec 3.6); drone-local IPC is cheap anyway.
+    def.protocol = rpc::ProtocolModel::restHttp1();
+    def.protocol.connectionsPerPair = 32;
+    return def;
+}
+
+} // namespace
+
+SwarmQueries
+buildSwarm(World &w, SwarmVariant variant, const SwarmOptions &opt)
+{
+    service::App &app = *w.app;
+    if (opt.drones == 0)
+        fatal("buildSwarm with zero drones");
+
+    // ---- Add the drones to the cluster, behind the wireless router ----
+    std::vector<unsigned> drones;
+    for (unsigned i = 0; i < opt.drones; ++i) {
+        cpu::Server &d = w.cluster.addServer(cpu::CoreModel::edgeArm());
+        w.network->attachWireless(d.id());
+        drones.push_back(d.id());
+    }
+    if (variant == SwarmVariant::Cloud) {
+        // Sensor streams originate at the drones: the client (which
+        // models the swarm's request sources) sits behind the router.
+        w.network->attachWireless(w.clientServer().id());
+    }
+
+    // ---- Cloud-resident persistent stores (8 DBs, both variants) ----
+    for (const char *db :
+         {"target-db", "orientation-db", "luminosity-db", "speed-db",
+          "location-db", "video-db", "image-db", "stock-image-db"}) {
+        addMongoTier(w, db, opt.base.dbShards, 300.0);
+    }
+
+    // ---- constructRoute: Java service on the cloud (both variants) ----
+    addLogicTier(w,
+                 tier("constructRoute", javaMicroProfile("constructRoute"),
+                      HandlerSpec{}
+                          .compute(computeUs(800.0, 0.5))
+                          .call("target-db")
+                          .call("location-db")),
+                 opt.base.instancesPerTier);
+
+    const bool edge = variant == SwarmVariant::Edge;
+
+    // ---- Sensor/actuation tiers (always on the drones) ---------------
+    addDroneTier(w,
+                 tier("camera-image", droneProfile("camera-image"),
+                      HandlerSpec{}.compute(computeUs(2000.0, 0.3))),
+                 drones);
+    addDroneTier(w,
+                 tier("camera-video", droneProfile("camera-video"),
+                      HandlerSpec{}
+                          .compute(computeUs(3000.0, 0.3))
+                          .callWithProbability("video-db", 0.2)),
+                 drones);
+    for (const char *sensor :
+         {"location", "speed", "luminosity", "orientation"}) {
+        addDroneTier(w,
+                     tier(sensor, droneProfile(sensor),
+                          HandlerSpec{}.compute(computeUs(400.0, 0.3))),
+                     drones);
+    }
+    addDroneTier(w,
+                 tier("log", droneProfile("log", "node.js"),
+                      HandlerSpec{}.compute(computeUs(300.0, 0.3))),
+                 drones);
+
+    // ---- Processing pipeline: on the drones (edge) or the cloud ------
+    auto place = [&](ServiceDef def) -> service::Microservice & {
+        if (edge)
+            return addDroneTier(w, std::move(def), drones);
+        return addLogicTier(w, std::move(def), opt.base.instancesPerTier);
+    };
+
+    place(tier("imageRecognition", imageRecProfile(),
+               HandlerSpec{}
+                   .compute(Dist::lognormalMean(5.0e8, 0.35)) // ~0.5G cyc
+                   .callWithProbability("stock-image-db", 0.5)
+                   .callWithProbability("image-db", 0.3),
+               edge ? 2u : 16u));
+    place(tier("obstacleAvoidance",
+               cppMicroProfile("obstacleAvoidance"),
+               HandlerSpec{}
+                   .compute(Dist::lognormalMean(6.0e6, 0.35)) // ~6M cyc
+                   .callWithProbability("speed-db", 0.15),
+               edge ? 4u : 16u));
+    place(tier("motionControl", droneProfile("motionControl"),
+               HandlerSpec{}
+                   .compute(computeUs(1200.0, 0.4))
+                   .call("log"),
+               edge ? 4u : 16u));
+
+    // ---- Controller: the pipeline root -------------------------------
+    {
+        HandlerSpec h;
+        h.compute(computeUs(600.0, 0.4));
+        h.callTagged("img", "camera-image");
+        h.callTaggedWithMedia("img", "imageRecognition");
+        // Obstacle avoidance reads the inertial sensors first.
+        h.callTagged("oa", "location");
+        h.callTagged("oa", "speed");
+        h.callTagged("oa", "orientation");
+        h.callTagged("oa", "luminosity");
+        h.callTagged("oa", "obstacleAvoidance");
+        h.callTagged("oa", "motionControl");
+        h.callWithProbability("constructRoute", 0.05);
+        h.call("log");
+        addDroneTier(w, tier("controller", droneProfile("controller"), h, 8),
+                     drones);
+    }
+
+    // ---- Cloud-only coordination tiers (Cloud variant) ----------------
+    if (!edge) {
+        addLogicTier(w,
+                     tier("telemetry", nodejsMicroProfile("telemetry"),
+                          HandlerSpec{}
+                              .compute(computeUs(150.0, 0.4))
+                              .call("location-db")),
+                     opt.base.instancesPerTier);
+        addLogicTier(w,
+                     tier("discovery", goMicroProfile("discovery"),
+                          HandlerSpec{}.compute(computeUs(80.0, 0.4))),
+                     opt.base.instancesPerTier);
+        {
+            HandlerSpec h;
+            h.compute(computeUs(300.0, 0.4));
+            h.callTaggedWithMedia("img", "imageRecognition");
+            h.callTagged("oa", "obstacleAvoidance");
+            h.callTagged("oa", "motionControl");
+            // Image-recognition results also steer the drone.
+            h.callTagged("img", "motionControl");
+            h.callWithProbability("telemetry", 0.2);
+            h.callWithProbability("discovery", 0.05);
+            addLogicTier(w, tier("gateway", goMicroProfile("gateway"), h, 32),
+                         opt.base.instancesPerTier);
+        }
+        addLogicTier(w,
+                     tier("frontend", nodejsMicroProfile("frontend"),
+                          HandlerSpec{}
+                              .compute(computeUs(200.0, 0.4))
+                              .callWithMedia("gateway"),
+                          64),
+                     opt.base.frontendInstances);
+    }
+
+    // ---- Entry --------------------------------------------------------
+    {
+        HandlerSpec h;
+        h.compute(computeUs(45.0, 0.4));
+        if (edge)
+            h.callWithMedia("controller");
+        else
+            h.callWithMedia("frontend");
+        ServiceDef lb = tier("nginx-lb", nginxProfile("nginx-lb"), h, 128);
+        lb.kind = ServiceKind::Frontend;
+        lb.protocol.connectionsPerPair = 8192; // per-user client connections
+        addLogicTier(w, std::move(lb), opt.base.frontendInstances);
+    }
+
+    // In the Cloud variant the *processing* path skips the on-drone
+    // controller for compute, but motionControl's actuation commands
+    // still land on the drones: redirect motionControl -> controller
+    // (drone) instead of log for actuation.
+    if (!edge) {
+        service::ServiceDef &mc =
+            app.service("motionControl").mutableDef();
+        mc.handler = HandlerSpec{}
+                         .compute(computeUs(1200.0, 0.4))
+                         .call("controller");
+        // The drone-side controller just applies the command.
+        service::ServiceDef &ctl = app.service("controller").mutableDef();
+        ctl.handler = HandlerSpec{}
+                          .compute(computeUs(600.0, 0.4))
+                          .call("log");
+    }
+
+    app.setEntry("nginx-lb");
+    // Image-recognition latencies run into seconds (Fig 9's y-axis);
+    // the QoS target reflects that scale.
+    app.setQosLatency(2500 * kTicksPerMs);
+
+    SwarmQueries q;
+    q.imageRecognition = app.addQueryType(
+        {"imageRecognition", 50.0, 1.0, 80 * kKiB, {"img"}});
+    q.obstacleAvoidance = app.addQueryType(
+        {"obstacleAvoidance", 50.0, 1.0, 4 * kKiB, {"oa"}});
+    app.validate();
+    return q;
+}
+
+} // namespace uqsim::apps

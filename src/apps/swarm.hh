@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Swarm coordination IoT service (Sec 3.6, Fig 8).
+ *
+ * Coordinates a swarm of programmable drones doing image recognition
+ * and obstacle avoidance. Two variants:
+ *  - Edge (21 services): motion planning, image recognition and
+ *    obstacle avoidance run natively on the drones over IPC; the
+ *    cloud only constructs routes and keeps persistent sensor copies.
+ *    Avoids the wifi latency but is limited by on-board resources.
+ *  - Cloud (25 services): the drones only collect/transmit sensor data
+ *    (plus a local node.js logger); every action pays the cloud-edge
+ *    wifi latency but benefits from the cluster's resources.
+ */
+
+#ifndef UQSIM_APPS_SWARM_HH
+#define UQSIM_APPS_SWARM_HH
+
+#include "apps/builder.hh"
+
+namespace uqsim::apps {
+
+/** Which Swarm deployment to build. */
+enum class SwarmVariant
+{
+    Edge,
+    Cloud,
+};
+
+/** Query-type indices registered by buildSwarm. */
+struct SwarmQueries
+{
+    unsigned imageRecognition = 0;
+    unsigned obstacleAvoidance = 0;
+};
+
+/** Extra knobs for the Swarm build. */
+struct SwarmOptions
+{
+    AppOptions base{};
+    /** Number of drones in the swarm (paper: 24 Parrot AR2.0). */
+    unsigned drones = 8;
+};
+
+/**
+ * Build the Swarm service into @p w. Drone servers are appended to the
+ * cluster and attached over the wireless link. Entry is "controller"
+ * (edge) or "nginx-lb" (cloud); QoS 150ms.
+ */
+SwarmQueries buildSwarm(World &w, SwarmVariant variant,
+                        const SwarmOptions &opt = {});
+
+} // namespace uqsim::apps
+
+#endif // UQSIM_APPS_SWARM_HH

@@ -1,0 +1,283 @@
+#include "core/distributions.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace uqsim {
+
+namespace {
+
+class ConstantDist : public DistImpl
+{
+  public:
+    explicit ConstantDist(double v) : v_(v) {}
+    double sample(Rng &) const override { return v_; }
+    double mean() const override { return v_; }
+
+  private:
+    double v_;
+};
+
+class UniformDist : public DistImpl
+{
+  public:
+    UniformDist(double lo, double hi) : lo_(lo), hi_(hi)
+    {
+        if (hi < lo)
+            fatal("uniform distribution with hi < lo");
+    }
+    double sample(Rng &rng) const override { return rng.uniform(lo_, hi_); }
+    double mean() const override { return 0.5 * (lo_ + hi_); }
+
+  private:
+    double lo_, hi_;
+};
+
+class ExponentialDist : public DistImpl
+{
+  public:
+    explicit ExponentialDist(double mean) : mean_(mean)
+    {
+        if (mean <= 0.0)
+            fatal("exponential distribution with non-positive mean");
+    }
+    double sample(Rng &rng) const override { return rng.exponential(mean_); }
+    double mean() const override { return mean_; }
+
+  private:
+    double mean_;
+};
+
+class LogNormalDist : public DistImpl
+{
+  public:
+    LogNormalDist(double mean, double sigma) : mean_(mean), sigma_(sigma)
+    {
+        if (mean <= 0.0 || sigma < 0.0)
+            fatal("lognormal distribution with invalid parameters");
+        // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); solve for mu.
+        mu_ = std::log(mean) - 0.5 * sigma * sigma;
+    }
+    double
+    sample(Rng &rng) const override
+    {
+        return rng.lognormal(mu_, sigma_);
+    }
+    double mean() const override { return mean_; }
+
+  private:
+    double mean_, sigma_, mu_;
+};
+
+class BoundedParetoDist : public DistImpl
+{
+  public:
+    BoundedParetoDist(double alpha, double lo, double hi)
+        : alpha_(alpha), lo_(lo), hi_(hi)
+    {
+        if (lo <= 0.0 || hi <= lo || alpha <= 0.0)
+            fatal("bounded pareto with invalid parameters");
+    }
+    double
+    sample(Rng &rng) const override
+    {
+        return rng.boundedPareto(alpha_, lo_, hi_);
+    }
+    double
+    mean() const override
+    {
+        if (alpha_ == 1.0)
+            return std::log(hi_ / lo_) * lo_ * hi_ / (hi_ - lo_);
+        const double la = std::pow(lo_, alpha_);
+        const double num = la / (1.0 - std::pow(lo_ / hi_, alpha_)) *
+                           (alpha_ / (alpha_ - 1.0)) *
+                           (1.0 / std::pow(lo_, alpha_ - 1.0) -
+                            1.0 / std::pow(hi_, alpha_ - 1.0));
+        return num;
+    }
+
+  private:
+    double alpha_, lo_, hi_;
+};
+
+class MixtureDist : public DistImpl
+{
+  public:
+    explicit MixtureDist(std::vector<std::pair<double, Dist>> weighted)
+        : components_(std::move(weighted))
+    {
+        if (components_.empty())
+            fatal("mixture distribution with no components");
+        double total = 0.0;
+        for (const auto &[w, d] : components_) {
+            if (w < 0.0)
+                fatal("mixture distribution with negative weight");
+            total += w;
+        }
+        if (total <= 0.0)
+            fatal("mixture distribution with zero total weight");
+        double cum = 0.0;
+        for (const auto &[w, d] : components_) {
+            cum += w / total;
+            cdf_.push_back(cum);
+        }
+        cdf_.back() = 1.0;
+    }
+
+    double
+    sample(Rng &rng) const override
+    {
+        const double u = rng.uniform01();
+        const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+        const std::size_t idx =
+            std::min<std::size_t>(it - cdf_.begin(), cdf_.size() - 1);
+        return components_[idx].second.sample(rng);
+    }
+
+    double
+    mean() const override
+    {
+        double total = 0.0, m = 0.0;
+        for (const auto &[w, d] : components_)
+            total += w;
+        for (const auto &[w, d] : components_)
+            m += (w / total) * d.mean();
+        return m;
+    }
+
+  private:
+    std::vector<std::pair<double, Dist>> components_;
+    std::vector<double> cdf_;
+};
+
+class ScaledDist : public DistImpl
+{
+  public:
+    ScaledDist(Dist inner, double factor, double offset)
+        : inner_(std::move(inner)), factor_(factor), offset_(offset)
+    {}
+    double
+    sample(Rng &rng) const override
+    {
+        return inner_.sample(rng) * factor_ + offset_;
+    }
+    double mean() const override { return inner_.mean() * factor_ + offset_; }
+
+  private:
+    Dist inner_;
+    double factor_, offset_;
+};
+
+class ClampedMinDist : public DistImpl
+{
+  public:
+    ClampedMinDist(Dist inner, double lo) : inner_(std::move(inner)), lo_(lo)
+    {}
+    double
+    sample(Rng &rng) const override
+    {
+        return std::max(lo_, inner_.sample(rng));
+    }
+    // Approximation: clamping shifts the mean up slightly; report the
+    // configured inner mean, which callers use for capacity planning.
+    double mean() const override { return std::max(lo_, inner_.mean()); }
+
+  private:
+    Dist inner_;
+    double lo_;
+};
+
+} // namespace
+
+Dist::Dist() : impl_(std::make_shared<ConstantDist>(0.0)) {}
+
+Dist
+Dist::constant(double value)
+{
+    return Dist(std::make_shared<ConstantDist>(value));
+}
+
+Dist
+Dist::uniform(double lo, double hi)
+{
+    return Dist(std::make_shared<UniformDist>(lo, hi));
+}
+
+Dist
+Dist::exponential(double mean)
+{
+    return Dist(std::make_shared<ExponentialDist>(mean));
+}
+
+Dist
+Dist::lognormalMean(double mean, double sigma)
+{
+    return Dist(std::make_shared<LogNormalDist>(mean, sigma));
+}
+
+Dist
+Dist::boundedPareto(double alpha, double lo, double hi)
+{
+    return Dist(std::make_shared<BoundedParetoDist>(alpha, lo, hi));
+}
+
+Dist
+Dist::mixture(std::vector<std::pair<double, Dist>> weighted)
+{
+    return Dist(std::make_shared<MixtureDist>(std::move(weighted)));
+}
+
+Dist
+Dist::scaled(double factor) const
+{
+    return Dist(std::make_shared<ScaledDist>(*this, factor, 0.0));
+}
+
+Dist
+Dist::shifted(double offset) const
+{
+    return Dist(std::make_shared<ScaledDist>(*this, 1.0, offset));
+}
+
+Dist
+Dist::clampedMin(double lo) const
+{
+    return Dist(std::make_shared<ClampedMinDist>(*this, lo));
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) : s_(s)
+{
+    if (n == 0)
+        fatal("ZipfDistribution with empty population");
+    cdf_.resize(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf_[i] = total;
+    }
+    for (auto &c : cdf_)
+        c /= total;
+    cdf_.back() = 1.0;
+}
+
+std::size_t
+ZipfDistribution::sample(Rng &rng) const
+{
+    const double u = rng.uniform01();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return std::min<std::size_t>(it - cdf_.begin(), cdf_.size() - 1);
+}
+
+double
+ZipfDistribution::topKMass(std::size_t k) const
+{
+    if (k == 0)
+        return 0.0;
+    if (k >= cdf_.size())
+        return 1.0;
+    return cdf_[k - 1];
+}
+
+} // namespace uqsim

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Composable random distributions for service times, payload sizes and
+ * user populations.
+ *
+ * Distributions are immutable descriptions; sampling takes the Rng
+ * explicitly so components can own their streams. The small-object
+ * value type Dist makes it cheap to store distributions in model
+ * configuration structs.
+ */
+
+#ifndef UQSIM_CORE_DISTRIBUTIONS_HH
+#define UQSIM_CORE_DISTRIBUTIONS_HH
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/rng.hh"
+
+namespace uqsim {
+
+/** Abstract sampling interface. */
+class DistImpl
+{
+  public:
+    virtual ~DistImpl() = default;
+    /** Draw one sample. */
+    virtual double sample(Rng &rng) const = 0;
+    /** Analytic (or configured) mean of the distribution. */
+    virtual double mean() const = 0;
+};
+
+/**
+ * Value-semantics handle to an immutable distribution.
+ *
+ * Default-constructed Dist is the constant 0.
+ */
+class Dist
+{
+  public:
+    Dist();
+
+    explicit Dist(std::shared_ptr<const DistImpl> impl)
+        : impl_(std::move(impl))
+    {}
+
+    /** Draw one sample. */
+    double sample(Rng &rng) const { return impl_->sample(rng); }
+
+    /** Mean of the distribution. */
+    double mean() const { return impl_->mean(); }
+
+    // -- Factories ------------------------------------------------------
+
+    /** Degenerate distribution: always @p value. */
+    static Dist constant(double value);
+
+    /** Uniform on [lo, hi). */
+    static Dist uniform(double lo, double hi);
+
+    /** Exponential with the given mean. */
+    static Dist exponential(double mean);
+
+    /**
+     * Log-normal parameterized by its *mean* and the sigma of the
+     * underlying normal (heavier tail for larger sigma). This is the
+     * workhorse for service-time models: interactive services show
+     * log-normal-ish latencies with sigma around 0.3-1.0.
+     */
+    static Dist lognormalMean(double mean, double sigma);
+
+    /** Bounded Pareto with shape alpha on [lo, hi] (heavy tails). */
+    static Dist boundedPareto(double alpha, double lo, double hi);
+
+    /**
+     * Finite mixture: picks component i with probability weight[i]
+     * (weights are normalized internally).
+     */
+    static Dist mixture(std::vector<std::pair<double, Dist>> weighted);
+
+    /** This distribution scaled by a constant factor. */
+    Dist scaled(double factor) const;
+
+    /** This distribution shifted by a constant offset. */
+    Dist shifted(double offset) const;
+
+    /** Samples clamped below at @p lo. */
+    Dist clampedMin(double lo) const;
+
+  private:
+    std::shared_ptr<const DistImpl> impl_;
+};
+
+/**
+ * Zipf-distributed integer ranks in [0, n), with exponent s.
+ *
+ * Uses an inverted-CDF table (built once) so sampling is O(log n).
+ * Rank 0 is the most popular item. Used for user-request skew and
+ * cache/DB key popularity.
+ */
+class ZipfDistribution
+{
+  public:
+    /**
+     * @param n   population size (> 0)
+     * @param s   Zipf exponent (0 = uniform; ~1 = classic web skew)
+     */
+    ZipfDistribution(std::size_t n, double s);
+
+    /** Draw a rank in [0, n). */
+    std::size_t sample(Rng &rng) const;
+
+    /** Population size. */
+    std::size_t size() const { return cdf_.size(); }
+
+    /** Exponent used. */
+    double exponent() const { return s_; }
+
+    /**
+     * Fraction of total probability mass held by the top @p k ranks
+     * (analytic; used by tests and by the skew experiments).
+     */
+    double topKMass(std::size_t k) const;
+
+  private:
+    std::vector<double> cdf_;
+    double s_;
+};
+
+} // namespace uqsim
+
+#endif // UQSIM_CORE_DISTRIBUTIONS_HH

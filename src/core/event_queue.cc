@@ -1,0 +1,56 @@
+#include "core/event_queue.hh"
+
+#include <utility>
+
+#include "core/logging.hh"
+
+namespace uqsim {
+
+EventQueue::EventQueue()
+    : liveCount_(std::make_shared<std::uint64_t>(0))
+{}
+
+EventHandle
+EventQueue::schedule(Tick when, EventCallback cb)
+{
+    auto state = std::make_shared<EventHandle::State>();
+    state->liveCount = liveCount_;
+    heap_.push(Entry{when, nextSeq_++, std::move(cb), state});
+    ++(*liveCount_);
+    return EventHandle(std::move(state));
+}
+
+void
+EventQueue::purgeHead() const
+{
+    while (!heap_.empty() && heap_.top().state->cancelled)
+        heap_.pop();
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    purgeHead();
+    if (heap_.empty())
+        panic("EventQueue::nextTick() on empty queue");
+    return heap_.top().when;
+}
+
+std::pair<Tick, EventCallback>
+EventQueue::popNext()
+{
+    purgeHead();
+    if (heap_.empty())
+        panic("EventQueue::popNext() on empty queue");
+
+    // Move the entry out before the caller runs it: the callback may
+    // schedule new events, which mutates the heap.
+    Entry entry = heap_.top();
+    heap_.pop();
+    entry.state->fired = true;
+    --(*liveCount_);
+    ++executed_;
+    return {entry.when, std::move(entry.cb)};
+}
+
+} // namespace uqsim

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The discrete-event queue at the heart of the simulator.
+ *
+ * Events are closures scheduled at absolute ticks. Two events scheduled
+ * for the same tick fire in scheduling order (FIFO), which keeps runs
+ * deterministic. Events can be cancelled through the handle returned at
+ * scheduling time; cancellation is O(1) and the entry is discarded
+ * lazily when it reaches the head of the heap.
+ */
+
+#ifndef UQSIM_CORE_EVENT_QUEUE_HH
+#define UQSIM_CORE_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace uqsim {
+
+/** Callback type invoked when an event fires. */
+using EventCallback = std::function<void()>;
+
+/**
+ * Handle to a scheduled event, allowing cancellation.
+ *
+ * Handles are cheap to copy; all copies refer to the same scheduled
+ * event. A default-constructed handle refers to nothing.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** Cancel the event if it has not fired yet. Idempotent. */
+    void
+    cancel()
+    {
+        if (state_ && !state_->cancelled && !state_->fired) {
+            state_->cancelled = true;
+            if (auto live = state_->liveCount.lock())
+                --(*live);
+        }
+    }
+
+    /** @return true if this handle refers to a scheduled event. */
+    bool valid() const { return static_cast<bool>(state_); }
+
+    /** @return true if the event was cancelled before firing. */
+    bool isCancelled() const { return state_ && state_->cancelled; }
+
+    /** @return true if the event already fired. */
+    bool hasFired() const { return state_ && state_->fired; }
+
+  private:
+    friend class EventQueue;
+
+    struct State
+    {
+        bool cancelled = false;
+        bool fired = false;
+        std::weak_ptr<std::uint64_t> liveCount;
+    };
+
+    explicit EventHandle(std::shared_ptr<State> state)
+        : state_(std::move(state))
+    {}
+
+    std::shared_ptr<State> state_;
+};
+
+/**
+ * A min-heap of timed events with deterministic same-tick ordering.
+ */
+class EventQueue
+{
+  public:
+    EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule @p cb to fire at absolute time @p when.
+     * @return a handle that may be used to cancel the event.
+     */
+    EventHandle schedule(Tick when, EventCallback cb);
+
+    /** @return true if no live (uncancelled) events remain. */
+    bool empty() const { return *liveCount_ == 0; }
+
+    /** @return number of live events currently queued. */
+    std::size_t size() const { return *liveCount_; }
+
+    /**
+     * @return the firing time of the earliest live event.
+     * @pre !empty()
+     */
+    Tick nextTick() const;
+
+    /**
+     * Pop the earliest live event *without* running it. The caller
+     * (Simulator) advances its clock to the returned tick first and
+     * then invokes the callback, so event handlers always observe the
+     * correct current time.
+     * @pre !empty()
+     */
+    std::pair<Tick, EventCallback> popNext();
+
+    /** Total number of events ever executed (for stats/benchmarks). */
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventCallback cb;
+        std::shared_ptr<EventHandle::State> state;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Drop cancelled entries from the head of the heap. */
+    void purgeHead() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+    /** Shared so handles can decrement it on cancellation. */
+    std::shared_ptr<std::uint64_t> liveCount_;
+};
+
+} // namespace uqsim
+
+#endif // UQSIM_CORE_EVENT_QUEUE_HH

@@ -1,0 +1,117 @@
+#include "core/histogram.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace uqsim {
+
+Histogram::Histogram(unsigned sub_bucket_bits)
+    : subBucketBits_(sub_bucket_bits),
+      subBucketCount_(1ull << sub_bucket_bits)
+{
+    if (sub_bucket_bits < 1 || sub_bucket_bits > 16)
+        fatal("Histogram sub_bucket_bits out of range [1,16]");
+    // One linear region covering [0, 2*subBucketCount), then one
+    // half-octave of subBucketCount/2... simplest correct scheme:
+    // octaves 0..63, each with subBucketCount buckets. Some low
+    // octaves alias to the same values, which is fine (they are just
+    // never used past the first).
+    buckets_.assign(64 * subBucketCount_, 0);
+}
+
+std::size_t
+Histogram::bucketIndex(std::uint64_t value) const
+{
+    if (value < subBucketCount_)
+        return static_cast<std::size_t>(value);
+    // Position of the highest set bit.
+    const unsigned msb = 63u - static_cast<unsigned>(__builtin_clzll(value));
+    // Octave relative to the linear region; for octave o, values lie in
+    // [2^(o + subBucketBits - 1), 2^(o + subBucketBits)) and the top
+    // subBucketBits bits select the (upper half of the) sub-buckets.
+    const unsigned octave = msb - subBucketBits_ + 1;
+    const std::uint64_t sub = (value >> octave) & (subBucketCount_ - 1);
+    return static_cast<std::size_t>(octave) * subBucketCount_ + sub;
+}
+
+std::uint64_t
+Histogram::bucketUpperBound(std::size_t index) const
+{
+    if (index < subBucketCount_)
+        return static_cast<std::uint64_t>(index);
+    const std::size_t octave = index / subBucketCount_;
+    const std::uint64_t sub = index % subBucketCount_;
+    // Inverse of bucketIndex: values in this bucket satisfy
+    // (value >> octave) == sub, so the largest is ((sub+1) << octave) - 1.
+    return ((sub + 1) << octave) - 1;
+}
+
+void
+Histogram::record(std::uint64_t value)
+{
+    record(value, 1);
+}
+
+void
+Histogram::record(std::uint64_t value, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    const std::size_t idx = bucketIndex(value);
+    buckets_[std::min(idx, buckets_.size() - 1)] += n;
+    count_ += n;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    sum_ += static_cast<double>(value) * static_cast<double>(n);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 100.0);
+    // Rank of the requested sample (1-based, ceil).
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(p / 100.0 *
+                                      static_cast<double>(count_) + 0.5));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= rank)
+            return std::min(bucketUpperBound(i), max_);
+    }
+    return max_;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.subBucketBits_ != subBucketBits_)
+        panic("Histogram::merge with different resolution");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    min_ = ~0ull;
+    max_ = 0;
+    sum_ = 0.0;
+}
+
+} // namespace uqsim

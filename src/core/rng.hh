@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * uqsim uses xoshiro256++ seeded through splitmix64. Every stochastic
+ * component draws from an explicitly passed Rng so that a run is fully
+ * reproducible from its seed, and independent components can use
+ * independent streams (fork()).
+ */
+
+#ifndef UQSIM_CORE_RNG_HH
+#define UQSIM_CORE_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace uqsim {
+
+/**
+ * xoshiro256++ generator with convenience draws.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Raw 64 random bits. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform01();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0 */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Exponential variate with the given mean. */
+    double exponential(double mean);
+
+    /** Normal variate (Box-Muller). */
+    double normal(double mean, double stddev);
+
+    /** Log-normal variate parameterized by underlying mu/sigma. */
+    double lognormal(double mu, double sigma);
+
+    /** Bounded Pareto variate with shape alpha on [lo, hi]. */
+    double boundedPareto(double alpha, double lo, double hi);
+
+    /** Bernoulli trial. */
+    bool bernoulli(double p) { return uniform01() < p; }
+
+    /**
+     * Fork an independent stream: returns a generator seeded from this
+     * one, then jumps this generator forward so the streams do not
+     * overlap in practice.
+     */
+    Rng fork();
+
+  private:
+    std::array<std::uint64_t, 4> s_;
+};
+
+} // namespace uqsim
+
+#endif // UQSIM_CORE_RNG_HH

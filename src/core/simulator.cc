@@ -1,0 +1,38 @@
+#include "core/simulator.hh"
+
+#include "core/logging.hh"
+
+namespace uqsim {
+
+EventHandle
+Simulator::scheduleAt(Tick when, EventCallback cb)
+{
+    if (when < now_)
+        panic(strCat("scheduleAt(", when, ") in the past; now=", now_));
+    return queue_.schedule(when, std::move(cb));
+}
+
+void
+Simulator::run()
+{
+    while (!queue_.empty()) {
+        auto [when, cb] = queue_.popNext();
+        now_ = when;
+        cb();
+    }
+}
+
+void
+Simulator::runUntil(Tick deadline)
+{
+    if (deadline < now_)
+        panic(strCat("runUntil(", deadline, ") in the past; now=", now_));
+    while (!queue_.empty() && queue_.nextTick() <= deadline) {
+        auto [when, cb] = queue_.popNext();
+        now_ = when;
+        cb();
+    }
+    now_ = deadline;
+}
+
+} // namespace uqsim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The top-level simulation driver.
+ *
+ * A Simulator owns the event queue and the simulated clock. Model
+ * components hold a reference to the Simulator and use schedule() /
+ * scheduleAt() to advance their state machines. The driver (test,
+ * example or bench) then calls run(), runUntil() or runFor().
+ */
+
+#ifndef UQSIM_CORE_SIMULATOR_HH
+#define UQSIM_CORE_SIMULATOR_HH
+
+#include <cstdint>
+
+#include "core/event_queue.hh"
+#include "core/types.hh"
+
+namespace uqsim {
+
+/**
+ * Discrete-event simulation driver: clock + event queue.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** @return the current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule a callback @p delay ticks from now.
+     * @return a cancellation handle.
+     */
+    EventHandle
+    schedule(Tick delay, EventCallback cb)
+    {
+        return queue_.schedule(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Schedule a callback at absolute time @p when.
+     * Scheduling in the past is an internal error.
+     */
+    EventHandle scheduleAt(Tick when, EventCallback cb);
+
+    /** Run until the event queue drains. */
+    void run();
+
+    /**
+     * Run events with firing time <= @p deadline, then set the clock
+     * to @p deadline. Events scheduled beyond the deadline stay queued.
+     */
+    void runUntil(Tick deadline);
+
+    /** Convenience wrapper: runUntil(now() + duration). */
+    void runFor(Tick duration) { runUntil(now_ + duration); }
+
+    /** @return the underlying event queue (stats, tests). */
+    const EventQueue &queue() const { return queue_; }
+
+    /** @return number of events executed so far. */
+    std::uint64_t eventsExecuted() const { return queue_.executedCount(); }
+
+  private:
+    EventQueue queue_;
+    Tick now_ = 0;
+};
+
+} // namespace uqsim
+
+#endif // UQSIM_CORE_SIMULATOR_HH

@@ -1,0 +1,124 @@
+#include "core/stats.hh"
+
+#include <iomanip>
+
+#include "core/logging.hh"
+
+namespace uqsim {
+
+void
+TimeWeightedGauge::update(Tick now, double v)
+{
+    if (now < lastUpdate_)
+        panic("TimeWeightedGauge::update with time going backwards");
+    integral_ += value_ * static_cast<double>(now - lastUpdate_);
+    value_ = v;
+    peak_ = std::max(peak_, v);
+    lastUpdate_ = now;
+}
+
+double
+TimeWeightedGauge::average(Tick now) const
+{
+    const Tick span = now - resetTime_;
+    if (span == 0)
+        return value_;
+    const double total =
+        integral_ + value_ * static_cast<double>(now - lastUpdate_);
+    return total / static_cast<double>(span);
+}
+
+void
+TimeWeightedGauge::reset(Tick now)
+{
+    integral_ = 0.0;
+    peak_ = value_;
+    lastUpdate_ = now;
+    resetTime_ = now;
+}
+
+WindowedStat::WindowedStat(Tick window) : window_(window)
+{
+    if (window == 0)
+        fatal("WindowedStat with zero window");
+}
+
+void
+WindowedStat::maybeRoll(Tick now)
+{
+    if (now >= windowStart_ + window_)
+        roll(now);
+}
+
+void
+WindowedStat::record(Tick now, std::uint64_t value)
+{
+    maybeRoll(now);
+    current_.record(value);
+}
+
+void
+WindowedStat::roll(Tick now)
+{
+    lastMean_ = current_.mean();
+    lastP99_ = current_.p99();
+    lastCount_ = current_.count();
+    current_.reset();
+    // Align the new window to the current time so long idle periods do
+    // not generate a burst of empty windows.
+    windowStart_ = now;
+}
+
+Counter &
+StatRegistry::counter(const std::string &name)
+{
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Histogram &
+StatRegistry::histogram(const std::string &name)
+{
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+Gauge &
+StatRegistry::gauge(const std::string &name)
+{
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters_)
+        os << name << " = " << c->value() << "\n";
+    for (const auto &[name, g] : gauges_)
+        os << name << " = " << g->value() << "\n";
+    for (const auto &[name, h] : histograms_) {
+        os << name << ": n=" << h->count() << " mean=" << std::fixed
+           << std::setprecision(1) << h->mean() << " p50=" << h->p50()
+           << " p99=" << h->p99() << " max=" << h->max() << "\n";
+    }
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+    for (auto &[name, g] : gauges_)
+        g->set(0.0);
+}
+
+} // namespace uqsim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Lightweight statistics primitives used throughout the models.
+ *
+ * Besides plain counters and gauges, the package offers a
+ * time-weighted gauge (for utilization-style metrics that must be
+ * integrated over simulated time) and a registry that owns named stats
+ * so benches and examples can dump everything uniformly.
+ */
+
+#ifndef UQSIM_CORE_STATS_HH
+#define UQSIM_CORE_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "core/histogram.hh"
+#include "core/types.hh"
+
+namespace uqsim {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Instantaneous value. */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * A gauge integrated over simulated time.
+ *
+ * Typical use: CPU utilization. Call update(now, v) whenever the value
+ * changes; average(now) returns the time-weighted mean since the last
+ * reset. Also tracks the peak value seen.
+ */
+class TimeWeightedGauge
+{
+  public:
+    /** Record that the value becomes @p v at time @p now. */
+    void update(Tick now, double v);
+
+    /** Time-weighted average over [resetTime, now]. */
+    double average(Tick now) const;
+
+    /** Current value. */
+    double current() const { return value_; }
+
+    /** Largest value ever set since reset. */
+    double peak() const { return peak_; }
+
+    /** Restart integration at @p now keeping the current value. */
+    void reset(Tick now);
+
+  private:
+    double value_ = 0.0;
+    double peak_ = 0.0;
+    double integral_ = 0.0;
+    Tick lastUpdate_ = 0;
+    Tick resetTime_ = 0;
+};
+
+/**
+ * Tumbling-window mean/tail tracker: feeds a fresh histogram per
+ * window so cluster-manager components can see *recent* latency and
+ * load rather than since-boot aggregates.
+ */
+class WindowedStat
+{
+  public:
+    explicit WindowedStat(Tick window = 100 * kTicksPerMs);
+
+    /** Record a sample at time @p now. */
+    void record(Tick now, std::uint64_t value);
+
+    /** Mean of the most recently *completed* window (0 if none). */
+    double windowMean() const { return lastMean_; }
+
+    /** p99 of the most recently completed window (0 if none). */
+    std::uint64_t windowP99() const { return lastP99_; }
+
+    /** Sample count of the most recently completed window. */
+    std::uint64_t windowCount() const { return lastCount_; }
+
+    /** Force-close the current window at time @p now. */
+    void roll(Tick now);
+
+  private:
+    void maybeRoll(Tick now);
+
+    Tick window_;
+    Tick windowStart_ = 0;
+    Histogram current_;
+    double lastMean_ = 0.0;
+    std::uint64_t lastP99_ = 0;
+    std::uint64_t lastCount_ = 0;
+};
+
+/**
+ * Owns named statistics and prints them uniformly.
+ */
+class StatRegistry
+{
+  public:
+    /** Get or create a counter. */
+    Counter &counter(const std::string &name);
+
+    /** Get or create a histogram. */
+    Histogram &histogram(const std::string &name);
+
+    /** Get or create a gauge. */
+    Gauge &gauge(const std::string &name);
+
+    /** Dump everything in name order. */
+    void dump(std::ostream &os) const;
+
+    /** Reset all owned stats. */
+    void resetAll();
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+};
+
+} // namespace uqsim
+
+#endif // UQSIM_CORE_STATS_HH

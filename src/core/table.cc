@@ -1,0 +1,76 @@
+#include "core/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "core/logging.hh"
+#include "core/types.hh"
+
+namespace uqsim {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("TextTable with no columns");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic(strCat("TextTable row with ", cells.size(),
+                     " cells; expected ", headers_.size()));
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << row[c];
+        }
+        os << "\n";
+    };
+
+    emitRow(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += std::string(widths[c], '-') + "  ";
+    os << rule << "\n";
+    for (const auto &row : rows_)
+        emitRow(row);
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(decimals) << v;
+    return oss.str();
+}
+
+std::string
+fmtMs(std::uint64_t ticks)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(3) << ticksToMs(ticks) << "ms";
+    return oss.str();
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "\n=== " << title << " ===\n";
+}
+
+} // namespace uqsim

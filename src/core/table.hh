@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Plain-text table formatting for bench output.
+ *
+ * Every bench binary regenerating a paper table/figure prints its
+ * rows through this helper so the output is uniform and easy to diff
+ * against EXPERIMENTS.md.
+ */
+
+#ifndef UQSIM_CORE_TABLE_HH
+#define UQSIM_CORE_TABLE_HH
+
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace uqsim {
+
+/**
+ * Column-aligned text table.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a pre-stringified row (must match header count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a row of arbitrary streamable values. */
+    template <typename... Args>
+    void
+    add(Args &&...args)
+    {
+        std::vector<std::string> cells;
+        (cells.push_back(toCell(std::forward<Args>(args))), ...);
+        addRow(std::move(cells));
+    }
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    template <typename T>
+    static std::string
+    toCell(T &&v)
+    {
+        std::ostringstream oss;
+        oss << std::forward<T>(v);
+        return oss.str();
+    }
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p decimals digits after the point. */
+std::string fmtDouble(double v, int decimals = 2);
+
+/** Format a tick count as milliseconds with 3 decimals, e.g. "1.234ms". */
+std::string fmtMs(std::uint64_t ticks);
+
+/** Print a section banner for bench output. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace uqsim
+
+#endif // UQSIM_CORE_TABLE_HH

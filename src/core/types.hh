@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fundamental simulation types and time unit helpers.
+ *
+ * The whole of uqsim runs on a single integer clock measured in
+ * nanoseconds. Using an integer clock keeps the simulation fully
+ * deterministic and makes event ordering exact.
+ */
+
+#ifndef UQSIM_CORE_TYPES_HH
+#define UQSIM_CORE_TYPES_HH
+
+#include <cstdint>
+
+namespace uqsim {
+
+/** Simulated time in nanoseconds since the start of the simulation. */
+using Tick = std::uint64_t;
+
+/** A signed time delta in nanoseconds. */
+using TickDelta = std::int64_t;
+
+/** Number of ticks (nanoseconds) per microsecond. */
+constexpr Tick kTicksPerUs = 1000ull;
+/** Number of ticks per millisecond. */
+constexpr Tick kTicksPerMs = 1000ull * kTicksPerUs;
+/** Number of ticks per second. */
+constexpr Tick kTicksPerSec = 1000ull * kTicksPerMs;
+
+/** Largest representable tick, used as an "infinitely far" deadline. */
+constexpr Tick kMaxTick = ~0ull;
+
+/** Convert a duration in (fractional) microseconds to ticks. */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kTicksPerUs));
+}
+
+/** Convert a duration in (fractional) milliseconds to ticks. */
+constexpr Tick
+msToTicks(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(kTicksPerMs));
+}
+
+/** Convert a duration in (fractional) seconds to ticks. */
+constexpr Tick
+secToTicks(double sec)
+{
+    return static_cast<Tick>(sec * static_cast<double>(kTicksPerSec));
+}
+
+/** Convert ticks to fractional microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerUs);
+}
+
+/** Convert ticks to fractional milliseconds. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerMs);
+}
+
+/** Convert ticks to fractional seconds. */
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerSec);
+}
+
+/** CPU work expressed in core clock cycles (frequency-independent). */
+using Cycles = std::uint64_t;
+
+/** Payload and footprint sizes in bytes. */
+using Bytes = std::uint64_t;
+
+constexpr Bytes kKiB = 1024ull;
+constexpr Bytes kMiB = 1024ull * kKiB;
+constexpr Bytes kGiB = 1024ull * kMiB;
+
+} // namespace uqsim
+
+#endif // UQSIM_CORE_TYPES_HH

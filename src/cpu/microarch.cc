@@ -1,0 +1,102 @@
+#include "cpu/microarch.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uqsim::cpu {
+
+double
+MicroarchModel::l1iMpki(const ServiceProfile &p, const CoreModel &core)
+{
+    const double cap = core.l1iCapacityKb;
+    if (p.codeFootprintKb <= cap) {
+        // In-cache footprints still see compulsory/conflict misses,
+        // scaling mildly with how much of the cache they use.
+        return 0.5 + 2.0 * (p.codeFootprintKb / cap);
+    }
+    const double excess = p.codeFootprintKb - cap;
+    return std::max(
+        2.5, kMaxMpki * (1.0 - std::exp(-excess / kFootprintScaleKb)));
+}
+
+double
+MicroarchModel::cpi(const ServiceProfile &p, const CoreModel &core)
+{
+    const double sh = core.inOrder ? 0.0 : core.stallHiding;
+    const double in_order_mult = core.inOrder ? kInOrderStallMult : 1.0;
+    const double mpki = l1iMpki(p, core);
+
+    const double base = 1.0 / core.issueWidth;
+    const double icache =
+        mpki / 1000.0 * kL1iMissCycles * (1.0 - sh) * in_order_mult;
+    const double mem =
+        p.memIntensity * kMemStallCpi * (1.0 - sh) * in_order_mult;
+    const double branch = kBranchCpi * p.branchEntropy;
+    const double kernel = p.kernelShare * kKernelCpi * (1.0 - 0.5 * sh);
+
+    return base + icache + mem + branch + kernel;
+}
+
+double
+MicroarchModel::effectiveIpc(const ServiceProfile &p, const CoreModel &core)
+{
+    return 1.0 / cpi(p, core);
+}
+
+CycleBreakdown
+MicroarchModel::cycleBreakdown(const ServiceProfile &p,
+                               const CoreModel &core)
+{
+    const double sh = core.inOrder ? 0.0 : core.stallHiding;
+    const double in_order_mult = core.inOrder ? kInOrderStallMult : 1.0;
+    const double mpki = l1iMpki(p, core);
+
+    const double total = cpi(p, core);
+    const double base = 1.0 / core.issueWidth;
+    const double icache =
+        mpki / 1000.0 * kL1iMissCycles * (1.0 - sh) * in_order_mult;
+    const double mem =
+        p.memIntensity * kMemStallCpi * (1.0 - sh) * in_order_mult;
+    const double branch = kBranchCpi * p.branchEntropy;
+    const double kernel = p.kernelShare * kKernelCpi * (1.0 - 0.5 * sh);
+
+    CycleBreakdown b;
+    // Fetch misses, the fetch-facing part of kernel processing and the
+    // long-memory-access component all starve the front-end (the paper
+    // attributes most front-end stalls to fetch).
+    b.frontend = (icache + 0.7 * kernel + 0.4 * mem) / total;
+    b.badSpec = branch / total;
+    b.retiring = base / total;
+    b.backend =
+        std::max(0.0, 1.0 - b.frontend - b.badSpec - b.retiring);
+    return b;
+}
+
+ModeBreakdown
+MicroarchModel::cycleModes(const ServiceProfile &p)
+{
+    ModeBreakdown m;
+    m.kernel = p.kernelShare;
+    m.libs = p.libShare;
+    const double rest = std::max(0.0, 1.0 - m.kernel - m.libs);
+    m.other = 0.08 * rest;
+    m.user = rest - m.other;
+    return m;
+}
+
+ModeBreakdown
+MicroarchModel::instructionModes(const ServiceProfile &p)
+{
+    // Kernel code stalls more per instruction, so its *instruction*
+    // share is lower than its cycle share; library code is closer to
+    // parity; user code picks up the difference.
+    ModeBreakdown m;
+    m.kernel = 0.72 * p.kernelShare;
+    m.libs = 0.95 * p.libShare;
+    const double rest = std::max(0.0, 1.0 - m.kernel - m.libs);
+    m.other = 0.08 * rest;
+    m.user = rest - m.other;
+    return m;
+}
+
+} // namespace uqsim::cpu

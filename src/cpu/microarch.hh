@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Analytical top-down microarchitecture model.
+ *
+ * The paper characterizes each microservice with vTune: top-down cycle
+ * breakdown and IPC (Fig 10), L1-i MPKI (Fig 11) and OS/user/library
+ * shares (Fig 14). Those are *static* properties of each binary on a
+ * given core. We reproduce them with a small analytical model driven by
+ * a per-service ServiceProfile: instruction footprint, branch entropy,
+ * memory intensity and kernel/library shares. The same model feeds the
+ * dynamic simulation: the effective IPC it derives converts work cycles
+ * into execution time on a specific CoreModel, which is how
+ * brawny-vs-wimpy (Fig 13) and frequency scaling (Fig 12) emerge.
+ */
+
+#ifndef UQSIM_CPU_MICROARCH_HH
+#define UQSIM_CPU_MICROARCH_HH
+
+#include <string>
+
+#include "cpu/core_model.hh"
+
+namespace uqsim::cpu {
+
+/**
+ * Static per-service characteristics that drive the microarchitecture
+ * model. Values are calibrated per service in src/apps (see DESIGN.md).
+ */
+struct ServiceProfile
+{
+    /** Service name for reporting. */
+    std::string name = "unnamed";
+
+    /** Active instruction footprint in KiB (drives L1-i MPKI). */
+    double codeFootprintKb = 128.0;
+
+    /** Branch-behaviour irregularity in [0,1] (drives bad speculation). */
+    double branchEntropy = 0.15;
+
+    /** Data-memory boundness in [0,1] (drives back-end stalls). */
+    double memIntensity = 0.30;
+
+    /** Fraction of cycles executed in kernel mode (TCP, syscalls). */
+    double kernelShare = 0.30;
+
+    /** Fraction of cycles executed in shared libraries. */
+    double libShare = 0.25;
+
+    /**
+     * Fraction of handler *service time* spent blocked on I/O rather
+     * than computing (e.g. ~0.8 for MongoDB). I/O time does not
+     * stretch when frequency drops - the mechanism behind MongoDB
+     * tolerating minimum frequency in Fig 12.
+     */
+    double ioBoundFraction = 0.0;
+
+    /** Implementation language, for Table-1 style metadata. */
+    std::string language = "C++";
+};
+
+/** Top-down cycle accounting, fractions summing to 1. */
+struct CycleBreakdown
+{
+    double frontend = 0.0;  ///< Fetch/i-cache/decode stalls.
+    double badSpec = 0.0;   ///< Branch misprediction recovery.
+    double backend = 0.0;   ///< Data memory / execution stalls.
+    double retiring = 0.0;  ///< Usefully committed work.
+};
+
+/** OS/user/library attribution (Fig 14), fractions summing to 1. */
+struct ModeBreakdown
+{
+    double kernel = 0.0;
+    double user = 0.0;
+    double libs = 0.0;
+    double other = 0.0;
+};
+
+/**
+ * Analytical model mapping (ServiceProfile, CoreModel) to the
+ * microarchitectural metrics the paper reports.
+ */
+class MicroarchModel
+{
+  public:
+    /**
+     * L1 instruction-cache misses per kilo-instruction. Saturating in
+     * footprint: tiny single-concern microservices stay near zero, the
+     * monolith's multi-MiB footprint reaches the ~65-75 MPKI the paper
+     * measures.
+     */
+    static double l1iMpki(const ServiceProfile &p, const CoreModel &core);
+
+    /**
+     * Cycles per instruction on the given core. In-order (wimpy) cores
+     * cannot hide i-cache or memory stalls, which is what makes them
+     * saturate early in Fig 13.
+     */
+    static double cpi(const ServiceProfile &p, const CoreModel &core);
+
+    /** Effective instructions-per-cycle: 1 / cpi(). */
+    static double effectiveIpc(const ServiceProfile &p,
+                               const CoreModel &core);
+
+    /** Top-down cycle breakdown (Fig 10). */
+    static CycleBreakdown cycleBreakdown(const ServiceProfile &p,
+                                         const CoreModel &core);
+
+    /**
+     * Cycle attribution to kernel/user/libs (Fig 14, "C" columns).
+     */
+    static ModeBreakdown cycleModes(const ServiceProfile &p);
+
+    /**
+     * Instruction attribution to kernel/user/libs (Fig 14, "I"
+     * columns): kernel instructions are fewer than kernel cycles
+     * (kernel code stalls more), so the instruction share shifts
+     * toward user code.
+     */
+    static ModeBreakdown instructionModes(const ServiceProfile &p);
+
+  private:
+    // Model constants (single place for calibration).
+    // L1-i misses mostly hit in L2 and are partially overlapped by
+    // next-line prefetch, so the *exposed* cost per miss is well below
+    // the raw L2 latency.
+    static constexpr double kL1iMissCycles = 8.0;   ///< exposed miss cost
+    static constexpr double kMemStallCpi = 3.0;     ///< per-unit intensity
+    static constexpr double kBranchCpi = 0.30;      ///< per-unit entropy
+    static constexpr double kKernelCpi = 2.0;       ///< per-unit share
+    static constexpr double kInOrderStallMult = 2.2;
+    static constexpr double kMaxMpki = 75.0;
+    static constexpr double kFootprintScaleKb = 1200.0;
+};
+
+} // namespace uqsim::cpu
+
+#endif // UQSIM_CPU_MICROARCH_HH

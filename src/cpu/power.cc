@@ -1,0 +1,75 @@
+#include "cpu/power.hh"
+
+#include "core/logging.hh"
+
+namespace uqsim::cpu {
+
+EnergyMeter::EnergyMeter(Simulator &sim, Cluster &cluster,
+                         PowerModel model, Tick interval)
+    : sim_(sim), cluster_(cluster), model_(model), interval_(interval)
+{
+    if (interval == 0)
+        fatal("EnergyMeter with zero interval");
+}
+
+void
+EnergyMeter::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    lastBusy_.assign(cluster_.size(), 0);
+    for (std::size_t i = 0; i < cluster_.size(); ++i)
+        lastBusy_[i] = cluster_.server(static_cast<unsigned>(i))
+                           .totalBusyTime();
+    pending_ = sim_.schedule(interval_, [this]() { sampleOnce(); });
+}
+
+void
+EnergyMeter::stop()
+{
+    running_ = false;
+    pending_.cancel();
+}
+
+void
+EnergyMeter::sampleOnce()
+{
+    if (!running_)
+        return;
+    const double interval_sec = ticksToSec(interval_);
+    for (std::size_t i = 0; i < cluster_.size(); ++i) {
+        Server &s = cluster_.server(static_cast<unsigned>(i));
+        const Tick busy = s.totalBusyTime();
+        const Tick delta = busy >= lastBusy_[i] ? busy - lastBusy_[i]
+                                                : busy;
+        lastBusy_[i] = busy;
+        const double capacity =
+            static_cast<double>(interval_) * s.numCores();
+        const double u =
+            capacity > 0.0
+                ? std::min(1.0, static_cast<double>(delta) / capacity)
+                : 0.0;
+        joules_ += model_.watts(u, s.frequencyMhz(),
+                                s.model().nominalFreqMhz) *
+                   interval_sec;
+    }
+    meteredTime_ += interval_;
+    pending_ = sim_.schedule(interval_, [this]() { sampleOnce(); });
+}
+
+double
+EnergyMeter::averageWatts() const
+{
+    const double sec = ticksToSec(meteredTime_);
+    return sec > 0.0 ? joules_ / sec : 0.0;
+}
+
+void
+EnergyMeter::reset()
+{
+    joules_ = 0.0;
+    meteredTime_ = 0;
+}
+
+} // namespace uqsim::cpu

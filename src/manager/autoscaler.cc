@@ -1,0 +1,105 @@
+#include "manager/autoscaler.hh"
+
+#include "core/logging.hh"
+
+namespace uqsim::manager {
+
+AutoScaler::AutoScaler(service::App &app, Monitor &monitor, Config config,
+                       std::function<cpu::Server &()> placer)
+    : app_(app), monitor_(monitor), config_(config),
+      placer_(std::move(placer))
+{
+    if (!placer_)
+        fatal("AutoScaler needs a placement function");
+}
+
+void
+AutoScaler::watch(const std::string &service)
+{
+    if (!app_.hasService(service))
+        fatal(strCat("AutoScaler::watch unknown service '", service, "'"));
+    watched_.push_back(service);
+}
+
+void
+AutoScaler::watchAllStateless()
+{
+    for (const service::Microservice *svc : app_.services()) {
+        const auto kind = svc->def().kind;
+        if (kind == service::ServiceKind::Stateless ||
+            kind == service::ServiceKind::Frontend)
+            watched_.push_back(svc->name());
+    }
+}
+
+void
+AutoScaler::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    pending_ =
+        app_.sim().schedule(config_.interval, [this]() { decideOnce(); });
+}
+
+void
+AutoScaler::stop()
+{
+    running_ = false;
+    pending_.cancel();
+}
+
+double
+AutoScaler::signalFor(const TierSample &s) const
+{
+    switch (config_.signal) {
+      case Signal::CpuUtilization:
+        return s.cpuUtil;
+      case Signal::ThreadOccupancy:
+        return s.occupancy;
+    }
+    return 0.0;
+}
+
+void
+AutoScaler::decideOnce()
+{
+    if (!running_)
+        return;
+    const Tick now = app_.sim().now();
+    unsigned scaled_this_round = 0;
+    for (const std::string &name : watched_) {
+        if (config_.maxScaleOutsPerRound &&
+            scaled_this_round >= config_.maxScaleOutsPerRound)
+            break;
+        const TierSample s = monitor_.latest(name);
+        const double value = signalFor(s);
+        if (value < config_.threshold)
+            continue;
+        const Tick last =
+            lastScale_.count(name) ? lastScale_[name] : 0;
+        if (last != 0 && now - last < config_.cooldown)
+            continue;
+        service::Microservice &svc = app_.service(name);
+        if (config_.maxInstances &&
+            svc.instances().size() >= config_.maxInstances)
+            continue;
+
+        // Provision the instance now; it begins serving after the
+        // startup (container pull + warmup) delay.
+        service::Instance &inst = svc.addInstance(placer_());
+        inst.setActive(false);
+        app_.sim().schedule(config_.startupDelay, [&inst]() {
+            inst.setActive(true);
+        });
+        lastScale_[name] = now;
+        ++scaled_this_round;
+        events_.push_back(ScaleEvent{
+            now, name, static_cast<unsigned>(svc.instances().size()),
+            value});
+    }
+    pending_ =
+        app_.sim().schedule(config_.interval, [this]() { decideOnce(); });
+}
+
+} // namespace uqsim::manager

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Utilization-threshold autoscaler (EC2-default style, Sec 6/7).
+ *
+ * The policy is deliberately the naive one the paper critiques: when a
+ * watched signal (CPU utilization or thread occupancy) exceeds a
+ * threshold, add an instance of that tier after a startup delay. It
+ * fixes genuine single-tier saturation (Fig 17A) but mis-scales under
+ * backpressure (Fig 17B) and takes long to find the culprit of a
+ * cascading violation (Fig 20).
+ */
+
+#ifndef UQSIM_MANAGER_AUTOSCALER_HH
+#define UQSIM_MANAGER_AUTOSCALER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hh"
+#include "cpu/server.hh"
+#include "manager/monitor.hh"
+#include "service/app.hh"
+
+namespace uqsim::manager {
+
+/** A scale-out decision, for timeline reporting. */
+struct ScaleEvent
+{
+    Tick time = 0;
+    std::string service;
+    unsigned newInstanceCount = 0;
+    double signalValue = 0.0;
+};
+
+/**
+ * Threshold autoscaler over Monitor signals.
+ */
+class AutoScaler
+{
+  public:
+    /** Which telemetry signal triggers scaling. */
+    enum class Signal
+    {
+        CpuUtilization,    ///< busy cores / capacity
+        ThreadOccupancy,   ///< busy-or-blocked worker threads
+    };
+
+    struct Config
+    {
+        /** Scale-out trigger threshold (EC2 default-ish 0.7). */
+        double threshold = 0.7;
+
+        /** Decision period. */
+        Tick interval = kTicksPerSec;
+
+        /** Time before a new instance starts serving. */
+        Tick startupDelay = 4 * kTicksPerSec;
+
+        /** Minimum time between scale-outs of the same tier. */
+        Tick cooldown = 5 * kTicksPerSec;
+
+        /** Signal driving decisions. */
+        Signal signal = Signal::ThreadOccupancy;
+
+        /** Cap on instances per tier (0 = unlimited). */
+        unsigned maxInstances = 0;
+
+        /**
+         * Scale-out budget per decision round (0 = unlimited): real
+         * autoscalers upsize gradually, which is what makes them slow
+         * to locate the culprit tier in Fig 20.
+         */
+        unsigned maxScaleOutsPerRound = 0;
+    };
+
+    /**
+     * @param app     application to scale
+     * @param monitor telemetry source (must outlive the scaler)
+     * @param placer  returns the server to place each new instance on
+     */
+    AutoScaler(service::App &app, Monitor &monitor, Config config,
+               std::function<cpu::Server &()> placer);
+
+    /** Watch a tier (untracked tiers never scale). */
+    void watch(const std::string &service);
+
+    /** Watch every non-stateful tier of the app. */
+    void watchAllStateless();
+
+    /** Begin making decisions. */
+    void start();
+    void stop();
+
+    /** All scale-outs performed, in time order. */
+    const std::vector<ScaleEvent> &events() const { return events_; }
+
+  private:
+    void decideOnce();
+    double signalFor(const TierSample &s) const;
+
+    service::App &app_;
+    Monitor &monitor_;
+    Config config_;
+    std::function<cpu::Server &()> placer_;
+    std::vector<std::string> watched_;
+    std::unordered_map<std::string, Tick> lastScale_;
+    std::vector<ScaleEvent> events_;
+    bool running_ = false;
+    EventHandle pending_;
+};
+
+} // namespace uqsim::manager
+
+#endif // UQSIM_MANAGER_AUTOSCALER_HH

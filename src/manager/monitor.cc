@@ -1,0 +1,110 @@
+#include "manager/monitor.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace uqsim::manager {
+
+Monitor::Monitor(service::App &app, Tick interval)
+    : app_(app), interval_(interval)
+{
+    if (interval == 0)
+        fatal("Monitor with zero interval");
+}
+
+void
+Monitor::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    pending_ = app_.sim().schedule(interval_, [this]() { sampleOnce(); });
+}
+
+void
+Monitor::stop()
+{
+    running_ = false;
+    pending_.cancel();
+}
+
+void
+Monitor::sampleOnce()
+{
+    if (!running_)
+        return;
+    const Tick now = app_.sim().now();
+    std::vector<TierSample> round;
+    round.reserve(app_.services().size());
+
+    for (service::Microservice *svc : app_.services()) {
+        TierSample s;
+        s.time = now;
+        s.service = svc->name();
+        svc->latencyWindow().roll(now);
+        s.p99 = svc->latencyWindow().windowP99();
+        s.meanLatency = svc->latencyWindow().windowMean();
+        s.occupancy = svc->meanOccupancy();
+        s.queueDepth = svc->meanQueueLength();
+        s.instances = svc->activeInstances();
+
+        // CPU utilization: busy-time delta over capacity. Capacity is
+        // approximated by thread count (an instance rarely gets more
+        // cores than threads).
+        double util = 0.0;
+        unsigned n = 0;
+        for (const auto &inst : svc->instances()) {
+            if (!inst->active())
+                continue;
+            const Tick busy = inst->cpuBusyTime();
+            const Tick prev = lastBusy_.count(inst.get())
+                                  ? lastBusy_[inst.get()]
+                                  : 0;
+            lastBusy_[inst.get()] = busy;
+            const double cap =
+                static_cast<double>(interval_) *
+                static_cast<double>(svc->def().threadsPerInstance);
+            const Tick delta = busy >= prev ? busy - prev : busy;
+            util += std::min(1.0, static_cast<double>(delta) / cap);
+            ++n;
+        }
+        s.cpuUtil = n ? util / n : 0.0;
+        round.push_back(std::move(s));
+    }
+    history_.push_back(std::move(round));
+    pending_ = app_.sim().schedule(interval_, [this]() { sampleOnce(); });
+}
+
+TierSample
+Monitor::latest(const std::string &service) const
+{
+    for (auto it = history_.rbegin(); it != history_.rend(); ++it)
+        for (const TierSample &s : *it)
+            if (s.service == service)
+                return s;
+    return TierSample{};
+}
+
+std::map<std::string, double>
+Monitor::baselineLatency(unsigned rounds) const
+{
+    std::map<std::string, std::vector<double>> values;
+    unsigned used = 0;
+    for (const auto &round : history_) {
+        if (used >= rounds)
+            break;
+        ++used;
+        for (const TierSample &s : round)
+            if (s.meanLatency > 0.0)
+                values[s.service].push_back(s.meanLatency);
+    }
+    std::map<std::string, double> out;
+    for (auto &[svc, v] : values) {
+        std::sort(v.begin(), v.end());
+        out[svc] = v[v.size() / 2];
+    }
+    return out;
+}
+
+} // namespace uqsim::manager

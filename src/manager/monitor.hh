@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Periodic per-tier telemetry (what a cluster manager sees).
+ *
+ * The Monitor samples every service at a fixed interval: recent tail
+ * latency, CPU utilization (busy core time / capacity), worker-thread
+ * occupancy and queue depth. Figs 17, 19, 20 and 22a are rendered from
+ * this history, and the AutoScaler makes its (sometimes wrong)
+ * decisions from the same signals - exactly the paper's point about
+ * utilization being misleading under backpressure.
+ */
+
+#ifndef UQSIM_MANAGER_MONITOR_HH
+#define UQSIM_MANAGER_MONITOR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/simulator.hh"
+#include "core/types.hh"
+#include "service/app.hh"
+
+namespace uqsim::manager {
+
+/** One tier's telemetry at one sampling instant. */
+struct TierSample
+{
+    Tick time = 0;
+    std::string service;
+    /** p99 latency over the last completed window (ns). */
+    std::uint64_t p99 = 0;
+    /** Mean latency over the last completed window (ns). */
+    double meanLatency = 0.0;
+    /** CPU utilization in [0,1]: busy time / (interval * threads). */
+    double cpuUtil = 0.0;
+    /** Worker-thread occupancy in [0,1] (busy or blocked). */
+    double occupancy = 0.0;
+    /** Mean queue depth across instances. */
+    double queueDepth = 0.0;
+    /** Active instances. */
+    unsigned instances = 0;
+};
+
+/**
+ * Samples an App's tiers on a fixed interval.
+ */
+class Monitor
+{
+  public:
+    /**
+     * @param app      application to watch
+     * @param interval sampling period
+     */
+    Monitor(service::App &app, Tick interval);
+
+    /** Begin sampling (first sample after one interval). */
+    void start();
+
+    /** Stop sampling. */
+    void stop();
+
+    Tick interval() const { return interval_; }
+
+    /** Full history, in time order, grouped per sampling round. */
+    const std::vector<std::vector<TierSample>> &history() const
+    {
+        return history_;
+    }
+
+    /** Latest sample for @p service (zeros if none yet). */
+    TierSample latest(const std::string &service) const;
+
+    /**
+     * Baseline mean latency per tier (median of the first
+     * @p rounds samples with traffic); used to express "latency
+     * increase %" as in Figs 19/22a.
+     */
+    std::map<std::string, double> baselineLatency(unsigned rounds) const;
+
+  private:
+    void sampleOnce();
+
+    service::App &app_;
+    Tick interval_;
+    bool running_ = false;
+    EventHandle pending_;
+    std::vector<std::vector<TierSample>> history_;
+    /** Previous cumulative busy time per instance, for utilization. */
+    std::unordered_map<const void *, Tick> lastBusy_;
+};
+
+} // namespace uqsim::manager
+
+#endif // UQSIM_MANAGER_MONITOR_HH

@@ -1,0 +1,69 @@
+#include "manager/qos.hh"
+
+#include <unordered_map>
+
+#include "core/logging.hh"
+
+namespace uqsim::manager {
+
+QosTracker::QosTracker(service::App &app, const Monitor &monitor,
+                       Tick tier_budget)
+    : app_(app), monitor_(monitor), tierBudget_(tier_budget)
+{
+    if (tier_budget == 0)
+        fatal("QosTracker with zero tier budget");
+}
+
+std::vector<Violation>
+QosTracker::violations() const
+{
+    std::vector<Violation> out;
+    std::unordered_map<std::string, std::size_t> open; // service -> idx
+    for (const auto &round : monitor_.history()) {
+        for (const TierSample &s : round) {
+            const bool violating = s.p99 > tierBudget_;
+            auto it = open.find(s.service);
+            if (violating && it == open.end()) {
+                out.push_back(Violation{s.service, s.time, 0});
+                open[s.service] = out.size() - 1;
+            } else if (!violating && it != open.end()) {
+                out[it->second].end = s.time;
+                open.erase(it);
+            }
+        }
+    }
+    return out;
+}
+
+Tick
+QosTracker::firstEndToEndViolation() const
+{
+    const std::string entry = app_.entry();
+    for (const auto &round : monitor_.history())
+        for (const TierSample &s : round)
+            if (s.service == entry && s.p99 > app_.config().qosLatency)
+                return s.time;
+    return 0;
+}
+
+Tick
+QosTracker::recoveryTime(Tick from, unsigned stable) const
+{
+    const std::string entry = app_.entry();
+    unsigned streak = 0;
+    for (const auto &round : monitor_.history()) {
+        for (const TierSample &s : round) {
+            if (s.service != entry || s.time <= from)
+                continue;
+            if (s.p99 <= app_.config().qosLatency && s.p99 > 0) {
+                if (++streak >= stable)
+                    return s.time - from;
+            } else {
+                streak = 0;
+            }
+        }
+    }
+    return 0;
+}
+
+} // namespace uqsim::manager

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * QoS bookkeeping: violation detection over monitor history and
+ * goodput accounting.
+ */
+
+#ifndef UQSIM_MANAGER_QOS_HH
+#define UQSIM_MANAGER_QOS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+#include "manager/monitor.hh"
+#include "service/app.hh"
+
+namespace uqsim::manager {
+
+/** A detected QoS violation interval for one tier. */
+struct Violation
+{
+    std::string service;
+    Tick start = 0;
+    Tick end = 0;  ///< 0 while ongoing
+};
+
+/**
+ * QoS policy evaluation over an App + Monitor pair.
+ */
+class QosTracker
+{
+  public:
+    /**
+     * @param app         application under QoS
+     * @param monitor     telemetry source
+     * @param tier_budget per-tier p99 budget (ns); tiers above it for
+     *                    a full sample are in violation
+     */
+    QosTracker(service::App &app, const Monitor &monitor, Tick tier_budget);
+
+    /** Scan the monitor history and extract violation intervals. */
+    std::vector<Violation> violations() const;
+
+    /**
+     * First time the *end-to-end* p99 (entry tier window) exceeded the
+     * app QoS, or 0 if never - the "QoS detection" instant of Fig 20.
+     */
+    Tick firstEndToEndViolation() const;
+
+    /**
+     * Time from @p from until the entry tier's windowed p99 returned
+     * below the app QoS for @p stable consecutive samples (recovery
+     * time, Fig 20); returns 0 when it never recovered.
+     */
+    Tick recoveryTime(Tick from, unsigned stable = 3) const;
+
+  private:
+    service::App &app_;
+    const Monitor &monitor_;
+    Tick tierBudget_;
+};
+
+} // namespace uqsim::manager
+
+#endif // UQSIM_MANAGER_QOS_HH

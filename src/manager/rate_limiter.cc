@@ -1,0 +1,53 @@
+#include "manager/rate_limiter.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace uqsim::manager {
+
+RateLimiter::RateLimiter(service::App &app, double rate_qps, double burst)
+    : app_(app), rateQps_(rate_qps), burst_(burst), tokens_(burst)
+{
+    if (burst <= 0.0)
+        fatal("RateLimiter with non-positive burst");
+    lastRefill_ = app.sim().now();
+}
+
+void
+RateLimiter::setRateQps(double rate_qps)
+{
+    refill();
+    rateQps_ = rate_qps;
+}
+
+void
+RateLimiter::refill()
+{
+    const Tick now = app_.sim().now();
+    if (rateQps_ > 0.0) {
+        const double elapsed_sec = ticksToSec(now - lastRefill_);
+        tokens_ = std::min(burst_, tokens_ + elapsed_sec * rateQps_);
+    } else {
+        tokens_ = burst_;
+    }
+    lastRefill_ = now;
+}
+
+bool
+RateLimiter::tryInject(unsigned query_type, std::uint64_t user_id,
+                       service::CompletionFn done)
+{
+    refill();
+    if (rateQps_ > 0.0 && tokens_ < 1.0) {
+        ++rejected_;
+        return false;
+    }
+    if (rateQps_ > 0.0)
+        tokens_ -= 1.0;
+    ++admitted_;
+    app_.inject(query_type, user_id, std::move(done));
+    return true;
+}
+
+} // namespace uqsim::manager

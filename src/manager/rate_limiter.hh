@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Admission-control rate limiter (Sec 8, Fig 22a recovery).
+ *
+ * Token-bucket limiter placed in front of an App's inject path: when
+ * hotspots cascade, operators constrain admitted traffic until queues
+ * drain. Effective, but it drops user requests - which the bench
+ * reports.
+ */
+
+#ifndef UQSIM_MANAGER_RATE_LIMITER_HH
+#define UQSIM_MANAGER_RATE_LIMITER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "core/types.hh"
+#include "service/app.hh"
+
+namespace uqsim::manager {
+
+/**
+ * Token-bucket admission controller.
+ */
+class RateLimiter
+{
+  public:
+    /**
+     * @param app        application whose inject path is guarded
+     * @param rate_qps   sustained admitted rate (<=0: unlimited)
+     * @param burst      bucket depth in requests
+     */
+    RateLimiter(service::App &app, double rate_qps, double burst = 32.0);
+
+    /** Change the admitted rate at runtime (rate limiting on/off). */
+    void setRateQps(double rate_qps);
+    double rateQps() const { return rateQps_; }
+
+    /**
+     * Admit-or-drop one request. Returns true and forwards to
+     * App::inject when a token is available; otherwise counts a
+     * rejection and returns false.
+     */
+    bool tryInject(unsigned query_type, std::uint64_t user_id,
+                   service::CompletionFn done = {});
+
+    std::uint64_t admitted() const { return admitted_; }
+    std::uint64_t rejected() const { return rejected_; }
+
+  private:
+    void refill();
+
+    service::App &app_;
+    double rateQps_;
+    double burst_;
+    double tokens_;
+    Tick lastRefill_ = 0;
+    std::uint64_t admitted_ = 0;
+    std::uint64_t rejected_ = 0;
+};
+
+} // namespace uqsim::manager
+
+#endif // UQSIM_MANAGER_RATE_LIMITER_HH

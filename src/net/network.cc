@@ -1,0 +1,98 @@
+#include "net/network.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace uqsim::net {
+
+Network::Network(Simulator &sim, NetworkConfig config, Rng rng)
+    : sim_(sim), config_(config), rng_(rng)
+{
+    if (config_.linkGbps <= 0.0 || config_.wirelessGbps <= 0.0)
+        fatal("Network with non-positive link bandwidth");
+}
+
+void
+Network::attachWireless(unsigned server_id)
+{
+    wireless_[server_id] = true;
+}
+
+bool
+Network::isWireless(unsigned server_id) const
+{
+    auto it = wireless_.find(server_id);
+    return it != wireless_.end() && it->second;
+}
+
+Tick
+Network::serializationDelay(Bytes size, double gbps)
+{
+    // gbps == bits per nanosecond.
+    const double ns = static_cast<double>(size) * 8.0 / gbps;
+    return std::max<Tick>(1, static_cast<Tick>(ns));
+}
+
+Tick
+Network::propagation(unsigned src, unsigned dst)
+{
+    const bool wireless = isWireless(src) || isWireless(dst);
+    if (!wireless)
+        return config_.wireLatency;
+    // Wireless latency is jittery: log-normal multiplier around 1.
+    const double jitter =
+        rng_.lognormal(0.0, config_.wirelessJitterSigma);
+    Tick lat = static_cast<Tick>(
+        static_cast<double>(config_.wirelessLatency) * jitter);
+    // Drone-to-drone traffic crosses the router twice.
+    if (isWireless(src) && isWireless(dst))
+        lat *= 2;
+    return lat;
+}
+
+Network::TxQueue &
+Network::txQueue(unsigned server_id)
+{
+    return txQueues_[server_id];
+}
+
+void
+Network::send(unsigned src, unsigned dst, Bytes size, DeliverFn deliver)
+{
+    const Tick now = sim_.now();
+
+    if (src == dst) {
+        const Tick delay = config_.loopbackLatency;
+        sim_.schedule(delay, [this, size, delay,
+                              deliver = std::move(deliver)]() {
+            ++messages_;
+            bytes_ += size;
+            deliver(0, delay);
+        });
+        return;
+    }
+
+    const double gbps = (isWireless(src) || isWireless(dst))
+                            ? config_.wirelessGbps
+                            : config_.linkGbps;
+
+    TxQueue &tx = txQueue(src);
+    const Tick tx_start = std::max(now, tx.busyUntil);
+    const Tick ser = serializationDelay(size, gbps);
+    tx.busyUntil = tx_start + ser;
+
+    const Tick prop = propagation(src, dst);
+    const Tick delivery = tx.busyUntil + prop;
+    const Tick queueing_tx = tx.busyUntil - now;
+
+    sim_.scheduleAt(delivery, [this, size, queueing_tx, prop,
+                               deliver = std::move(deliver)]() {
+        ++messages_;
+        bytes_ += size;
+        deliver(queueing_tx, prop);
+    });
+}
+
+} // namespace uqsim::net

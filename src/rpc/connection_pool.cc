@@ -1,0 +1,50 @@
+#include "rpc/connection_pool.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/logging.hh"
+
+namespace uqsim::rpc {
+
+ConnectionPool::ConnectionPool(unsigned max_connections, bool blocking)
+    : maxConnections_(max_connections), blocking_(blocking)
+{
+    if (blocking && max_connections == 0)
+        fatal("blocking ConnectionPool needs at least one connection");
+}
+
+void
+ConnectionPool::acquire(std::function<void()> granted)
+{
+    if (!blocking_) {
+        ++inUse_;
+        granted();
+        return;
+    }
+    if (inUse_ < maxConnections_) {
+        ++inUse_;
+        granted();
+        return;
+    }
+    ++blockedAcquires_;
+    waiters_.push_back(std::move(granted));
+    peakWaiting_ = std::max(peakWaiting_, waiters_.size());
+}
+
+void
+ConnectionPool::release()
+{
+    if (inUse_ == 0)
+        panic("ConnectionPool::release with no connection in use");
+    if (blocking_ && !waiters_.empty()) {
+        // Hand the connection straight to the next waiter.
+        auto granted = std::move(waiters_.front());
+        waiters_.pop_front();
+        granted();
+        return;
+    }
+    --inUse_;
+}
+
+} // namespace uqsim::rpc

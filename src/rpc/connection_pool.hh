@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Connection pool with HTTP/1.1 one-outstanding-request semantics.
+ *
+ * Each caller-instance -> callee-service pair owns a pool. For
+ * multiplexed protocols (Thrift, gRPC/HTTP2) acquisition always
+ * succeeds immediately. For blocking protocols, at most
+ * connectionsPerPair requests may be outstanding; further callers
+ * queue FIFO until a connection frees. This queue is the backpressure
+ * channel of Fig 17B: a slow callee parks the caller's worker threads
+ * here, making the caller *appear* saturated while its CPU idles.
+ */
+
+#ifndef UQSIM_RPC_CONNECTION_POOL_HH
+#define UQSIM_RPC_CONNECTION_POOL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+namespace uqsim::rpc {
+
+/**
+ * FIFO-granting connection pool.
+ */
+class ConnectionPool
+{
+  public:
+    /**
+     * @param max_connections pool size (ignored when !blocking)
+     * @param blocking        one outstanding request per connection
+     */
+    ConnectionPool(unsigned max_connections, bool blocking);
+
+    /**
+     * Request a connection; @p granted runs immediately if one is
+     * free (or the pool is non-blocking), otherwise when released.
+     */
+    void acquire(std::function<void()> granted);
+
+    /** Return a connection; may synchronously grant a waiter. */
+    void release();
+
+    /** Connections currently handed out (blocking pools only). */
+    unsigned inUse() const { return inUse_; }
+
+    /** Callers waiting for a connection. */
+    std::size_t waiting() const { return waiters_.size(); }
+
+    /** Peak simultaneous waiters since construction. */
+    std::size_t peakWaiting() const { return peakWaiting_; }
+
+    /** Total acquisitions that had to wait. */
+    std::uint64_t blockedAcquires() const { return blockedAcquires_; }
+
+  private:
+    unsigned maxConnections_;
+    bool blocking_;
+    unsigned inUse_ = 0;
+    std::deque<std::function<void()>> waiters_;
+    std::size_t peakWaiting_ = 0;
+    std::uint64_t blockedAcquires_ = 0;
+};
+
+} // namespace uqsim::rpc
+
+#endif // UQSIM_RPC_CONNECTION_POOL_HH

@@ -1,0 +1,84 @@
+#include "rpc/protocol.hh"
+
+namespace uqsim::rpc {
+
+std::string
+protocolName(ProtocolKind kind)
+{
+    switch (kind) {
+      case ProtocolKind::ThriftRpc:
+        return "Thrift-RPC";
+      case ProtocolKind::Grpc:
+        return "gRPC";
+      case ProtocolKind::RestHttp1:
+        return "REST/HTTP1";
+    }
+    return "unknown";
+}
+
+Cycles
+ProtocolModel::serializeCost(Bytes payload) const
+{
+    const double cycles =
+        (static_cast<double>(serializeBaseCycles) +
+         perByteCycles * static_cast<double>(payload)) /
+        serializationEfficiency;
+    return static_cast<Cycles>(cycles);
+}
+
+Cycles
+ProtocolModel::deserializeCost(Bytes payload) const
+{
+    const double cycles =
+        (static_cast<double>(deserializeBaseCycles) +
+         perByteCycles * static_cast<double>(payload)) /
+        serializationEfficiency;
+    return static_cast<Cycles>(cycles);
+}
+
+ProtocolModel
+ProtocolModel::thrift()
+{
+    ProtocolModel m;
+    m.kind = ProtocolKind::ThriftRpc;
+    m.framingBytes = 64;
+    m.serializeBaseCycles = 3000;
+    m.deserializeBaseCycles = 3500;
+    m.perByteCycles = 0.2;
+    m.connectionBlocking = false;
+    m.connectionsPerPair = 8;
+    m.serializationEfficiency = 1.0;
+    return m;
+}
+
+ProtocolModel
+ProtocolModel::grpc()
+{
+    ProtocolModel m;
+    m.kind = ProtocolKind::Grpc;
+    m.framingBytes = 128;
+    m.serializeBaseCycles = 3500;
+    m.deserializeBaseCycles = 4000;
+    m.perByteCycles = 0.25;
+    m.connectionBlocking = false;
+    m.connectionsPerPair = 8;
+    m.serializationEfficiency = 1.0;
+    return m;
+}
+
+ProtocolModel
+ProtocolModel::restHttp1()
+{
+    ProtocolModel m;
+    m.kind = ProtocolKind::RestHttp1;
+    m.framingBytes = 700;
+    m.serializeBaseCycles = 9000;
+    m.deserializeBaseCycles = 12000;
+    m.perByteCycles = 0.6;
+    m.connectionBlocking = true;
+    m.connectionsPerPair = 8;
+    m.serializationEfficiency = 0.7;
+    return m;
+}
+
+} // namespace uqsim::rpc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deployment cost models for Fig 21: reserved EC2 containers vs
+ * per-request AWS Lambda billing (2019 prices, matching the paper's
+ * evaluation window).
+ */
+
+#ifndef UQSIM_SERVERLESS_COST_MODEL_HH
+#define UQSIM_SERVERLESS_COST_MODEL_HH
+
+#include <cstdint>
+
+#include "core/types.hh"
+
+namespace uqsim::serverless {
+
+/**
+ * Reserved-instance (EC2) pricing.
+ */
+struct Ec2CostModel
+{
+    /** On-demand price per instance-hour (m5.12xlarge, 2019). */
+    double pricePerInstanceHour = 2.304;
+
+    /** Total cost of @p instances running for @p duration. */
+    double
+    cost(unsigned instances, Tick duration) const
+    {
+        const double hours = ticksToSec(duration) / 3600.0;
+        return pricePerInstanceHour * static_cast<double>(instances) *
+               hours;
+    }
+};
+
+/**
+ * AWS-Lambda-style per-request pricing.
+ */
+struct LambdaCostModel
+{
+    /** Price per million invocations. */
+    double pricePerMillionRequests = 0.20;
+
+    /** Price per GB-second of billed execution. */
+    double pricePerGbSecond = 0.0000166667;
+
+    /** Configured function memory in GB. */
+    double memoryGb = 1.5;
+
+    /** Billing granularity (2019: 100 ms round-up). */
+    Tick billingQuantum = 100 * kTicksPerMs;
+
+    /** Billed duration of one invocation running @p duration. */
+    Tick
+    billedDuration(Tick duration) const
+    {
+        if (billingQuantum == 0)
+            return duration;
+        const Tick q = billingQuantum;
+        return ((duration + q - 1) / q) * q;
+    }
+
+    /**
+     * Total cost of @p invocations whose *summed billed* duration is
+     * @p billed_total.
+     */
+    double
+    cost(std::uint64_t invocations, Tick billed_total) const
+    {
+        const double req_cost = pricePerMillionRequests *
+                                static_cast<double>(invocations) / 1e6;
+        const double gbs =
+            ticksToSec(billed_total) * memoryGb * pricePerGbSecond;
+        return req_cost + gbs;
+    }
+};
+
+} // namespace uqsim::serverless
+
+#endif // UQSIM_SERVERLESS_COST_MODEL_HH

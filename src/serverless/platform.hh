@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Serverless execution platform (Sec 7, Fig 21).
+ *
+ * Running a microservice graph on AWS-Lambda-style functions changes
+ * three things relative to reserved containers:
+ *   1. every RPC becomes a function invocation with dispatch latency,
+ *      placement variance, and occasional cold starts;
+ *   2. functions are ephemeral: state between dependent services
+ *      passes through a store - S3 (slow, rate-limited) by default or
+ *      remote memory (the paper's tuned configuration);
+ *   3. billing is per request + GB-second instead of instance-hours,
+ *      and capacity follows load instantly (no autoscaler lag).
+ *
+ * LambdaPlatform::applyToApp() rewrites a built application in place:
+ * it inserts dispatch-delay stages and state-store calls around every
+ * handler, adds the state-store tier, and lifts per-instance
+ * concurrency limits (the provider launches more function instances on
+ * demand).
+ */
+
+#ifndef UQSIM_SERVERLESS_PLATFORM_HH
+#define UQSIM_SERVERLESS_PLATFORM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.hh"
+#include "cpu/server.hh"
+#include "serverless/cost_model.hh"
+#include "service/app.hh"
+
+namespace uqsim::serverless {
+
+/** Where inter-function state lives. */
+enum class StateStoreKind
+{
+    S3,           ///< persistent object store: slow, rate-limited
+    RemoteMemory, ///< memcached on extra EC2 instances: fast
+};
+
+/**
+ * Lambda platform configuration.
+ */
+struct LambdaConfig
+{
+    /** Mean function dispatch latency (routing + container reuse). */
+    double dispatchMeanUs = 900.0;
+
+    /** Dispatch heavy-tail sigma (placement variance, co-location). */
+    double dispatchSigma = 0.8;
+
+    /** Probability an invocation cold-starts. */
+    double coldStartProb = 0.015;
+
+    /** Cold-start delay. */
+    double coldStartMeanMs = 180.0;
+
+    /** Inter-function state store. */
+    StateStoreKind stateStore = StateStoreKind::S3;
+
+    /** State-store shards (S3 partitions / memcached instances). */
+    unsigned storeShards = 8;
+
+    /** Name given to the injected state-store tier. */
+    std::string storeName = "state-store";
+};
+
+/**
+ * Applies the Lambda execution model to a built App.
+ */
+class LambdaPlatform
+{
+  public:
+    /**
+     * Rewrite @p app for serverless execution. @p store_servers hosts
+     * the state-store shards (for RemoteMemory these represent the
+     * "four additional EC2 instances" of the paper). Call *before*
+     * injecting load; idempotent per app.
+     */
+    static void applyToApp(service::App &app, const LambdaConfig &config,
+                           cpu::Cluster &cluster);
+
+    /**
+     * Invocation count across all function tiers of @p app (every
+     * served request at every rewritten tier is one invocation).
+     */
+    static std::uint64_t invocations(const service::App &app,
+                                     const std::string &store_name);
+
+    /**
+     * Total billed duration under @p cost across all invocations,
+     * using each tier's measured mean latency (rounded up to the
+     * billing quantum per invocation).
+     */
+    static Tick billedDuration(const service::App &app,
+                               const LambdaCostModel &cost,
+                               const std::string &store_name);
+};
+
+} // namespace uqsim::serverless
+
+#endif // UQSIM_SERVERLESS_PLATFORM_HH

@@ -1,0 +1,765 @@
+#include "service/app.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "core/logging.hh"
+
+namespace uqsim::service {
+
+/**
+ * Per-RPC handler execution context: the request being served at one
+ * instance, plus the span under construction. Shared between the stage
+ * interpreter and the reply continuation.
+ */
+struct HandlerCtx
+{
+    Instance *inst = nullptr;
+    RequestPtr req;
+    trace::Span span;
+    /** Reply continuation installed by rpcCall. */
+    std::function<void(std::shared_ptr<HandlerCtx>)> respond;
+};
+
+namespace {
+
+/** Shared accounting for one in-flight RPC. */
+struct CallState
+{
+    explicit CallState(Tick start) : tStart(start) {}
+    Tick tStart;
+    Tick callerNet = 0;
+};
+
+} // namespace
+
+App::App(Simulator &sim, cpu::Cluster &cluster, net::Network &network,
+         Config config, std::uint64_t seed)
+    : sim_(sim), cluster_(cluster), network_(network),
+      config_(std::move(config)), rng_(seed), collector_(traceStore_)
+{
+    collector_.setEnabled(config_.tracing);
+}
+
+Microservice &
+App::addService(ServiceDef def)
+{
+    if (services_.count(def.name))
+        fatal(strCat("duplicate service '", def.name, "'"));
+    auto svc = std::make_unique<Microservice>(*this, std::move(def));
+    Microservice &ref = *svc;
+    serviceOrder_.push_back(&ref);
+    services_[ref.name()] = std::move(svc);
+    return ref;
+}
+
+bool
+App::hasService(const std::string &name) const
+{
+    return services_.count(name) > 0;
+}
+
+Microservice &
+App::service(const std::string &name)
+{
+    auto it = services_.find(name);
+    if (it == services_.end())
+        fatal(strCat("unknown service '", name, "'"));
+    return *it->second;
+}
+
+const Microservice &
+App::service(const std::string &name) const
+{
+    auto it = services_.find(name);
+    if (it == services_.end())
+        fatal(strCat("unknown service '", name, "'"));
+    return *it->second;
+}
+
+void
+App::setEntry(const std::string &name)
+{
+    if (!hasService(name))
+        fatal(strCat("entry service '", name, "' does not exist"));
+    entry_ = name;
+}
+
+unsigned
+App::addQueryType(QueryType qt)
+{
+    queryTypes_.push_back(std::move(qt));
+    e2eByQuery_.push_back(std::make_unique<Histogram>());
+    return static_cast<unsigned>(queryTypes_.size() - 1);
+}
+
+Instance &
+App::addInstance(const std::string &name, cpu::Server &server)
+{
+    return service(name).addInstance(server);
+}
+
+void
+App::setClientServer(cpu::Server &server)
+{
+    clientServer_ = &server;
+}
+
+void
+App::validate() const
+{
+    if (entry_.empty())
+        fatal(strCat("app '", config_.name, "': no entry service set"));
+    for (const Microservice *svc : serviceOrder_) {
+        for (const std::string &target : svc->def().handler.callTargets()) {
+            if (!hasService(target))
+                fatal(strCat("service '", svc->name(), "' calls unknown '",
+                             target, "'"));
+            if (target == svc->name())
+                fatal(strCat("service '", svc->name(), "' calls itself"));
+        }
+        if (svc->instances().empty())
+            fatal(strCat("service '", svc->name(), "' has no instances"));
+    }
+    if (!clientServer_)
+        fatal(strCat("app '", config_.name, "': no client server set"));
+}
+
+std::string
+App::exportDot() const
+{
+    std::ostringstream os;
+    os << "digraph \"" << config_.name << "\" {\n";
+    os << "  rankdir=LR;\n";
+    for (const Microservice *svc : serviceOrder_) {
+        const char *shape = "box";
+        switch (svc->def().kind) {
+          case ServiceKind::Frontend:
+            shape = "house";
+            break;
+          case ServiceKind::Cache:
+            shape = "oval";
+            break;
+          case ServiceKind::Database:
+            shape = "cylinder";
+            break;
+          default:
+            break;
+        }
+        os << "  \"" << svc->name() << "\" [shape=" << shape << "];\n";
+    }
+    for (const Microservice *svc : serviceOrder_)
+        for (const std::string &t : svc->def().handler.callTargets())
+            os << "  \"" << svc->name() << "\" -> \"" << t << "\";\n";
+    if (!entry_.empty()) {
+        os << "  \"client\" [shape=plaintext];\n";
+        os << "  \"client\" -> \"" << entry_ << "\";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+double
+App::kernelIpc(const cpu::Server &server)
+{
+    auto it = kernelIpcCache_.find(server.model().name);
+    if (it != kernelIpcCache_.end())
+        return it->second;
+    // Static profile of the kernel TCP/IP path: moderate footprint,
+    // fully kernel-mode, memory-touching code.
+    cpu::ServiceProfile kp;
+    kp.name = "kernel-tcp";
+    kp.codeFootprintKb = 600.0;
+    kp.branchEntropy = 0.20;
+    kp.memIntensity = 0.40;
+    kp.kernelShare = 1.0;
+    kp.libShare = 0.0;
+    const double ipc = cpu::MicroarchModel::effectiveIpc(kp, server.model());
+    kernelIpcCache_[server.model().name] = ipc;
+    return ipc;
+}
+
+double
+App::serviceIpc(const Microservice &svc, const cpu::Server &server)
+{
+    const std::string key = svc.name() + "/" + server.model().name;
+    auto it = serviceIpcCache_.find(key);
+    if (it != serviceIpcCache_.end())
+        return it->second;
+    const double ipc =
+        cpu::MicroarchModel::effectiveIpc(svc.def().profile, server.model());
+    serviceIpcCache_[key] = ipc;
+    return ipc;
+}
+
+rpc::ConnectionPool &
+App::poolFor(const void *caller, const Microservice &target)
+{
+    const PoolKey key{caller, &target};
+    auto it = pools_.find(key);
+    if (it == pools_.end()) {
+        const auto &proto = target.def().protocol;
+        it = pools_
+                 .emplace(key, std::make_unique<rpc::ConnectionPool>(
+                                   proto.connectionsPerPair,
+                                   proto.connectionBlocking))
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+App::chargeCompute(Microservice &svc, double cycles, double ipc)
+{
+    const auto &p = svc.def().profile;
+    const double non_kernel = std::max(1e-9, 1.0 - p.kernelShare);
+    const double lib_frac = std::clamp(p.libShare / non_kernel, 0.0, 1.0);
+    const double instr = cycles * ipc;
+    svc.chargeLib(cycles * lib_frac, instr * lib_frac);
+    svc.chargeUser(cycles * (1.0 - lib_frac), instr * (1.0 - lib_frac));
+}
+
+void
+App::chargeNetwork(Microservice *svc, double cycles, double ipc)
+{
+    if (svc)
+        svc->chargeKernel(cycles, cycles * ipc);
+}
+
+void
+App::rpcCall(unsigned caller_server, Instance *caller_inst,
+             Microservice &target, RequestPtr req,
+             trace::SpanId parent_span, Bytes req_bytes, Bytes resp_bytes,
+             bool carries_media,
+             std::function<void(Tick wall, Tick caller_net)> done)
+{
+    // Capture only pointers to stable objects (the App owns services;
+    // ServiceDef, pools and instances never move during a run).
+    App *app = this;
+    Microservice *tgt = &target;
+    const rpc::ProtocolModel *proto = &target.def().protocol;
+
+    const QueryType &qt = queryTypes_[req->queryType];
+    const Bytes req_payload =
+        (req_bytes ? req_bytes : target.def().defaultRequestBytes) +
+        (carries_media ? qt.extraPayloadBytes : 0);
+    const Bytes resp_payload =
+        resp_bytes ? resp_bytes : target.def().defaultResponseBytes;
+    const Bytes req_wire = proto->wireSize(req_payload);
+    const Bytes resp_wire = proto->wireSize(resp_payload);
+
+    const void *caller_key =
+        caller_inst ? static_cast<const void *>(caller_inst)
+                    : static_cast<const void *>(this);
+    rpc::ConnectionPool *pool = &poolFor(caller_key, target);
+    Microservice *caller_svc = caller_inst ? &caller_inst->svc() : nullptr;
+
+    auto cs = std::make_shared<CallState>(sim_.now());
+    auto done_sh = std::make_shared<
+        std::function<void(Tick, Tick)>>(std::move(done));
+
+    pool->acquire([app, caller_server, caller_svc, tgt, req, parent_span,
+                   req_payload, resp_payload, req_wire, resp_wire, proto,
+                   pool, cs, done_sh]() {
+        cpu::Server &csrv = app->cluster_.server(caller_server);
+        const bool fpga = app->config_.fpga.enabled;
+        const Cycles send_tcp =
+            fpga ? app->config_.fpga.hostSendCycles
+                 : app->config_.tcp.sendCost(req_wire);
+        const Cycles send_cycles =
+            proto->serializeCost(req_payload) + send_tcp;
+        const double send_tcp_frac =
+            static_cast<double>(send_tcp) /
+            static_cast<double>(std::max<Cycles>(1, send_cycles));
+        const double kipc = app->kernelIpc(csrv);
+        app->chargeNetwork(caller_svc, static_cast<double>(send_cycles),
+                           kipc);
+
+        csrv.execute(send_cycles, kipc, [app, caller_server, tgt, req,
+                                         parent_span, resp_payload,
+                                         req_payload, req_wire, resp_wire,
+                                         proto, pool, cs, send_tcp_frac,
+                                         done_sh](Tick send_busy) {
+            req->networkTime += send_busy;
+            req->tcpProcTime += static_cast<Tick>(
+                send_tcp_frac * static_cast<double>(send_busy));
+            cs->callerNet += send_busy;
+
+            Instance *ti = &tgt->selectInstance(*req);
+            const unsigned callee_server = ti->server().id();
+            const bool fpga = app->config_.fpga.enabled;
+            const Tick fpga_lat =
+                fpga ? app->config_.fpga.pipelineLatency : 0;
+
+            // Reply continuation: runs on the callee once the handler
+            // (or the drop path) finishes.
+            auto respond = [app, caller_server, callee_server, tgt, ti,
+                            req, resp_payload, resp_wire, proto, pool, cs,
+                            fpga_lat,
+                            done_sh](std::shared_ptr<HandlerCtx> ctx) {
+                const bool f = app->config_.fpga.enabled;
+                const Cycles reply_tcp =
+                    f ? app->config_.fpga.hostSendCycles
+                      : app->config_.tcp.sendCost(resp_wire);
+                const Cycles reply_cycles =
+                    proto->serializeCost(resp_payload) + reply_tcp;
+                const double reply_tcp_frac =
+                    static_cast<double>(reply_tcp) /
+                    static_cast<double>(
+                        std::max<Cycles>(1, reply_cycles));
+                const double kipc_t = app->kernelIpc(ti->server());
+                app->chargeNetwork(tgt, static_cast<double>(reply_cycles),
+                                   kipc_t);
+                ti->server().execute(reply_cycles, kipc_t,
+                                     [app, caller_server, callee_server,
+                                      req, resp_payload, resp_wire, proto,
+                                      pool, cs, fpga_lat, ctx,
+                                      reply_tcp_frac,
+                                      done_sh](Tick reply_busy) {
+                    req->networkTime += reply_busy;
+                    req->tcpProcTime += static_cast<Tick>(
+                        reply_tcp_frac * static_cast<double>(reply_busy));
+                    if (ctx) {
+                        ctx->span.networkTime += reply_busy;
+                        ctx->span.end = app->sim_.now();
+                        const Tick dur = ctx->span.duration();
+                        Microservice &svc = ctx->inst->svc();
+                        svc.mutableLatency().record(dur);
+                        svc.latencyWindow().record(app->sim_.now(), dur);
+                        ctx->inst->latencyWindow_.record(app->sim_.now(),
+                                                         dur);
+                        ++ctx->inst->served_;
+                        if (app->config_.tracing)
+                            app->collector_.collect(ctx->span);
+                    }
+                    app->network_.send(callee_server, caller_server,
+                                       resp_wire,
+                                       [app, caller_server, req,
+                                        resp_payload, resp_wire, proto,
+                                        pool, cs, fpga_lat,
+                                        done_sh](Tick queueing_tx,
+                                                 Tick prop) {
+                        auto finish = [app, caller_server, req,
+                                       resp_payload, resp_wire, proto,
+                                       pool, cs, queueing_tx, prop,
+                                       fpga_lat, done_sh]() {
+                            req->networkTime += queueing_tx + fpga_lat;
+                            req->tcpProcTime += fpga_lat;
+                            req->wireTime += prop;
+                            cs->callerNet += queueing_tx + fpga_lat;
+                            cpu::Server &csrv2 =
+                                app->cluster_.server(caller_server);
+                            const bool f2 = app->config_.fpga.enabled;
+                            const Cycles recv_tcp =
+                                f2 ? app->config_.fpga.hostRecvCycles
+                                   : app->config_.tcp.recvCost(resp_wire);
+                            const Cycles recv_cycles =
+                                proto->deserializeCost(resp_payload) +
+                                recv_tcp;
+                            const double recv_tcp_frac =
+                                static_cast<double>(recv_tcp) /
+                                static_cast<double>(
+                                    std::max<Cycles>(1, recv_cycles));
+                            csrv2.execute(recv_cycles,
+                                          app->kernelIpc(csrv2),
+                                          [app, req, pool, cs,
+                                           recv_tcp_frac,
+                                           done_sh](Tick recv_busy) {
+                                req->networkTime += recv_busy;
+                                req->tcpProcTime += static_cast<Tick>(
+                                    recv_tcp_frac *
+                                    static_cast<double>(recv_busy));
+                                cs->callerNet += recv_busy;
+                                pool->release();
+                                (*done_sh)(app->sim_.now() - cs->tStart,
+                                           cs->callerNet);
+                            });
+                        };
+                        if (fpga_lat > 0)
+                            app->sim_.schedule(fpga_lat, finish);
+                        else
+                            finish();
+                    });
+                });
+            };
+
+            app->network_.send(
+                caller_server, callee_server, req_wire,
+                [app, tgt, ti, req, parent_span, req_payload, req_wire, cs,
+                 fpga_lat, proto,
+                 respond = std::move(respond)](Tick queueing_tx,
+                                               Tick prop) mutable {
+                auto deliver = [app, tgt, ti, req, parent_span,
+                                req_payload, req_wire, cs, queueing_tx,
+                                prop, fpga_lat, proto,
+                                respond = std::move(respond)]() mutable {
+                    req->networkTime += queueing_tx + fpga_lat;
+                    req->tcpProcTime += fpga_lat;
+                    req->wireTime += prop;
+                    cs->callerNet += queueing_tx + fpga_lat;
+                    const bool f = app->config_.fpga.enabled;
+                    const Cycles rr_tcp =
+                        f ? app->config_.fpga.hostRecvCycles
+                          : app->config_.tcp.recvCost(req_wire);
+                    const Cycles recv_cycles =
+                        proto->deserializeCost(req_payload) + rr_tcp;
+                    const double rr_tcp_frac =
+                        static_cast<double>(rr_tcp) /
+                        static_cast<double>(
+                            std::max<Cycles>(1, recv_cycles));
+                    const double kipc_t = app->kernelIpc(ti->server());
+                    app->chargeNetwork(
+                        tgt, static_cast<double>(recv_cycles), kipc_t);
+                    ti->server().execute(
+                        recv_cycles, kipc_t,
+                        [app, ti, req, parent_span, rr_tcp_frac,
+                         respond = std::move(respond)](
+                            Tick recv_busy) mutable {
+                        req->networkTime += recv_busy;
+                        req->tcpProcTime += static_cast<Tick>(
+                            rr_tcp_frac * static_cast<double>(recv_busy));
+                        app->deliverToInstance(*ti, req, parent_span,
+                                               recv_busy,
+                                               std::move(respond));
+                    });
+                };
+                if (fpga_lat > 0)
+                    app->sim_.schedule(fpga_lat, std::move(deliver));
+                else
+                    deliver();
+            });
+        });
+    });
+}
+
+void
+App::deliverToInstance(
+    Instance &inst, RequestPtr req, trace::SpanId parent_span,
+    Tick pre_network,
+    std::function<void(std::shared_ptr<HandlerCtx>)> respond)
+{
+    if (inst.queue_.size() >= inst.svc().def().queueCapacity) {
+        // Queue overflow: drop and immediately unwind to the caller.
+        req->dropped = true;
+        ++inst.dropped_;
+        respond(nullptr);
+        return;
+    }
+    Instance::Arrival arrival;
+    arrival.req = std::move(req);
+    arrival.parentSpan = parent_span;
+    arrival.enqueued = sim_.now();
+    arrival.preNetworkTime = pre_network;
+    arrival.respondCtx = std::move(respond);
+    inst.queue_.push_back(std::move(arrival));
+    maybeStartHandling(inst);
+}
+
+void
+App::maybeStartHandling(Instance &inst)
+{
+    while (inst.freeThreads_ > 0 && !inst.queue_.empty()) {
+        Instance::Arrival a = std::move(inst.queue_.front());
+        inst.queue_.pop_front();
+        --inst.freeThreads_;
+
+        auto ctx = std::make_shared<HandlerCtx>();
+        ctx->inst = &inst;
+        ctx->req = a.req;
+        ctx->respond = std::move(a.respondCtx);
+        ctx->span.traceId = a.req->traceId;
+        ctx->span.spanId = ids_.nextSpan();
+        ctx->span.parentSpanId = a.parentSpan;
+        ctx->span.service = inst.svc().name();
+        ctx->span.instance = inst.index();
+        ctx->span.queryType = a.req->queryType;
+        // Arrival is timestamped before kernel receive processing.
+        ctx->span.start = a.enqueued >= a.preNetworkTime
+                              ? a.enqueued - a.preNetworkTime
+                              : 0;
+        ctx->span.queueTime = sim_.now() - a.enqueued;
+        ctx->span.networkTime = a.preNetworkTime;
+        ctx->req->queueTime += ctx->span.queueTime;
+
+        runStage(ctx, 0, [this, ctx]() {
+            Instance &done_inst = *ctx->inst;
+            ++done_inst.freeThreads_;
+            // The reply path does not hold a worker thread; pull the
+            // next queued request in before responding.
+            maybeStartHandling(done_inst);
+            ctx->respond(ctx);
+        });
+    }
+}
+
+void
+App::runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
+              std::function<void()> done)
+{
+    Microservice &svc = ctx->inst->svc();
+    const auto &stages = svc.def().handler.stages;
+    if (idx >= stages.size()) {
+        done();
+        return;
+    }
+    const Stage &st = stages[idx];
+    auto next = [this, ctx, idx, done = std::move(done)]() mutable {
+        runStage(ctx, idx + 1, std::move(done));
+    };
+
+    const QueryType &qt = queryTypes_[ctx->req->queryType];
+    if (!st.onlyForTag.empty() && !qt.hasTag(st.onlyForTag)) {
+        next();
+        return;
+    }
+    if (st.probability < 1.0 && !rng_.bernoulli(st.probability)) {
+        next();
+        return;
+    }
+
+    switch (st.kind) {
+      case Stage::Kind::Compute: {
+        const auto &prof = svc.def().profile;
+        const double cycles =
+            std::max(0.0, st.computeCycles.sample(rng_)) * qt.computeScale;
+        const double cpu_cycles = cycles * (1.0 - prof.ioBoundFraction);
+        const double io_cycles = cycles - cpu_cycles;
+        cpu::Server &server = ctx->inst->server();
+        const double ipc = serviceIpc(svc, server);
+        // I/O waits do not consume the core and do not stretch when
+        // frequency drops: convert at the *nominal* frequency.
+        const double nominal_ghz = server.model().nominalFreqMhz / 1000.0;
+        const Tick io_ns = static_cast<Tick>(
+            io_cycles / std::max(1e-9, ipc * nominal_ghz));
+        chargeCompute(svc, cpu_cycles, ipc);
+        server.execute(static_cast<Cycles>(cpu_cycles), ipc,
+                       [this, ctx, io_ns,
+                        next = std::move(next)](Tick busy) mutable {
+            ctx->inst->cpuBusyTime_ += busy;
+            auto fin = [ctx, busy, io_ns,
+                        next = std::move(next)]() mutable {
+                ctx->span.appTime += busy + io_ns;
+                ctx->req->appTime += busy + io_ns;
+                next();
+            };
+            if (io_ns > 0)
+                sim_.schedule(io_ns, std::move(fin));
+            else
+                fin();
+        });
+        return;
+      }
+      case Stage::Kind::Call: {
+        if (st.fanout == 0) {
+            next();
+            return;
+        }
+        Microservice *target = &service(st.target);
+        const unsigned server_id = ctx->inst->server().id();
+        const Tick call_start = sim_.now();
+        if (st.parallel) {
+            auto remaining = std::make_shared<unsigned>(st.fanout);
+            auto net_sum = std::make_shared<Tick>(0);
+            auto joined_next =
+                std::make_shared<std::function<void()>>(std::move(next));
+            for (unsigned i = 0; i < st.fanout; ++i) {
+                rpcCall(server_id, ctx->inst, *target, ctx->req,
+                        ctx->span.spanId, st.requestBytes, st.responseBytes,
+                        st.carriesMedia,
+                        [this, ctx, remaining, net_sum, call_start,
+                         joined_next](Tick wall, Tick caller_net) {
+                    (void)wall;
+                    *net_sum += caller_net;
+                    if (--*remaining == 0) {
+                        const Tick wall_total = sim_.now() - call_start;
+                        ctx->span.networkTime += *net_sum;
+                        ctx->span.downstreamWait +=
+                            wall_total > *net_sum ? wall_total - *net_sum
+                                                  : 0;
+                        (*joined_next)();
+                    }
+                });
+            }
+        } else {
+            auto do_call =
+                std::make_shared<std::function<void(unsigned)>>();
+            auto next_shared =
+                std::make_shared<std::function<void()>>(std::move(next));
+            const Stage *stage = &st;
+            *do_call = [this, ctx, stage, target, server_id, do_call,
+                        next_shared](unsigned i) {
+                if (i >= stage->fanout) {
+                    (*next_shared)();
+                    return;
+                }
+                rpcCall(server_id, ctx->inst, *target, ctx->req,
+                        ctx->span.spanId, stage->requestBytes,
+                        stage->responseBytes, stage->carriesMedia,
+                        [ctx, do_call, i](Tick wall, Tick caller_net) {
+                    ctx->span.networkTime += caller_net;
+                    ctx->span.downstreamWait +=
+                        wall > caller_net ? wall - caller_net : 0;
+                    (*do_call)(i + 1);
+                });
+            };
+            (*do_call)(0);
+        }
+        return;
+      }
+      case Stage::Kind::Delay: {
+        const Tick d = static_cast<Tick>(
+            std::max(0.0, st.delayNs.sample(rng_)));
+        const bool is_net = st.delayIsNetwork;
+        sim_.schedule(d, [ctx, d, is_net, next = std::move(next)]() mutable {
+            if (is_net) {
+                ctx->span.networkTime += d;
+                ctx->req->networkTime += d;
+            } else {
+                ctx->span.appTime += d;
+                ctx->req->appTime += d;
+            }
+            next();
+        });
+        return;
+      }
+      case Stage::Kind::Cache: {
+        Microservice *cache_tier = &service(st.target);
+        const unsigned server_id = ctx->inst->server().id();
+        const bool hit = rng_.bernoulli(st.hitRatio);
+        const Stage *stage = &st;
+        auto next_shared =
+            std::make_shared<std::function<void()>>(std::move(next));
+        rpcCall(server_id, ctx->inst, *cache_tier, ctx->req,
+                ctx->span.spanId, st.requestBytes, st.responseBytes,
+                st.carriesMedia,
+                [this, ctx, stage, server_id, hit,
+                 next_shared](Tick wall, Tick caller_net) {
+            ctx->span.networkTime += caller_net;
+            ctx->span.downstreamWait +=
+                wall > caller_net ? wall - caller_net : 0;
+            if (hit || stage->dbTarget.empty()) {
+                (*next_shared)();
+                return;
+            }
+            Microservice *db = &service(stage->dbTarget);
+            rpcCall(server_id, ctx->inst, *db, ctx->req, ctx->span.spanId,
+                    stage->requestBytes, stage->responseBytes,
+                    stage->carriesMedia,
+                    [ctx, next_shared](Tick wall2, Tick caller_net2) {
+                ctx->span.networkTime += caller_net2;
+                ctx->span.downstreamWait += wall2 > caller_net2
+                                                ? wall2 - caller_net2
+                                                : 0;
+                (*next_shared)();
+            });
+        });
+        return;
+      }
+    }
+    panic("unhandled stage kind");
+}
+
+void
+App::inject(unsigned query_type, std::uint64_t user_id, CompletionFn done)
+{
+    if (!clientServer_)
+        fatal("App::inject without a client server");
+    if (queryTypes_.empty())
+        addQueryType(QueryType{});
+    if (query_type >= queryTypes_.size())
+        fatal(strCat("unknown query type ", query_type));
+
+    auto req = std::make_shared<Request>();
+    req->id = nextRequestId_++;
+    req->queryType = query_type;
+    req->userId = user_id;
+    req->injectTime = sim_.now();
+    req->traceId = config_.tracing ? ids_.nextTrace() : 0;
+    ++injected_;
+
+    const trace::SpanId client_span_id = ids_.nextSpan();
+
+    rpcCall(clientServer_->id(), nullptr, service(entry_), req,
+            client_span_id, config_.clientRequestBytes,
+            config_.clientResponseBytes, /*carries_media=*/true,
+            [this, req, client_span_id,
+             done = std::move(done)](Tick wall, Tick caller_net) {
+        (void)wall;
+        req->completeTime = sim_.now();
+        if (req->dropped) {
+            ++droppedRequests_;
+        } else {
+            ++completed_;
+            const Tick lat = req->latency();
+            e2eLatency_.record(lat);
+            e2eByQuery_[req->queryType]->record(lat);
+            if (lat <= config_.qosLatency)
+                ++completedInQos_;
+            totalNetworkTime_ += static_cast<double>(req->networkTime);
+            totalAppTime_ += static_cast<double>(req->appTime);
+        }
+        if (config_.tracing) {
+            trace::Span client_span;
+            client_span.traceId = req->traceId;
+            client_span.spanId = client_span_id;
+            client_span.parentSpanId = trace::kNoParent;
+            client_span.service = "client";
+            client_span.queryType = req->queryType;
+            client_span.start = req->injectTime;
+            client_span.end = req->completeTime;
+            client_span.networkTime = caller_net;
+            collector_.collect(client_span);
+        }
+        if (done)
+            done(*req);
+    });
+}
+
+const Histogram &
+App::endToEndLatencyFor(unsigned query_type) const
+{
+    if (query_type >= e2eByQuery_.size())
+        fatal(strCat("unknown query type ", query_type));
+    return *e2eByQuery_[query_type];
+}
+
+double
+App::meanNetworkTimePerRequest() const
+{
+    return completed_ ? totalNetworkTime_ / static_cast<double>(completed_)
+                      : 0.0;
+}
+
+double
+App::meanAppTimePerRequest() const
+{
+    return completed_ ? totalAppTime_ / static_cast<double>(completed_)
+                      : 0.0;
+}
+
+void
+App::statReset()
+{
+    e2eLatency_.reset();
+    for (auto &h : e2eByQuery_)
+        h->reset();
+    injected_ = 0;
+    completed_ = 0;
+    completedInQos_ = 0;
+    droppedRequests_ = 0;
+    totalNetworkTime_ = 0.0;
+    totalAppTime_ = 0.0;
+    traceStore_.clear();
+    for (Microservice *svc : serviceOrder_) {
+        svc->mutableLatency().reset();
+        for (const auto &inst : svc->instances()) {
+            inst->served_ = 0;
+            inst->dropped_ = 0;
+            inst->cpuBusyTime_ = 0;
+        }
+    }
+    cluster_.statResetAll();
+}
+
+} // namespace uqsim::service

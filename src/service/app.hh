@@ -1,0 +1,262 @@
+/**
+ * @file
+ * The end-to-end application runtime.
+ *
+ * An App owns a service graph (Microservice tiers), wires it to the
+ * compute (cpu::Cluster) and network (net::Network) substrates, and
+ * interprets handler programs per request: every RPC hop charges
+ * serialization and kernel TCP cycles to the right server, traverses
+ * the fabric, queues for worker threads, and records a tracing span.
+ * End-to-end requests enter through inject() from a client server.
+ *
+ * This is the "core" of the reproduction: all end-to-end services in
+ * src/apps are built as configurations of this runtime.
+ */
+
+#ifndef UQSIM_SERVICE_APP_HH
+#define UQSIM_SERVICE_APP_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/histogram.hh"
+#include "core/rng.hh"
+#include "core/simulator.hh"
+#include "core/types.hh"
+#include "cpu/server.hh"
+#include "net/network.hh"
+#include "rpc/connection_pool.hh"
+#include "rpc/protocol.hh"
+#include "service/microservice.hh"
+#include "service/request.hh"
+#include "trace/analysis.hh"
+#include "trace/collector.hh"
+
+namespace uqsim::service {
+
+struct HandlerCtx;
+
+/** Completion callback for end-to-end requests. */
+using CompletionFn = std::function<void(const Request &)>;
+
+/**
+ * End-to-end application: graph + runtime.
+ */
+class App
+{
+  public:
+    /** Runtime-wide configuration. */
+    struct Config
+    {
+        /** Application name for reporting. */
+        std::string name = "app";
+
+        /** Kernel TCP processing cost model. */
+        net::TcpCostModel tcp = net::TcpCostModel::native();
+
+        /** FPGA RPC offload (Fig 16); off by default. */
+        net::FpgaOffloadModel fpga = net::FpgaOffloadModel::off();
+
+        /** End-to-end tail-latency QoS target. */
+        Tick qosLatency = 100 * kTicksPerMs;
+
+        /** Collect distributed traces. */
+        bool tracing = true;
+
+        /** Client-to-frontend payloads. */
+        Bytes clientRequestBytes = 1024;
+        Bytes clientResponseBytes = 4096;
+    };
+
+    App(Simulator &sim, cpu::Cluster &cluster, net::Network &network,
+        Config config, std::uint64_t seed);
+
+    App(const App &) = delete;
+    App &operator=(const App &) = delete;
+
+    // -- Graph construction ---------------------------------------------
+
+    /** Add a tier; name must be unique. */
+    Microservice &addService(ServiceDef def);
+
+    /** @return true if a tier with this name exists. */
+    bool hasService(const std::string &name) const;
+
+    /** Tier by name (fatal if missing). */
+    Microservice &service(const std::string &name);
+    const Microservice &service(const std::string &name) const;
+
+    /** Tiers in insertion order. */
+    const std::vector<Microservice *> &services() const
+    {
+        return serviceOrder_;
+    }
+
+    /** Set the entry tier user requests hit first. */
+    void setEntry(const std::string &name);
+    const std::string &entry() const { return entry_; }
+
+    /** Register a query type; returns its index. */
+    unsigned addQueryType(QueryType qt);
+    const std::vector<QueryType> &queryTypes() const { return queryTypes_; }
+
+    /** Place one more instance of @p service on @p server. */
+    Instance &addInstance(const std::string &service, cpu::Server &server);
+
+    /** The server end-user requests originate from. */
+    void setClientServer(cpu::Server &server);
+
+    /**
+     * Check the graph: entry set, every call target exists, every
+     * service has at least one instance, no service calls itself.
+     * Fatal on violation.
+     */
+    void validate() const;
+
+    /** Graphviz DOT rendering of the dependency graph (Figs 4-8). */
+    std::string exportDot() const;
+
+    // -- Request injection ------------------------------------------------
+
+    /**
+     * Inject one end-to-end request of @p query_type for @p user_id.
+     * @p done (optional) fires on completion with the full accounting.
+     */
+    void inject(unsigned query_type, std::uint64_t user_id,
+                CompletionFn done = {});
+
+    // -- Configuration knobs ----------------------------------------------
+
+    const Config &config() const { return config_; }
+
+    /** Toggle the FPGA offload for subsequent messages. */
+    void setFpga(const net::FpgaOffloadModel &fpga) { config_.fpga = fpga; }
+
+    /** Change the QoS target. */
+    void setQosLatency(Tick qos) { config_.qosLatency = qos; }
+
+    // -- Results ----------------------------------------------------------
+
+    /** End-to-end latency over completed (non-dropped) requests. */
+    const Histogram &endToEndLatency() const { return e2eLatency_; }
+
+    /** End-to-end latency for one query type. */
+    const Histogram &endToEndLatencyFor(unsigned query_type) const;
+
+    std::uint64_t injected() const { return injected_; }
+    std::uint64_t completed() const { return completed_; }
+    std::uint64_t completedWithinQos() const { return completedInQos_; }
+    std::uint64_t droppedRequests() const { return droppedRequests_; }
+
+    /** Aggregate network-processing work time per completed request. */
+    double meanNetworkTimePerRequest() const;
+    double meanAppTimePerRequest() const;
+
+    trace::TraceStore &traceStore() { return traceStore_; }
+    trace::Collector &collector() { return collector_; }
+
+    Simulator &sim() { return sim_; }
+    cpu::Cluster &cluster() { return cluster_; }
+    net::Network &network() { return network_; }
+    Rng &rng() { return rng_; }
+
+    /**
+     * Reset all measurement state (latency histograms, counters,
+     * traces, per-server utilization) - call after warmup.
+     */
+    void statReset();
+
+  private:
+    /** Per-(caller-instance, callee) connection pool key. */
+    using PoolKey = std::pair<const void *, const Microservice *>;
+
+    struct PoolKeyHash
+    {
+        std::size_t
+        operator()(const PoolKey &k) const
+        {
+            return std::hash<const void *>{}(k.first) ^
+                   (std::hash<const void *>{}(k.second) << 1);
+        }
+    };
+
+    /** Effective kernel-code IPC on @p server (cached per model). */
+    double kernelIpc(const cpu::Server &server);
+
+    /** Per-service effective IPC on @p server (cached). */
+    double serviceIpc(const Microservice &svc, const cpu::Server &server);
+
+    rpc::ConnectionPool &poolFor(const void *caller,
+                                 const Microservice &target);
+
+    /**
+     * Issue one RPC from @p caller_server to @p target.
+     * @p done fires back on the caller with the RPC wall time.
+     */
+    void rpcCall(unsigned caller_server, Instance *caller_inst,
+                 Microservice &target, RequestPtr req,
+                 trace::SpanId parent_span, Bytes req_bytes,
+                 Bytes resp_bytes, bool carries_media,
+                 std::function<void(Tick wall, Tick caller_net)> done);
+
+    /** Arrival at the chosen instance after receive processing. */
+    void
+    deliverToInstance(Instance &inst, RequestPtr req,
+                      trace::SpanId parent_span, Tick pre_network,
+                      std::function<void(std::shared_ptr<HandlerCtx>)>
+                          respond);
+
+    /** Start handling queued work if threads are available. */
+    void maybeStartHandling(Instance &inst);
+
+    /** Interpret stage @p idx of the handler program. */
+    void runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
+                  std::function<void()> done);
+
+    /** Charge a compute task's cycles to user/lib modes. */
+    void chargeCompute(Microservice &svc, double cycles, double ipc);
+
+    /** Charge a network task's cycles to kernel mode. */
+    void chargeNetwork(Microservice *svc, double cycles, double ipc);
+
+    Simulator &sim_;
+    cpu::Cluster &cluster_;
+    net::Network &network_;
+    Config config_;
+    Rng rng_;
+
+    std::map<std::string, std::unique_ptr<Microservice>> services_;
+    std::vector<Microservice *> serviceOrder_;
+    std::string entry_;
+    std::vector<QueryType> queryTypes_;
+    cpu::Server *clientServer_ = nullptr;
+
+    std::unordered_map<PoolKey, std::unique_ptr<rpc::ConnectionPool>,
+                       PoolKeyHash>
+        pools_;
+    std::unordered_map<std::string, double> kernelIpcCache_;
+    std::unordered_map<std::string, double> serviceIpcCache_;
+
+    trace::TraceStore traceStore_;
+    trace::Collector collector_;
+    trace::IdAllocator ids_;
+
+    Histogram e2eLatency_;
+    std::vector<std::unique_ptr<Histogram>> e2eByQuery_;
+    std::uint64_t nextRequestId_ = 0;
+    std::uint64_t injected_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t completedInQos_ = 0;
+    std::uint64_t droppedRequests_ = 0;
+    double totalNetworkTime_ = 0.0;
+    double totalAppTime_ = 0.0;
+};
+
+} // namespace uqsim::service
+
+#endif // UQSIM_SERVICE_APP_HH

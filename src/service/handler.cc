@@ -1,0 +1,148 @@
+#include "service/handler.hh"
+
+#include <algorithm>
+
+namespace uqsim::service {
+
+HandlerSpec &
+HandlerSpec::compute(Dist cycles)
+{
+    Stage s;
+    s.kind = Stage::Kind::Compute;
+    s.computeCycles = std::move(cycles);
+    stages.push_back(std::move(s));
+    return *this;
+}
+
+HandlerSpec &
+HandlerSpec::computeTagged(const std::string &tag, Dist cycles)
+{
+    Stage s;
+    s.kind = Stage::Kind::Compute;
+    s.computeCycles = std::move(cycles);
+    s.onlyForTag = tag;
+    stages.push_back(std::move(s));
+    return *this;
+}
+
+HandlerSpec &
+HandlerSpec::call(const std::string &target, unsigned fanout)
+{
+    Stage s;
+    s.kind = Stage::Kind::Call;
+    s.target = target;
+    s.fanout = fanout;
+    stages.push_back(std::move(s));
+    return *this;
+}
+
+HandlerSpec &
+HandlerSpec::callWithMedia(const std::string &target)
+{
+    Stage s;
+    s.kind = Stage::Kind::Call;
+    s.target = target;
+    s.carriesMedia = true;
+    stages.push_back(std::move(s));
+    return *this;
+}
+
+HandlerSpec &
+HandlerSpec::callTaggedWithMedia(const std::string &tag,
+                                 const std::string &target)
+{
+    Stage s;
+    s.kind = Stage::Kind::Call;
+    s.target = target;
+    s.carriesMedia = true;
+    s.onlyForTag = tag;
+    stages.push_back(std::move(s));
+    return *this;
+}
+
+HandlerSpec &
+HandlerSpec::callWithProbability(const std::string &target, double p)
+{
+    Stage s;
+    s.kind = Stage::Kind::Call;
+    s.target = target;
+    s.probability = p;
+    stages.push_back(std::move(s));
+    return *this;
+}
+
+HandlerSpec &
+HandlerSpec::callTagged(const std::string &tag, const std::string &target,
+                        unsigned fanout)
+{
+    Stage s;
+    s.kind = Stage::Kind::Call;
+    s.target = target;
+    s.fanout = fanout;
+    s.onlyForTag = tag;
+    stages.push_back(std::move(s));
+    return *this;
+}
+
+HandlerSpec &
+HandlerSpec::parallelCall(const std::string &target, unsigned fanout)
+{
+    Stage s;
+    s.kind = Stage::Kind::Call;
+    s.target = target;
+    s.fanout = fanout;
+    s.parallel = true;
+    stages.push_back(std::move(s));
+    return *this;
+}
+
+HandlerSpec &
+HandlerSpec::cache(const std::string &cache_tier, const std::string &db_tier,
+                   double hit_ratio)
+{
+    Stage s;
+    s.kind = Stage::Kind::Cache;
+    s.target = cache_tier;
+    s.dbTarget = db_tier;
+    s.hitRatio = hit_ratio;
+    stages.push_back(std::move(s));
+    return *this;
+}
+
+HandlerSpec &
+HandlerSpec::delay(Dist delay_ns, bool is_network)
+{
+    Stage s;
+    s.kind = Stage::Kind::Delay;
+    s.delayNs = std::move(delay_ns);
+    s.delayIsNetwork = is_network;
+    stages.push_back(std::move(s));
+    return *this;
+}
+
+HandlerSpec &
+HandlerSpec::add(Stage stage)
+{
+    stages.push_back(std::move(stage));
+    return *this;
+}
+
+std::vector<std::string>
+HandlerSpec::callTargets() const
+{
+    std::vector<std::string> out;
+    for (const Stage &s : stages) {
+        if (s.kind == Stage::Kind::Call)
+            out.push_back(s.target);
+        if (s.kind == Stage::Kind::Cache) {
+            out.push_back(s.target);
+            if (!s.dbTarget.empty())
+                out.push_back(s.dbTarget);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+} // namespace uqsim::service

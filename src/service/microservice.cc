@@ -1,0 +1,196 @@
+#include "service/microservice.hh"
+
+#include <functional>
+
+#include "core/logging.hh"
+
+namespace uqsim::service {
+
+std::string
+serviceKindName(ServiceKind kind)
+{
+    switch (kind) {
+      case ServiceKind::Frontend:
+        return "frontend";
+      case ServiceKind::Stateless:
+        return "stateless";
+      case ServiceKind::Cache:
+        return "cache";
+      case ServiceKind::Database:
+        return "database";
+    }
+    return "unknown";
+}
+
+Instance::Instance(Microservice &svc, unsigned idx, cpu::Server &server)
+    : svc_(svc), idx_(idx), server_(server),
+      freeThreads_(svc.def().threadsPerInstance)
+{}
+
+double
+Instance::occupancy() const
+{
+    const unsigned total = svc_.def().threadsPerInstance;
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(total - freeThreads_) /
+           static_cast<double>(total);
+}
+
+Microservice::Microservice(App &app, ServiceDef def)
+    : app_(app), def_(std::move(def))
+{
+    if (def_.name.empty())
+        fatal("Microservice with empty name");
+    if (def_.threadsPerInstance == 0)
+        fatal(strCat("service '", def_.name, "' with zero threads"));
+}
+
+Instance &
+Microservice::addInstance(cpu::Server &server)
+{
+    instances_.push_back(std::make_unique<Instance>(
+        *this, static_cast<unsigned>(instances_.size()), server));
+    return *instances_.back();
+}
+
+unsigned
+Microservice::activeInstances() const
+{
+    unsigned n = 0;
+    for (const auto &inst : instances_)
+        if (inst->active())
+            ++n;
+    return n;
+}
+
+Instance &
+Microservice::selectInstance(const Request &req)
+{
+    const unsigned active = activeInstances();
+    if (active == 0)
+        panic(strCat("service '", def_.name, "' has no active instances"));
+
+    if (misrouted_)
+        return *instances_.front();
+
+    if (def_.kind == ServiceKind::Cache ||
+        def_.kind == ServiceKind::Database) {
+        // Shard by user key over *all* instances (shards do not move
+        // when instances warm up; stateful tiers are provisioned
+        // up-front). Inactive shards would be a config error.
+        const std::size_t shard =
+            std::hash<std::uint64_t>{}(req.userId * 0x9e3779b97f4a7c15ull) %
+            instances_.size();
+        Instance &inst = *instances_[shard];
+        if (!inst.active())
+            panic(strCat("sharded service '", def_.name,
+                         "' routed to inactive shard"));
+        return inst;
+    }
+
+    if (def_.lbPolicy == LbPolicy::JoinShortestQueue) {
+        // Route to the active instance with the least pending work
+        // (queue + busy threads). Breaks ties by index, so the scan is
+        // deterministic.
+        Instance *best = nullptr;
+        std::size_t best_load = 0;
+        for (auto &inst : instances_) {
+            if (!inst->active())
+                continue;
+            const std::size_t load =
+                inst->queueLength() +
+                (def_.threadsPerInstance - inst->freeThreads());
+            if (!best || load < best_load) {
+                best = inst.get();
+                best_load = load;
+            }
+        }
+        if (best)
+            return *best;
+        panic("selectInstance: no active instance found in scan");
+    }
+
+    // Stateless: round-robin over active instances.
+    for (std::size_t tries = 0; tries < instances_.size(); ++tries) {
+        Instance &inst = *instances_[rrCursor_ % instances_.size()];
+        ++rrCursor_;
+        if (inst.active())
+            return inst;
+    }
+    panic("selectInstance: no active instance found in scan");
+}
+
+void
+Microservice::setThreadsPerInstance(unsigned threads)
+{
+    if (threads == 0)
+        fatal(strCat("service '", def_.name, "' with zero threads"));
+    for (auto &inst : instances_) {
+        if (inst->freeThreads_ != def_.threadsPerInstance)
+            panic(strCat("setThreadsPerInstance on busy instance of '",
+                         def_.name, "'"));
+        inst->freeThreads_ = threads;
+    }
+    def_.threadsPerInstance = threads;
+}
+
+double
+Microservice::meanOccupancy() const
+{
+    double total = 0.0;
+    unsigned n = 0;
+    for (const auto &inst : instances_) {
+        if (!inst->active())
+            continue;
+        total += inst->occupancy();
+        ++n;
+    }
+    return n ? total / n : 0.0;
+}
+
+double
+Microservice::meanQueueLength() const
+{
+    double total = 0.0;
+    unsigned n = 0;
+    for (const auto &inst : instances_) {
+        if (!inst->active())
+            continue;
+        total += static_cast<double>(inst->queueLength());
+        ++n;
+    }
+    return n ? total / n : 0.0;
+}
+
+std::uint64_t
+Microservice::totalDropped() const
+{
+    std::uint64_t total = 0;
+    for (const auto &inst : instances_)
+        total += inst->dropped();
+    return total;
+}
+
+void
+Microservice::chargeKernel(double cycles, double instructions)
+{
+    kernelCycles_ += cycles;
+    kernelInstr_ += instructions;
+}
+
+void
+Microservice::chargeUser(double cycles, double instructions)
+{
+    userCycles_ += cycles;
+    userInstr_ += instructions;
+}
+
+void
+Microservice::chargeLib(double cycles, double instructions)
+{
+    libCycles_ += cycles;
+    libInstr_ += instructions;
+}
+
+} // namespace uqsim::service

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Microservice tiers and their instances.
+ *
+ * A Microservice is one node of the dependency graph (one box in the
+ * paper's Figs 4-8): a profile, a handler program, a deployment kind
+ * and a set of instances placed on servers. Instances own a worker
+ * thread pool and a request queue; the App runtime drives them.
+ */
+
+#ifndef UQSIM_SERVICE_MICROSERVICE_HH
+#define UQSIM_SERVICE_MICROSERVICE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/histogram.hh"
+#include "core/stats.hh"
+#include "core/types.hh"
+#include "cpu/microarch.hh"
+#include "cpu/server.hh"
+#include "rpc/protocol.hh"
+#include "service/handler.hh"
+#include "service/request.hh"
+#include "trace/span.hh"
+
+namespace uqsim::service {
+
+class App;
+class Microservice;
+struct HandlerCtx;
+
+/** Deployment/statefulness class of a tier. */
+enum class ServiceKind
+{
+    Frontend,   ///< entry load balancer / web server
+    Stateless,  ///< logic tier; any instance can serve any request
+    Cache,      ///< in-memory KV store (memcached); sharded by key
+    Database,   ///< persistent store (MongoDB/MySQL); sharded by key
+};
+
+/** Instance-selection policy for stateless tiers. */
+enum class LbPolicy
+{
+    RoundRobin,         ///< classic rotation (the suite's default)
+    JoinShortestQueue,  ///< route to the least-loaded active instance
+};
+
+/** @return a short printable kind name. */
+std::string serviceKindName(ServiceKind kind);
+
+/**
+ * Everything needed to instantiate a microservice tier.
+ */
+struct ServiceDef
+{
+    /** Unique tier name within the application. */
+    std::string name;
+
+    /** Static microarchitectural profile (see cpu::ServiceProfile). */
+    cpu::ServiceProfile profile;
+
+    /** Per-request behaviour. */
+    HandlerSpec handler;
+
+    /** Statefulness class; drives instance selection. */
+    ServiceKind kind = ServiceKind::Stateless;
+
+    /** Worker threads per instance (concurrency limit). */
+    unsigned threadsPerInstance = 16;
+
+    /** Request queue capacity per instance; overflow drops. */
+    unsigned queueCapacity = 4096;
+
+    /** Protocol used by callers *of* this service. */
+    rpc::ProtocolModel protocol = rpc::ProtocolModel::thrift();
+
+    /** Load-balancing policy across instances (stateless tiers). */
+    LbPolicy lbPolicy = LbPolicy::RoundRobin;
+
+    /** Default request payload bytes when the caller gives none. */
+    Bytes defaultRequestBytes = 512;
+
+    /** Default response payload bytes. */
+    Bytes defaultResponseBytes = 1024;
+};
+
+/**
+ * One running copy of a microservice on a server.
+ */
+class Instance
+{
+  public:
+    Instance(Microservice &svc, unsigned idx, cpu::Server &server);
+
+    /** Owning tier. */
+    Microservice &svc() { return svc_; }
+    const Microservice &svc() const { return svc_; }
+
+    /** Index within the tier. */
+    unsigned index() const { return idx_; }
+
+    /** Hosting server. */
+    cpu::Server &server() { return server_; }
+    const cpu::Server &server() const { return server_; }
+
+    /**
+     * Whether the instance accepts new requests (autoscaled instances
+     * warm up first).
+     */
+    bool active() const { return active_; }
+    void setActive(bool a) { active_ = a; }
+
+    /** Free worker threads right now. */
+    unsigned freeThreads() const { return freeThreads_; }
+
+    /** Requests queued for a thread. */
+    std::size_t queueLength() const { return queue_.size(); }
+
+    /** Fraction of worker threads occupied (busy or blocked). */
+    double occupancy() const;
+
+    /** Requests fully served. */
+    std::uint64_t served() const { return served_; }
+
+    /** Requests dropped on queue overflow. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Cumulative CPU busy time of this instance's compute tasks. */
+    Tick cpuBusyTime() const { return cpuBusyTime_; }
+
+    /** Per-instance recent-latency window. */
+    const WindowedStat &latencyWindow() const { return latencyWindow_; }
+
+  private:
+    friend class App;
+    friend class Microservice;
+
+    /** A request parked in the instance queue. */
+    struct Arrival
+    {
+        RequestPtr req;
+        trace::SpanId parentSpan = trace::kNoParent;
+        Tick enqueued = 0;
+        /** Network processing charged to this span before handling. */
+        Tick preNetworkTime = 0;
+        /** Continuation delivering the response to the caller side. */
+        std::function<void(std::shared_ptr<HandlerCtx>)> respondCtx;
+    };
+
+    Microservice &svc_;
+    unsigned idx_;
+    cpu::Server &server_;
+    bool active_ = true;
+
+    unsigned freeThreads_;
+    std::deque<Arrival> queue_;
+
+    std::uint64_t served_ = 0;
+    std::uint64_t dropped_ = 0;
+    Tick cpuBusyTime_ = 0;
+    WindowedStat latencyWindow_;
+};
+
+/**
+ * A microservice tier: definition + instances + aggregate stats.
+ */
+class Microservice
+{
+  public:
+    Microservice(App &app, ServiceDef def);
+
+    Microservice(const Microservice &) = delete;
+    Microservice &operator=(const Microservice &) = delete;
+
+    const std::string &name() const { return def_.name; }
+    const ServiceDef &def() const { return def_; }
+    ServiceDef &mutableDef() { return def_; }
+    App &app() { return app_; }
+
+    /** Create an instance on @p server; active immediately. */
+    Instance &addInstance(cpu::Server &server);
+
+    /** All instances (active and warming). */
+    const std::vector<std::unique_ptr<Instance>> &instances() const
+    {
+        return instances_;
+    }
+
+    /** Number of *active* instances. */
+    unsigned activeInstances() const;
+
+    /**
+     * Pick the instance serving @p req: stateful tiers shard by
+     * userId; stateless tiers round-robin over active instances.
+     */
+    Instance &selectInstance(const Request &req);
+
+    /**
+     * Fault injection (Fig 22a): emulate a switch-routing
+     * misconfiguration that funnels all of this tier's traffic to its
+     * first instance instead of load balancing.
+     */
+    void setRouteMisconfigured(bool broken) { misrouted_ = broken; }
+    bool routeMisconfigured() const { return misrouted_; }
+
+    /** Server-side latency histogram over all requests served. */
+    const Histogram &latency() const { return latency_; }
+    Histogram &mutableLatency() { return latency_; }
+
+    /** Tier-level recent-latency window (autoscaler input). */
+    WindowedStat &latencyWindow() { return latencyWindow_; }
+
+    /**
+     * Change the per-instance worker-thread count. Must be called
+     * while all instances are idle (e.g. right after building the
+     * app); used by the serverless platform rewrite.
+     */
+    void setThreadsPerInstance(unsigned threads);
+
+    /** Mean thread occupancy across active instances. */
+    double meanOccupancy() const;
+
+    /** Mean queue length across active instances. */
+    double meanQueueLength() const;
+
+    /** Total drops across instances. */
+    std::uint64_t totalDropped() const;
+
+    // -- Measured execution-mode accounting (Fig 14) -------------------
+
+    /** Charge cycles+instructions to an execution mode. */
+    void chargeKernel(double cycles, double instructions);
+    void chargeUser(double cycles, double instructions);
+    void chargeLib(double cycles, double instructions);
+
+    double kernelCycles() const { return kernelCycles_; }
+    double userCycles() const { return userCycles_; }
+    double libCycles() const { return libCycles_; }
+    double kernelInstr() const { return kernelInstr_; }
+    double userInstr() const { return userInstr_; }
+    double libInstr() const { return libInstr_; }
+
+  private:
+    App &app_;
+    ServiceDef def_;
+    std::vector<std::unique_ptr<Instance>> instances_;
+    std::size_t rrCursor_ = 0;
+    bool misrouted_ = false;
+
+    Histogram latency_;
+    WindowedStat latencyWindow_;
+
+    double kernelCycles_ = 0.0, userCycles_ = 0.0, libCycles_ = 0.0;
+    double kernelInstr_ = 0.0, userInstr_ = 0.0, libInstr_ = 0.0;
+};
+
+} // namespace uqsim::service
+
+#endif // UQSIM_SERVICE_MICROSERVICE_HH

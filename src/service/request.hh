@@ -1,0 +1,124 @@
+/**
+ * @file
+ * End-to-end request state shared across all RPC hops of one user
+ * request.
+ */
+
+#ifndef UQSIM_SERVICE_REQUEST_HH
+#define UQSIM_SERVICE_REQUEST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+#include "trace/span.hh"
+
+namespace uqsim::service {
+
+/**
+ * One end-to-end user request flowing through a service graph.
+ *
+ * The request object travels (by shared pointer) through every hop and
+ * accumulates the global accounting the experiments need: total time
+ * attributable to network processing vs application compute, and
+ * cycles by execution mode.
+ */
+struct Request
+{
+    /** Monotonic request id within the App. */
+    std::uint64_t id = 0;
+
+    /** Index into the App's query-type table. */
+    unsigned queryType = 0;
+
+    /** Originating user (drives skew and shard selection). */
+    std::uint64_t userId = 0;
+
+    /** Injection time at the client. */
+    Tick injectTime = 0;
+
+    /** Completion time at the client (0 while in flight). */
+    Tick completeTime = 0;
+
+    /** True if any tier dropped the request (queue overflow / limits). */
+    bool dropped = false;
+
+    /**
+     * Total time spent processing network requests on behalf of this
+     * request across all hops: kernel TCP work, (de)serialization,
+     * NIC queueing and wire time. Parallel branches sum, so this is
+     * "work time", not wall time.
+     */
+    Tick networkTime = 0;
+
+    /** Total handler compute (incl. I/O wait) across all hops. */
+    Tick appTime = 0;
+
+    /**
+     * Subset of networkTime spent in kernel TCP processing (or, with
+     * the offload, in the residual host interaction + FPGA pipeline).
+     * This is the quantity Fig 16 reports a 10-68x improvement on.
+     */
+    Tick tcpProcTime = 0;
+
+    /** Pure wire/switch propagation across all hops (not "work"). */
+    Tick wireTime = 0;
+
+    /** Total time queued for worker threads across all hops. */
+    Tick queueTime = 0;
+
+    /** Distributed-tracing id (0 when tracing is off). */
+    trace::TraceId traceId = 0;
+
+    /** End-to-end latency; valid after completion. */
+    Tick
+    latency() const
+    {
+        return completeTime >= injectTime ? completeTime - injectTime : 0;
+    }
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+/**
+ * A query type of an end-to-end application (Sec 3.8, "query
+ * diversity"): e.g. composePost with text vs video media, or
+ * placeOrder vs browseCatalogue. Types modulate compute and payload
+ * along the same graph, and can enable tagged handler stages.
+ */
+struct QueryType
+{
+    /** Name for reporting ("composePost-video"). */
+    std::string name = "default";
+
+    /** Relative frequency in the generated mix. */
+    double weight = 1.0;
+
+    /** Multiplier on every compute stage's cycles. */
+    double computeScale = 1.0;
+
+    /** Extra payload bytes carried on every hop (embedded media). */
+    Bytes extraPayloadBytes = 0;
+
+    /**
+     * Tags enabling optional handler stages: a stage with a non-empty
+     * onlyForTag runs only when that tag is in this set.
+     */
+    std::vector<std::string> tags;
+
+    /** @return true if @p tag is in this query's tag set. */
+    bool
+    hasTag(const std::string &tag) const
+    {
+        for (const auto &t : tags)
+            if (t == tag)
+                return true;
+        return false;
+    }
+};
+
+} // namespace uqsim::service
+
+#endif // UQSIM_SERVICE_REQUEST_HH

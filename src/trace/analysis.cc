@@ -1,0 +1,129 @@
+#include "trace/analysis.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace uqsim::trace {
+
+ServiceSummary
+TraceAnalysis::summarize(const std::string &name,
+                         const std::vector<std::size_t> &idxs) const
+{
+    ServiceSummary s;
+    s.service = name;
+    if (idxs.empty())
+        return s;
+
+    Histogram lat;
+    double net_share = 0.0, app_share = 0.0, queue_share = 0.0,
+           down_share = 0.0;
+    double net_ns = 0.0, app_ns = 0.0, mean_us = 0.0;
+    for (std::size_t idx : idxs) {
+        const Span &sp = store_.spans()[idx];
+        const double dur =
+            std::max<double>(1.0, static_cast<double>(sp.duration()));
+        lat.record(sp.duration());
+        net_share += static_cast<double>(sp.networkTime) / dur;
+        app_share += static_cast<double>(sp.appTime) / dur;
+        queue_share += static_cast<double>(sp.queueTime) / dur;
+        down_share += static_cast<double>(sp.downstreamWait) / dur;
+        net_ns += static_cast<double>(sp.networkTime);
+        app_ns += static_cast<double>(sp.appTime);
+        mean_us += ticksToUs(sp.duration());
+    }
+    const double n = static_cast<double>(idxs.size());
+    s.spanCount = idxs.size();
+    s.meanLatencyUs = mean_us / n;
+    s.p99LatencyNs = lat.p99();
+    s.networkShare = std::min(1.0, net_share / n);
+    s.appShare = std::min(1.0, app_share / n);
+    s.queueShare = std::min(1.0, queue_share / n);
+    s.downstreamShare = std::min(1.0, down_share / n);
+    s.meanNetworkNs = net_ns / n;
+    s.meanAppNs = app_ns / n;
+    return s;
+}
+
+std::vector<ServiceSummary>
+TraceAnalysis::perService() const
+{
+    std::vector<ServiceSummary> out;
+    for (const auto &name : store_.services())
+        out.push_back(summarize(name, store_.byService(name)));
+    return out;
+}
+
+ServiceSummary
+TraceAnalysis::forService(const std::string &service) const
+{
+    return summarize(service, store_.byService(service));
+}
+
+double
+TraceAnalysis::endToEndNetworkShare() const
+{
+    // Group spans by trace, find the root, and compare the sum of
+    // network time across the trace with the root duration.
+    std::unordered_map<TraceId, double> net_by_trace;
+    std::unordered_map<TraceId, double> root_dur;
+    for (const Span &sp : store_.spans()) {
+        net_by_trace[sp.traceId] += static_cast<double>(sp.networkTime);
+        if (sp.parentSpanId == kNoParent)
+            root_dur[sp.traceId] = std::max<double>(
+                1.0, static_cast<double>(sp.duration()));
+    }
+    if (root_dur.empty())
+        return 0.0;
+    double total = 0.0;
+    std::size_t n = 0;
+    for (const auto &[trace, dur] : root_dur) {
+        auto it = net_by_trace.find(trace);
+        if (it == net_by_trace.end())
+            continue;
+        total += std::min(1.0, it->second / dur);
+        ++n;
+    }
+    return n ? total / static_cast<double>(n) : 0.0;
+}
+
+Histogram
+TraceAnalysis::endToEndLatency() const
+{
+    Histogram h;
+    for (const Span &sp : store_.spans())
+        if (sp.parentSpanId == kNoParent)
+            h.record(sp.duration());
+    return h;
+}
+
+std::map<std::string, double>
+TraceAnalysis::criticalPath() const
+{
+    // Exclusive-time attribution: each span is charged its duration
+    // minus the time covered by its children (clamped at zero for
+    // parallel fan-outs whose children overlap the parent fully).
+    std::unordered_map<SpanId, Tick> child_time;
+    for (const Span &sp : store_.spans())
+        if (sp.parentSpanId != kNoParent)
+            child_time[sp.parentSpanId] += sp.duration();
+
+    std::map<std::string, double> total;
+    std::size_t n_traces = 0;
+    for (const Span &sp : store_.spans()) {
+        if (sp.parentSpanId == kNoParent)
+            ++n_traces;
+        const Tick children = child_time.count(sp.spanId)
+                                  ? child_time[sp.spanId]
+                                  : 0;
+        const Tick exclusive =
+            sp.duration() > children ? sp.duration() - children : 0;
+        total[sp.service] += static_cast<double>(exclusive);
+    }
+    if (n_traces == 0)
+        return total;
+    for (auto &[svc, ns] : total)
+        ns /= static_cast<double>(n_traces);
+    return total;
+}
+
+} // namespace uqsim::trace

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Offline trace analysis: the queries the paper runs over its tracing
+ * database to produce Figs 3, 15 and the Sec 7 latency breakdowns.
+ */
+
+#ifndef UQSIM_TRACE_ANALYSIS_HH
+#define UQSIM_TRACE_ANALYSIS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/histogram.hh"
+#include "trace/collector.hh"
+#include "trace/span.hh"
+
+namespace uqsim::trace {
+
+/** Aggregated per-service view over a set of traces. */
+struct ServiceSummary
+{
+    std::string service;
+    std::uint64_t spanCount = 0;
+    double meanLatencyUs = 0.0;
+    std::uint64_t p99LatencyNs = 0;
+    /** Mean share of span time spent in network processing [0,1]. */
+    double networkShare = 0.0;
+    /** Mean share in application compute [0,1]. */
+    double appShare = 0.0;
+    /** Mean share queued for a worker thread [0,1]. */
+    double queueShare = 0.0;
+    /** Mean share blocked on downstream RPCs [0,1]. */
+    double downstreamShare = 0.0;
+    /** Mean absolute network processing time per span (ns). */
+    double meanNetworkNs = 0.0;
+    /** Mean absolute application time per span (ns). */
+    double meanAppNs = 0.0;
+};
+
+/**
+ * Analysis over a TraceStore.
+ */
+class TraceAnalysis
+{
+  public:
+    explicit TraceAnalysis(const TraceStore &store) : store_(store) {}
+
+    /** Per-service summary, ordered by service name. */
+    std::vector<ServiceSummary> perService() const;
+
+    /** Summary restricted to one service. */
+    ServiceSummary forService(const std::string &service) const;
+
+    /**
+     * End-to-end network-processing share: for each trace, total
+     * network time across spans / end-to-end (root span) latency;
+     * returns the mean across traces. This is Fig 3's red fraction.
+     */
+    double endToEndNetworkShare() const;
+
+    /** Histogram of root-span (end-to-end) latencies. */
+    Histogram endToEndLatency() const;
+
+    /**
+     * Critical-path service attribution: walks each trace's span tree
+     * and charges each tick of the root span to the deepest span
+     * covering it; returns mean ns charged per service.
+     */
+    std::map<std::string, double> criticalPath() const;
+
+  private:
+    ServiceSummary summarize(const std::string &name,
+                             const std::vector<std::size_t> &idxs) const;
+
+    const TraceStore &store_;
+};
+
+} // namespace uqsim::trace
+
+#endif // UQSIM_TRACE_ANALYSIS_HH

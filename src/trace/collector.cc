@@ -1,0 +1,66 @@
+#include "trace/collector.hh"
+
+#include <algorithm>
+
+namespace uqsim::trace {
+
+void
+TraceStore::insert(const Span &span)
+{
+    const std::size_t idx = spans_.size();
+    spans_.push_back(span);
+    byTrace_[span.traceId].push_back(idx);
+    byService_[span.service].push_back(idx);
+}
+
+std::vector<Span>
+TraceStore::byTrace(TraceId id) const
+{
+    std::vector<Span> out;
+    auto it = byTrace_.find(id);
+    if (it == byTrace_.end())
+        return out;
+    out.reserve(it->second.size());
+    for (std::size_t idx : it->second)
+        out.push_back(spans_[idx]);
+    return out;
+}
+
+const std::vector<std::size_t> &
+TraceStore::byService(const std::string &svc) const
+{
+    auto it = byService_.find(svc);
+    return it == byService_.end() ? empty_ : it->second;
+}
+
+std::vector<std::string>
+TraceStore::services() const
+{
+    std::vector<std::string> out;
+    out.reserve(byService_.size());
+    for (const auto &[name, idxs] : byService_)
+        out.push_back(name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+TraceStore::clear()
+{
+    spans_.clear();
+    byTrace_.clear();
+    byService_.clear();
+}
+
+void
+Collector::collect(const Span &span)
+{
+    ++offered_;
+    if (!enabled_)
+        return;
+    if (offered_ % sampleEvery_ != 0)
+        return;
+    store_.insert(span);
+}
+
+} // namespace uqsim::trace

@@ -1,0 +1,69 @@
+#include "trace/export.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "core/types.hh"
+
+namespace uqsim::trace {
+
+namespace {
+
+/** Zipkin ids are lower-case hex strings. */
+std::string
+hexId(std::uint64_t id)
+{
+    std::ostringstream oss;
+    oss << std::hex << std::setw(16) << std::setfill('0') << id;
+    return oss.str();
+}
+
+void
+emitSpan(std::ostream &os, const Span &sp)
+{
+    os << "{\"traceId\":\"" << hexId(sp.traceId) << "\""
+       << ",\"id\":\"" << hexId(sp.spanId) << "\"";
+    if (sp.parentSpanId != kNoParent)
+        os << ",\"parentId\":\"" << hexId(sp.parentSpanId) << "\"";
+    os << ",\"name\":\"" << sp.service << "\""
+       << ",\"timestamp\":" << ticksToUs(sp.start)
+       << ",\"duration\":" << ticksToUs(sp.duration())
+       << ",\"localEndpoint\":{\"serviceName\":\"" << sp.service
+       << "\"}"
+       << ",\"tags\":{"
+       << "\"instance\":\"" << sp.instance << "\""
+       << ",\"queryType\":\"" << sp.queryType << "\""
+       << ",\"queueUs\":\"" << ticksToUs(sp.queueTime) << "\""
+       << ",\"appUs\":\"" << ticksToUs(sp.appTime) << "\""
+       << ",\"networkUs\":\"" << ticksToUs(sp.networkTime) << "\""
+       << "}}";
+}
+
+} // namespace
+
+void
+exportZipkinJson(const TraceStore &store, std::ostream &os,
+                 std::size_t max_spans)
+{
+    const auto &spans = store.spans();
+    const std::size_t n = max_spans == 0
+                              ? spans.size()
+                              : std::min(max_spans, spans.size());
+    os << "[";
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i)
+            os << ",\n ";
+        emitSpan(os, spans[i]);
+    }
+    os << "]\n";
+}
+
+std::string
+toZipkinJson(const TraceStore &store, std::size_t max_spans)
+{
+    std::ostringstream oss;
+    exportZipkinJson(store, oss, max_spans);
+    return oss.str();
+}
+
+} // namespace uqsim::trace

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Zipkin-v2-style JSON export of collected traces.
+ *
+ * The paper's tracing system stores spans "similarly to the Zipkin
+ * collector"; this module renders a TraceStore in the Zipkin v2 span
+ * format so traces can be inspected with standard tooling (Zipkin UI,
+ * jaeger, or plain jq).
+ */
+
+#ifndef UQSIM_TRACE_EXPORT_HH
+#define UQSIM_TRACE_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "trace/collector.hh"
+
+namespace uqsim::trace {
+
+/**
+ * Render up to @p max_spans spans as a Zipkin v2 JSON array.
+ * Timestamps and durations are microseconds, as Zipkin expects.
+ * @param store     span source
+ * @param os        destination stream
+ * @param max_spans cap on exported spans (0 = all)
+ */
+void exportZipkinJson(const TraceStore &store, std::ostream &os,
+                      std::size_t max_spans = 0);
+
+/** Convenience wrapper returning a string. */
+std::string toZipkinJson(const TraceStore &store,
+                         std::size_t max_spans = 0);
+
+} // namespace uqsim::trace
+
+#endif // UQSIM_TRACE_EXPORT_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Span model for the Dapper/Zipkin-style distributed tracer (Sec 3.7).
+ *
+ * The paper's tracing system timestamps every RPC on arrival at and
+ * departure from each microservice, associates RPCs belonging to the
+ * same end-to-end request, and records traces centrally. A Span here
+ * is the server-side view of one RPC: queueing, application compute,
+ * network processing and downstream wait are recorded separately so
+ * the analysis module can regenerate Figs 3, 14 and 15.
+ */
+
+#ifndef UQSIM_TRACE_SPAN_HH
+#define UQSIM_TRACE_SPAN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.hh"
+
+namespace uqsim::trace {
+
+/** Identifies one end-to-end user request. */
+using TraceId = std::uint64_t;
+
+/** Identifies one RPC within a trace. */
+using SpanId = std::uint64_t;
+
+/** Sentinel parent for root spans. */
+constexpr SpanId kNoParent = 0;
+
+/**
+ * Server-side record of a single RPC.
+ */
+struct Span
+{
+    TraceId traceId = 0;
+    SpanId spanId = 0;
+    SpanId parentSpanId = kNoParent;
+
+    /** Microservice that served the RPC. */
+    std::string service;
+
+    /** Instance index within the service. */
+    unsigned instance = 0;
+
+    /** Query type index of the enclosing end-to-end request. */
+    unsigned queryType = 0;
+
+    /** RPC arrival at the service (after kernel receive). */
+    Tick start = 0;
+
+    /** Response departure from the service. */
+    Tick end = 0;
+
+    /** Time waiting for a free worker thread. */
+    Tick queueTime = 0;
+
+    /** Time in handler computation (incl. I/O wait). */
+    Tick appTime = 0;
+
+    /**
+     * Time in network processing attributable to this RPC at this
+     * service: kernel TCP cycles, (de)serialization, NIC queueing and
+     * wire time of downstream calls.
+     */
+    Tick networkTime = 0;
+
+    /** Time blocked waiting on downstream RPC responses. */
+    Tick downstreamWait = 0;
+
+    /** Total server-side latency. */
+    Tick duration() const { return end - start; }
+};
+
+} // namespace uqsim::trace
+
+#endif // UQSIM_TRACE_SPAN_HH

@@ -1,0 +1,180 @@
+#include "workload/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace uqsim::workload {
+
+QueryMix
+QueryMix::fromApp(const service::App &app)
+{
+    std::vector<double> weights;
+    for (const auto &qt : app.queryTypes())
+        weights.push_back(qt.weight);
+    if (weights.empty())
+        weights.push_back(1.0);
+    return QueryMix(std::move(weights));
+}
+
+QueryMix::QueryMix(std::vector<double> weights)
+{
+    if (weights.empty())
+        fatal("QueryMix with no weights");
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            fatal("QueryMix with negative weight");
+        total += w;
+    }
+    if (total <= 0.0)
+        fatal("QueryMix with zero total weight");
+    double cum = 0.0;
+    for (double w : weights) {
+        cum += w / total;
+        cdf_.push_back(cum);
+    }
+    cdf_.back() = 1.0;
+}
+
+unsigned
+QueryMix::sample(Rng &rng) const
+{
+    const double u = rng.uniform01();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<unsigned>(
+        std::min<std::size_t>(it - cdf_.begin(), cdf_.size() - 1));
+}
+
+OpenLoopGenerator::OpenLoopGenerator(service::App &app, QueryMix mix,
+                                     UserPopulation users,
+                                     std::uint64_t seed)
+    : app_(app), mix_(std::move(mix)), users_(std::move(users)), rng_(seed)
+{}
+
+void
+OpenLoopGenerator::setQps(double qps)
+{
+    if (qps <= 0.0)
+        fatal("OpenLoopGenerator qps must be positive");
+    qps_ = qps;
+}
+
+void
+OpenLoopGenerator::setRateShape(std::function<double(Tick)> shape)
+{
+    shape_ = std::move(shape);
+}
+
+void
+OpenLoopGenerator::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    scheduleNext();
+}
+
+void
+OpenLoopGenerator::stop()
+{
+    running_ = false;
+    pending_.cancel();
+}
+
+void
+OpenLoopGenerator::scheduleNext()
+{
+    if (!running_)
+        return;
+    double rate = qps_;
+    if (shape_)
+        rate *= std::max(1e-6, shape_(app_.sim().now()));
+    const double mean_gap_ns =
+        static_cast<double>(kTicksPerSec) / rate;
+    const Tick gap = std::max<Tick>(
+        1, static_cast<Tick>(rng_.exponential(mean_gap_ns)));
+    pending_ = app_.sim().schedule(gap, [this]() {
+        if (!running_)
+            return;
+        const unsigned qt = mix_.sample(rng_);
+        const std::uint64_t user = users_.sample(rng_);
+        app_.inject(qt, user);
+        ++generated_;
+        scheduleNext();
+    });
+}
+
+ClosedLoopGenerator::ClosedLoopGenerator(service::App &app, QueryMix mix,
+                                         UserPopulation users,
+                                         unsigned concurrency,
+                                         Dist think_time_ns,
+                                         std::uint64_t seed)
+    : app_(app), mix_(std::move(mix)), users_(std::move(users)),
+      concurrency_(concurrency), thinkTime_(std::move(think_time_ns)),
+      rng_(seed)
+{
+    if (concurrency == 0)
+        fatal("ClosedLoopGenerator with zero concurrency");
+}
+
+void
+ClosedLoopGenerator::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    for (unsigned i = 0; i < concurrency_; ++i)
+        issueOne(users_.sample(rng_));
+}
+
+void
+ClosedLoopGenerator::stop()
+{
+    running_ = false;
+}
+
+void
+ClosedLoopGenerator::issueOne(std::uint64_t user)
+{
+    if (!running_)
+        return;
+    const unsigned qt = mix_.sample(rng_);
+    ++generated_;
+    app_.inject(qt, user, [this](const service::Request &) {
+        if (!running_)
+            return;
+        const Tick think = static_cast<Tick>(
+            std::max(0.0, thinkTime_.sample(rng_)));
+        app_.sim().schedule(think, [this]() {
+            issueOne(users_.sample(rng_));
+        });
+    });
+}
+
+DiurnalShape::DiurnalShape(Tick period, double low)
+    : period_(period), low_(low)
+{
+    if (period == 0)
+        fatal("DiurnalShape with zero period");
+    if (low <= 0.0 || low > 1.0)
+        fatal("DiurnalShape low fraction must be in (0, 1]");
+}
+
+double
+DiurnalShape::at(Tick t) const
+{
+    // A day compressed into `period_`: quiet night, morning ramp, a
+    // midday peak, an evening peak slightly higher, then falloff.
+    const double x = static_cast<double>(t % period_) /
+                     static_cast<double>(period_); // [0,1) day fraction
+    const double base =
+        0.5 * (1.0 - std::cos(2.0 * M_PI * x));       // 0 at night, 1 midday
+    const double evening =
+        0.35 * std::exp(-std::pow((x - 0.8) / 0.07, 2.0)); // evening bump
+    const double v = std::min(1.0, base + evening);
+    return low_ + (1.0 - low_) * v;
+}
+
+} // namespace uqsim::workload

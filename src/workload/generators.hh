@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Open- and closed-loop workload generators.
+ *
+ * The paper drives all services with open-loop generators (requests
+ * arrive regardless of completions - the right model for tail-latency
+ * studies) plus real user traffic for the Social Network deployment.
+ * The open-loop generator here is Poisson with a time-varying rate
+ * hook used for the diurnal replay of Fig 21.
+ */
+
+#ifndef UQSIM_WORKLOAD_GENERATORS_HH
+#define UQSIM_WORKLOAD_GENERATORS_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/rng.hh"
+#include "core/types.hh"
+#include "service/app.hh"
+#include "workload/user_population.hh"
+
+namespace uqsim::workload {
+
+/**
+ * Weighted query-type mix.
+ */
+class QueryMix
+{
+  public:
+    /** Uniform over the app's registered query types. */
+    static QueryMix fromApp(const service::App &app);
+
+    /** Explicit weights (normalized internally). */
+    explicit QueryMix(std::vector<double> weights);
+
+    /** Draw a query-type index. */
+    unsigned sample(Rng &rng) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+/**
+ * Open-loop Poisson request generator.
+ */
+class OpenLoopGenerator
+{
+  public:
+    OpenLoopGenerator(service::App &app, QueryMix mix, UserPopulation users,
+                      std::uint64_t seed);
+
+    /** Set the arrival rate (may change while running). */
+    void setQps(double qps);
+    double qps() const { return qps_; }
+
+    /**
+     * Optional time-varying rate multiplier (diurnal replay): called
+     * with the current tick, scales the base rate.
+     */
+    void setRateShape(std::function<double(Tick)> shape);
+
+    /** Begin injecting; keeps going until stop(). */
+    void start();
+
+    /** Cease injecting (in-flight requests drain on their own). */
+    void stop();
+
+    bool running() const { return running_; }
+
+    std::uint64_t generated() const { return generated_; }
+
+  private:
+    void scheduleNext();
+
+    service::App &app_;
+    QueryMix mix_;
+    UserPopulation users_;
+    Rng rng_;
+    double qps_ = 100.0;
+    std::function<double(Tick)> shape_;
+    bool running_ = false;
+    std::uint64_t generated_ = 0;
+    EventHandle pending_;
+};
+
+/**
+ * Closed-loop generator: @p concurrency virtual users, each reissuing
+ * after a think time. Used to contrast with open-loop behaviour in
+ * tests and ablations.
+ */
+class ClosedLoopGenerator
+{
+  public:
+    ClosedLoopGenerator(service::App &app, QueryMix mix,
+                        UserPopulation users, unsigned concurrency,
+                        Dist think_time_ns, std::uint64_t seed);
+
+    void start();
+    void stop();
+
+    std::uint64_t generated() const { return generated_; }
+
+  private:
+    void issueOne(std::uint64_t user);
+
+    service::App &app_;
+    QueryMix mix_;
+    UserPopulation users_;
+    unsigned concurrency_;
+    Dist thinkTime_;
+    Rng rng_;
+    bool running_ = false;
+    std::uint64_t generated_ = 0;
+};
+
+/**
+ * Compressed diurnal load shape (Fig 21 bottom): two peaks over the
+ * replay window, normalized to [low, 1].
+ */
+class DiurnalShape
+{
+  public:
+    /**
+     * @param period   replay window mapped to one "day"
+     * @param low      night-time fraction of peak load
+     */
+    DiurnalShape(Tick period, double low);
+
+    /** Rate multiplier at time @p t. */
+    double at(Tick t) const;
+
+  private:
+    Tick period_;
+    double low_;
+};
+
+} // namespace uqsim::workload
+
+#endif // UQSIM_WORKLOAD_GENERATORS_HH

@@ -1,0 +1,89 @@
+#include "workload/user_population.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace uqsim::workload {
+
+UserPopulation::UserPopulation(Kind kind, std::uint64_t size)
+    : kind_(kind), size_(size)
+{
+    if (size == 0)
+        fatal("UserPopulation with zero users");
+}
+
+UserPopulation
+UserPopulation::uniform(std::uint64_t size)
+{
+    return UserPopulation(Kind::Uniform, size);
+}
+
+UserPopulation
+UserPopulation::zipf(std::uint64_t size, double s)
+{
+    UserPopulation p(Kind::Zipf, size);
+    p.zipf_ = std::make_shared<ZipfDistribution>(
+        static_cast<std::size_t>(size), s);
+    return p;
+}
+
+UserPopulation
+UserPopulation::skewed(std::uint64_t size, double skew_percent)
+{
+    if (skew_percent < 0.0 || skew_percent > 99.0)
+        fatal("skew percent must be in [0, 99]");
+    if (skew_percent == 0.0)
+        return uniform(size);
+    UserPopulation p(Kind::TwoClass, size);
+    const double u = (100.0 - skew_percent) / 100.0;
+    p.hotUsers_ = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(u * static_cast<double>(size)));
+    p.hotMass_ = 0.9;
+    return p;
+}
+
+std::uint64_t
+UserPopulation::sample(Rng &rng) const
+{
+    switch (kind_) {
+      case Kind::Uniform:
+        return rng.uniformInt(size_);
+      case Kind::Zipf:
+        return static_cast<std::uint64_t>(zipf_->sample(rng));
+      case Kind::TwoClass:
+        if (rng.bernoulli(hotMass_))
+            return rng.uniformInt(hotUsers_);
+        return rng.uniformInt(size_);
+    }
+    panic("unhandled population kind");
+}
+
+double
+UserPopulation::hottestShardLoad(unsigned shards) const
+{
+    if (shards == 0)
+        fatal("hottestShardLoad with zero shards");
+    switch (kind_) {
+      case Kind::Uniform:
+        return 1.0 / static_cast<double>(shards);
+      case Kind::Zipf: {
+        // Hottest shard holds at least the hottest user.
+        const double top = zipf_->topKMass(1);
+        return std::max(top, 1.0 / static_cast<double>(shards));
+      }
+      case Kind::TwoClass: {
+        // Hot users hash uniformly over shards; if fewer hot users
+        // than shards, one shard absorbs at least hotMass/hotUsers.
+        const double hot_per_shard =
+            hotMass_ /
+            static_cast<double>(std::min<std::uint64_t>(hotUsers_, shards));
+        return hot_per_shard +
+               (1.0 - hotMass_) / static_cast<double>(shards);
+      }
+    }
+    panic("unhandled population kind");
+}
+
+} // namespace uqsim::workload

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * User populations with configurable request skew (Sec 8, Fig 22b).
+ *
+ * The paper defines skew as [100 - u] where u is the percentage of
+ * users initiating 90% of total requests: skew 0% is uniform, and at
+ * high skew a tiny fraction of "synthetic heavy" users dominates the
+ * load. Skewed users concentrate on the same database/cache shards,
+ * which is what collapses goodput in Fig 22b.
+ */
+
+#ifndef UQSIM_WORKLOAD_USER_POPULATION_HH
+#define UQSIM_WORKLOAD_USER_POPULATION_HH
+
+#include <cstdint>
+
+#include "core/distributions.hh"
+#include "core/rng.hh"
+
+namespace uqsim::workload {
+
+/**
+ * Draws user ids in [0, size) under a configurable skew model.
+ */
+class UserPopulation
+{
+  public:
+    /** Uniform population of @p size users. */
+    static UserPopulation uniform(std::uint64_t size);
+
+    /**
+     * Zipf-distributed popularity with exponent @p s (the "real
+     * traffic" case: ~5% of users issue >30% of requests at s~0.9).
+     */
+    static UserPopulation zipf(std::uint64_t size, double s);
+
+    /**
+     * Paper-style skew: @p skew_percent in [0, 99]. The hottest
+     * u = (100 - skew)% of users receive 90% of requests (uniformly
+     * within each class). skew 0 degenerates to uniform.
+     */
+    static UserPopulation skewed(std::uint64_t size, double skew_percent);
+
+    /** Draw one user id. */
+    std::uint64_t sample(Rng &rng) const;
+
+    /** Population size. */
+    std::uint64_t size() const { return size_; }
+
+    /**
+     * Analytic fraction of requests landing on the single hottest of
+     * @p shards uniform hash shards (used by tests and capacity
+     * estimates).
+     */
+    double hottestShardLoad(unsigned shards) const;
+
+  private:
+    enum class Kind
+    {
+        Uniform,
+        Zipf,
+        TwoClass,
+    };
+
+    UserPopulation(Kind kind, std::uint64_t size);
+
+    Kind kind_;
+    std::uint64_t size_;
+    std::shared_ptr<ZipfDistribution> zipf_;
+    std::uint64_t hotUsers_ = 0;
+    double hotMass_ = 0.9;
+};
+
+} // namespace uqsim::workload
+
+#endif // UQSIM_WORKLOAD_USER_POPULATION_HH

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Structural tests over the six end-to-end applications: Table-1
+ * service counts, graph validity, catalog metadata, DOT export and
+ * basic liveness of every app.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hh"
+#include "apps/swarm.hh"
+#include "apps/single_tier.hh"
+#include "apps/social_network.hh"
+#include "workload/load_sweep.hh"
+
+namespace uqsim::apps {
+namespace {
+
+WorldConfig
+cfg(unsigned servers = 5)
+{
+    WorldConfig c;
+    c.workerServers = servers;
+    return c;
+}
+
+/** Table-1 service counts must hold for every app model. */
+class AppStructureTest : public ::testing::TestWithParam<AppId>
+{};
+
+TEST_P(AppStructureTest, UniqueMicroserviceCountMatchesTable1)
+{
+    World w(cfg());
+    buildApp(w, GetParam());
+    EXPECT_EQ(w.app->services().size(),
+              appInfo(GetParam()).uniqueMicroservices);
+}
+
+TEST_P(AppStructureTest, EveryServiceHasInstances)
+{
+    World w(cfg());
+    buildApp(w, GetParam());
+    for (const auto *svc : w.app->services())
+        EXPECT_GT(svc->instances().size(), 0u) << svc->name();
+}
+
+TEST_P(AppStructureTest, DotExportMentionsEveryService)
+{
+    World w(cfg());
+    buildApp(w, GetParam());
+    const std::string dot = w.app->exportDot();
+    for (const auto *svc : w.app->services())
+        EXPECT_NE(dot.find("\"" + svc->name() + "\""), std::string::npos)
+            << svc->name();
+}
+
+TEST_P(AppStructureTest, ServesTrafficEndToEnd)
+{
+    World w(cfg());
+    buildApp(w, GetParam());
+    workload::QueryMix mix = workload::QueryMix::fromApp(*w.app);
+    workload::UserPopulation users =
+        workload::UserPopulation::uniform(500);
+    const bool swarm = GetParam() == AppId::SwarmCloud ||
+                       GetParam() == AppId::SwarmEdge;
+    const double qps = swarm ? 4.0 : 150.0;
+    auto r = workload::runLoad(*w.app, qps, kTicksPerSec,
+                               3 * kTicksPerSec, mix, users, 13);
+    EXPECT_GT(r.completed, 0u);
+    EXPECT_EQ(r.dropped, 0u);
+    EXPECT_GT(r.p50, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, AppStructureTest,
+    ::testing::ValuesIn(allApps()),
+    [](const ::testing::TestParamInfo<AppId> &info) {
+        std::string name = appName(info.param);
+        for (char &c : name)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(CatalogTest, SixAppsInTableOrder)
+{
+    EXPECT_EQ(allApps().size(), 6u);
+    EXPECT_EQ(cloudApps().size(), 4u);
+    EXPECT_EQ(appInfo(AppId::SocialNetwork).uniqueMicroservices, 36u);
+    EXPECT_EQ(appInfo(AppId::MediaService).uniqueMicroservices, 38u);
+    EXPECT_EQ(appInfo(AppId::Ecommerce).uniqueMicroservices, 41u);
+    EXPECT_EQ(appInfo(AppId::Banking).uniqueMicroservices, 34u);
+    EXPECT_EQ(appInfo(AppId::SwarmCloud).uniqueMicroservices, 25u);
+    EXPECT_EQ(appInfo(AppId::SwarmEdge).uniqueMicroservices, 21u);
+}
+
+TEST(CatalogTest, MetadataNonEmpty)
+{
+    for (AppId id : allApps()) {
+        const AppInfo &info = appInfo(id);
+        EXPECT_FALSE(info.name.empty());
+        EXPECT_GT(info.totalLoc, 0u);
+        EXPECT_FALSE(info.protocol.empty());
+        EXPECT_FALSE(info.languageMix.empty());
+    }
+}
+
+TEST(SocialNetworkTest, MonolithHasFourTiers)
+{
+    World w(cfg());
+    buildSocialNetworkMonolith(w);
+    // nginx + monolith + 2 caches + 2 DBs = 6 tiers.
+    EXPECT_EQ(w.app->services().size(), 6u);
+    EXPECT_TRUE(w.app->hasService("monolith"));
+}
+
+TEST(SocialNetworkTest, QueryTypesRegistered)
+{
+    World w(cfg());
+    const auto q = buildSocialNetwork(w);
+    EXPECT_EQ(w.app->queryTypes().size(), 11u);
+    EXPECT_EQ(w.app->queryTypes()[q.composeVideo].name,
+              "composePost-video");
+    EXPECT_GT(w.app->queryTypes()[q.composeVideo].extraPayloadBytes, 0u);
+}
+
+TEST(SocialNetworkTest, RepostIsSlowestQueryClass)
+{
+    // Sec 3.8: reposting incurs the longest latency across queries.
+    World w(cfg());
+    const auto q = buildSocialNetwork(w);
+    workload::QueryMix mix = workload::QueryMix::fromApp(*w.app);
+    workload::UserPopulation users =
+        workload::UserPopulation::uniform(500);
+    workload::runLoad(*w.app, 200.0, kTicksPerSec, 4 * kTicksPerSec, mix,
+                      users, 17);
+    const auto &read = w.app->endToEndLatencyFor(q.readTimeline);
+    const auto &repost = w.app->endToEndLatencyFor(q.repost);
+    ASSERT_GT(read.count(), 0u);
+    ASSERT_GT(repost.count(), 0u);
+    EXPECT_GT(repost.mean(), read.mean());
+}
+
+TEST(SingleTierTest, AllBaselinesServe)
+{
+    for (SingleTierKind kind :
+         {SingleTierKind::Nginx, SingleTierKind::Memcached,
+          SingleTierKind::MongoDB, SingleTierKind::Xapian,
+          SingleTierKind::Recommender}) {
+        World w(cfg(2));
+        buildSingleTier(w, kind);
+        EXPECT_EQ(w.app->services().size(), 1u);
+        auto r = workload::runLoad(
+            *w.app, 100.0, kTicksPerSec, 2 * kTicksPerSec,
+            workload::QueryMix({1.0}),
+            workload::UserPopulation::uniform(50), 19);
+        EXPECT_GT(r.completed, 0u) << singleTierName(kind);
+    }
+}
+
+TEST(SingleTierTest, RelativeLatenciesMatchFig3)
+{
+    // Fig 3: nginx 1293us > mongodb 383us > memcached 186us unloaded.
+    auto meanAt = [](SingleTierKind kind) {
+        World w(cfg(2));
+        buildSingleTier(w, kind);
+        auto r = workload::runLoad(
+            *w.app, 50.0, kTicksPerSec, 2 * kTicksPerSec,
+            workload::QueryMix({1.0}),
+            workload::UserPopulation::uniform(50), 19);
+        return r.meanMs;
+    };
+    const double nginx = meanAt(SingleTierKind::Nginx);
+    const double mongo = meanAt(SingleTierKind::MongoDB);
+    const double memcached = meanAt(SingleTierKind::Memcached);
+    EXPECT_GT(nginx, mongo);
+    EXPECT_GT(mongo, memcached);
+    EXPECT_LT(memcached, 0.5); // ~0.2ms
+}
+
+TEST(SwarmTest, EdgePlacesPipelineOnDrones)
+{
+    World w(cfg(3));
+    SwarmOptions so;
+    so.drones = 4;
+    buildSwarm(w, SwarmVariant::Edge, so);
+    // Drone-local tiers shard across exactly the 4 drones.
+    const auto &ir = w.app->service("imageRecognition");
+    EXPECT_EQ(ir.instances().size(), 4u);
+    for (const auto &inst : ir.instances())
+        EXPECT_TRUE(w.network->isWireless(inst->server().id()));
+}
+
+TEST(SwarmTest, CloudPlacesPipelineOnWorkers)
+{
+    World w(cfg(3));
+    SwarmOptions so;
+    so.drones = 4;
+    buildSwarm(w, SwarmVariant::Cloud, so);
+    const auto &ir = w.app->service("imageRecognition");
+    for (const auto &inst : ir.instances())
+        EXPECT_FALSE(w.network->isWireless(inst->server().id()));
+    // Sensors stay on the drones in both variants.
+    for (const auto &inst : w.app->service("camera-image").instances())
+        EXPECT_TRUE(w.network->isWireless(inst->server().id()));
+}
+
+TEST(SwarmTest, DroneAffinityKeepsPipelineLocal)
+{
+    World w(cfg(3));
+    SwarmOptions so;
+    so.drones = 6;
+    buildSwarm(w, SwarmVariant::Edge, so);
+    // For a fixed user (drone) id, all drone-local tiers pick
+    // instances on the same server.
+    service::Request req;
+    req.userId = 77;
+    const unsigned server =
+        w.app->service("controller").selectInstance(req).server().id();
+    for (const char *svc :
+         {"camera-image", "imageRecognition", "obstacleAvoidance",
+          "motionControl", "location", "log"}) {
+        EXPECT_EQ(w.app->service(svc).selectInstance(req).server().id(),
+                  server)
+            << svc;
+    }
+}
+
+} // namespace
+} // namespace uqsim::apps

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Characterization property tests: the qualitative findings of the
+ * paper's Secs 4-5 must hold in the models (network-share ordering,
+ * frequency sensitivity, I/O-boundness, brawny-vs-wimpy).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hh"
+#include "apps/single_tier.hh"
+#include "apps/social_network.hh"
+#include "apps/swarm.hh"
+#include "workload/load_sweep.hh"
+
+namespace uqsim::apps {
+namespace {
+
+WorldConfig
+cfg(unsigned servers = 5)
+{
+    WorldConfig c;
+    c.workerServers = servers;
+    return c;
+}
+
+workload::LoadResult
+measureApp(AppId id, double qps, double freq_mhz = 0.0)
+{
+    World w(cfg());
+    buildApp(w, id);
+    if (freq_mhz > 0.0)
+        w.cluster.setAllFrequenciesMhz(freq_mhz);
+    return workload::runLoad(*w.app, qps, kTicksPerSec,
+                             3 * kTicksPerSec,
+                             workload::QueryMix::fromApp(*w.app),
+                             workload::UserPopulation::uniform(500), 23);
+}
+
+workload::LoadResult
+measureSingle(SingleTierKind kind, double qps, double freq_mhz = 0.0)
+{
+    World w(cfg(2));
+    buildSingleTier(w, kind);
+    if (freq_mhz > 0.0)
+        w.cluster.setAllFrequenciesMhz(freq_mhz);
+    return workload::runLoad(*w.app, qps, kTicksPerSec,
+                             3 * kTicksPerSec, workload::QueryMix({1.0}),
+                             workload::UserPopulation::uniform(100), 23);
+}
+
+TEST(CharacterizationTest, Fig3NetworkShareOrdering)
+{
+    // Microservices spend far more of their time on network processing
+    // than single-tier services (36.3% vs 5-20% in Fig 3).
+    const double social =
+        measureApp(AppId::SocialNetwork, 200.0).networkShare;
+    const double nginx =
+        measureSingle(SingleTierKind::Nginx, 100.0).networkShare;
+    const double memcached =
+        measureSingle(SingleTierKind::Memcached, 200.0).networkShare;
+    EXPECT_GT(social, 0.25);
+    EXPECT_LT(nginx, 0.15);
+    EXPECT_GT(social, 2.0 * nginx);
+    EXPECT_GT(memcached, nginx); // tiny service: relatively more TCP
+}
+
+TEST(CharacterizationTest, ComputeIntensiveAppsLessNetworkBound)
+{
+    // Sec 5: E-commerce and Banking microservices are more
+    // computationally intensive => lower network-processing share.
+    const double social =
+        measureApp(AppId::SocialNetwork, 200.0).networkShare;
+    const double banking =
+        measureApp(AppId::Banking, 150.0).networkShare;
+    const double ecommerce =
+        measureApp(AppId::Ecommerce, 150.0).networkShare;
+    EXPECT_GT(social, banking);
+    EXPECT_GT(social, ecommerce);
+}
+
+TEST(CharacterizationTest, Fig12MongoToleratesLowFrequency)
+{
+    // MongoDB is I/O-bound: latency barely moves at minimum frequency.
+    const auto nominal = measureSingle(SingleTierKind::MongoDB, 200.0);
+    const auto capped =
+        measureSingle(SingleTierKind::MongoDB, 200.0, 1000.0);
+    EXPECT_LT(static_cast<double>(capped.p99),
+              1.6 * static_cast<double>(nominal.p99));
+}
+
+TEST(CharacterizationTest, Fig12XapianSensitiveToFrequency)
+{
+    const auto nominal = measureSingle(SingleTierKind::Xapian, 150.0);
+    const auto capped =
+        measureSingle(SingleTierKind::Xapian, 150.0, 1000.0);
+    // Compute-bound: ~2.4x slowdown at 1.0/2.4 GHz.
+    EXPECT_GT(static_cast<double>(capped.p50),
+              1.8 * static_cast<double>(nominal.p50));
+}
+
+TEST(CharacterizationTest, Fig12MicroservicesMoreFrequencySensitive)
+{
+    // End-to-end microservices lose QoS headroom faster than the
+    // monolithic single-tier services when frequency drops.
+    const auto social_nominal = measureApp(AppId::SocialNetwork, 250.0);
+    const auto social_capped =
+        measureApp(AppId::SocialNetwork, 250.0, 1200.0);
+    const double social_blowup =
+        static_cast<double>(social_capped.p99) /
+        std::max<double>(1.0, static_cast<double>(social_nominal.p99));
+    const auto mongo_nominal = measureSingle(SingleTierKind::MongoDB, 200.0);
+    const auto mongo_capped =
+        measureSingle(SingleTierKind::MongoDB, 200.0, 1200.0);
+    const double mongo_blowup =
+        static_cast<double>(mongo_capped.p99) /
+        std::max<double>(1.0, static_cast<double>(mongo_nominal.p99));
+    EXPECT_GT(social_blowup, mongo_blowup);
+}
+
+TEST(CharacterizationTest, Fig13ThunderxSaturatesEarlier)
+{
+    // Read-only traffic with a tight QoS: ThunderX can meet it at low
+    // load, but per-tier latencies ~3x the Xeon's burn the headroom
+    // and it saturates much earlier (Fig 13).
+    auto maxQps = [](const cpu::CoreModel &model) {
+        return workload::findMaxQps(
+            [&](double qps) {
+                WorldConfig c = cfg();
+                c.coreModel = model;
+                World w(c);
+                buildSocialNetwork(w);
+                w.app->setQosLatency(12 * kTicksPerMs);
+                workload::QueryMix read_only({1, 0, 0, 0, 0, 0, 0});
+                auto r = workload::runLoad(
+                    *w.app, qps, kTicksPerSec, 1500 * kTicksPerMs,
+                    read_only, workload::UserPopulation::uniform(500),
+                    29);
+                return r.meetsQos(w.app->config().qosLatency);
+            },
+            50.0, 16000.0, 5);
+    };
+    const double xeon = maxQps(cpu::CoreModel::xeon());
+    const double thunderx = maxQps(cpu::CoreModel::thunderx());
+    EXPECT_LT(thunderx, 0.8 * xeon);
+}
+
+TEST(CharacterizationTest, Fig9EdgeVsCloudCrossover)
+{
+    // Image recognition: cloud >> edge on latency at low load.
+    SwarmOptions so;
+    so.drones = 8;
+    World edge(cfg(4));
+    buildSwarm(edge, SwarmVariant::Edge, so);
+    World cloud(cfg(4));
+    buildSwarm(cloud, SwarmVariant::Cloud, so);
+    auto measure = [](World &w, unsigned qt) {
+        workload::runLoad(*w.app, 3.0, 2 * kTicksPerSec,
+                          6 * kTicksPerSec,
+                          workload::QueryMix::fromApp(*w.app),
+                          workload::UserPopulation::uniform(64), 31);
+        return w.app->endToEndLatencyFor(qt).mean();
+    };
+    const double edge_ir = measure(edge, 0);
+    const double cloud_ir = measure(cloud, 0);
+    EXPECT_LT(cloud_ir, 0.5 * edge_ir); // cloud much faster for IR
+    const double edge_oa = measure(edge, 1);
+    const double cloud_oa = measure(cloud, 1);
+    EXPECT_LT(edge_oa, cloud_oa); // OA better on the edge at low load
+}
+
+TEST(CharacterizationTest, DeterministicRunsWithSameSeed)
+{
+    auto run = [](std::uint64_t seed) {
+        WorldConfig c = cfg();
+        c.seed = seed;
+        World w(c);
+        buildSocialNetwork(w);
+        auto r = workload::runLoad(
+            *w.app, 150.0, kTicksPerSec, 2 * kTicksPerSec,
+            workload::QueryMix::fromApp(*w.app),
+            workload::UserPopulation::uniform(100), 37);
+        return r;
+    };
+    const auto a = run(99), b = run(99), c = run(100);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.p99, b.p99);
+    EXPECT_EQ(a.p50, b.p50);
+    // A different world seed changes the details.
+    EXPECT_TRUE(c.p50 != a.p50 || c.completed != a.completed);
+}
+
+TEST(CharacterizationTest, MonolithLessNetworkBoundThanMicroservices)
+{
+    World micro(cfg());
+    buildSocialNetwork(micro);
+    World mono(cfg());
+    buildSocialNetworkMonolith(mono);
+    auto measure = [](World &w) {
+        return workload::runLoad(
+            *w.app, 200.0, kTicksPerSec, 3 * kTicksPerSec,
+            workload::QueryMix::fromApp(*w.app),
+            workload::UserPopulation::uniform(500), 41);
+    };
+    const auto m_micro = measure(micro);
+    const auto m_mono = measure(mono);
+    EXPECT_GT(m_micro.networkShare, 1.5 * m_mono.networkShare);
+}
+
+} // namespace
+} // namespace uqsim::apps

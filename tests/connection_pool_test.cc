@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for HTTP/1-style blocking connection pools (the Fig 17B
+ * backpressure primitive).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rpc/connection_pool.hh"
+
+namespace uqsim::rpc {
+namespace {
+
+TEST(ConnectionPoolTest, NonBlockingAlwaysGrants)
+{
+    ConnectionPool pool(1, /*blocking=*/false);
+    int granted = 0;
+    for (int i = 0; i < 10; ++i)
+        pool.acquire([&] { ++granted; });
+    EXPECT_EQ(granted, 10);
+    EXPECT_EQ(pool.waiting(), 0u);
+    EXPECT_EQ(pool.blockedAcquires(), 0u);
+}
+
+TEST(ConnectionPoolTest, BlockingGrantsUpToCapacity)
+{
+    ConnectionPool pool(2, /*blocking=*/true);
+    int granted = 0;
+    for (int i = 0; i < 5; ++i)
+        pool.acquire([&] { ++granted; });
+    EXPECT_EQ(granted, 2);
+    EXPECT_EQ(pool.inUse(), 2u);
+    EXPECT_EQ(pool.waiting(), 3u);
+    EXPECT_EQ(pool.blockedAcquires(), 3u);
+}
+
+TEST(ConnectionPoolTest, ReleaseGrantsFifo)
+{
+    ConnectionPool pool(1, true);
+    std::vector<int> order;
+    pool.acquire([&] { order.push_back(0); });
+    pool.acquire([&] { order.push_back(1); });
+    pool.acquire([&] { order.push_back(2); });
+    EXPECT_EQ(order, (std::vector<int>{0}));
+    pool.release();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    pool.release();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(pool.inUse(), 1u); // last grant still holds it
+}
+
+TEST(ConnectionPoolTest, ReleaseWithoutWaitersFreesConnection)
+{
+    ConnectionPool pool(2, true);
+    pool.acquire([] {});
+    pool.release();
+    EXPECT_EQ(pool.inUse(), 0u);
+}
+
+TEST(ConnectionPoolTest, PeakWaitingTracksHighWatermark)
+{
+    ConnectionPool pool(1, true);
+    for (int i = 0; i < 4; ++i)
+        pool.acquire([] {});
+    EXPECT_EQ(pool.peakWaiting(), 3u);
+    pool.release();
+    pool.release();
+    EXPECT_EQ(pool.peakWaiting(), 3u);
+}
+
+TEST(ConnectionPoolDeathTest, OverReleasePanics)
+{
+    ConnectionPool pool(1, true);
+    EXPECT_DEATH(pool.release(), "no connection");
+}
+
+} // namespace
+} // namespace uqsim::rpc

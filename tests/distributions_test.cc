@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the composable distributions and the Zipf sampler,
+ * including parameterized sweeps over distribution shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/distributions.hh"
+
+namespace uqsim {
+namespace {
+
+double
+sampleMean(const Dist &d, int n = 100000, std::uint64_t seed = 5)
+{
+    Rng rng(seed);
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += d.sample(rng);
+    return sum / n;
+}
+
+TEST(DistTest, DefaultIsZero)
+{
+    Dist d;
+    Rng rng(1);
+    EXPECT_EQ(d.sample(rng), 0.0);
+    EXPECT_EQ(d.mean(), 0.0);
+}
+
+TEST(DistTest, ConstantAlwaysSame)
+{
+    Dist d = Dist::constant(42.0);
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(d.sample(rng), 42.0);
+    EXPECT_EQ(d.mean(), 42.0);
+}
+
+TEST(DistTest, UniformMeanAndBounds)
+{
+    Dist d = Dist::uniform(10.0, 20.0);
+    EXPECT_NEAR(d.mean(), 15.0, 1e-9);
+    Rng rng(2);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = d.sample(rng);
+        ASSERT_GE(v, 10.0);
+        ASSERT_LT(v, 20.0);
+    }
+    EXPECT_NEAR(sampleMean(d), 15.0, 0.1);
+}
+
+TEST(DistTest, ExponentialSampleMeanMatches)
+{
+    Dist d = Dist::exponential(123.0);
+    EXPECT_EQ(d.mean(), 123.0);
+    EXPECT_NEAR(sampleMean(d), 123.0, 3.0);
+}
+
+/** Log-normal must hit its configured mean across sigma values. */
+class LognormalSigmaTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(LognormalSigmaTest, MeanMatchesConfigured)
+{
+    const double sigma = GetParam();
+    Dist d = Dist::lognormalMean(500.0, sigma);
+    EXPECT_EQ(d.mean(), 500.0);
+    EXPECT_NEAR(sampleMean(d, 300000), 500.0, 500.0 * 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, LognormalSigmaTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.8, 1.2));
+
+TEST(DistTest, MixtureRespectsWeights)
+{
+    Dist d = Dist::mixture({{0.75, Dist::constant(0.0)},
+                            {0.25, Dist::constant(100.0)}});
+    EXPECT_NEAR(d.mean(), 25.0, 1e-9);
+    EXPECT_NEAR(sampleMean(d), 25.0, 1.0);
+}
+
+TEST(DistTest, ScaledAndShifted)
+{
+    Dist d = Dist::constant(10.0).scaled(3.0).shifted(4.0);
+    Rng rng(1);
+    EXPECT_EQ(d.sample(rng), 34.0);
+    EXPECT_EQ(d.mean(), 34.0);
+}
+
+TEST(DistTest, ClampedMinFloorsSamples)
+{
+    Dist d = Dist::uniform(0.0, 10.0).clampedMin(5.0);
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_GE(d.sample(rng), 5.0);
+}
+
+TEST(DistTest, BoundedParetoMeanApprox)
+{
+    Dist d = Dist::boundedPareto(2.0, 100.0, 10000.0);
+    EXPECT_NEAR(sampleMean(d, 300000), d.mean(), d.mean() * 0.05);
+}
+
+// ---- Zipf -------------------------------------------------------------
+
+TEST(ZipfTest, UniformWhenExponentZero)
+{
+    ZipfDistribution z(10, 0.0);
+    EXPECT_NEAR(z.topKMass(5), 0.5, 1e-9);
+}
+
+TEST(ZipfTest, SkewConcentratesMass)
+{
+    ZipfDistribution z(1000, 1.0);
+    EXPECT_GT(z.topKMass(10), 0.35); // top-1% of items >35% of mass
+    EXPECT_LT(z.topKMass(10), 0.60);
+}
+
+TEST(ZipfTest, TopKMassMonotone)
+{
+    ZipfDistribution z(100, 0.8);
+    double prev = 0.0;
+    for (std::size_t k = 1; k <= 100; ++k) {
+        const double m = z.topKMass(k);
+        ASSERT_GE(m, prev);
+        prev = m;
+    }
+    EXPECT_NEAR(z.topKMass(100), 1.0, 1e-9);
+}
+
+TEST(ZipfTest, SamplesWithinRange)
+{
+    ZipfDistribution z(50, 1.2);
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(z.sample(rng), 50u);
+}
+
+TEST(ZipfTest, EmpiricalRankZeroFrequencyMatchesAnalytic)
+{
+    ZipfDistribution z(100, 1.0);
+    Rng rng(11);
+    int rank0 = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        if (z.sample(rng) == 0)
+            ++rank0;
+    EXPECT_NEAR(static_cast<double>(rank0) / n, z.topKMass(1), 0.01);
+}
+
+} // namespace
+} // namespace uqsim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the handler-program builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "service/handler.hh"
+#include "service/request.hh"
+
+namespace uqsim::service {
+namespace {
+
+TEST(HandlerTest, BuilderAppendsStagesInOrder)
+{
+    HandlerSpec h;
+    h.compute(Dist::constant(100.0))
+        .call("a")
+        .parallelCall("b", 3)
+        .cache("c", "d", 0.9)
+        .delay(Dist::constant(5.0));
+    ASSERT_EQ(h.stages.size(), 5u);
+    EXPECT_EQ(h.stages[0].kind, Stage::Kind::Compute);
+    EXPECT_EQ(h.stages[1].kind, Stage::Kind::Call);
+    EXPECT_EQ(h.stages[1].target, "a");
+    EXPECT_TRUE(h.stages[2].parallel);
+    EXPECT_EQ(h.stages[2].fanout, 3u);
+    EXPECT_EQ(h.stages[3].kind, Stage::Kind::Cache);
+    EXPECT_EQ(h.stages[3].dbTarget, "d");
+    EXPECT_EQ(h.stages[4].kind, Stage::Kind::Delay);
+}
+
+TEST(HandlerTest, CallTargetsDeduplicated)
+{
+    HandlerSpec h;
+    h.call("a").call("a").cache("cache", "db", 0.9).call("db");
+    const auto targets = h.callTargets();
+    EXPECT_EQ(targets,
+              (std::vector<std::string>{"a", "cache", "db"}));
+}
+
+TEST(HandlerTest, TaggedStagesCarryTag)
+{
+    HandlerSpec h;
+    h.callTagged("video", "videoSvc").computeTagged("img", Dist::constant(1));
+    EXPECT_EQ(h.stages[0].onlyForTag, "video");
+    EXPECT_EQ(h.stages[1].onlyForTag, "img");
+}
+
+TEST(HandlerTest, ProbabilisticCall)
+{
+    HandlerSpec h;
+    h.callWithProbability("maybe", 0.25);
+    EXPECT_EQ(h.stages[0].probability, 0.25);
+}
+
+TEST(HandlerTest, MediaCallsFlagged)
+{
+    HandlerSpec h;
+    h.callWithMedia("m").callTaggedWithMedia("video", "v").call("plain");
+    EXPECT_TRUE(h.stages[0].carriesMedia);
+    EXPECT_TRUE(h.stages[1].carriesMedia);
+    EXPECT_FALSE(h.stages[2].carriesMedia);
+}
+
+TEST(HandlerTest, DelayNetworkAttribution)
+{
+    HandlerSpec h;
+    h.delay(Dist::constant(10.0), /*is_network=*/true);
+    EXPECT_TRUE(h.stages[0].delayIsNetwork);
+}
+
+TEST(QueryTypeTest, HasTag)
+{
+    QueryType qt;
+    qt.tags = {"read", "compose"};
+    EXPECT_TRUE(qt.hasTag("read"));
+    EXPECT_TRUE(qt.hasTag("compose"));
+    EXPECT_FALSE(qt.hasTag("video"));
+}
+
+} // namespace
+} // namespace uqsim::service

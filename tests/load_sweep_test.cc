@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the measurement harness: runLoad summaries, queueing
+ * properties (latency grows with load) and the max-QPS bisection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/builder.hh"
+#include "workload/load_sweep.hh"
+
+namespace uqsim::workload {
+namespace {
+
+apps::WorldConfig
+smallConfig()
+{
+    apps::WorldConfig c;
+    c.workerServers = 2;
+    return c;
+}
+
+/** One-tier app: 0.7ms of work per request, 8 threads on 40 cores. */
+void
+buildQueueApp(apps::World &w, double work_us = 700.0)
+{
+    service::ServiceDef front;
+    front.name = "front";
+    front.handler.compute(Dist::exponential(work_us * 1440.0));
+    front.threadsPerInstance = 8;
+    w.app->addService(std::move(front)).addInstance(w.worker(0));
+    w.app->setEntry("front");
+    w.app->addQueryType({"q", 1, 1.0, 0, {}});
+    w.app->setQosLatency(20 * kTicksPerMs);
+    w.app->validate();
+}
+
+LoadResult
+measure(double qps, double work_us = 700.0)
+{
+    apps::World w(smallConfig());
+    buildQueueApp(w, work_us);
+    return runLoad(*w.app, qps, kTicksPerSec, 3 * kTicksPerSec,
+                   QueryMix({1.0}), UserPopulation::uniform(50), 11);
+}
+
+TEST(RunLoadTest, ReportsCompletions)
+{
+    const LoadResult r = measure(200.0);
+    EXPECT_NEAR(static_cast<double>(r.completed), 600.0, 80.0);
+    EXPECT_NEAR(r.achievedQps, 200.0, 30.0);
+    EXPECT_EQ(r.dropped, 0u);
+    EXPECT_GT(r.p50, 0u);
+    EXPECT_LE(r.p50, r.p95);
+    EXPECT_LE(r.p95, r.p99);
+}
+
+TEST(RunLoadTest, GoodputMatchesThroughputWhenHealthy)
+{
+    const LoadResult r = measure(200.0);
+    EXPECT_NEAR(r.goodputQps, r.achievedQps, 10.0);
+    EXPECT_TRUE(r.meetsQos(20 * kTicksPerMs));
+}
+
+/**
+ * Queueing property: tail latency is non-decreasing in offered load,
+ * and explodes near saturation (8 threads / 0.7ms ~ 11.4k QPS per
+ * instance, but the instance has only 8 worker threads so the knee
+ * appears much earlier under the open-loop tail).
+ */
+class LoadMonotonicityTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(LoadMonotonicityTest, TailGrowsWithLoad)
+{
+    const double qps = GetParam();
+    const LoadResult lo = measure(qps);
+    const LoadResult hi = measure(qps * 4.0);
+    EXPECT_GE(static_cast<double>(hi.p99) * 1.10,
+              static_cast<double>(lo.p99))
+        << "qps=" << qps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LoadMonotonicityTest,
+                         ::testing::Values(100.0, 400.0, 1600.0));
+
+TEST(RunLoadTest, SaturationBlowsUpTail)
+{
+    // 8 threads at ~0.7ms => ~11.4k req/s capacity; offering beyond
+    // that must blow up the open-loop tail and/or drop requests.
+    const LoadResult sat = measure(16000.0);
+    EXPECT_FALSE(sat.meetsQos(20 * kTicksPerMs));
+}
+
+TEST(RunLoadTest, UtilizationGrowsWithLoad)
+{
+    const LoadResult lo = measure(200.0);
+    const LoadResult hi = measure(3000.0);
+    EXPECT_GT(hi.meanUtilization, lo.meanUtilization);
+}
+
+TEST(FindMaxQpsTest, BisectsSyntheticThreshold)
+{
+    auto feasible = [](double qps) { return qps <= 730.0; };
+    const double max_qps = findMaxQps(feasible, 10.0, 2000.0, 12);
+    EXPECT_NEAR(max_qps, 730.0, 15.0);
+}
+
+TEST(FindMaxQpsTest, ReturnsHiWhenAllFeasible)
+{
+    EXPECT_EQ(findMaxQps([](double) { return true; }, 1.0, 500.0), 500.0);
+}
+
+TEST(FindMaxQpsTest, ReturnsLoWhenNoneFeasible)
+{
+    EXPECT_EQ(findMaxQps([](double) { return false; }, 1.0, 500.0), 1.0);
+}
+
+TEST(FindMaxQpsTest, RealAppSaturationSearch)
+{
+    auto feasible = [](double qps) {
+        return measure(qps).meetsQos(20 * kTicksPerMs);
+    };
+    const double max_qps = findMaxQps(feasible, 100.0, 40000.0, 5);
+    EXPECT_GT(max_qps, 1000.0);
+    EXPECT_LT(max_qps, 40000.0);
+}
+
+} // namespace
+} // namespace uqsim::workload

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Tests for the cluster-management components: monitor, autoscaler,
+ * rate limiter and QoS tracker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/builder.hh"
+#include "manager/autoscaler.hh"
+#include "manager/monitor.hh"
+#include "manager/qos.hh"
+#include "manager/rate_limiter.hh"
+#include "workload/generators.hh"
+
+namespace uqsim::manager {
+namespace {
+
+apps::WorldConfig
+smallConfig()
+{
+    apps::WorldConfig c;
+    c.workerServers = 4;
+    return c;
+}
+
+void
+buildOneTier(apps::World &w, double work_us, unsigned threads)
+{
+    service::ServiceDef front;
+    front.name = "front";
+    front.kind = service::ServiceKind::Frontend;
+    front.handler.compute(Dist::exponential(work_us * 1440.0));
+    front.threadsPerInstance = threads;
+    w.app->addService(std::move(front)).addInstance(w.worker(0));
+    w.app->setEntry("front");
+    w.app->addQueryType({"q", 1, 1.0, 0, {}});
+    w.app->setQosLatency(5 * kTicksPerMs);
+    w.app->validate();
+}
+
+TEST(MonitorTest, SamplesOnInterval)
+{
+    apps::World w(smallConfig());
+    buildOneTier(w, 200.0, 16);
+    Monitor mon(*w.app, 100 * kTicksPerMs);
+    mon.start();
+    w.sim.runFor(kTicksPerSec);
+    mon.stop();
+    EXPECT_NEAR(static_cast<double>(mon.history().size()), 10.0, 1.0);
+    EXPECT_EQ(mon.history()[0][0].service, "front");
+}
+
+TEST(MonitorTest, LatencyAndUtilizationUnderLoad)
+{
+    apps::World w(smallConfig());
+    buildOneTier(w, 400.0, 16);
+    Monitor mon(*w.app, 100 * kTicksPerMs);
+    mon.start();
+    workload::OpenLoopGenerator gen(*w.app, workload::QueryMix({1.0}),
+                                    workload::UserPopulation::uniform(10),
+                                    3);
+    gen.setQps(2000.0);
+    gen.start();
+    w.sim.runFor(2 * kTicksPerSec);
+    const TierSample s = mon.latest("front");
+    EXPECT_GT(s.p99, 0u);
+    EXPECT_GT(s.cpuUtil, 0.02);
+    EXPECT_EQ(s.instances, 1u);
+}
+
+TEST(MonitorTest, BaselineLatencyFromEarlyRounds)
+{
+    apps::World w(smallConfig());
+    buildOneTier(w, 200.0, 16);
+    Monitor mon(*w.app, 100 * kTicksPerMs);
+    mon.start();
+    workload::OpenLoopGenerator gen(*w.app, workload::QueryMix({1.0}),
+                                    workload::UserPopulation::uniform(10),
+                                    3);
+    gen.setQps(500.0);
+    gen.start();
+    w.sim.runFor(kTicksPerSec);
+    const auto base = mon.baselineLatency(5);
+    ASSERT_TRUE(base.count("front"));
+    EXPECT_GT(base.at("front"), 0.0);
+}
+
+TEST(AutoScalerTest, ScalesOutUnderSaturation)
+{
+    apps::World w(smallConfig());
+    buildOneTier(w, 500.0, 4); // 4 threads: saturates quickly
+    Monitor mon(*w.app, 100 * kTicksPerMs);
+    mon.start();
+    AutoScaler::Config cfg;
+    cfg.threshold = 0.7;
+    cfg.interval = 200 * kTicksPerMs;
+    cfg.startupDelay = 300 * kTicksPerMs;
+    cfg.cooldown = 500 * kTicksPerMs;
+    AutoScaler scaler(*w.app, mon, cfg,
+                      [&]() -> cpu::Server & { return w.nextWorker(); });
+    scaler.watch("front");
+    scaler.start();
+
+    workload::OpenLoopGenerator gen(*w.app, workload::QueryMix({1.0}),
+                                    workload::UserPopulation::uniform(10),
+                                    3);
+    gen.setQps(6000.0);
+    gen.start();
+    w.sim.runFor(5 * kTicksPerSec);
+    EXPECT_GT(scaler.events().size(), 0u);
+    EXPECT_GT(w.app->service("front").instances().size(), 1u);
+    // New instances eventually become active.
+    EXPECT_GT(w.app->service("front").activeInstances(), 1u);
+}
+
+TEST(AutoScalerTest, NoScalingWhenIdle)
+{
+    apps::World w(smallConfig());
+    buildOneTier(w, 200.0, 16);
+    Monitor mon(*w.app, 100 * kTicksPerMs);
+    mon.start();
+    AutoScaler scaler(*w.app, mon, AutoScaler::Config{},
+                      [&]() -> cpu::Server & { return w.nextWorker(); });
+    scaler.watch("front");
+    scaler.start();
+    w.sim.runFor(3 * kTicksPerSec);
+    EXPECT_EQ(scaler.events().size(), 0u);
+}
+
+TEST(AutoScalerTest, CooldownLimitsRate)
+{
+    apps::World w(smallConfig());
+    buildOneTier(w, 500.0, 2);
+    Monitor mon(*w.app, 100 * kTicksPerMs);
+    mon.start();
+    AutoScaler::Config cfg;
+    cfg.threshold = 0.5;
+    cfg.interval = 100 * kTicksPerMs;
+    cfg.cooldown = 2 * kTicksPerSec;
+    cfg.startupDelay = 10 * kTicksPerSec; // never activates in test
+    AutoScaler scaler(*w.app, mon, cfg,
+                      [&]() -> cpu::Server & { return w.nextWorker(); });
+    scaler.watch("front");
+    scaler.start();
+    workload::OpenLoopGenerator gen(*w.app, workload::QueryMix({1.0}),
+                                    workload::UserPopulation::uniform(10),
+                                    3);
+    gen.setQps(8000.0);
+    gen.start();
+    w.sim.runFor(4 * kTicksPerSec);
+    EXPECT_LE(scaler.events().size(), 2u); // 4s / 2s cooldown
+}
+
+TEST(AutoScalerTest, MaxInstancesCap)
+{
+    apps::World w(smallConfig());
+    buildOneTier(w, 500.0, 2);
+    Monitor mon(*w.app, 100 * kTicksPerMs);
+    mon.start();
+    AutoScaler::Config cfg;
+    cfg.threshold = 0.4;
+    cfg.interval = 100 * kTicksPerMs;
+    cfg.cooldown = 100 * kTicksPerMs;
+    cfg.startupDelay = 100 * kTicksPerMs;
+    cfg.maxInstances = 2;
+    AutoScaler scaler(*w.app, mon, cfg,
+                      [&]() -> cpu::Server & { return w.nextWorker(); });
+    scaler.watch("front");
+    scaler.start();
+    workload::OpenLoopGenerator gen(*w.app, workload::QueryMix({1.0}),
+                                    workload::UserPopulation::uniform(10),
+                                    3);
+    gen.setQps(20000.0);
+    gen.start();
+    w.sim.runFor(4 * kTicksPerSec);
+    EXPECT_LE(w.app->service("front").instances().size(), 2u);
+}
+
+TEST(AutoScalerTest, ScaleBudgetLimitsPerRound)
+{
+    // Two saturated tiers, budget of one scale-out per round: the
+    // scaler must alternate instead of upsizing both at once.
+    apps::World w(smallConfig());
+    service::App &app = *w.app;
+    for (const char *name : {"a", "b"}) {
+        service::ServiceDef def;
+        def.name = name;
+        def.handler.compute(Dist::exponential(500.0 * 1440.0));
+        def.threadsPerInstance = 2;
+        app.addService(std::move(def)).addInstance(w.worker(0));
+    }
+    service::ServiceDef fe;
+    fe.name = "fe";
+    fe.kind = service::ServiceKind::Frontend;
+    fe.handler.call("a").call("b");
+    fe.threadsPerInstance = 64;
+    app.addService(std::move(fe)).addInstance(w.worker(1));
+    app.setEntry("fe");
+    app.addQueryType({"q", 1, 1.0, 0, {}});
+    app.validate();
+
+    Monitor mon(*w.app, 100 * kTicksPerMs);
+    mon.start();
+    AutoScaler::Config cfg;
+    cfg.threshold = 0.5;
+    cfg.interval = 100 * kTicksPerMs;
+    cfg.cooldown = 100 * kTicksPerMs;
+    cfg.startupDelay = 10 * kTicksPerSec; // stay saturated in-test
+    cfg.maxScaleOutsPerRound = 1;
+    AutoScaler scaler(*w.app, mon, cfg,
+                      [&]() -> cpu::Server & { return w.nextWorker(); });
+    scaler.watch("a");
+    scaler.watch("b");
+    scaler.start();
+
+    workload::OpenLoopGenerator gen(*w.app, workload::QueryMix({1.0}),
+                                    workload::UserPopulation::uniform(10),
+                                    3);
+    gen.setQps(8000.0);
+    gen.start();
+    w.sim.runFor(kTicksPerSec);
+    // >= 2 rounds happened; with budget 1 no two events share a tick.
+    const auto &events = scaler.events();
+    ASSERT_GE(events.size(), 2u);
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GT(events[i].time, events[i - 1].time);
+}
+
+TEST(RateLimiterTest, AdmitsUpToRate)
+{
+    apps::World w(smallConfig());
+    buildOneTier(w, 100.0, 32);
+    RateLimiter rl(*w.app, 100.0, 10.0);
+    // Burst of 50 at t=0: only the bucket depth is admitted.
+    int admitted = 0;
+    for (int i = 0; i < 50; ++i)
+        if (rl.tryInject(0, 1))
+            ++admitted;
+    EXPECT_EQ(admitted, 10);
+    EXPECT_EQ(rl.rejected(), 40u);
+    // After a second, ~100 more tokens have accrued (capped at burst).
+    w.sim.runFor(kTicksPerSec);
+    EXPECT_TRUE(rl.tryInject(0, 1));
+}
+
+TEST(RateLimiterTest, UnlimitedWhenRateNonPositive)
+{
+    apps::World w(smallConfig());
+    buildOneTier(w, 100.0, 32);
+    RateLimiter rl(*w.app, 0.0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(rl.tryInject(0, 1));
+    EXPECT_EQ(rl.rejected(), 0u);
+}
+
+TEST(QosTrackerTest, DetectsViolationAndRecovery)
+{
+    apps::World w(smallConfig());
+    buildOneTier(w, 500.0, 4);
+    w.app->setQosLatency(3 * kTicksPerMs);
+    Monitor mon(*w.app, 100 * kTicksPerMs);
+    mon.start();
+    workload::OpenLoopGenerator gen(*w.app, workload::QueryMix({1.0}),
+                                    workload::UserPopulation::uniform(10),
+                                    3);
+    // Healthy, then overloaded, then healthy again.
+    gen.setQps(200.0);
+    gen.start();
+    w.sim.runFor(kTicksPerSec);
+    gen.setQps(9000.0);
+    w.sim.runFor(2 * kTicksPerSec);
+    gen.setQps(100.0);
+    w.sim.runFor(4 * kTicksPerSec);
+
+    QosTracker qos(*w.app, mon, 3 * kTicksPerMs);
+    const Tick detect = qos.firstEndToEndViolation();
+    EXPECT_GT(detect, 0u);
+    EXPECT_GE(detect, kTicksPerSec / 2);
+    const Tick recovery = qos.recoveryTime(detect);
+    EXPECT_GT(recovery, 0u);
+    EXPECT_FALSE(qos.violations().empty());
+}
+
+} // namespace
+} // namespace uqsim::manager

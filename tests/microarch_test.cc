@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for core models and the analytical microarchitecture model,
+ * checking the calibration targets from Figs 10, 11 and 14.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/profiles.hh"
+#include "cpu/core_model.hh"
+#include "cpu/microarch.hh"
+
+namespace uqsim::cpu {
+namespace {
+
+using apps::memcachedProfile;
+using apps::mongodbProfile;
+using apps::monolithProfile;
+using apps::nginxProfile;
+using apps::recommenderProfile;
+using apps::xapianProfile;
+
+TEST(CoreModelTest, Presets)
+{
+    EXPECT_FALSE(CoreModel::xeon().inOrder);
+    EXPECT_TRUE(CoreModel::thunderx().inOrder);
+    EXPECT_EQ(CoreModel::xeonAt1800().nominalFreqMhz, 1800.0);
+    EXPECT_GT(CoreModel::thunderx().coresPerServer,
+              CoreModel::xeon().coresPerServer);
+    EXPECT_LT(CoreModel::edgeArm().coresPerServer, 8u);
+}
+
+TEST(MicroarchTest, MpkiMonotoneInFootprint)
+{
+    const CoreModel xeon = CoreModel::xeon();
+    ServiceProfile p;
+    double prev = 0.0;
+    for (double kb : {16.0, 64.0, 256.0, 1024.0, 4096.0}) {
+        p.codeFootprintKb = kb;
+        const double mpki = MicroarchModel::l1iMpki(p, xeon);
+        EXPECT_GE(mpki, prev);
+        prev = mpki;
+    }
+}
+
+TEST(MicroarchTest, MonolithMpkiMatchesPaper)
+{
+    // Fig 11: monolith ~65-75 MPKI.
+    const double mpki =
+        MicroarchModel::l1iMpki(monolithProfile(), CoreModel::xeon());
+    EXPECT_GT(mpki, 60.0);
+    EXPECT_LT(mpki, 76.0);
+}
+
+TEST(MicroarchTest, NginxMpkiMatchesPaper)
+{
+    // Fig 11: nginx ~25-40 MPKI.
+    const double mpki =
+        MicroarchModel::l1iMpki(nginxProfile(), CoreModel::xeon());
+    EXPECT_GT(mpki, 20.0);
+    EXPECT_LT(mpki, 45.0);
+}
+
+TEST(MicroarchTest, SmallMicroserviceMpkiIsLow)
+{
+    // Fig 11: tiny single-concern microservices nearly miss-free.
+    const double mpki = MicroarchModel::l1iMpki(
+        apps::cppMicroProfile("uniqueID"), CoreModel::xeon());
+    EXPECT_LT(mpki, 12.0);
+}
+
+TEST(MicroarchTest, MonolithBeatsMicroOnRetiring)
+{
+    // Paper: monoliths retire slightly more due to fewer network waits.
+    const CoreModel xeon = CoreModel::xeon();
+    const auto mono =
+        MicroarchModel::cycleBreakdown(monolithProfile(), xeon);
+    const auto micro = MicroarchModel::cycleBreakdown(
+        memcachedProfile(), xeon);
+    EXPECT_GT(mono.retiring, micro.retiring);
+}
+
+TEST(MicroarchTest, BreakdownSumsToOne)
+{
+    const CoreModel xeon = CoreModel::xeon();
+    for (const ServiceProfile &p :
+         {nginxProfile(), memcachedProfile(), mongodbProfile(),
+          monolithProfile(), recommenderProfile(), xapianProfile()}) {
+        const auto b = MicroarchModel::cycleBreakdown(p, xeon);
+        EXPECT_NEAR(b.frontend + b.badSpec + b.backend + b.retiring, 1.0,
+                    1e-9)
+            << p.name;
+        EXPECT_GE(b.frontend, 0.0);
+        EXPECT_GE(b.badSpec, 0.0);
+        EXPECT_GE(b.backend, 0.0);
+        EXPECT_GE(b.retiring, 0.0);
+    }
+}
+
+TEST(MicroarchTest, FrontendDominatesForKernelHeavyServices)
+{
+    // Fig 10: a large fraction of cycles stalls in the front-end.
+    const auto b = MicroarchModel::cycleBreakdown(memcachedProfile(),
+                                                  CoreModel::xeon());
+    EXPECT_GT(b.frontend, b.retiring);
+    EXPECT_GT(b.frontend, b.badSpec);
+}
+
+TEST(MicroarchTest, RetiringInPaperRange)
+{
+    // Fig 10: ~21% average retiring for Social Network tiers.
+    const auto b = MicroarchModel::cycleBreakdown(
+        apps::cppMicroProfile("composePost"), CoreModel::xeon());
+    EXPECT_GT(b.retiring, 0.10);
+    EXPECT_LT(b.retiring, 0.35);
+}
+
+TEST(MicroarchTest, SearchHasHighIpcRecommenderLow)
+{
+    // Fig 10 E-commerce: Search is the IPC outlier, recommender lowest.
+    const CoreModel xeon = CoreModel::xeon();
+    const double search =
+        MicroarchModel::effectiveIpc(xapianProfile(), xeon);
+    const double recommender =
+        MicroarchModel::effectiveIpc(recommenderProfile(), xeon);
+    const double typical = MicroarchModel::effectiveIpc(
+        apps::cppMicroProfile("text"), xeon);
+    EXPECT_GT(search, typical);
+    EXPECT_LT(recommender, typical);
+    EXPECT_LT(recommender, 0.5);
+    EXPECT_GT(search, 0.8);
+}
+
+TEST(MicroarchTest, InOrderCoreLosesIpc)
+{
+    // Fig 13 mechanism: ThunderX cannot hide stalls.
+    for (const ServiceProfile &p :
+         {nginxProfile(), memcachedProfile(), xapianProfile()}) {
+        const double xeon =
+            MicroarchModel::effectiveIpc(p, CoreModel::xeon());
+        const double tx =
+            MicroarchModel::effectiveIpc(p, CoreModel::thunderx());
+        EXPECT_LT(tx, xeon) << p.name;
+        EXPECT_LT(tx, 0.6 * xeon) << p.name; // substantially worse
+    }
+}
+
+TEST(MicroarchTest, FrequencyCapDoesNotChangeIpc)
+{
+    const double a = MicroarchModel::effectiveIpc(nginxProfile(),
+                                                  CoreModel::xeon());
+    const double b = MicroarchModel::effectiveIpc(
+        nginxProfile(), CoreModel::xeonAt1800());
+    EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(MicroarchTest, ModeBreakdownsSumToOne)
+{
+    for (const ServiceProfile &p :
+         {nginxProfile(), mongodbProfile(), monolithProfile()}) {
+        const auto c = MicroarchModel::cycleModes(p);
+        const auto i = MicroarchModel::instructionModes(p);
+        EXPECT_NEAR(c.kernel + c.user + c.libs + c.other, 1.0, 1e-9);
+        EXPECT_NEAR(i.kernel + i.user + i.libs + i.other, 1.0, 1e-9);
+        // Kernel instruction share below its cycle share (stally code).
+        EXPECT_LE(i.kernel, c.kernel);
+    }
+}
+
+TEST(MicroarchTest, MongoIsIoBound)
+{
+    EXPECT_GT(mongodbProfile().ioBoundFraction, 0.5);
+    EXPECT_LT(nginxProfile().ioBoundFraction, 0.2);
+}
+
+} // namespace
+} // namespace uqsim::cpu

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for Microservice tiers and instance selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/builder.hh"
+#include "service/app.hh"
+
+namespace uqsim::service {
+namespace {
+
+class MicroserviceTest : public ::testing::Test
+{
+  protected:
+    MicroserviceTest() : world_(makeConfig()) {}
+
+    static apps::WorldConfig
+    makeConfig()
+    {
+        apps::WorldConfig c;
+        c.workerServers = 4;
+        return c;
+    }
+
+    ServiceDef
+    statelessDef(const std::string &name)
+    {
+        ServiceDef def;
+        def.name = name;
+        def.handler.compute(Dist::constant(1000.0));
+        return def;
+    }
+
+    apps::World world_;
+};
+
+TEST_F(MicroserviceTest, AddInstancePlacesOnServer)
+{
+    Microservice &svc = world_.app->addService(statelessDef("svc"));
+    Instance &inst = svc.addInstance(world_.worker(2));
+    EXPECT_EQ(inst.server().id(), 2u);
+    EXPECT_EQ(inst.index(), 0u);
+    EXPECT_EQ(svc.instances().size(), 1u);
+    EXPECT_EQ(svc.activeInstances(), 1u);
+}
+
+TEST_F(MicroserviceTest, StatelessSelectionRoundRobins)
+{
+    Microservice &svc = world_.app->addService(statelessDef("svc"));
+    svc.addInstance(world_.worker(0));
+    svc.addInstance(world_.worker(1));
+    svc.addInstance(world_.worker(2));
+    Request req;
+    std::vector<unsigned> picks;
+    for (int i = 0; i < 6; ++i)
+        picks.push_back(svc.selectInstance(req).index());
+    EXPECT_EQ(picks, (std::vector<unsigned>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST_F(MicroserviceTest, InactiveInstancesSkipped)
+{
+    Microservice &svc = world_.app->addService(statelessDef("svc"));
+    svc.addInstance(world_.worker(0));
+    Instance &warming = svc.addInstance(world_.worker(1));
+    warming.setActive(false);
+    EXPECT_EQ(svc.activeInstances(), 1u);
+    Request req;
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(svc.selectInstance(req).index(), 0u);
+}
+
+TEST_F(MicroserviceTest, ShardedSelectionIsStablePerUser)
+{
+    ServiceDef def = statelessDef("db");
+    def.kind = ServiceKind::Database;
+    Microservice &svc = world_.app->addService(std::move(def));
+    for (int i = 0; i < 4; ++i)
+        svc.addInstance(world_.worker(i % 4));
+    Request req;
+    req.userId = 1234;
+    const unsigned first = svc.selectInstance(req).index();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(svc.selectInstance(req).index(), first);
+    // Different users spread over shards.
+    std::set<unsigned> shards;
+    for (std::uint64_t u = 0; u < 64; ++u) {
+        req.userId = u;
+        shards.insert(svc.selectInstance(req).index());
+    }
+    EXPECT_GT(shards.size(), 2u);
+}
+
+TEST_F(MicroserviceTest, CacheKindShardsLikeDatabase)
+{
+    ServiceDef def = statelessDef("cache");
+    def.kind = ServiceKind::Cache;
+    Microservice &svc = world_.app->addService(std::move(def));
+    svc.addInstance(world_.worker(0));
+    svc.addInstance(world_.worker(1));
+    Request a, b;
+    a.userId = 42;
+    b.userId = 42;
+    EXPECT_EQ(svc.selectInstance(a).index(), svc.selectInstance(b).index());
+}
+
+TEST_F(MicroserviceTest, SetThreadsPerInstanceUpdatesIdleInstances)
+{
+    Microservice &svc = world_.app->addService(statelessDef("svc"));
+    Instance &inst = svc.addInstance(world_.worker(0));
+    EXPECT_EQ(inst.freeThreads(), 16u); // default
+    svc.setThreadsPerInstance(64);
+    EXPECT_EQ(inst.freeThreads(), 64u);
+    EXPECT_EQ(svc.def().threadsPerInstance, 64u);
+}
+
+TEST_F(MicroserviceTest, OccupancyStartsAtZero)
+{
+    Microservice &svc = world_.app->addService(statelessDef("svc"));
+    Instance &inst = svc.addInstance(world_.worker(0));
+    EXPECT_EQ(inst.occupancy(), 0.0);
+    EXPECT_EQ(svc.meanOccupancy(), 0.0);
+    EXPECT_EQ(svc.meanQueueLength(), 0.0);
+}
+
+TEST_F(MicroserviceTest, KindNames)
+{
+    EXPECT_EQ(serviceKindName(ServiceKind::Frontend), "frontend");
+    EXPECT_EQ(serviceKindName(ServiceKind::Stateless), "stateless");
+    EXPECT_EQ(serviceKindName(ServiceKind::Cache), "cache");
+    EXPECT_EQ(serviceKindName(ServiceKind::Database), "database");
+}
+
+} // namespace
+} // namespace uqsim::service

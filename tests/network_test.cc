@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the network fabric: delay composition, NIC queueing,
+ * loopback, wireless links and the TCP/FPGA cost models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hh"
+#include "net/network.hh"
+
+namespace uqsim::net {
+namespace {
+
+NetworkConfig
+cfg()
+{
+    NetworkConfig c;
+    c.wireLatency = 10 * kTicksPerUs;
+    c.loopbackLatency = 5 * kTicksPerUs;
+    c.linkGbps = 10.0;
+    return c;
+}
+
+TEST(NetworkTest, DeliveryIncludesWireAndSerialization)
+{
+    Simulator sim;
+    Network net(sim, cfg(), Rng(1));
+    Tick at = 0, q = 0, p = 0;
+    net.send(0, 1, 1250, [&](Tick queueing_tx, Tick prop) {
+        at = sim.now();
+        q = queueing_tx;
+        p = prop;
+    });
+    sim.run();
+    // 1250B at 10Gbps = 1us serialization + 10us wire.
+    EXPECT_EQ(q, 1 * kTicksPerUs);
+    EXPECT_EQ(p, 10 * kTicksPerUs);
+    EXPECT_EQ(at, 11 * kTicksPerUs);
+}
+
+TEST(NetworkTest, LoopbackIsCheapAndLocal)
+{
+    Simulator sim;
+    Network net(sim, cfg(), Rng(1));
+    Tick at = 0, q = 99, p = 0;
+    net.send(3, 3, 1 * kMiB, [&](Tick queueing_tx, Tick prop) {
+        at = sim.now();
+        q = queueing_tx;
+        p = prop;
+    });
+    sim.run();
+    EXPECT_EQ(q, 0u); // no NIC on the loopback path
+    EXPECT_EQ(p, 5 * kTicksPerUs);
+    EXPECT_EQ(at, 5 * kTicksPerUs);
+}
+
+TEST(NetworkTest, BackToBackMessagesQueueAtNic)
+{
+    Simulator sim;
+    Network net(sim, cfg(), Rng(1));
+    Tick first_q = 0, second_q = 0;
+    net.send(0, 1, 12500, [&](Tick q, Tick) { first_q = q; });  // 10us tx
+    net.send(0, 2, 12500, [&](Tick q, Tick) { second_q = q; }); // queued
+    sim.run();
+    EXPECT_EQ(first_q, 10 * kTicksPerUs);
+    EXPECT_EQ(second_q, 20 * kTicksPerUs); // waited for the first
+}
+
+TEST(NetworkTest, SeparateSendersDoNotQueueOnEachOther)
+{
+    Simulator sim;
+    Network net(sim, cfg(), Rng(1));
+    Tick q0 = 0, q1 = 0;
+    net.send(0, 2, 12500, [&](Tick q, Tick) { q0 = q; });
+    net.send(1, 2, 12500, [&](Tick q, Tick) { q1 = q; });
+    sim.run();
+    EXPECT_EQ(q0, q1); // independent uplinks
+}
+
+TEST(NetworkTest, WirelessAddsLatencyAndLowBandwidth)
+{
+    Simulator sim;
+    NetworkConfig c = cfg();
+    c.wirelessLatency = 3 * kTicksPerMs;
+    c.wirelessJitterSigma = 0.0; // deterministic for the test
+    Network net(sim, c, Rng(1));
+    net.attachWireless(5);
+    Tick p = 0, q = 0;
+    net.send(0, 5, 1250, [&](Tick queueing_tx, Tick prop) {
+        q = queueing_tx;
+        p = prop;
+    });
+    sim.run();
+    EXPECT_EQ(p, 3 * kTicksPerMs);
+    // 1250B at 0.05 Gbps = 200us serialization.
+    EXPECT_EQ(q, 200 * kTicksPerUs);
+}
+
+TEST(NetworkTest, DroneToDroneCrossesRouterTwice)
+{
+    Simulator sim;
+    NetworkConfig c = cfg();
+    c.wirelessLatency = 1 * kTicksPerMs;
+    c.wirelessJitterSigma = 0.0;
+    Network net(sim, c, Rng(1));
+    net.attachWireless(1);
+    net.attachWireless(2);
+    Tick p = 0;
+    net.send(1, 2, 125, [&](Tick, Tick prop) { p = prop; });
+    sim.run();
+    EXPECT_EQ(p, 2 * kTicksPerMs);
+}
+
+TEST(NetworkTest, StatsCountMessagesAndBytes)
+{
+    Simulator sim;
+    Network net(sim, cfg(), Rng(1));
+    net.send(0, 1, 100, [](Tick, Tick) {});
+    net.send(1, 0, 200, [](Tick, Tick) {});
+    sim.run();
+    EXPECT_EQ(net.messagesDelivered(), 2u);
+    EXPECT_EQ(net.bytesDelivered(), 300u);
+}
+
+TEST(TcpCostModelTest, CostsScaleWithSize)
+{
+    TcpCostModel tcp;
+    EXPECT_GT(tcp.sendCost(10000), tcp.sendCost(100));
+    EXPECT_GT(tcp.recvCost(100), tcp.sendCost(100)); // interrupts cost
+}
+
+TEST(FpgaOffloadTest, HostCyclesFarBelowKernel)
+{
+    TcpCostModel tcp;
+    FpgaOffloadModel fpga = FpgaOffloadModel::on();
+    EXPECT_TRUE(fpga.enabled);
+    EXPECT_LT(fpga.hostSendCycles * 10, tcp.sendCost(1000));
+    EXPECT_FALSE(FpgaOffloadModel::off().enabled);
+}
+
+} // namespace
+} // namespace uqsim::net

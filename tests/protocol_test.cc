@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tests for the protocol cost models (Thrift vs gRPC vs REST/HTTP1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "rpc/protocol.hh"
+
+namespace uqsim::rpc {
+namespace {
+
+TEST(ProtocolTest, Names)
+{
+    EXPECT_EQ(protocolName(ProtocolKind::ThriftRpc), "Thrift-RPC");
+    EXPECT_EQ(protocolName(ProtocolKind::Grpc), "gRPC");
+    EXPECT_EQ(protocolName(ProtocolKind::RestHttp1), "REST/HTTP1");
+}
+
+TEST(ProtocolTest, HttpFramingLargerThanThrift)
+{
+    // Sec 5: RPCs introduce considerably lower latency than HTTP.
+    const auto thrift = ProtocolModel::thrift();
+    const auto http = ProtocolModel::restHttp1();
+    EXPECT_GT(http.framingBytes, thrift.framingBytes);
+    EXPECT_GT(http.wireSize(512), thrift.wireSize(512));
+}
+
+TEST(ProtocolTest, HttpSerializationCostlier)
+{
+    const auto thrift = ProtocolModel::thrift();
+    const auto http = ProtocolModel::restHttp1();
+    EXPECT_GT(http.serializeCost(512), thrift.serializeCost(512));
+    EXPECT_GT(http.deserializeCost(512), thrift.deserializeCost(512));
+}
+
+TEST(ProtocolTest, OnlyHttp1Blocks)
+{
+    EXPECT_FALSE(ProtocolModel::thrift().connectionBlocking);
+    EXPECT_FALSE(ProtocolModel::grpc().connectionBlocking);
+    EXPECT_TRUE(ProtocolModel::restHttp1().connectionBlocking);
+}
+
+TEST(ProtocolTest, CostsGrowWithPayload)
+{
+    const auto m = ProtocolModel::thrift();
+    EXPECT_GT(m.serializeCost(100000), m.serializeCost(100));
+    EXPECT_EQ(m.wireSize(1000), 1000u + m.framingBytes);
+}
+
+TEST(ProtocolTest, SerializationEfficiencyScalesCost)
+{
+    ProtocolModel tuned = ProtocolModel::thrift();
+    ProtocolModel handrolled = tuned;
+    handrolled.serializationEfficiency = 0.5;
+    EXPECT_NEAR(static_cast<double>(handrolled.serializeCost(1000)),
+                2.0 * static_cast<double>(tuned.serializeCost(1000)),
+                2.0);
+}
+
+} // namespace
+} // namespace uqsim::rpc

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit and statistical tests for the PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/rng.hh"
+
+namespace uqsim {
+namespace {
+
+constexpr int kSamples = 200000;
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, Uniform01Bounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < kSamples; ++i) {
+        const double u = rng.uniform01();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, Uniform01Mean)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < kSamples; ++i)
+        sum += rng.uniform01();
+    EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntRange)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.uniformInt(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(RngTest, ExponentialMean)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    for (int i = 0; i < kSamples; ++i)
+        sum += rng.exponential(250.0);
+    EXPECT_NEAR(sum / kSamples, 250.0, 5.0);
+}
+
+TEST(RngTest, ExponentialIsPositive)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(RngTest, NormalMoments)
+{
+    Rng rng(17);
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < kSamples; ++i) {
+        const double v = rng.normal(10.0, 3.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / kSamples;
+    const double var = sq / kSamples - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, LognormalMean)
+{
+    Rng rng(19);
+    const double mu = 1.0, sigma = 0.5;
+    double sum = 0.0;
+    for (int i = 0; i < kSamples; ++i)
+        sum += rng.lognormal(mu, sigma);
+    const double expected = std::exp(mu + 0.5 * sigma * sigma);
+    EXPECT_NEAR(sum / kSamples, expected, 0.05 * expected);
+}
+
+TEST(RngTest, BoundedParetoStaysInBounds)
+{
+    Rng rng(23);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.boundedPareto(1.5, 10.0, 1000.0);
+        ASSERT_GE(v, 10.0 * 0.999);
+        ASSERT_LE(v, 1000.0 * 1.001);
+    }
+}
+
+TEST(RngTest, BernoulliFrequency)
+{
+    Rng rng(29);
+    int hits = 0;
+    for (int i = 0; i < kSamples; ++i)
+        if (rng.bernoulli(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream)
+{
+    Rng a(31);
+    Rng b = a.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+} // namespace
+} // namespace uqsim

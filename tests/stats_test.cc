@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for counters, time-weighted gauges, windowed stats and the
+ * registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/stats.hh"
+
+namespace uqsim {
+namespace {
+
+TEST(CounterTest, IncrementAndReset)
+{
+    Counter c;
+    c.inc();
+    c.inc(5);
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(TimeWeightedGaugeTest, ConstantValueAverage)
+{
+    TimeWeightedGauge g;
+    g.update(0, 0.5);
+    EXPECT_NEAR(g.average(100), 0.5, 1e-9);
+}
+
+TEST(TimeWeightedGaugeTest, StepChangeWeightsByDuration)
+{
+    TimeWeightedGauge g;
+    g.update(0, 0.0);
+    g.update(50, 1.0); // 0.0 for [0,50), 1.0 for [50,100)
+    EXPECT_NEAR(g.average(100), 0.5, 1e-9);
+}
+
+TEST(TimeWeightedGaugeTest, PeakTracksMaximum)
+{
+    TimeWeightedGauge g;
+    g.update(0, 0.2);
+    g.update(10, 0.9);
+    g.update(20, 0.1);
+    EXPECT_NEAR(g.peak(), 0.9, 1e-9);
+}
+
+TEST(TimeWeightedGaugeTest, ResetRestartsIntegration)
+{
+    TimeWeightedGauge g;
+    g.update(0, 1.0);
+    g.reset(100);
+    g.update(100, 0.0);
+    EXPECT_NEAR(g.average(200), 0.0, 1e-9);
+}
+
+TEST(TimeWeightedGaugeTest, AverageAtResetTimeIsCurrent)
+{
+    TimeWeightedGauge g;
+    g.update(0, 0.7);
+    g.reset(10);
+    EXPECT_NEAR(g.average(10), 0.7, 1e-9);
+}
+
+TEST(WindowedStatTest, RollExposesLastWindow)
+{
+    WindowedStat s(100);
+    s.record(10, 500);
+    s.record(20, 700);
+    s.roll(100);
+    EXPECT_EQ(s.windowCount(), 2u);
+    EXPECT_NEAR(s.windowMean(), 600.0, 1.0);
+}
+
+TEST(WindowedStatTest, AutoRollOnWindowBoundary)
+{
+    WindowedStat s(100);
+    s.record(10, 500);
+    // Recording far past the boundary closes the previous window.
+    s.record(250, 900);
+    EXPECT_EQ(s.windowCount(), 1u);
+    EXPECT_NEAR(s.windowMean(), 500.0, 1.0);
+}
+
+TEST(WindowedStatTest, EmptyWindowReportsZero)
+{
+    WindowedStat s(100);
+    s.roll(100);
+    EXPECT_EQ(s.windowCount(), 0u);
+    EXPECT_EQ(s.windowMean(), 0.0);
+    EXPECT_EQ(s.windowP99(), 0u);
+}
+
+TEST(StatRegistryTest, OwnsNamedStats)
+{
+    StatRegistry reg;
+    reg.counter("requests").inc(3);
+    reg.gauge("load").set(0.7);
+    reg.histogram("latency").record(123);
+    EXPECT_EQ(reg.counter("requests").value(), 3u);
+    EXPECT_EQ(reg.gauge("load").value(), 0.7);
+    EXPECT_EQ(reg.histogram("latency").count(), 1u);
+}
+
+TEST(StatRegistryTest, DumpContainsNames)
+{
+    StatRegistry reg;
+    reg.counter("foo").inc();
+    reg.histogram("bar").record(10);
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_NE(os.str().find("foo"), std::string::npos);
+    EXPECT_NE(os.str().find("bar"), std::string::npos);
+}
+
+TEST(StatRegistryTest, ResetAllClears)
+{
+    StatRegistry reg;
+    reg.counter("c").inc(9);
+    reg.histogram("h").record(5);
+    reg.resetAll();
+    EXPECT_EQ(reg.counter("c").value(), 0u);
+    EXPECT_EQ(reg.histogram("h").count(), 0u);
+}
+
+} // namespace
+} // namespace uqsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for the bench-output table formatter and helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/table.hh"
+#include "core/types.hh"
+
+namespace uqsim {
+namespace {
+
+TEST(TextTableTest, PrintsHeaderAndRows)
+{
+    TextTable t({"name", "value"});
+    t.add("alpha", 1);
+    t.add("beta", 2.5);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("2.5"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTableTest, ColumnsAligned)
+{
+    TextTable t({"a", "b"});
+    t.add("longvaluehere", "x");
+    std::ostringstream os;
+    t.print(os);
+    // Header row must be padded to at least the widest cell.
+    std::istringstream is(os.str());
+    std::string header, rule;
+    std::getline(is, header);
+    std::getline(is, rule);
+    EXPECT_GE(header.size(), std::string("longvaluehere").size());
+}
+
+TEST(TextTableDeathTest, WrongCellCountPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+TEST(FormatTest, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+TEST(FormatTest, FmtMs)
+{
+    EXPECT_EQ(fmtMs(1500000), "1.500ms");
+}
+
+TEST(FormatTest, UnitConversions)
+{
+    EXPECT_EQ(usToTicks(1.0), kTicksPerUs);
+    EXPECT_EQ(msToTicks(1.0), kTicksPerMs);
+    EXPECT_EQ(secToTicks(1.0), kTicksPerSec);
+    EXPECT_NEAR(ticksToMs(kTicksPerSec), 1000.0, 1e-9);
+    EXPECT_NEAR(ticksToSec(kTicksPerMs), 0.001, 1e-12);
+}
+
+} // namespace
+} // namespace uqsim

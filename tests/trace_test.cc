@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the distributed-tracing store, collector and analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/analysis.hh"
+#include "trace/collector.hh"
+
+namespace uqsim::trace {
+namespace {
+
+Span
+makeSpan(TraceId trace, SpanId id, SpanId parent, const std::string &svc,
+         Tick start, Tick end, Tick net = 0, Tick app = 0)
+{
+    Span s;
+    s.traceId = trace;
+    s.spanId = id;
+    s.parentSpanId = parent;
+    s.service = svc;
+    s.start = start;
+    s.end = end;
+    s.networkTime = net;
+    s.appTime = app;
+    return s;
+}
+
+TEST(TraceStoreTest, InsertAndIndex)
+{
+    TraceStore store;
+    store.insert(makeSpan(1, 10, kNoParent, "front", 0, 100));
+    store.insert(makeSpan(1, 11, 10, "back", 10, 60));
+    store.insert(makeSpan(2, 12, kNoParent, "front", 0, 50));
+    EXPECT_EQ(store.size(), 3u);
+    EXPECT_EQ(store.byTrace(1).size(), 2u);
+    EXPECT_EQ(store.byTrace(2).size(), 1u);
+    EXPECT_EQ(store.byService("front").size(), 2u);
+    EXPECT_EQ(store.byService("missing").size(), 0u);
+    EXPECT_EQ(store.services(), (std::vector<std::string>{"back", "front"}));
+}
+
+TEST(TraceStoreTest, ClearEmptiesEverything)
+{
+    TraceStore store;
+    store.insert(makeSpan(1, 1, kNoParent, "svc", 0, 10));
+    store.clear();
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_TRUE(store.byTrace(1).empty());
+}
+
+TEST(CollectorTest, DisabledDropsSpans)
+{
+    TraceStore store;
+    Collector c(store);
+    c.setEnabled(false);
+    c.collect(makeSpan(1, 1, kNoParent, "svc", 0, 10));
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_EQ(c.offered(), 1u);
+}
+
+TEST(CollectorTest, SamplingKeepsEveryNth)
+{
+    TraceStore store;
+    Collector c(store);
+    c.setSampleEvery(10);
+    for (int i = 0; i < 100; ++i)
+        c.collect(makeSpan(1, i + 1, kNoParent, "svc", 0, 10));
+    EXPECT_EQ(store.size(), 10u);
+}
+
+TEST(TraceAnalysisTest, PerServiceSummary)
+{
+    TraceStore store;
+    store.insert(makeSpan(1, 1, kNoParent, "a", 0, 100, 25, 50));
+    store.insert(makeSpan(2, 2, kNoParent, "a", 0, 200, 50, 100));
+    TraceAnalysis ta(store);
+    const auto s = ta.forService("a");
+    EXPECT_EQ(s.spanCount, 2u);
+    EXPECT_NEAR(s.networkShare, 0.25, 1e-9);
+    EXPECT_NEAR(s.appShare, 0.5, 1e-9);
+    EXPECT_NEAR(s.meanLatencyUs, 0.15, 1e-6); // (100+200)/2 ns
+}
+
+TEST(TraceAnalysisTest, EndToEndNetworkShare)
+{
+    TraceStore store;
+    // Root of trace 1: 1000ns long; total network across spans 300ns.
+    store.insert(makeSpan(1, 1, kNoParent, "client", 0, 1000, 100, 0));
+    store.insert(makeSpan(1, 2, 1, "svc", 100, 800, 200, 400));
+    TraceAnalysis ta(store);
+    EXPECT_NEAR(ta.endToEndNetworkShare(), 0.3, 1e-9);
+}
+
+TEST(TraceAnalysisTest, EndToEndLatencyUsesRootsOnly)
+{
+    TraceStore store;
+    store.insert(makeSpan(1, 1, kNoParent, "client", 0, 5000));
+    store.insert(makeSpan(1, 2, 1, "svc", 0, 4000));
+    store.insert(makeSpan(2, 3, kNoParent, "client", 0, 7000));
+    TraceAnalysis ta(store);
+    const auto h = ta.endToEndLatency();
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_GE(h.max(), 7000u);
+}
+
+TEST(TraceAnalysisTest, CriticalPathExclusiveTimes)
+{
+    TraceStore store;
+    // parent [0,1000], child [200,700]: parent exclusive 500, child 500.
+    store.insert(makeSpan(1, 1, kNoParent, "parent", 0, 1000));
+    store.insert(makeSpan(1, 2, 1, "child", 200, 700));
+    TraceAnalysis ta(store);
+    const auto cp = ta.criticalPath();
+    EXPECT_NEAR(cp.at("parent"), 500.0, 1e-9);
+    EXPECT_NEAR(cp.at("child"), 500.0, 1e-9);
+}
+
+TEST(TraceAnalysisTest, CriticalPathClampsOverlappingChildren)
+{
+    TraceStore store;
+    // Parallel children whose summed duration exceeds the parent.
+    store.insert(makeSpan(1, 1, kNoParent, "parent", 0, 1000));
+    store.insert(makeSpan(1, 2, 1, "child", 0, 900));
+    store.insert(makeSpan(1, 3, 1, "child", 0, 900));
+    TraceAnalysis ta(store);
+    const auto cp = ta.criticalPath();
+    EXPECT_NEAR(cp.at("parent"), 0.0, 1e-9); // fully covered
+    EXPECT_NEAR(cp.at("child"), 1800.0, 1e-9);
+}
+
+TEST(IdAllocatorTest, MonotonicIds)
+{
+    IdAllocator ids;
+    const TraceId t1 = ids.nextTrace();
+    const TraceId t2 = ids.nextTrace();
+    EXPECT_LT(t1, t2);
+    const SpanId s1 = ids.nextSpan();
+    const SpanId s2 = ids.nextSpan();
+    EXPECT_LT(s1, s2);
+}
+
+} // namespace
+} // namespace uqsim::trace

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for user populations and skew statistics (Sec 8 inputs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/user_population.hh"
+
+namespace uqsim::workload {
+namespace {
+
+TEST(UserPopulationTest, UniformCoversRange)
+{
+    auto pop = UserPopulation::uniform(10);
+    Rng rng(1);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 20000; ++i)
+        counts[pop.sample(rng)]++;
+    EXPECT_EQ(counts.size(), 10u);
+    for (const auto &[user, n] : counts)
+        EXPECT_NEAR(n, 2000, 300);
+}
+
+TEST(UserPopulationTest, SkewZeroIsUniform)
+{
+    auto pop = UserPopulation::skewed(100, 0.0);
+    EXPECT_NEAR(pop.hottestShardLoad(10), 0.1, 1e-9);
+}
+
+TEST(UserPopulationTest, SkewMatchesPaperDefinition)
+{
+    // skew = 100 - u, u = % of users issuing 90% of requests.
+    // At skew 80%, 20% of users get 90% of the traffic.
+    auto pop = UserPopulation::skewed(1000, 80.0);
+    Rng rng(3);
+    std::uint64_t hot = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (pop.sample(rng) < 200) // the hot 20%
+            ++hot;
+    EXPECT_NEAR(static_cast<double>(hot) / n, 0.9 + 0.1 * 0.2, 0.02);
+}
+
+TEST(UserPopulationTest, ExtremeSkewConcentrates)
+{
+    auto pop = UserPopulation::skewed(1000, 99.0);
+    Rng rng(5);
+    std::uint64_t hot = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        if (pop.sample(rng) < 10) // hot 1%
+            ++hot;
+    EXPECT_GT(static_cast<double>(hot) / n, 0.85);
+}
+
+TEST(UserPopulationTest, HottestShardLoadGrowsWithSkew)
+{
+    // Small population (the deployed Social Network has hundreds of
+    // users): extreme skew leaves fewer hot users than shards.
+    double prev = 0.0;
+    for (double skew : {0.0, 50.0, 80.0, 95.0, 99.0}) {
+        auto pop = UserPopulation::skewed(100, skew);
+        const double load = pop.hottestShardLoad(8);
+        EXPECT_GE(load, prev) << "skew=" << skew;
+        prev = load;
+    }
+    EXPECT_GT(prev, 0.5); // at 99% skew one shard absorbs most load
+}
+
+TEST(UserPopulationTest, ZipfMatchesPaperRealTraffic)
+{
+    // Paper: ~5% of users generate >30% of requests in real traffic.
+    auto pop = UserPopulation::zipf(1000, 0.95);
+    Rng rng(7);
+    std::uint64_t top5 = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (pop.sample(rng) < 50)
+            ++top5;
+    EXPECT_GT(static_cast<double>(top5) / n, 0.30);
+}
+
+TEST(UserPopulationDeathTest, InvalidSkewFatal)
+{
+    EXPECT_DEATH(UserPopulation::skewed(10, 100.0), "skew");
+}
+
+} // namespace
+} // namespace uqsim::workload

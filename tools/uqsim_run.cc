@@ -1,0 +1,343 @@
+/**
+ * @file
+ * uqsim_run: command-line driver over the whole suite.
+ *
+ * Run any end-to-end application under any platform/protocol/fault
+ * configuration without writing C++:
+ *
+ *   uqsim_run --app social-network --qps 300 --duration 10
+ *   uqsim_run --app ecommerce --core thunderx --freq 1800 --report services
+ *   uqsim_run --app social-network --fpga --report traces
+ *   uqsim_run --app banking --lambda s3 --report cost
+ *   uqsim_run --app swarm-edge --qps 4 --drones 24
+ *   uqsim_run --app social-network --slow-servers 2 --skew 90
+ *   uqsim_run --list
+ *
+ * Prints a latency/goodput summary plus the requested report section.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "apps/catalog.hh"
+#include "apps/single_tier.hh"
+#include "apps/social_network.hh"
+#include "apps/swarm.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+#include "cpu/power.hh"
+#include "serverless/platform.hh"
+#include "trace/analysis.hh"
+#include "workload/load_sweep.hh"
+
+using namespace uqsim;
+
+namespace {
+
+struct Options
+{
+    std::string app = "social-network";
+    double qps = 300.0;
+    double durationSec = 10.0;
+    double warmupSec = 2.0;
+    unsigned servers = 5;
+    unsigned drones = 24;
+    std::string core = "xeon";
+    double freqMhz = 0.0;
+    bool fpga = false;
+    std::string lambda;          // "", "s3", "mem"
+    unsigned slowServers = 0;
+    double slowFactor = 40.0;
+    double skew = -1.0;          // <0: uniform users
+    std::uint64_t users = 1000;
+    std::uint64_t seed = 42;
+    std::string report = "summary"; // summary|services|traces|cost|energy
+    bool list = false;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "uqsim_run - drive a DeathStarBench model from the CLI\n\n"
+        "  --app NAME         social-network | media | ecommerce | banking |\n"
+        "                     swarm-cloud | swarm-edge | social-monolith |\n"
+        "                     nginx | memcached | mongodb | xapian | recommender\n"
+        "  --qps N            offered load (default 300)\n"
+        "  --duration SEC     measured window (default 10)\n"
+        "  --warmup SEC       warmup window (default 2)\n"
+        "  --servers N        worker servers (default 5)\n"
+        "  --drones N         swarm size (default 24)\n"
+        "  --core MODEL       xeon | xeon18 | thunderx (default xeon)\n"
+        "  --freq MHZ         RAPL frequency cap for all servers\n"
+        "  --fpga             enable the TCP offload\n"
+        "  --lambda KIND      serverless execution: s3 | mem\n"
+        "  --slow-servers N   inject N slow servers\n"
+        "  --slow-factor X    slowdown multiplier (default 40)\n"
+        "  --skew PCT         user skew 0-99 (default: uniform)\n"
+        "  --users N          user population (default 1000)\n"
+        "  --seed N           world seed (default 42)\n"
+        "  --report KIND      summary | services | traces | cost | energy\n"
+        "  --list             list applications and exit\n";
+}
+
+bool
+parse(int argc, char **argv, Options &opt)
+{
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal(strCat("missing value for ", argv[i]));
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--app")
+            opt.app = need(i);
+        else if (a == "--qps")
+            opt.qps = std::atof(need(i));
+        else if (a == "--duration")
+            opt.durationSec = std::atof(need(i));
+        else if (a == "--warmup")
+            opt.warmupSec = std::atof(need(i));
+        else if (a == "--servers")
+            opt.servers = static_cast<unsigned>(std::atoi(need(i)));
+        else if (a == "--drones")
+            opt.drones = static_cast<unsigned>(std::atoi(need(i)));
+        else if (a == "--core")
+            opt.core = need(i);
+        else if (a == "--freq")
+            opt.freqMhz = std::atof(need(i));
+        else if (a == "--fpga")
+            opt.fpga = true;
+        else if (a == "--lambda")
+            opt.lambda = need(i);
+        else if (a == "--slow-servers")
+            opt.slowServers = static_cast<unsigned>(std::atoi(need(i)));
+        else if (a == "--slow-factor")
+            opt.slowFactor = std::atof(need(i));
+        else if (a == "--skew")
+            opt.skew = std::atof(need(i));
+        else if (a == "--users")
+            opt.users = static_cast<std::uint64_t>(std::atoll(need(i)));
+        else if (a == "--seed")
+            opt.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+        else if (a == "--report")
+            opt.report = need(i);
+        else if (a == "--list")
+            opt.list = true;
+        else if (a == "--help" || a == "-h") {
+            usage();
+            return false;
+        } else {
+            fatal(strCat("unknown option '", a, "' (try --help)"));
+        }
+    }
+    return true;
+}
+
+cpu::CoreModel
+coreModel(const std::string &name)
+{
+    if (name == "xeon")
+        return cpu::CoreModel::xeon();
+    if (name == "xeon18")
+        return cpu::CoreModel::xeonAt1800();
+    if (name == "thunderx")
+        return cpu::CoreModel::thunderx();
+    fatal(strCat("unknown core model '", name, "'"));
+}
+
+/** Build the requested app; returns true if it is a swarm variant. */
+void
+buildByName(apps::World &w, const Options &opt)
+{
+    const std::string &n = opt.app;
+    apps::SwarmOptions so;
+    so.drones = opt.drones;
+    if (n == "social-network")
+        apps::buildSocialNetwork(w);
+    else if (n == "social-monolith")
+        apps::buildSocialNetworkMonolith(w);
+    else if (n == "media")
+        apps::buildApp(w, apps::AppId::MediaService);
+    else if (n == "ecommerce")
+        apps::buildApp(w, apps::AppId::Ecommerce);
+    else if (n == "banking")
+        apps::buildApp(w, apps::AppId::Banking);
+    else if (n == "swarm-cloud")
+        apps::buildSwarm(w, apps::SwarmVariant::Cloud, so);
+    else if (n == "swarm-edge")
+        apps::buildSwarm(w, apps::SwarmVariant::Edge, so);
+    else if (n == "nginx")
+        apps::buildSingleTier(w, apps::SingleTierKind::Nginx);
+    else if (n == "memcached")
+        apps::buildSingleTier(w, apps::SingleTierKind::Memcached);
+    else if (n == "mongodb")
+        apps::buildSingleTier(w, apps::SingleTierKind::MongoDB);
+    else if (n == "xapian")
+        apps::buildSingleTier(w, apps::SingleTierKind::Xapian);
+    else if (n == "recommender")
+        apps::buildSingleTier(w, apps::SingleTierKind::Recommender);
+    else
+        fatal(strCat("unknown app '", n, "' (try --list)"));
+}
+
+void
+listApps()
+{
+    std::cout << "End-to-end services (Table 1):\n";
+    for (apps::AppId id : apps::allApps()) {
+        const auto &info = apps::appInfo(id);
+        std::cout << "  " << info.name << ": "
+                  << info.uniqueMicroservices << " microservices, "
+                  << info.protocol << "\n";
+    }
+    std::cout << "Single-tier baselines: nginx, memcached, mongodb, "
+                 "xapian, recommender\nMonolith: social-monolith\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parse(argc, argv, opt))
+        return 0;
+    if (opt.list) {
+        listApps();
+        return 0;
+    }
+
+    apps::WorldConfig config;
+    config.workerServers = opt.servers;
+    config.coreModel = coreModel(opt.core);
+    config.seed = opt.seed;
+    if (opt.fpga)
+        config.appConfig.fpga = net::FpgaOffloadModel::on();
+    apps::World world(config);
+    buildByName(world, opt);
+    service::App &app = *world.app;
+
+    serverless::LambdaConfig lambda_cfg;
+    if (!opt.lambda.empty()) {
+        lambda_cfg.stateStore = opt.lambda == "s3"
+                                    ? serverless::StateStoreKind::S3
+                                    : serverless::StateStoreKind::
+                                          RemoteMemory;
+        serverless::LambdaPlatform::applyToApp(app, lambda_cfg,
+                                               world.cluster);
+    }
+    if (opt.freqMhz > 0.0)
+        world.cluster.setAllFrequenciesMhz(opt.freqMhz);
+    if (opt.slowServers > 0)
+        world.cluster.injectSlowServers(opt.slowServers, opt.slowFactor);
+
+    cpu::EnergyMeter meter(world.sim, world.cluster,
+                           cpu::PowerModel::xeon());
+    if (opt.report == "energy")
+        meter.start();
+
+    const workload::UserPopulation users =
+        opt.skew >= 0.0
+            ? workload::UserPopulation::skewed(opt.users, opt.skew)
+            : workload::UserPopulation::uniform(opt.users);
+    const auto r = workload::runLoad(
+        app, opt.qps, secToTicks(opt.warmupSec),
+        secToTicks(opt.durationSec), workload::QueryMix::fromApp(app),
+        users, opt.seed + 1);
+
+    // ---- summary ---------------------------------------------------------
+    std::cout << opt.app << " @ " << opt.qps << " qps on " << opt.servers
+              << "x " << config.coreModel.name << "\n";
+    TextTable summary({"metric", "value"});
+    summary.add("completed", r.completed);
+    summary.add("dropped", r.dropped);
+    summary.add("p50", fmtMs(r.p50));
+    summary.add("p95", fmtMs(r.p95));
+    summary.add("p99", fmtMs(r.p99));
+    summary.add("mean", fmtDouble(r.meanMs, 3) + "ms");
+    summary.add("goodput (QoS " +
+                    fmtDouble(ticksToMs(app.config().qosLatency), 0) +
+                    "ms)",
+                fmtDouble(r.goodputQps, 1) + " qps");
+    summary.add("network-processing share",
+                fmtDouble(100.0 * r.networkShare, 1) + "%");
+    summary.add("cluster CPU utilization",
+                fmtDouble(100.0 * r.meanUtilization, 2) + "%");
+    summary.add("events simulated", world.sim.eventsExecuted());
+    summary.print(std::cout);
+
+    // ---- per-query-type latency ----------------------------------------
+    if (app.queryTypes().size() > 1) {
+        TextTable q({"query type", "count", "p50(ms)", "p99(ms)"});
+        for (unsigned i = 0; i < app.queryTypes().size(); ++i) {
+            const auto &h = app.endToEndLatencyFor(i);
+            if (h.count() == 0)
+                continue;
+            q.add(app.queryTypes()[i].name, h.count(),
+                  fmtDouble(ticksToMs(h.p50()), 2),
+                  fmtDouble(ticksToMs(h.p99()), 2));
+        }
+        printBanner(std::cout, "query types");
+        q.print(std::cout);
+    }
+
+    // ---- optional report sections ---------------------------------------
+    if (opt.report == "services" || opt.report == "traces") {
+        trace::TraceAnalysis ta(app.traceStore());
+        printBanner(std::cout, "per-service (from traces)");
+        TextTable t({"service", "spans", "mean(us)", "p99(ms)", "net%",
+                     "app%", "queue%"});
+        for (const auto &s : ta.perService()) {
+            t.add(s.service, s.spanCount, fmtDouble(s.meanLatencyUs, 0),
+                  fmtDouble(ticksToMs(s.p99LatencyNs), 2),
+                  fmtDouble(100 * s.networkShare, 0),
+                  fmtDouble(100 * s.appShare, 0),
+                  fmtDouble(100 * s.queueShare, 0));
+        }
+        t.print(std::cout);
+    }
+    if (opt.report == "traces") {
+        trace::TraceAnalysis ta(app.traceStore());
+        printBanner(std::cout, "critical path (mean us/request)");
+        for (const auto &[svc, ns] : ta.criticalPath())
+            std::cout << "  " << svc << ": " << fmtDouble(ns / 1000.0, 0)
+                      << "\n";
+    }
+    if (opt.report == "cost") {
+        const Tick window = secToTicks(600.0);
+        const serverless::Ec2CostModel ec2;
+        printBanner(std::cout, "cost (per 10 minutes)");
+        if (opt.lambda.empty()) {
+            std::cout << "EC2 reserved (" << opt.servers
+                      << " servers as m5.12xlarge): $"
+                      << fmtDouble(ec2.cost(opt.servers, window), 2)
+                      << "\n";
+        } else {
+            const serverless::LambdaCostModel lc;
+            const auto inv = serverless::LambdaPlatform::invocations(
+                app, lambda_cfg.storeName);
+            const auto billed =
+                serverless::LambdaPlatform::billedDuration(
+                    app, lc, lambda_cfg.storeName);
+            const double scale = 600.0 / opt.durationSec;
+            std::cout << "Lambda (" << opt.lambda << " state): $"
+                      << fmtDouble(lc.cost(inv, billed) * scale, 2)
+                      << "  (" << inv << " invocations measured)\n";
+        }
+    }
+    if (opt.report == "energy") {
+        printBanner(std::cout, "energy");
+        std::cout << "cluster average power: "
+                  << fmtDouble(meter.averageWatts(), 0) << " W\n"
+                  << "energy per completed request: "
+                  << fmtDouble(meter.totalJoules() /
+                                   std::max<double>(1.0, r.completed),
+                               2)
+                  << " J\n";
+    }
+    return 0;
+}
