@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig03_net_vs_app.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_swarm.dir/bench_fig09_swarm.cc.o"
+  "CMakeFiles/bench_fig09_swarm.dir/bench_fig09_swarm.cc.o.d"
+  "bench_fig09_swarm"
+  "bench_fig09_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_l1i.dir/bench_fig11_l1i.cc.o"
+  "CMakeFiles/bench_fig11_l1i.dir/bench_fig11_l1i.cc.o.d"
+  "bench_fig11_l1i"
+  "bench_fig11_l1i.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_l1i.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

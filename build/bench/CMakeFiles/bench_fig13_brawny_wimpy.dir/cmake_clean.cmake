@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_brawny_wimpy.dir/bench_fig13_brawny_wimpy.cc.o"
+  "CMakeFiles/bench_fig13_brawny_wimpy.dir/bench_fig13_brawny_wimpy.cc.o.d"
+  "bench_fig13_brawny_wimpy"
+  "bench_fig13_brawny_wimpy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_brawny_wimpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

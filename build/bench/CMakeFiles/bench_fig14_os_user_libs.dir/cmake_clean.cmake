@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_os_user_libs.dir/bench_fig14_os_user_libs.cc.o"
+  "CMakeFiles/bench_fig14_os_user_libs.dir/bench_fig14_os_user_libs.cc.o.d"
+  "bench_fig14_os_user_libs"
+  "bench_fig14_os_user_libs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_os_user_libs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

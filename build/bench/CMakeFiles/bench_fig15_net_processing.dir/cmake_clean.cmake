@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_net_processing.dir/bench_fig15_net_processing.cc.o"
+  "CMakeFiles/bench_fig15_net_processing.dir/bench_fig15_net_processing.cc.o.d"
+  "bench_fig15_net_processing"
+  "bench_fig15_net_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_net_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

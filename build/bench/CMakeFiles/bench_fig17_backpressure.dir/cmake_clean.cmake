@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_backpressure.dir/bench_fig17_backpressure.cc.o"
+  "CMakeFiles/bench_fig17_backpressure.dir/bench_fig17_backpressure.cc.o.d"
+  "bench_fig17_backpressure"
+  "bench_fig17_backpressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_backpressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

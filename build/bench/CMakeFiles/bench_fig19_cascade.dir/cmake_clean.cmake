@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_cascade.dir/bench_fig19_cascade.cc.o"
+  "CMakeFiles/bench_fig19_cascade.dir/bench_fig19_cascade.cc.o.d"
+  "bench_fig19_cascade"
+  "bench_fig19_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_serverless.dir/bench_fig21_serverless.cc.o"
+  "CMakeFiles/bench_fig21_serverless.dir/bench_fig21_serverless.cc.o.d"
+  "bench_fig21_serverless"
+  "bench_fig21_serverless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_serverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_rpc_vs_http.dir/bench_sec7_rpc_vs_http.cc.o"
+  "CMakeFiles/bench_sec7_rpc_vs_http.dir/bench_sec7_rpc_vs_http.cc.o.d"
+  "bench_sec7_rpc_vs_http"
+  "bench_sec7_rpc_vs_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_rpc_vs_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec7_rpc_vs_http.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscaler_demo.dir/autoscaler_demo.cpp.o"
+  "CMakeFiles/autoscaler_demo.dir/autoscaler_demo.cpp.o.d"
+  "autoscaler_demo"
+  "autoscaler_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscaler_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/graph_export.cpp" "examples/CMakeFiles/graph_export.dir/graph_export.cpp.o" "gcc" "examples/CMakeFiles/graph_export.dir/graph_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/uqsim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/uqsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/manager/CMakeFiles/uqsim_manager.dir/DependInfo.cmake"
+  "/root/repo/build/src/serverless/CMakeFiles/uqsim_serverless.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/uqsim_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/uqsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/uqsim_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/uqsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/uqsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/uqsim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_migration.dir/serverless_migration.cpp.o"
+  "CMakeFiles/serverless_migration.dir/serverless_migration.cpp.o.d"
+  "serverless_migration"
+  "serverless_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_network_study.dir/social_network_study.cpp.o"
+  "CMakeFiles/social_network_study.dir/social_network_study.cpp.o.d"
+  "social_network_study"
+  "social_network_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_network_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

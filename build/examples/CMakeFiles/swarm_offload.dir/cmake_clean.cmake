@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarm_offload.dir/swarm_offload.cpp.o"
+  "CMakeFiles/swarm_offload.dir/swarm_offload.cpp.o.d"
+  "swarm_offload"
+  "swarm_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarm_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

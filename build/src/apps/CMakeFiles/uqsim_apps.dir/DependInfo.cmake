@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/banking.cc" "src/apps/CMakeFiles/uqsim_apps.dir/banking.cc.o" "gcc" "src/apps/CMakeFiles/uqsim_apps.dir/banking.cc.o.d"
+  "/root/repo/src/apps/builder.cc" "src/apps/CMakeFiles/uqsim_apps.dir/builder.cc.o" "gcc" "src/apps/CMakeFiles/uqsim_apps.dir/builder.cc.o.d"
+  "/root/repo/src/apps/catalog.cc" "src/apps/CMakeFiles/uqsim_apps.dir/catalog.cc.o" "gcc" "src/apps/CMakeFiles/uqsim_apps.dir/catalog.cc.o.d"
+  "/root/repo/src/apps/ecommerce.cc" "src/apps/CMakeFiles/uqsim_apps.dir/ecommerce.cc.o" "gcc" "src/apps/CMakeFiles/uqsim_apps.dir/ecommerce.cc.o.d"
+  "/root/repo/src/apps/media_service.cc" "src/apps/CMakeFiles/uqsim_apps.dir/media_service.cc.o" "gcc" "src/apps/CMakeFiles/uqsim_apps.dir/media_service.cc.o.d"
+  "/root/repo/src/apps/profiles.cc" "src/apps/CMakeFiles/uqsim_apps.dir/profiles.cc.o" "gcc" "src/apps/CMakeFiles/uqsim_apps.dir/profiles.cc.o.d"
+  "/root/repo/src/apps/single_tier.cc" "src/apps/CMakeFiles/uqsim_apps.dir/single_tier.cc.o" "gcc" "src/apps/CMakeFiles/uqsim_apps.dir/single_tier.cc.o.d"
+  "/root/repo/src/apps/social_network.cc" "src/apps/CMakeFiles/uqsim_apps.dir/social_network.cc.o" "gcc" "src/apps/CMakeFiles/uqsim_apps.dir/social_network.cc.o.d"
+  "/root/repo/src/apps/swarm.cc" "src/apps/CMakeFiles/uqsim_apps.dir/swarm.cc.o" "gcc" "src/apps/CMakeFiles/uqsim_apps.dir/swarm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/uqsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/uqsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/uqsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/uqsim_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/uqsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/manager/CMakeFiles/uqsim_manager.dir/DependInfo.cmake"
+  "/root/repo/build/src/serverless/CMakeFiles/uqsim_serverless.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/uqsim_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/uqsim_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uqsim_apps.dir/banking.cc.o"
+  "CMakeFiles/uqsim_apps.dir/banking.cc.o.d"
+  "CMakeFiles/uqsim_apps.dir/builder.cc.o"
+  "CMakeFiles/uqsim_apps.dir/builder.cc.o.d"
+  "CMakeFiles/uqsim_apps.dir/catalog.cc.o"
+  "CMakeFiles/uqsim_apps.dir/catalog.cc.o.d"
+  "CMakeFiles/uqsim_apps.dir/ecommerce.cc.o"
+  "CMakeFiles/uqsim_apps.dir/ecommerce.cc.o.d"
+  "CMakeFiles/uqsim_apps.dir/media_service.cc.o"
+  "CMakeFiles/uqsim_apps.dir/media_service.cc.o.d"
+  "CMakeFiles/uqsim_apps.dir/profiles.cc.o"
+  "CMakeFiles/uqsim_apps.dir/profiles.cc.o.d"
+  "CMakeFiles/uqsim_apps.dir/single_tier.cc.o"
+  "CMakeFiles/uqsim_apps.dir/single_tier.cc.o.d"
+  "CMakeFiles/uqsim_apps.dir/social_network.cc.o"
+  "CMakeFiles/uqsim_apps.dir/social_network.cc.o.d"
+  "CMakeFiles/uqsim_apps.dir/swarm.cc.o"
+  "CMakeFiles/uqsim_apps.dir/swarm.cc.o.d"
+  "libuqsim_apps.a"
+  "libuqsim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uqsim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uqsim_core.dir/distributions.cc.o"
+  "CMakeFiles/uqsim_core.dir/distributions.cc.o.d"
+  "CMakeFiles/uqsim_core.dir/event_queue.cc.o"
+  "CMakeFiles/uqsim_core.dir/event_queue.cc.o.d"
+  "CMakeFiles/uqsim_core.dir/histogram.cc.o"
+  "CMakeFiles/uqsim_core.dir/histogram.cc.o.d"
+  "CMakeFiles/uqsim_core.dir/logging.cc.o"
+  "CMakeFiles/uqsim_core.dir/logging.cc.o.d"
+  "CMakeFiles/uqsim_core.dir/rng.cc.o"
+  "CMakeFiles/uqsim_core.dir/rng.cc.o.d"
+  "CMakeFiles/uqsim_core.dir/simulator.cc.o"
+  "CMakeFiles/uqsim_core.dir/simulator.cc.o.d"
+  "CMakeFiles/uqsim_core.dir/stats.cc.o"
+  "CMakeFiles/uqsim_core.dir/stats.cc.o.d"
+  "CMakeFiles/uqsim_core.dir/table.cc.o"
+  "CMakeFiles/uqsim_core.dir/table.cc.o.d"
+  "libuqsim_core.a"
+  "libuqsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uqsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

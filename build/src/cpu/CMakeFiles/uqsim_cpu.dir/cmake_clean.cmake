@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uqsim_cpu.dir/core_model.cc.o"
+  "CMakeFiles/uqsim_cpu.dir/core_model.cc.o.d"
+  "CMakeFiles/uqsim_cpu.dir/microarch.cc.o"
+  "CMakeFiles/uqsim_cpu.dir/microarch.cc.o.d"
+  "CMakeFiles/uqsim_cpu.dir/power.cc.o"
+  "CMakeFiles/uqsim_cpu.dir/power.cc.o.d"
+  "CMakeFiles/uqsim_cpu.dir/server.cc.o"
+  "CMakeFiles/uqsim_cpu.dir/server.cc.o.d"
+  "libuqsim_cpu.a"
+  "libuqsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uqsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/manager/autoscaler.cc" "src/manager/CMakeFiles/uqsim_manager.dir/autoscaler.cc.o" "gcc" "src/manager/CMakeFiles/uqsim_manager.dir/autoscaler.cc.o.d"
+  "/root/repo/src/manager/monitor.cc" "src/manager/CMakeFiles/uqsim_manager.dir/monitor.cc.o" "gcc" "src/manager/CMakeFiles/uqsim_manager.dir/monitor.cc.o.d"
+  "/root/repo/src/manager/qos.cc" "src/manager/CMakeFiles/uqsim_manager.dir/qos.cc.o" "gcc" "src/manager/CMakeFiles/uqsim_manager.dir/qos.cc.o.d"
+  "/root/repo/src/manager/rate_limiter.cc" "src/manager/CMakeFiles/uqsim_manager.dir/rate_limiter.cc.o" "gcc" "src/manager/CMakeFiles/uqsim_manager.dir/rate_limiter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/uqsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/uqsim_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/uqsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/uqsim_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/uqsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/uqsim_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uqsim_manager.dir/autoscaler.cc.o"
+  "CMakeFiles/uqsim_manager.dir/autoscaler.cc.o.d"
+  "CMakeFiles/uqsim_manager.dir/monitor.cc.o"
+  "CMakeFiles/uqsim_manager.dir/monitor.cc.o.d"
+  "CMakeFiles/uqsim_manager.dir/qos.cc.o"
+  "CMakeFiles/uqsim_manager.dir/qos.cc.o.d"
+  "CMakeFiles/uqsim_manager.dir/rate_limiter.cc.o"
+  "CMakeFiles/uqsim_manager.dir/rate_limiter.cc.o.d"
+  "libuqsim_manager.a"
+  "libuqsim_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uqsim_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uqsim_net.dir/network.cc.o"
+  "CMakeFiles/uqsim_net.dir/network.cc.o.d"
+  "libuqsim_net.a"
+  "libuqsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uqsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

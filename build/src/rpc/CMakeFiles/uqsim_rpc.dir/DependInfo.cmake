@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/connection_pool.cc" "src/rpc/CMakeFiles/uqsim_rpc.dir/connection_pool.cc.o" "gcc" "src/rpc/CMakeFiles/uqsim_rpc.dir/connection_pool.cc.o.d"
+  "/root/repo/src/rpc/protocol.cc" "src/rpc/CMakeFiles/uqsim_rpc.dir/protocol.cc.o" "gcc" "src/rpc/CMakeFiles/uqsim_rpc.dir/protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/uqsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/uqsim_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

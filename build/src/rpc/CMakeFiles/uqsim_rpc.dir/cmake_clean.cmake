@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uqsim_rpc.dir/connection_pool.cc.o"
+  "CMakeFiles/uqsim_rpc.dir/connection_pool.cc.o.d"
+  "CMakeFiles/uqsim_rpc.dir/protocol.cc.o"
+  "CMakeFiles/uqsim_rpc.dir/protocol.cc.o.d"
+  "libuqsim_rpc.a"
+  "libuqsim_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uqsim_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuqsim_rpc.a"
+)

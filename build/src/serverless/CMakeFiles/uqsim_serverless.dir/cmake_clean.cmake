@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uqsim_serverless.dir/platform.cc.o"
+  "CMakeFiles/uqsim_serverless.dir/platform.cc.o.d"
+  "libuqsim_serverless.a"
+  "libuqsim_serverless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uqsim_serverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

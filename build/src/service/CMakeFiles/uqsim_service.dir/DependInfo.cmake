@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/app.cc" "src/service/CMakeFiles/uqsim_service.dir/app.cc.o" "gcc" "src/service/CMakeFiles/uqsim_service.dir/app.cc.o.d"
+  "/root/repo/src/service/handler.cc" "src/service/CMakeFiles/uqsim_service.dir/handler.cc.o" "gcc" "src/service/CMakeFiles/uqsim_service.dir/handler.cc.o.d"
+  "/root/repo/src/service/microservice.cc" "src/service/CMakeFiles/uqsim_service.dir/microservice.cc.o" "gcc" "src/service/CMakeFiles/uqsim_service.dir/microservice.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/uqsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/uqsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/uqsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/uqsim_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/uqsim_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

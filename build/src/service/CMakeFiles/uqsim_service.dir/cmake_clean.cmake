@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uqsim_service.dir/app.cc.o"
+  "CMakeFiles/uqsim_service.dir/app.cc.o.d"
+  "CMakeFiles/uqsim_service.dir/handler.cc.o"
+  "CMakeFiles/uqsim_service.dir/handler.cc.o.d"
+  "CMakeFiles/uqsim_service.dir/microservice.cc.o"
+  "CMakeFiles/uqsim_service.dir/microservice.cc.o.d"
+  "libuqsim_service.a"
+  "libuqsim_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uqsim_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

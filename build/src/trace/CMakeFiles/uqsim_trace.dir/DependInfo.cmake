@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cc" "src/trace/CMakeFiles/uqsim_trace.dir/analysis.cc.o" "gcc" "src/trace/CMakeFiles/uqsim_trace.dir/analysis.cc.o.d"
+  "/root/repo/src/trace/collector.cc" "src/trace/CMakeFiles/uqsim_trace.dir/collector.cc.o" "gcc" "src/trace/CMakeFiles/uqsim_trace.dir/collector.cc.o.d"
+  "/root/repo/src/trace/export.cc" "src/trace/CMakeFiles/uqsim_trace.dir/export.cc.o" "gcc" "src/trace/CMakeFiles/uqsim_trace.dir/export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/uqsim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uqsim_trace.dir/analysis.cc.o"
+  "CMakeFiles/uqsim_trace.dir/analysis.cc.o.d"
+  "CMakeFiles/uqsim_trace.dir/collector.cc.o"
+  "CMakeFiles/uqsim_trace.dir/collector.cc.o.d"
+  "CMakeFiles/uqsim_trace.dir/export.cc.o"
+  "CMakeFiles/uqsim_trace.dir/export.cc.o.d"
+  "libuqsim_trace.a"
+  "libuqsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uqsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for uqsim_trace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generators.cc" "src/workload/CMakeFiles/uqsim_workload.dir/generators.cc.o" "gcc" "src/workload/CMakeFiles/uqsim_workload.dir/generators.cc.o.d"
+  "/root/repo/src/workload/load_sweep.cc" "src/workload/CMakeFiles/uqsim_workload.dir/load_sweep.cc.o" "gcc" "src/workload/CMakeFiles/uqsim_workload.dir/load_sweep.cc.o.d"
+  "/root/repo/src/workload/user_population.cc" "src/workload/CMakeFiles/uqsim_workload.dir/user_population.cc.o" "gcc" "src/workload/CMakeFiles/uqsim_workload.dir/user_population.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/uqsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/uqsim_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/uqsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/uqsim_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/uqsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/uqsim_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uqsim_workload.dir/generators.cc.o"
+  "CMakeFiles/uqsim_workload.dir/generators.cc.o.d"
+  "CMakeFiles/uqsim_workload.dir/load_sweep.cc.o"
+  "CMakeFiles/uqsim_workload.dir/load_sweep.cc.o.d"
+  "CMakeFiles/uqsim_workload.dir/user_population.cc.o"
+  "CMakeFiles/uqsim_workload.dir/user_population.cc.o.d"
+  "libuqsim_workload.a"
+  "libuqsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uqsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

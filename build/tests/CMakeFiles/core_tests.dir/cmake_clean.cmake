@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/distributions_test.cc.o"
+  "CMakeFiles/core_tests.dir/distributions_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/event_queue_test.cc.o"
+  "CMakeFiles/core_tests.dir/event_queue_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/histogram_test.cc.o"
+  "CMakeFiles/core_tests.dir/histogram_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/rng_test.cc.o"
+  "CMakeFiles/core_tests.dir/rng_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/simulator_test.cc.o"
+  "CMakeFiles/core_tests.dir/simulator_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/stats_test.cc.o"
+  "CMakeFiles/core_tests.dir/stats_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/table_test.cc.o"
+  "CMakeFiles/core_tests.dir/table_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_tests.dir/connection_pool_test.cc.o"
+  "CMakeFiles/hw_tests.dir/connection_pool_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/microarch_test.cc.o"
+  "CMakeFiles/hw_tests.dir/microarch_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/network_test.cc.o"
+  "CMakeFiles/hw_tests.dir/network_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/power_lb_test.cc.o"
+  "CMakeFiles/hw_tests.dir/power_lb_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/protocol_test.cc.o"
+  "CMakeFiles/hw_tests.dir/protocol_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/server_test.cc.o"
+  "CMakeFiles/hw_tests.dir/server_test.cc.o.d"
+  "hw_tests"
+  "hw_tests.pdb"
+  "hw_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_tests.dir/app_test.cc.o"
+  "CMakeFiles/service_tests.dir/app_test.cc.o.d"
+  "CMakeFiles/service_tests.dir/backpressure_test.cc.o"
+  "CMakeFiles/service_tests.dir/backpressure_test.cc.o.d"
+  "CMakeFiles/service_tests.dir/export_test.cc.o"
+  "CMakeFiles/service_tests.dir/export_test.cc.o.d"
+  "CMakeFiles/service_tests.dir/handler_test.cc.o"
+  "CMakeFiles/service_tests.dir/handler_test.cc.o.d"
+  "CMakeFiles/service_tests.dir/microservice_test.cc.o"
+  "CMakeFiles/service_tests.dir/microservice_test.cc.o.d"
+  "CMakeFiles/service_tests.dir/trace_test.cc.o"
+  "CMakeFiles/service_tests.dir/trace_test.cc.o.d"
+  "service_tests"
+  "service_tests.pdb"
+  "service_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

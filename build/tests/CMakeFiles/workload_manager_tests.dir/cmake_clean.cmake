@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_manager_tests.dir/generators_test.cc.o"
+  "CMakeFiles/workload_manager_tests.dir/generators_test.cc.o.d"
+  "CMakeFiles/workload_manager_tests.dir/load_sweep_test.cc.o"
+  "CMakeFiles/workload_manager_tests.dir/load_sweep_test.cc.o.d"
+  "CMakeFiles/workload_manager_tests.dir/manager_test.cc.o"
+  "CMakeFiles/workload_manager_tests.dir/manager_test.cc.o.d"
+  "CMakeFiles/workload_manager_tests.dir/user_population_test.cc.o"
+  "CMakeFiles/workload_manager_tests.dir/user_population_test.cc.o.d"
+  "workload_manager_tests"
+  "workload_manager_tests.pdb"
+  "workload_manager_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_manager_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

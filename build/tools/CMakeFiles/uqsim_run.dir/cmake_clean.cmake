@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uqsim_run.dir/uqsim_run.cc.o"
+  "CMakeFiles/uqsim_run.dir/uqsim_run.cc.o.d"
+  "uqsim_run"
+  "uqsim_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uqsim_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
