@@ -7,6 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <queue>
+#include <vector>
+
 #include "apps/social_network.hh"
 #include "core/histogram.hh"
 #include "core/rng.hh"
@@ -14,6 +18,193 @@
 #include "workload/generators.hh"
 
 using namespace uqsim;
+
+namespace {
+
+/**
+ * The pre-ladder-queue scheduler, kept as an in-bench baseline: a
+ * std::priority_queue of entries with one shared_ptr cancellation
+ * state allocated per event. Used to quantify the ladder queue's
+ * speedup on identical workloads (BM_EventChurn_* below).
+ */
+class BaselineHeapQueue
+{
+  public:
+    struct State
+    {
+        bool cancelled = false;
+    };
+    using Handle = std::shared_ptr<State>;
+
+    Handle
+    schedule(Tick when, EventCallback cb)
+    {
+        auto state = std::make_shared<State>();
+        heap_.push(Entry{when, nextSeq_++, std::move(cb), state});
+        ++live_;
+        return state;
+    }
+
+    void
+    cancel(const Handle &h)
+    {
+        if (h && !h->cancelled) {
+            h->cancelled = true;
+            --live_;
+        }
+    }
+
+    bool empty() const { return live_ == 0; }
+
+    std::pair<Tick, EventCallback>
+    popNext()
+    {
+        while (heap_.top().state->cancelled)
+            heap_.pop();
+        Entry entry = heap_.top();
+        heap_.pop();
+        --live_;
+        return {entry.when, std::move(entry.cb)};
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventCallback cb;
+        std::shared_ptr<State> state;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t live_ = 0;
+};
+
+/** Adapter giving EventQueue the same driver surface as the baseline. */
+class LadderQueueDriver
+{
+  public:
+    EventHandle
+    schedule(Tick when, EventCallback cb)
+    {
+        return queue_.schedule(when, std::move(cb));
+    }
+
+    void cancel(EventHandle &h) { h.cancel(); }
+    bool empty() const { return queue_.empty(); }
+    std::pair<Tick, EventCallback> popNext() { return queue_.popNext(); }
+
+  private:
+    EventQueue queue_;
+};
+
+/**
+ * Steady-state churn: keep @p depth events in flight; every pop
+ * schedules a successor a short exponential-ish delay ahead, the DES
+ * pattern every service/network model produces. Executes @p events
+ * events total.
+ */
+template <class Queue>
+void
+runChurn(Queue &q, std::uint64_t events, unsigned depth, Rng &rng)
+{
+    Tick now = 0;
+    for (unsigned i = 0; i < depth; ++i)
+        q.schedule(1 + rng.uniformInt(2000), [] {});
+    for (std::uint64_t done = 0; done < events; ++done) {
+        auto [when, cb] = q.popNext();
+        now = when;
+        cb();
+        q.schedule(now + 1 + rng.uniformInt(2000), [] {});
+    }
+}
+
+/** Churn with one extra schedule+cancel per pop (timeout pattern). */
+template <class Queue>
+void
+runChurnCancel(Queue &q, std::uint64_t events, unsigned depth, Rng &rng)
+{
+    Tick now = 0;
+    for (unsigned i = 0; i < depth; ++i)
+        q.schedule(1 + rng.uniformInt(2000), [] {});
+    for (std::uint64_t done = 0; done < events; ++done) {
+        auto [when, cb] = q.popNext();
+        now = when;
+        cb();
+        q.schedule(now + 1 + rng.uniformInt(2000), [] {});
+        auto timeout = q.schedule(now + 5000 + rng.uniformInt(5000), [] {});
+        q.cancel(timeout);
+    }
+}
+
+constexpr std::uint64_t kChurnEvents = 1'000'000;
+constexpr unsigned kChurnDepth = 4096;
+
+} // namespace
+
+static void
+BM_EventChurn_Ladder(benchmark::State &state)
+{
+    for (auto _ : state) {
+        LadderQueueDriver q;
+        Rng rng(11);
+        runChurn(q, kChurnEvents, kChurnDepth, rng);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kChurnEvents));
+}
+BENCHMARK(BM_EventChurn_Ladder)->Unit(benchmark::kMillisecond);
+
+static void
+BM_EventChurn_HeapBaseline(benchmark::State &state)
+{
+    for (auto _ : state) {
+        BaselineHeapQueue q;
+        Rng rng(11);
+        runChurn(q, kChurnEvents, kChurnDepth, rng);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kChurnEvents));
+}
+BENCHMARK(BM_EventChurn_HeapBaseline)->Unit(benchmark::kMillisecond);
+
+static void
+BM_EventChurnCancel_Ladder(benchmark::State &state)
+{
+    for (auto _ : state) {
+        LadderQueueDriver q;
+        Rng rng(13);
+        runChurnCancel(q, kChurnEvents, kChurnDepth, rng);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kChurnEvents));
+}
+BENCHMARK(BM_EventChurnCancel_Ladder)->Unit(benchmark::kMillisecond);
+
+static void
+BM_EventChurnCancel_HeapBaseline(benchmark::State &state)
+{
+    for (auto _ : state) {
+        BaselineHeapQueue q;
+        Rng rng(13);
+        runChurnCancel(q, kChurnEvents, kChurnDepth, rng);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kChurnEvents));
+}
+BENCHMARK(BM_EventChurnCancel_HeapBaseline)->Unit(benchmark::kMillisecond);
 
 static void
 BM_EventQueueScheduleRun(benchmark::State &state)

@@ -77,7 +77,12 @@ Histogram::percentile(double p) const
 {
     if (count_ == 0)
         return 0;
-    p = std::clamp(p, 0.0, 100.0);
+    // The extremes are tracked exactly; answer them exactly rather
+    // than with a bucket upper bound (which can overshoot min_).
+    if (p <= 0.0)
+        return min_;
+    if (p >= 100.0)
+        return max_;
     // Rank of the requested sample (1-based, ceil).
     const std::uint64_t rank = std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(p / 100.0 *
@@ -86,7 +91,7 @@ Histogram::percentile(double p) const
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         seen += buckets_[i];
         if (seen >= rank)
-            return std::min(bucketUpperBound(i), max_);
+            return std::clamp(bucketUpperBound(i), min_, max_);
     }
     return max_;
 }

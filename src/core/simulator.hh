@@ -66,6 +66,17 @@ class Simulator
     /** @return number of events executed so far. */
     std::uint64_t eventsExecuted() const { return queue_.executedCount(); }
 
+    /**
+     * Running FNV-1a hash over (tick, sequence) of every executed
+     * event: a cheap, order-sensitive fingerprint of the run. Two runs
+     * with the same seed must produce identical digests; see
+     * tests/determinism_test.cc.
+     */
+    std::uint64_t executionDigest() const
+    {
+        return queue_.executionDigest();
+    }
+
   private:
     EventQueue queue_;
     Tick now_ = 0;

@@ -66,4 +66,23 @@ toZipkinJson(const TraceStore &store, std::size_t max_spans)
     return oss.str();
 }
 
+void
+exportRunJson(const TraceStore &store, std::uint64_t execution_digest,
+              std::ostream &os, std::size_t max_spans)
+{
+    os << "{\"executionDigest\":\"" << hexId(execution_digest)
+       << "\",\"spans\":";
+    exportZipkinJson(store, os, max_spans);
+    os << "}\n";
+}
+
+std::string
+toRunJson(const TraceStore &store, std::uint64_t execution_digest,
+          std::size_t max_spans)
+{
+    std::ostringstream oss;
+    exportRunJson(store, execution_digest, oss, max_spans);
+    return oss.str();
+}
+
 } // namespace uqsim::trace

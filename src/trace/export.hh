@@ -32,6 +32,21 @@ void exportZipkinJson(const TraceStore &store, std::ostream &os,
 std::string toZipkinJson(const TraceStore &store,
                          std::size_t max_spans = 0);
 
+/**
+ * Render a whole run as one JSON object: the simulator's execution
+ * digest (see Simulator::executionDigest()) plus the span array. The
+ * digest field lets an exported trace assert which exact event
+ * sequence produced it, so archived traces are re-checkable.
+ */
+void exportRunJson(const TraceStore &store,
+                   std::uint64_t execution_digest, std::ostream &os,
+                   std::size_t max_spans = 0);
+
+/** Convenience wrapper returning a string. */
+std::string toRunJson(const TraceStore &store,
+                      std::uint64_t execution_digest,
+                      std::size_t max_spans = 0);
+
 } // namespace uqsim::trace
 
 #endif // UQSIM_TRACE_EXPORT_HH

@@ -22,7 +22,9 @@ TEST(HistogramTest, EmptyReturnsZeros)
     EXPECT_EQ(h.min(), 0u);
     EXPECT_EQ(h.max(), 0u);
     EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0.0), 0u);
     EXPECT_EQ(h.percentile(99.0), 0u);
+    EXPECT_EQ(h.percentile(100.0), 0u);
 }
 
 TEST(HistogramTest, SingleValue)
@@ -33,8 +35,40 @@ TEST(HistogramTest, SingleValue)
     EXPECT_EQ(h.min(), 1000u);
     EXPECT_EQ(h.max(), 1000u);
     EXPECT_EQ(h.mean(), 1000.0);
-    // Bucketed answer must be within the relative error bound.
-    EXPECT_NEAR(static_cast<double>(h.p50()), 1000.0, 1000.0 * 0.04);
+    // With one sample every percentile is that sample, exactly: the
+    // bucket upper bound is clamped to the tracked min/max.
+    for (double p : {0.0, 0.1, 50.0, 99.9, 100.0})
+        EXPECT_EQ(h.percentile(p), 1000u) << "p=" << p;
+}
+
+TEST(HistogramTest, ExtremePercentilesAreExact)
+{
+    // p0 and p100 must return the exact tracked min/max, not the
+    // (possibly overshooting) upper bound of their buckets.
+    Histogram h;
+    h.record(1000003);
+    h.record(999);
+    h.record(5000);
+    EXPECT_EQ(h.percentile(0.0), 999u);
+    EXPECT_EQ(h.percentile(-5.0), 999u);  // clamped into [0, 100]
+    EXPECT_EQ(h.percentile(100.0), 1000003u);
+    EXPECT_EQ(h.percentile(250.0), 1000003u);
+    // Interior percentiles stay within [min, max].
+    for (double p = 1.0; p < 100.0; p += 7.0) {
+        EXPECT_GE(h.percentile(p), h.min());
+        EXPECT_LE(h.percentile(p), h.max());
+    }
+}
+
+TEST(HistogramTest, HugeValuesSaturateSafely)
+{
+    Histogram h;
+    h.record(~0ull);        // kMaxTick-style sentinel
+    h.record(~0ull - 1);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.max(), ~0ull);
+    EXPECT_EQ(h.percentile(100.0), ~0ull);
+    EXPECT_LE(h.percentile(50.0), ~0ull);
 }
 
 TEST(HistogramTest, SmallValuesAreExact)

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Statistical validation of the simulation core against closed-form
+ * queueing theory.
+ *
+ * A single-tier service with Poisson arrivals and exponential service
+ * times is driven directly on the Simulator as an M/M/1 and an M/M/k
+ * station. Nothing about waiting or utilisation is hard-coded in the
+ * model — queueing delay emerges purely from event dynamics — so the
+ * simulated mean sojourn time and server utilisation must match the
+ * M/M/1 formula and the Erlang-C prediction within sampling tolerance.
+ * This validates the suite's core claim that tail/queueing phenomena
+ * in the app models emerge from dynamics, not from baked-in numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+#include <functional>
+
+#include "core/rng.hh"
+#include "core/simulator.hh"
+#include "core/types.hh"
+
+namespace uqsim {
+namespace {
+
+/** Erlang-C: probability an arrival must wait in an M/M/k queue. */
+double
+erlangC(unsigned k, double offeredLoad)
+{
+    // offeredLoad a = lambda/mu (in Erlangs), requires a < k.
+    double invSum = 0.0;
+    double term = 1.0; // a^i / i!
+    for (unsigned i = 0; i < k; ++i) {
+        invSum += term;
+        term *= offeredLoad / static_cast<double>(i + 1);
+    }
+    // term now = a^k / k!
+    const double last =
+        term * static_cast<double>(k) /
+        (static_cast<double>(k) - offeredLoad);
+    return last / (invSum + last);
+}
+
+struct MmkResult
+{
+    double meanSojournTicks = 0.0;
+    double utilization = 0.0;
+};
+
+/**
+ * Simulate an M/M/k FCFS station on the event queue.
+ * @param meanServiceTicks   1/mu in ticks
+ * @param rho                per-server utilisation target in (0,1)
+ * @param k                  server count
+ * @param jobs               measured completions (after warmup)
+ */
+MmkResult
+simulateMmk(std::uint64_t seed, double meanServiceTicks, double rho,
+            unsigned k, std::uint64_t jobs)
+{
+    const double meanInterarrival =
+        meanServiceTicks / (rho * static_cast<double>(k));
+    const std::uint64_t warmup = jobs / 5;
+    const std::uint64_t totalArrivals = warmup + jobs + jobs / 5;
+
+    Simulator sim;
+    Rng rng(seed);
+
+    struct Station
+    {
+        std::deque<Tick> waiting; // arrival tick of queued jobs
+        unsigned busy = 0;
+        std::uint64_t arrivals = 0;
+        std::uint64_t completed = 0;
+        double sumSojourn = 0.0;
+        std::uint64_t measured = 0;
+        // Busy-server time integral over the measured window.
+        Tick lastChange = 0;
+        double busyTicks = 0.0;
+        Tick measureStart = 0;
+        Tick lastCompletion = 0;
+        bool measuring = false;
+    } st;
+
+    auto accountBusy = [&] {
+        if (st.measuring)
+            st.busyTicks += static_cast<double>(st.busy) *
+                            static_cast<double>(sim.now() - st.lastChange);
+        st.lastChange = sim.now();
+    };
+
+    // Forward declarations via std::function so the closures can chain.
+    std::function<void(Tick)> startService;
+    startService = [&](Tick arrived) {
+        sim.schedule(
+            static_cast<Tick>(rng.exponential(meanServiceTicks)) + 1,
+            [&, arrived] {
+                ++st.completed;
+                if (st.completed == warmup) {
+                    // Open the measurement window at a completion
+                    // boundary so warmup bias is flushed.
+                    st.measureStart = sim.now();
+                    st.lastChange = sim.now();
+                    st.busyTicks = 0.0;
+                    st.measuring = true;
+                }
+                if (st.completed > warmup &&
+                    st.measured < jobs) {
+                    st.sumSojourn +=
+                        static_cast<double>(sim.now() - arrived);
+                    ++st.measured;
+                    st.lastCompletion = sim.now();
+                }
+                accountBusy();
+                // Close the busy integral together with the sojourn
+                // window, so the drain tail is excluded from both.
+                if (st.measured == jobs)
+                    st.measuring = false;
+                if (!st.waiting.empty()) {
+                    const Tick next = st.waiting.front();
+                    st.waiting.pop_front();
+                    startService(next);
+                } else {
+                    --st.busy;
+                }
+            });
+    };
+
+    std::function<void()> arrive = [&] {
+        if (st.arrivals < totalArrivals) {
+            ++st.arrivals;
+            sim.schedule(
+                static_cast<Tick>(rng.exponential(meanInterarrival)) + 1,
+                arrive);
+            accountBusy();
+            if (st.busy < k) {
+                ++st.busy;
+                startService(sim.now());
+            } else {
+                st.waiting.push_back(sim.now());
+            }
+        }
+    };
+
+    sim.schedule(0, arrive);
+    sim.run();
+
+    MmkResult r;
+    r.meanSojournTicks =
+        st.sumSojourn / static_cast<double>(st.measured);
+    const double span =
+        static_cast<double>(st.lastCompletion - st.measureStart);
+    r.utilization = st.busyTicks / (static_cast<double>(k) * span);
+    return r;
+}
+
+constexpr double kMeanServiceTicks = 100.0 * kTicksPerUs; // 100us
+constexpr std::uint64_t kJobs = 150000;
+constexpr std::uint64_t kSeeds[] = {7001, 7002, 7003};
+
+TEST(QueueingTheoryTest, Mm1SojournMatchesClosedForm)
+{
+    const double rho = 0.7;
+    // M/M/1 FCFS: E[T] = (1/mu) / (1 - rho).
+    const double expected = kMeanServiceTicks / (1.0 - rho);
+    for (std::uint64_t seed : kSeeds) {
+        const MmkResult r =
+            simulateMmk(seed, kMeanServiceTicks, rho, 1, kJobs);
+        EXPECT_NEAR(r.meanSojournTicks, expected, 0.05 * expected)
+            << "seed=" << seed;
+        EXPECT_NEAR(r.utilization, rho, 0.02) << "seed=" << seed;
+    }
+}
+
+TEST(QueueingTheoryTest, MmkSojournMatchesErlangC)
+{
+    const unsigned k = 4;
+    const double rho = 0.7;
+    const double a = rho * static_cast<double>(k); // offered Erlangs
+    const double mu = 1.0 / kMeanServiceTicks;
+    const double lambda = a * mu;
+    // M/M/k FCFS: E[T] = C(k, a) / (k*mu - lambda) + 1/mu.
+    const double expected =
+        erlangC(k, a) / (static_cast<double>(k) * mu - lambda) +
+        kMeanServiceTicks;
+    for (std::uint64_t seed : kSeeds) {
+        const MmkResult r =
+            simulateMmk(seed, kMeanServiceTicks, rho, k, kJobs);
+        EXPECT_NEAR(r.meanSojournTicks, expected, 0.05 * expected)
+            << "seed=" << seed;
+        EXPECT_NEAR(r.utilization, rho, 0.02) << "seed=" << seed;
+    }
+}
+
+TEST(QueueingTheoryTest, HigherLoadQueuesLonger)
+{
+    // Sanity on the dynamics: sojourn must grow sharply with rho.
+    const MmkResult lo =
+        simulateMmk(7010, kMeanServiceTicks, 0.3, 1, 40000);
+    const MmkResult hi =
+        simulateMmk(7010, kMeanServiceTicks, 0.9, 1, 40000);
+    EXPECT_GT(hi.meanSojournTicks, 3.0 * lo.meanSojournTicks);
+}
+
+} // namespace
+} // namespace uqsim

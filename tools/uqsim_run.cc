@@ -18,7 +18,9 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "apps/catalog.hh"
@@ -268,6 +270,14 @@ main(int argc, char **argv)
     summary.add("cluster CPU utilization",
                 fmtDouble(100.0 * r.meanUtilization, 2) + "%");
     summary.add("events simulated", world.sim.eventsExecuted());
+    {
+        // Order-sensitive fingerprint of the executed event sequence;
+        // equal seeds must reproduce it bit-for-bit.
+        std::ostringstream digest;
+        digest << std::hex << std::setw(16) << std::setfill('0')
+               << world.sim.executionDigest();
+        summary.add("execution digest", digest.str());
+    }
     summary.print(std::cout);
 
     // ---- per-query-type latency ----------------------------------------
