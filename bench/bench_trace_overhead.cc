@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tracing-overhead bench: the cost of always-on span collection.
+ *
+ * Drives the same end-to-end social-network requests (the
+ * BM_SocialNetworkRequest workload) three times — tracing disabled,
+ * trace-coherent sampling at 1-in-64, and full always-on collection —
+ * and compares wall-clock simulation time. The ring-buffer span store
+ * is designed so full-on tracing stays under 10% overhead; this bench
+ * enforces that budget (pass --non-fatal to report without failing,
+ * e.g. on noisy CI machines).
+ *
+ *   bench_trace_overhead [--requests N] [--repeats N] [--non-fatal]
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "apps/social_network.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+#include "workload/load_sweep.hh"
+
+using namespace uqsim;
+
+namespace {
+
+struct Mode
+{
+    const char *name;
+    bool tracing;
+    std::uint64_t sampleEvery;
+};
+
+/** One full run: @p requests back-to-back requests; returns seconds. */
+double
+runOnce(const Mode &mode, unsigned requests)
+{
+    apps::WorldConfig c;
+    c.workerServers = 5;
+    c.appConfig.tracing = mode.tracing;
+    c.appConfig.traceSampleEvery = mode.sampleEvery;
+    apps::World w(c);
+    apps::buildSocialNetwork(w);
+    workload::QueryMix mix = workload::QueryMix::fromApp(*w.app);
+    workload::UserPopulation users =
+        workload::UserPopulation::uniform(100);
+    Rng rng(7);
+
+    const auto begin = std::chrono::steady_clock::now();
+    for (unsigned i = 0; i < requests; ++i) {
+        w.app->inject(mix.sample(rng), users.sample(rng));
+        w.sim.run();
+    }
+    const auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(end - begin).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned requests = 2000;
+    unsigned repeats = 3;
+    bool non_fatal = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto need = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal(strCat("missing value for ", a));
+            return argv[++i];
+        };
+        if (a == "--requests")
+            requests = static_cast<unsigned>(std::atoi(need()));
+        else if (a == "--repeats")
+            repeats = static_cast<unsigned>(std::atoi(need()));
+        else if (a == "--non-fatal")
+            non_fatal = true;
+        else
+            fatal(strCat("unknown option '", a, "'"));
+    }
+    if (requests == 0 || repeats == 0)
+        fatal("--requests and --repeats must be positive");
+
+    const Mode modes[] = {
+        {"off", false, 1},
+        {"sampled 1/64", true, 64},
+        {"full on", true, 1},
+    };
+
+    // Best-of-N wall time per mode filters scheduler noise; interleave
+    // the modes so thermal drift does not bias one of them.
+    double best[3] = {0.0, 0.0, 0.0};
+    for (unsigned r = 0; r < repeats; ++r)
+        for (int m = 0; m < 3; ++m) {
+            const double secs = runOnce(modes[m], requests);
+            if (r == 0 || secs < best[m])
+                best[m] = secs;
+        }
+
+    printBanner(std::cout,
+                strCat("tracing overhead (", std::to_string(requests),
+                       " requests, best of ", std::to_string(repeats),
+                       ")"));
+    TextTable table({"mode", "wall(s)", "us/request", "overhead"});
+    for (int m = 0; m < 3; ++m) {
+        const double over = 100.0 * (best[m] / best[0] - 1.0);
+        table.add(modes[m].name, fmtDouble(best[m], 3),
+                  fmtDouble(1e6 * best[m] / requests, 1),
+                  fmtDouble(over, 1) + "%");
+    }
+    table.print(std::cout);
+
+    const double full_overhead = 100.0 * (best[2] / best[0] - 1.0);
+    const bool ok = full_overhead < 10.0;
+    std::cout << "full-on tracing overhead: "
+              << fmtDouble(full_overhead, 1) << "% (budget <10%): "
+              << (ok ? "PASS" : "FAIL") << "\n";
+    if (!ok && !non_fatal)
+        return 1;
+    return 0;
+}

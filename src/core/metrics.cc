@@ -1,0 +1,121 @@
+#include "core/metrics.hh"
+
+#include <iomanip>
+
+namespace uqsim {
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+bool
+MetricsRegistry::has(const std::string &name) const
+{
+    return counters_.count(name) || gauges_.count(name) ||
+           histograms_.count(name);
+}
+
+void
+MetricsRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters_)
+        os << name << " = " << c->value() << "\n";
+    for (const auto &[name, g] : gauges_)
+        os << name << " = " << g->value() << "\n";
+    for (const auto &[name, h] : histograms_) {
+        os << name << ": n=" << h->count() << " mean=" << std::fixed
+           << std::setprecision(1) << h->mean() << " p50=" << h->p50()
+           << " p99=" << h->p99() << " max=" << h->max() << "\n";
+    }
+}
+
+namespace {
+
+/** Minimal JSON string escaping for metric names. */
+void
+emitJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+
+} // namespace
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  ";
+        emitJsonString(os, name);
+        os << ":" << c->value();
+    }
+    os << "},\n \"gauges\":{";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  ";
+        emitJsonString(os, name);
+        os << ":" << g->value();
+    }
+    os << "},\n \"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  ";
+        emitJsonString(os, name);
+        os << ":{\"count\":" << h->count() << ",\"mean\":" << h->mean()
+           << ",\"p50\":" << h->p50() << ",\"p99\":" << h->p99()
+           << ",\"max\":" << h->max() << "}";
+    }
+    os << "}}\n";
+}
+
+void
+MetricsRegistry::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->set(0.0);
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+} // namespace uqsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unified metrics registry: the single sink every subsystem reports
+ * through (request accounting, tracing collector, connection pools,
+ * monitor, autoscaler).
+ *
+ * Names are dotted lower-case paths, most-general first:
+ * "subsystem.metric" or "subsystem.metric.tier" (e.g.
+ * "rpc.pool.blocked_acquires", "monitor.cpu_util.frontend"). Callers
+ * resolve a metric once — counter()/gauge()/histogram() get-or-create
+ * by name and return a reference with a stable address — and then
+ * update through the reference, so hot-path updates are O(1) and
+ * allocation-free. Snapshots (dump/writeJson) iterate in name order,
+ * keeping all reporting deterministic.
+ */
+
+#ifndef UQSIM_CORE_METRICS_HH
+#define UQSIM_CORE_METRICS_HH
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "core/histogram.hh"
+#include "core/stats.hh"
+
+namespace uqsim {
+
+/**
+ * Owns named counters, gauges and histograms.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Get or create a counter (stable reference). */
+    Counter &counter(const std::string &name);
+
+    /** Get or create a gauge (stable reference). */
+    Gauge &gauge(const std::string &name);
+
+    /** Get or create a histogram (stable reference). */
+    Histogram &histogram(const std::string &name);
+
+    /** Whether a metric of any kind with this name exists. */
+    bool has(const std::string &name) const;
+
+    /** Registered metrics of all kinds. */
+    std::size_t size() const
+    {
+        return counters_.size() + gauges_.size() + histograms_.size();
+    }
+
+    /** Human-readable dump, one metric per line, in name order. */
+    void dump(std::ostream &os) const;
+
+    /**
+     * JSON snapshot:
+     * {"counters":{...},"gauges":{...},"histograms":{name:
+     * {"count":..,"mean":..,"p50":..,"p99":..,"max":..}}}.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** Zero every metric (names and references stay valid). */
+    void resetAll();
+
+  private:
+    // std::map keeps snapshots name-ordered; unique_ptr keeps metric
+    // addresses stable across later registrations.
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace uqsim
+
+#endif // UQSIM_CORE_METRICS_HH

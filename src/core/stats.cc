@@ -1,6 +1,6 @@
 #include "core/stats.hh"
 
-#include <iomanip>
+#include <algorithm>
 
 #include "core/logging.hh"
 
@@ -67,58 +67,6 @@ WindowedStat::roll(Tick now)
     // Align the new window to the current time so long idle periods do
     // not generate a burst of empty windows.
     windowStart_ = now;
-}
-
-Counter &
-StatRegistry::counter(const std::string &name)
-{
-    auto &slot = counters_[name];
-    if (!slot)
-        slot = std::make_unique<Counter>();
-    return *slot;
-}
-
-Histogram &
-StatRegistry::histogram(const std::string &name)
-{
-    auto &slot = histograms_[name];
-    if (!slot)
-        slot = std::make_unique<Histogram>();
-    return *slot;
-}
-
-Gauge &
-StatRegistry::gauge(const std::string &name)
-{
-    auto &slot = gauges_[name];
-    if (!slot)
-        slot = std::make_unique<Gauge>();
-    return *slot;
-}
-
-void
-StatRegistry::dump(std::ostream &os) const
-{
-    for (const auto &[name, c] : counters_)
-        os << name << " = " << c->value() << "\n";
-    for (const auto &[name, g] : gauges_)
-        os << name << " = " << g->value() << "\n";
-    for (const auto &[name, h] : histograms_) {
-        os << name << ": n=" << h->count() << " mean=" << std::fixed
-           << std::setprecision(1) << h->mean() << " p50=" << h->p50()
-           << " p99=" << h->p99() << " max=" << h->max() << "\n";
-    }
-}
-
-void
-StatRegistry::resetAll()
-{
-    for (auto &[name, c] : counters_)
-        c->reset();
-    for (auto &[name, h] : histograms_)
-        h->reset();
-    for (auto &[name, g] : gauges_)
-        g->set(0.0);
 }
 
 } // namespace uqsim

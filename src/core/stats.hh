@@ -4,18 +4,14 @@
  *
  * Besides plain counters and gauges, the package offers a
  * time-weighted gauge (for utilization-style metrics that must be
- * integrated over simulated time) and a registry that owns named stats
- * so benches and examples can dump everything uniformly.
+ * integrated over simulated time). Named ownership and uniform
+ * snapshots live in MetricsRegistry (core/metrics.hh).
  */
 
 #ifndef UQSIM_CORE_STATS_HH
 #define UQSIM_CORE_STATS_HH
 
 #include <cstdint>
-#include <map>
-#include <memory>
-#include <ostream>
-#include <string>
 
 #include "core/histogram.hh"
 #include "core/types.hh"
@@ -112,33 +108,6 @@ class WindowedStat
     double lastMean_ = 0.0;
     std::uint64_t lastP99_ = 0;
     std::uint64_t lastCount_ = 0;
-};
-
-/**
- * Owns named statistics and prints them uniformly.
- */
-class StatRegistry
-{
-  public:
-    /** Get or create a counter. */
-    Counter &counter(const std::string &name);
-
-    /** Get or create a histogram. */
-    Histogram &histogram(const std::string &name);
-
-    /** Get or create a gauge. */
-    Gauge &gauge(const std::string &name);
-
-    /** Dump everything in name order. */
-    void dump(std::ostream &os) const;
-
-    /** Reset all owned stats. */
-    void resetAll();
-
-  private:
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
 };
 
 } // namespace uqsim

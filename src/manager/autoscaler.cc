@@ -94,6 +94,7 @@ AutoScaler::decideOnce()
         });
         lastScale_[name] = now;
         ++scaled_this_round;
+        app_.metrics().counter("autoscaler.scale_outs").inc();
         events_.push_back(ScaleEvent{
             now, name, static_cast<unsigned>(svc.instances().size()),
             value});

@@ -70,10 +70,37 @@ Monitor::sampleOnce()
             ++n;
         }
         s.cpuUtil = n ? util / n : 0.0;
+
+        // Publish the same signals to the app-wide registry so one
+        // metrics snapshot shows what the cluster manager saw.
+        TierGauges &g = gaugesFor(*svc);
+        g.p99->set(static_cast<double>(s.p99));
+        g.cpuUtil->set(s.cpuUtil);
+        g.occupancy->set(s.occupancy);
+        g.queueDepth->set(s.queueDepth);
+        g.instances->set(static_cast<double>(s.instances));
+
         round.push_back(std::move(s));
     }
     history_.push_back(std::move(round));
     pending_ = app_.sim().schedule(interval_, [this]() { sampleOnce(); });
+}
+
+Monitor::TierGauges &
+Monitor::gaugesFor(const service::Microservice &svc)
+{
+    auto it = gauges_.find(&svc);
+    if (it != gauges_.end())
+        return it->second;
+
+    MetricsRegistry &m = app_.metrics();
+    TierGauges g;
+    g.p99 = &m.gauge("monitor.p99_ns." + svc.name());
+    g.cpuUtil = &m.gauge("monitor.cpu_util." + svc.name());
+    g.occupancy = &m.gauge("monitor.occupancy." + svc.name());
+    g.queueDepth = &m.gauge("monitor.queue_depth." + svc.name());
+    g.instances = &m.gauge("monitor.instances." + svc.name());
+    return gauges_.emplace(&svc, g).first->second;
 }
 
 TierSample

@@ -81,7 +81,18 @@ class Monitor
     std::map<std::string, double> baselineLatency(unsigned rounds) const;
 
   private:
+    /** Cached registry gauges for one tier (resolved on first sample). */
+    struct TierGauges
+    {
+        Gauge *p99 = nullptr;
+        Gauge *cpuUtil = nullptr;
+        Gauge *occupancy = nullptr;
+        Gauge *queueDepth = nullptr;
+        Gauge *instances = nullptr;
+    };
+
     void sampleOnce();
+    TierGauges &gaugesFor(const service::Microservice &svc);
 
     service::App &app_;
     Tick interval_;
@@ -90,6 +101,8 @@ class Monitor
     std::vector<std::vector<TierSample>> history_;
     /** Previous cumulative busy time per instance, for utilization. */
     std::unordered_map<const void *, Tick> lastBusy_;
+    /** Per-tier gauges published to the app's metrics registry. */
+    std::unordered_map<const void *, TierGauges> gauges_;
 };
 
 } // namespace uqsim::manager

@@ -4,11 +4,14 @@
 #include <utility>
 
 #include "core/logging.hh"
+#include "core/stats.hh"
 
 namespace uqsim::rpc {
 
-ConnectionPool::ConnectionPool(unsigned max_connections, bool blocking)
-    : maxConnections_(max_connections), blocking_(blocking)
+ConnectionPool::ConnectionPool(unsigned max_connections, bool blocking,
+                               Counter *blocked)
+    : maxConnections_(max_connections), blocking_(blocking),
+      blockedMetric_(blocked)
 {
     if (blocking && max_connections == 0)
         fatal("blocking ConnectionPool needs at least one connection");
@@ -28,6 +31,8 @@ ConnectionPool::acquire(std::function<void()> granted)
         return;
     }
     ++blockedAcquires_;
+    if (blockedMetric_)
+        blockedMetric_->inc();
     waiters_.push_back(std::move(granted));
     peakWaiting_ = std::max(peakWaiting_, waiters_.size());
 }

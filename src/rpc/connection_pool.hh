@@ -18,6 +18,10 @@
 #include <deque>
 #include <functional>
 
+namespace uqsim {
+class Counter;
+}
+
 namespace uqsim::rpc {
 
 /**
@@ -29,8 +33,12 @@ class ConnectionPool
     /**
      * @param max_connections pool size (ignored when !blocking)
      * @param blocking        one outstanding request per connection
+     * @param blocked         optional aggregate blocked-acquire counter
+     *                        (e.g. the app's "rpc.pool.blocked_acquires"
+     *                        registry metric) shared across pools
      */
-    ConnectionPool(unsigned max_connections, bool blocking);
+    ConnectionPool(unsigned max_connections, bool blocking,
+                   Counter *blocked = nullptr);
 
     /**
      * Request a connection; @p granted runs immediately if one is
@@ -56,6 +64,7 @@ class ConnectionPool
   private:
     unsigned maxConnections_;
     bool blocking_;
+    Counter *blockedMetric_ = nullptr;
     unsigned inUse_ = 0;
     std::deque<std::function<void()>> waiters_;
     std::size_t peakWaiting_ = 0;

@@ -37,9 +37,19 @@ struct CallState
 App::App(Simulator &sim, cpu::Cluster &cluster, net::Network &network,
          Config config, std::uint64_t seed)
     : sim_(sim), cluster_(cluster), network_(network),
-      config_(std::move(config)), rng_(seed), collector_(traceStore_)
+      config_(std::move(config)), rng_(seed),
+      traceStore_(config_.traceCapacity), collector_(traceStore_)
 {
     collector_.setEnabled(config_.tracing);
+    collector_.setSampleEvery(config_.traceSampleEvery);
+    collector_.bindMetrics(metrics_);
+    clientServiceId_ = traceStore_.intern("client");
+
+    injected_ = &metrics_.counter("app.requests_injected");
+    completed_ = &metrics_.counter("app.requests_completed");
+    completedInQos_ = &metrics_.counter("app.requests_completed_in_qos");
+    droppedRequests_ = &metrics_.counter("app.requests_dropped");
+    poolBlocked_ = &metrics_.counter("rpc.pool.blocked_acquires");
 }
 
 Microservice &
@@ -203,7 +213,8 @@ App::poolFor(const void *caller, const Microservice &target)
         it = pools_
                  .emplace(key, std::make_unique<rpc::ConnectionPool>(
                                    proto.connectionsPerPair,
-                                   proto.connectionBlocking))
+                                   proto.connectionBlocking,
+                                   poolBlocked_))
                  .first;
     }
     return *it->second;
@@ -327,8 +338,6 @@ App::rpcCall(unsigned caller_server, Instance *caller_inst,
                         Microservice &svc = ctx->inst->svc();
                         svc.mutableLatency().record(dur);
                         svc.latencyWindow().record(app->sim_.now(), dur);
-                        ctx->inst->latencyWindow_.record(app->sim_.now(),
-                                                         dur);
                         ++ctx->inst->served_;
                         if (app->config_.tracing)
                             app->collector_.collect(ctx->span);
@@ -471,7 +480,7 @@ App::maybeStartHandling(Instance &inst)
         ctx->span.traceId = a.req->traceId;
         ctx->span.spanId = ids_.nextSpan();
         ctx->span.parentSpanId = a.parentSpan;
-        ctx->span.service = inst.svc().name();
+        ctx->span.service = inst.svc().traceServiceId();
         ctx->span.instance = inst.index();
         ctx->span.queryType = a.req->queryType;
         // Arrival is timestamped before kernel receive processing.
@@ -676,7 +685,7 @@ App::inject(unsigned query_type, std::uint64_t user_id, CompletionFn done)
     req->userId = user_id;
     req->injectTime = sim_.now();
     req->traceId = config_.tracing ? ids_.nextTrace() : 0;
-    ++injected_;
+    injected_->inc();
 
     const trace::SpanId client_span_id = ids_.nextSpan();
 
@@ -688,14 +697,14 @@ App::inject(unsigned query_type, std::uint64_t user_id, CompletionFn done)
         (void)wall;
         req->completeTime = sim_.now();
         if (req->dropped) {
-            ++droppedRequests_;
+            droppedRequests_->inc();
         } else {
-            ++completed_;
+            completed_->inc();
             const Tick lat = req->latency();
             e2eLatency_.record(lat);
             e2eByQuery_[req->queryType]->record(lat);
             if (lat <= config_.qosLatency)
-                ++completedInQos_;
+                completedInQos_->inc();
             totalNetworkTime_ += static_cast<double>(req->networkTime);
             totalAppTime_ += static_cast<double>(req->appTime);
         }
@@ -704,7 +713,7 @@ App::inject(unsigned query_type, std::uint64_t user_id, CompletionFn done)
             client_span.traceId = req->traceId;
             client_span.spanId = client_span_id;
             client_span.parentSpanId = trace::kNoParent;
-            client_span.service = "client";
+            client_span.service = clientServiceId_;
             client_span.queryType = req->queryType;
             client_span.start = req->injectTime;
             client_span.end = req->completeTime;
@@ -727,15 +736,15 @@ App::endToEndLatencyFor(unsigned query_type) const
 double
 App::meanNetworkTimePerRequest() const
 {
-    return completed_ ? totalNetworkTime_ / static_cast<double>(completed_)
-                      : 0.0;
+    const std::uint64_t n = completed();
+    return n ? totalNetworkTime_ / static_cast<double>(n) : 0.0;
 }
 
 double
 App::meanAppTimePerRequest() const
 {
-    return completed_ ? totalAppTime_ / static_cast<double>(completed_)
-                      : 0.0;
+    const std::uint64_t n = completed();
+    return n ? totalAppTime_ / static_cast<double>(n) : 0.0;
 }
 
 void
@@ -744,10 +753,7 @@ App::statReset()
     e2eLatency_.reset();
     for (auto &h : e2eByQuery_)
         h->reset();
-    injected_ = 0;
-    completed_ = 0;
-    completedInQos_ = 0;
-    droppedRequests_ = 0;
+    metrics_.resetAll();
     totalNetworkTime_ = 0.0;
     totalAppTime_ = 0.0;
     traceStore_.clear();

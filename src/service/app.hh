@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/histogram.hh"
+#include "core/metrics.hh"
 #include "core/rng.hh"
 #include "core/simulator.hh"
 #include "core/types.hh"
@@ -67,6 +68,15 @@ class App
 
         /** Collect distributed traces. */
         bool tracing = true;
+
+        /**
+         * Trace sampling: keep one in n traces (1 = keep all). The
+         * decision is trace-coherent — a kept trace keeps every span.
+         */
+        std::uint64_t traceSampleEvery = 1;
+
+        /** Ring capacity of the span store (spans). */
+        std::size_t traceCapacity = trace::TraceStore::kDefaultCapacity;
 
         /** Client-to-frontend payloads. */
         Bytes clientRequestBytes = 1024;
@@ -148,17 +158,28 @@ class App
     /** End-to-end latency for one query type. */
     const Histogram &endToEndLatencyFor(unsigned query_type) const;
 
-    std::uint64_t injected() const { return injected_; }
-    std::uint64_t completed() const { return completed_; }
-    std::uint64_t completedWithinQos() const { return completedInQos_; }
-    std::uint64_t droppedRequests() const { return droppedRequests_; }
+    std::uint64_t injected() const { return injected_->value(); }
+    std::uint64_t completed() const { return completed_->value(); }
+    std::uint64_t completedWithinQos() const
+    {
+        return completedInQos_->value();
+    }
+    std::uint64_t droppedRequests() const
+    {
+        return droppedRequests_->value();
+    }
 
     /** Aggregate network-processing work time per completed request. */
     double meanNetworkTimePerRequest() const;
     double meanAppTimePerRequest() const;
 
     trace::TraceStore &traceStore() { return traceStore_; }
+    const trace::TraceStore &traceStore() const { return traceStore_; }
     trace::Collector &collector() { return collector_; }
+
+    /** The app-wide metrics registry every subsystem reports through. */
+    MetricsRegistry &metrics() { return metrics_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
 
     Simulator &sim() { return sim_; }
     cpu::Cluster &cluster() { return cluster_; }
@@ -242,17 +263,22 @@ class App
     std::unordered_map<std::string, double> kernelIpcCache_;
     std::unordered_map<std::string, double> serviceIpcCache_;
 
+    MetricsRegistry metrics_;
     trace::TraceStore traceStore_;
     trace::Collector collector_;
     trace::IdAllocator ids_;
+    trace::ServiceId clientServiceId_ = trace::kNoService;
 
     Histogram e2eLatency_;
     std::vector<std::unique_ptr<Histogram>> e2eByQuery_;
     std::uint64_t nextRequestId_ = 0;
-    std::uint64_t injected_ = 0;
-    std::uint64_t completed_ = 0;
-    std::uint64_t completedInQos_ = 0;
-    std::uint64_t droppedRequests_ = 0;
+    /** Request accounting, owned by the metrics registry. */
+    Counter *injected_ = nullptr;
+    Counter *completed_ = nullptr;
+    Counter *completedInQos_ = nullptr;
+    Counter *droppedRequests_ = nullptr;
+    /** Aggregate blocked-acquire count across all connection pools. */
+    Counter *poolBlocked_ = nullptr;
     double totalNetworkTime_ = 0.0;
     double totalAppTime_ = 0.0;
 };

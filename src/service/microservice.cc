@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "core/logging.hh"
+#include "service/app.hh"
 
 namespace uqsim::service {
 
@@ -44,6 +45,7 @@ Microservice::Microservice(App &app, ServiceDef def)
         fatal("Microservice with empty name");
     if (def_.threadsPerInstance == 0)
         fatal(strCat("service '", def_.name, "' with zero threads"));
+    traceServiceId_ = app.traceStore().intern(def_.name);
 }
 
 Instance &

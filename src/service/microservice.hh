@@ -133,9 +133,6 @@ class Instance
     /** Cumulative CPU busy time of this instance's compute tasks. */
     Tick cpuBusyTime() const { return cpuBusyTime_; }
 
-    /** Per-instance recent-latency window. */
-    const WindowedStat &latencyWindow() const { return latencyWindow_; }
-
   private:
     friend class App;
     friend class Microservice;
@@ -163,7 +160,6 @@ class Instance
     std::uint64_t served_ = 0;
     std::uint64_t dropped_ = 0;
     Tick cpuBusyTime_ = 0;
-    WindowedStat latencyWindow_;
 };
 
 /**
@@ -181,6 +177,13 @@ class Microservice
     const ServiceDef &def() const { return def_; }
     ServiceDef &mutableDef() { return def_; }
     App &app() { return app_; }
+
+    /**
+     * Interned id of this tier's name in the app's TraceStore,
+     * resolved once at construction so span recording on the hot path
+     * never touches a string.
+     */
+    trace::ServiceId traceServiceId() const { return traceServiceId_; }
 
     /** Create an instance on @p server; active immediately. */
     Instance &addInstance(cpu::Server &server);
@@ -248,6 +251,7 @@ class Microservice
   private:
     App &app_;
     ServiceDef def_;
+    trace::ServiceId traceServiceId_ = trace::kNoService;
     std::vector<std::unique_ptr<Instance>> instances_;
     std::size_t rrCursor_ = 0;
     bool misrouted_ = false;

@@ -1,7 +1,8 @@
 /**
  * @file
  * Offline trace analysis: the queries the paper runs over its tracing
- * database to produce Figs 3, 15 and the Sec 7 latency breakdowns.
+ * database to produce Figs 3, 15 and the Sec 7 latency breakdowns,
+ * plus per-trace critical-path breakdowns for the Perfetto export.
  */
 
 #ifndef UQSIM_TRACE_ANALYSIS_HH
@@ -39,6 +40,35 @@ struct ServiceSummary
 };
 
 /**
+ * Per-service critical-path attribution with per-hop component
+ * breakdown, averaged over traces (all values ns/trace).
+ */
+struct CriticalPathEntry
+{
+    std::string service;
+    /** Exclusive (critical-path) time charged to this service. */
+    double exclusiveNs = 0.0;
+    /** Time its spans spent waiting for a worker thread. */
+    double queueNs = 0.0;
+    /** Time in handler computation. */
+    double appNs = 0.0;
+    /** Time in network processing (TCP, serialization, NIC, wire). */
+    double networkNs = 0.0;
+    /** Time blocked on downstream RPCs. */
+    double downstreamNs = 0.0;
+};
+
+/** One RPC hop of a single trace, with exclusive-time attribution. */
+struct TraceHop
+{
+    Span span;
+    /** Span duration minus time covered by its children (clamped). */
+    Tick exclusiveNs = 0;
+    /** Depth below the root span (root = 0). */
+    unsigned depth = 0;
+};
+
+/**
  * Analysis over a TraceStore.
  */
 class TraceAnalysis
@@ -63,11 +93,24 @@ class TraceAnalysis
     Histogram endToEndLatency() const;
 
     /**
-     * Critical-path service attribution: walks each trace's span tree
-     * and charges each tick of the root span to the deepest span
-     * covering it; returns mean ns charged per service.
+     * Critical-path service attribution: charges each span its
+     * exclusive time (duration minus children, clamped at zero for
+     * overlapping fan-outs); returns mean ns charged per service.
      */
     std::map<std::string, double> criticalPath() const;
+
+    /**
+     * criticalPath() extended with per-hop queue/app/network/
+     * downstream attribution, ordered by exclusive time descending.
+     */
+    std::vector<CriticalPathEntry> criticalPathBreakdown() const;
+
+    /**
+     * The hops of one trace with exclusive-time and depth
+     * attribution, ordered by (start, spanId) — a request's life,
+     * ready to print or export.
+     */
+    std::vector<TraceHop> traceBreakdown(TraceId id) const;
 
   private:
     ServiceSummary summarize(const std::string &name,

@@ -2,65 +2,211 @@
 
 #include <algorithm>
 
+#include "core/logging.hh"
+
 namespace uqsim::trace {
+
+TraceStore::TraceStore(std::size_t capacity)
+{
+    setCapacity(capacity);
+}
+
+ServiceId
+TraceStore::intern(const std::string &name)
+{
+    auto it = idByName_.find(name);
+    if (it != idByName_.end())
+        return it->second;
+    const ServiceId id = static_cast<ServiceId>(names_.size());
+    names_.push_back(name);
+    idByName_.emplace(name, id);
+    return id;
+}
+
+ServiceId
+TraceStore::serviceId(const std::string &name) const
+{
+    auto it = idByName_.find(name);
+    return it == idByName_.end() ? kNoService : it->second;
+}
+
+const std::string &
+TraceStore::serviceName(ServiceId id) const
+{
+    if (id >= names_.size())
+        fatal(strCat("TraceStore::serviceName: invalid id ", id));
+    return names_[id];
+}
 
 void
 TraceStore::insert(const Span &span)
 {
-    const std::size_t idx = spans_.size();
-    spans_.push_back(span);
-    byTrace_[span.traceId].push_back(idx);
-    byService_[span.service].push_back(idx);
+    if (ring_.size() < capacity_) {
+        ring_.push_back(span);
+    } else {
+        // Full: overwrite the oldest slot and advance the head.
+        ring_[head_] = span;
+        head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+        ++evicted_;
+    }
+    ++inserted_;
+    indexDirty_ = true;
+}
+
+const Span &
+TraceStore::at(std::size_t i) const
+{
+    const std::size_t pos = head_ + i;
+    return ring_[pos < ring_.size() ? pos : pos - ring_.size()];
+}
+
+void
+TraceStore::rebuildIndices() const
+{
+    byTrace_.clear();
+    byService_.assign(names_.size(), {});
+    for (std::size_t i = 0; i < size(); ++i) {
+        const Span &sp = at(i);
+        byTrace_[sp.traceId].push_back(i);
+        if (sp.service < byService_.size())
+            byService_[sp.service].push_back(i);
+    }
+    indexDirty_ = false;
 }
 
 std::vector<Span>
 TraceStore::byTrace(TraceId id) const
 {
+    if (indexDirty_)
+        rebuildIndices();
     std::vector<Span> out;
     auto it = byTrace_.find(id);
     if (it == byTrace_.end())
         return out;
     out.reserve(it->second.size());
     for (std::size_t idx : it->second)
-        out.push_back(spans_[idx]);
+        out.push_back(at(idx));
     return out;
+}
+
+const std::vector<std::size_t> &
+TraceStore::byService(ServiceId id) const
+{
+    if (indexDirty_)
+        rebuildIndices();
+    return id < byService_.size() ? byService_[id] : empty_;
 }
 
 const std::vector<std::size_t> &
 TraceStore::byService(const std::string &svc) const
 {
-    auto it = byService_.find(svc);
-    return it == byService_.end() ? empty_ : it->second;
+    return byService(serviceId(svc));
 }
 
 std::vector<std::string>
 TraceStore::services() const
 {
+    if (indexDirty_)
+        rebuildIndices();
     std::vector<std::string> out;
-    out.reserve(byService_.size());
-    for (const auto &[name, idxs] : byService_)
-        out.push_back(name);
+    for (ServiceId id = 0; id < byService_.size(); ++id)
+        if (!byService_[id].empty())
+            out.push_back(names_[id]);
     std::sort(out.begin(), out.end());
     return out;
 }
 
 void
+TraceStore::setCapacity(std::size_t capacity)
+{
+    if (capacity == 0)
+        fatal("TraceStore capacity must be at least 1");
+    if (capacity < ring_.size()) {
+        // Keep the newest `capacity` spans, oldest first.
+        std::vector<Span> kept;
+        kept.reserve(capacity);
+        const std::size_t drop = ring_.size() - capacity;
+        for (std::size_t i = drop; i < ring_.size(); ++i)
+            kept.push_back(at(i));
+        evicted_ += drop;
+        ring_ = std::move(kept);
+        head_ = 0;
+        indexDirty_ = true;
+    } else if (head_ != 0) {
+        // Growing a wrapped ring: linearize so new pushes append.
+        std::vector<Span> lin;
+        lin.reserve(ring_.size());
+        for (std::size_t i = 0; i < ring_.size(); ++i)
+            lin.push_back(at(i));
+        ring_ = std::move(lin);
+        head_ = 0;
+        indexDirty_ = true;
+    }
+    capacity_ = capacity;
+}
+
+void
 TraceStore::clear()
 {
-    spans_.clear();
+    ring_.clear();
+    head_ = 0;
+    evicted_ = 0;
+    inserted_ = 0;
     byTrace_.clear();
     byService_.clear();
+    indexDirty_ = false;
+}
+
+namespace {
+
+/** splitmix64 finalizer: decorrelates sequential trace ids. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+bool
+Collector::sampled(TraceId id) const
+{
+    if (sampleEvery_ <= 1)
+        return true;
+    // Deterministic per-trace decision: every span of a trace agrees,
+    // so sampled stores only ever hold complete traces.
+    return mix64(id) % sampleEvery_ == 0;
 }
 
 void
 Collector::collect(const Span &span)
 {
-    ++offered_;
+    offered_->inc();
     if (!enabled_)
         return;
-    if (offered_ % sampleEvery_ != 0)
+    if (!sampled(span.traceId)) {
+        sampledOut_->inc();
         return;
+    }
+    stored_->inc();
     store_.insert(span);
+}
+
+void
+Collector::bindMetrics(MetricsRegistry &metrics)
+{
+    Counter &off = metrics.counter("trace.spans_offered");
+    Counter &out = metrics.counter("trace.spans_sampled_out");
+    Counter &sto = metrics.counter("trace.spans_stored");
+    off.inc(offered_->value());
+    out.inc(sampledOut_->value());
+    sto.inc(stored_->value());
+    offered_ = &off;
+    sampledOut_ = &out;
+    stored_ = &sto;
 }
 
 } // namespace uqsim::trace

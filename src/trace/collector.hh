@@ -6,6 +6,13 @@
  * paper; the TraceStore is the centralized Cassandra database. Both
  * are in-process here, but the interface keeps the same separation so
  * analysis code only ever talks to the store.
+ *
+ * The store is built for *always-on* tracing: a fixed-capacity ring
+ * buffer of trivially-copyable spans with interned service names, so
+ * recording a span on the simulator's hottest path (every RPC hop)
+ * costs one bounded memcpy and never allocates once the ring has
+ * grown to capacity. When full, the oldest spans are overwritten and
+ * counted, so analysis always knows what it is missing.
  */
 
 #ifndef UQSIM_TRACE_COLLECTOR_HH
@@ -17,48 +24,155 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/metrics.hh"
 #include "trace/span.hh"
 
 namespace uqsim::trace {
 
 /**
- * Centralized span storage with per-trace and per-service indices.
+ * Centralized span storage: a bounded ring buffer with interned
+ * service names and lazily rebuilt per-trace / per-service indices.
+ *
+ * Spans are addressed by position in [0, size()), oldest first. Any
+ * insert may shift positions (on eviction) and invalidates the index
+ * references returned by byService().
  */
 class TraceStore
 {
   public:
-    /** Persist one span. */
+    /** Default ring capacity (spans); ~24 MiB when completely full. */
+    static constexpr std::size_t kDefaultCapacity = 1u << 18;
+
+    explicit TraceStore(std::size_t capacity = kDefaultCapacity);
+
+    // -- Service-name interning ---------------------------------------
+
+    /** Intern @p name, returning its stable id (idempotent). */
+    ServiceId intern(const std::string &name);
+
+    /** Id of an already-interned name, or kNoService. */
+    ServiceId serviceId(const std::string &name) const;
+
+    /** Name behind an interned id (fatal on invalid id). */
+    const std::string &serviceName(ServiceId id) const;
+
+    // -- Span storage -------------------------------------------------
+
+    /** Persist one span, evicting the oldest when at capacity. */
     void insert(const Span &span);
 
-    /** All spans, in insertion order. */
-    const std::vector<Span> &spans() const { return spans_; }
+    /** Span at position @p i in [0, size()), oldest first. */
+    const Span &at(std::size_t i) const;
 
-    /** Spans belonging to one end-to-end request. */
+    /** Lightweight random-access view over the stored spans. */
+    class SpanView
+    {
+      public:
+        class iterator
+        {
+          public:
+            using value_type = Span;
+            using difference_type = std::ptrdiff_t;
+
+            iterator(const TraceStore *store, std::size_t pos)
+                : store_(store), pos_(pos)
+            {}
+            const Span &operator*() const { return store_->at(pos_); }
+            const Span *operator->() const { return &store_->at(pos_); }
+            iterator &operator++()
+            {
+                ++pos_;
+                return *this;
+            }
+            bool operator!=(const iterator &o) const
+            {
+                return pos_ != o.pos_;
+            }
+            bool operator==(const iterator &o) const
+            {
+                return pos_ == o.pos_;
+            }
+
+          private:
+            const TraceStore *store_;
+            std::size_t pos_;
+        };
+
+        explicit SpanView(const TraceStore &store) : store_(&store) {}
+        std::size_t size() const { return store_->size(); }
+        bool empty() const { return size() == 0; }
+        const Span &operator[](std::size_t i) const
+        {
+            return store_->at(i);
+        }
+        iterator begin() const { return iterator(store_, 0); }
+        iterator end() const { return iterator(store_, size()); }
+
+      private:
+        const TraceStore *store_;
+    };
+
+    /** All stored spans, oldest first. */
+    SpanView spans() const { return SpanView(*this); }
+
+    /** Spans belonging to one end-to-end request (copies). */
     std::vector<Span> byTrace(TraceId id) const;
 
-    /** Indices of spans served by one microservice. */
+    /**
+     * Positions of spans served by one microservice. Valid until the
+     * next insert/clear/setCapacity.
+     */
     const std::vector<std::size_t> &byService(const std::string &svc) const;
+    const std::vector<std::size_t> &byService(ServiceId id) const;
 
-    /** Names of all services seen. */
+    /** Sorted names of services with at least one stored span. */
     std::vector<std::string> services() const;
 
-    /** Total spans stored. */
-    std::size_t size() const { return spans_.size(); }
+    /** Spans currently stored. */
+    std::size_t size() const { return ring_.size(); }
 
-    /** Drop everything. */
+    /** Ring capacity (maximum stored spans). */
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Change the ring capacity. Shrinking keeps the newest spans and
+     * counts the discarded ones as evicted. Fatal on zero.
+     */
+    void setCapacity(std::size_t capacity);
+
+    /** Spans overwritten (or discarded by a shrink) since clear(). */
+    std::uint64_t evicted() const { return evicted_; }
+
+    /** Total spans ever inserted since clear(). */
+    std::uint64_t inserted() const { return inserted_; }
+
+    /** Drop all spans and counters; interned names survive. */
     void clear();
 
   private:
-    std::vector<Span> spans_;
-    std::unordered_map<TraceId, std::vector<std::size_t>> byTrace_;
-    std::unordered_map<std::string, std::vector<std::size_t>> byService_;
+    void rebuildIndices() const;
+
+    std::size_t capacity_;
+    std::vector<Span> ring_;
+    /** Position of the oldest span once the ring has wrapped. */
+    std::size_t head_ = 0;
+    std::uint64_t evicted_ = 0;
+    std::uint64_t inserted_ = 0;
+
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, ServiceId> idByName_;
+
+    mutable bool indexDirty_ = false;
+    mutable std::unordered_map<TraceId, std::vector<std::size_t>> byTrace_;
+    mutable std::vector<std::vector<std::size_t>> byService_;
     std::vector<std::size_t> empty_;
 };
 
 /**
  * Receives spans from the tracing modules and forwards them to the
- * store. Sampling keeps overhead negligible, matching the paper's
- * <0.1% tracing overhead claim (we sample records, not behaviour; the
+ * store. Sampling is *trace-coherent*: the keep/drop decision is a
+ * deterministic hash of the trace id, so a sampled store only ever
+ * holds complete traces (we sample records, not behaviour; the
  * simulation itself is unaffected either way).
  */
 class Collector
@@ -66,24 +180,49 @@ class Collector
   public:
     explicit Collector(TraceStore &store) : store_(store) {}
 
-    /** Set sampling: keep one in @p n spans' traces (1 = keep all). */
+    /**
+     * Set sampling: keep one in @p n *traces* (1 = keep all). All
+     * spans of a kept trace are stored; all spans of a dropped trace
+     * are discarded.
+     */
     void setSampleEvery(std::uint64_t n) { sampleEvery_ = n ? n : 1; }
+    std::uint64_t sampleEvery() const { return sampleEvery_; }
 
     /** Enable/disable collection entirely. */
     void setEnabled(bool enabled) { enabled_ = enabled; }
     bool enabled() const { return enabled_; }
 
+    /** Whether spans of @p id survive the sampling decision. */
+    bool sampled(TraceId id) const;
+
     /** Ingest one finished span. */
     void collect(const Span &span);
 
     /** Spans offered (including sampled-out and disabled periods). */
-    std::uint64_t offered() const { return offered_; }
+    std::uint64_t offered() const { return offered_->value(); }
+
+    /** Spans discarded by the sampling decision. */
+    std::uint64_t sampledOut() const { return sampledOut_->value(); }
+
+    /** Spans forwarded to the store. */
+    std::uint64_t stored() const { return stored_->value(); }
+
+    /**
+     * Report through @p metrics instead of private counters
+     * (trace.spans_offered / trace.spans_sampled_out /
+     * trace.spans_stored); current values carry over.
+     */
+    void bindMetrics(MetricsRegistry &metrics);
 
   private:
     TraceStore &store_;
     bool enabled_ = true;
     std::uint64_t sampleEvery_ = 1;
-    std::uint64_t offered_ = 0;
+
+    Counter ownOffered_, ownSampledOut_, ownStored_;
+    Counter *offered_ = &ownOffered_;
+    Counter *sampledOut_ = &ownSampledOut_;
+    Counter *stored_ = &ownStored_;
 };
 
 /** Allocates trace and span ids deterministically. */

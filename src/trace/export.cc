@@ -1,7 +1,10 @@
 #include "trace/export.hh"
 
 #include <iomanip>
+#include <map>
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "core/types.hh"
 
@@ -18,18 +21,26 @@ hexId(std::uint64_t id)
     return oss.str();
 }
 
-void
-emitSpan(std::ostream &os, const Span &sp)
+const std::string &
+spanService(const TraceStore &store, const Span &sp)
 {
+    static const std::string unknown = "?";
+    return sp.service == kNoService ? unknown
+                                    : store.serviceName(sp.service);
+}
+
+void
+emitSpan(std::ostream &os, const TraceStore &store, const Span &sp)
+{
+    const std::string &service = spanService(store, sp);
     os << "{\"traceId\":\"" << hexId(sp.traceId) << "\""
        << ",\"id\":\"" << hexId(sp.spanId) << "\"";
     if (sp.parentSpanId != kNoParent)
         os << ",\"parentId\":\"" << hexId(sp.parentSpanId) << "\"";
-    os << ",\"name\":\"" << sp.service << "\""
+    os << ",\"name\":\"" << service << "\""
        << ",\"timestamp\":" << ticksToUs(sp.start)
        << ",\"duration\":" << ticksToUs(sp.duration())
-       << ",\"localEndpoint\":{\"serviceName\":\"" << sp.service
-       << "\"}"
+       << ",\"localEndpoint\":{\"serviceName\":\"" << service << "\"}"
        << ",\"tags\":{"
        << "\"instance\":\"" << sp.instance << "\""
        << ",\"queryType\":\"" << sp.queryType << "\""
@@ -45,7 +56,7 @@ void
 exportZipkinJson(const TraceStore &store, std::ostream &os,
                  std::size_t max_spans)
 {
-    const auto &spans = store.spans();
+    const auto spans = store.spans();
     const std::size_t n = max_spans == 0
                               ? spans.size()
                               : std::min(max_spans, spans.size());
@@ -53,7 +64,7 @@ exportZipkinJson(const TraceStore &store, std::ostream &os,
     for (std::size_t i = 0; i < n; ++i) {
         if (i)
             os << ",\n ";
-        emitSpan(os, spans[i]);
+        emitSpan(os, store, spans[i]);
     }
     os << "]\n";
 }
@@ -63,6 +74,80 @@ toZipkinJson(const TraceStore &store, std::size_t max_spans)
 {
     std::ostringstream oss;
     exportZipkinJson(store, oss, max_spans);
+    return oss.str();
+}
+
+void
+exportPerfettoJson(const TraceStore &store, std::ostream &os,
+                   std::size_t max_spans)
+{
+    const auto spans = store.spans();
+    const std::size_t n = max_spans == 0
+                              ? spans.size()
+                              : std::min(max_spans, spans.size());
+
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n ";
+    };
+
+    // Metadata first: label each trace (process) and each service
+    // track (thread) so Perfetto's timeline reads naturally.
+    std::set<TraceId> traces_seen;
+    std::set<std::pair<TraceId, ServiceId>> tracks_seen;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Span &sp = spans[i];
+        if (traces_seen.insert(sp.traceId).second) {
+            sep();
+            os << "{\"ph\":\"M\",\"pid\":" << sp.traceId
+               << ",\"name\":\"process_name\",\"args\":{\"name\":"
+               << "\"trace " << hexId(sp.traceId) << "\"}}";
+        }
+        if (tracks_seen.insert({sp.traceId, sp.service}).second) {
+            sep();
+            // tid 0 is reserved; shift interned ids up by one.
+            os << "{\"ph\":\"M\",\"pid\":" << sp.traceId
+               << ",\"tid\":" << sp.service + 1
+               << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+               << spanService(store, sp) << "\"}}";
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const Span &sp = spans[i];
+        sep();
+        os << "{\"ph\":\"X\",\"pid\":" << sp.traceId
+           << ",\"tid\":" << sp.service + 1 << ",\"cat\":\"rpc\""
+           << ",\"name\":\"" << spanService(store, sp) << "\""
+           << ",\"ts\":" << ticksToUs(sp.start)
+           << ",\"dur\":" << ticksToUs(sp.duration())
+           << ",\"args\":{"
+           << "\"spanId\":\"" << hexId(sp.spanId) << "\""
+           << ",\"parentId\":\"" << hexId(sp.parentSpanId) << "\""
+           << ",\"instance\":" << sp.instance
+           << ",\"queryType\":" << sp.queryType
+           << ",\"queueUs\":" << ticksToUs(sp.queueTime)
+           << ",\"appUs\":" << ticksToUs(sp.appTime)
+           << ",\"networkUs\":" << ticksToUs(sp.networkTime)
+           << ",\"downstreamUs\":" << ticksToUs(sp.downstreamWait)
+           << "}}";
+    }
+    os << "\n],\"otherData\":{"
+       << "\"spansStored\":" << store.size()
+       << ",\"spansInserted\":" << store.inserted()
+       << ",\"spansEvicted\":" << store.evicted()
+       << ",\"capacity\":" << store.capacity() << "}}\n";
+}
+
+std::string
+toPerfettoJson(const TraceStore &store, std::size_t max_spans)
+{
+    std::ostringstream oss;
+    exportPerfettoJson(store, oss, max_spans);
     return oss.str();
 }
 

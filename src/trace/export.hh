@@ -1,11 +1,15 @@
 /**
  * @file
- * Zipkin-v2-style JSON export of collected traces.
+ * JSON exports of collected traces.
  *
- * The paper's tracing system stores spans "similarly to the Zipkin
- * collector"; this module renders a TraceStore in the Zipkin v2 span
- * format so traces can be inspected with standard tooling (Zipkin UI,
- * jaeger, or plain jq).
+ * Two renderings of a TraceStore:
+ *  - Zipkin v2 span arrays, as the paper's tracing system stores spans
+ *    "similarly to the Zipkin collector" (inspect with Zipkin UI,
+ *    jaeger, or plain jq);
+ *  - Chrome trace_event JSON, which https://ui.perfetto.dev opens
+ *    directly: each trace becomes a process, each service a named
+ *    thread, and each span a complete ("X") event carrying its
+ *    queue/app/network/downstream breakdown in args.
  */
 
 #ifndef UQSIM_TRACE_EXPORT_HH
@@ -31,6 +35,19 @@ void exportZipkinJson(const TraceStore &store, std::ostream &os,
 /** Convenience wrapper returning a string. */
 std::string toZipkinJson(const TraceStore &store,
                          std::size_t max_spans = 0);
+
+/**
+ * Render up to @p max_spans spans as Chrome trace_event JSON for
+ * ui.perfetto.dev / chrome://tracing. Timestamps are microseconds.
+ * Includes process/thread metadata so traces and services are
+ * labelled, and a trailing record of the store's eviction accounting.
+ */
+void exportPerfettoJson(const TraceStore &store, std::ostream &os,
+                        std::size_t max_spans = 0);
+
+/** Convenience wrapper returning a string. */
+std::string toPerfettoJson(const TraceStore &store,
+                           std::size_t max_spans = 0);
 
 /**
  * Render a whole run as one JSON object: the simulator's execution

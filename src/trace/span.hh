@@ -14,7 +14,7 @@
 #define UQSIM_TRACE_SPAN_HH
 
 #include <cstdint>
-#include <string>
+#include <type_traits>
 
 #include "core/types.hh"
 
@@ -30,7 +30,18 @@ using SpanId = std::uint64_t;
 constexpr SpanId kNoParent = 0;
 
 /**
- * Server-side record of a single RPC.
+ * Interned service-name id, allocated by TraceStore::intern(). Spans
+ * carry the id rather than the name so recording a span on the hot
+ * path never allocates; names are resolved back through the store.
+ */
+using ServiceId = std::uint32_t;
+
+/** Sentinel for "no service name attached". */
+constexpr ServiceId kNoService = 0xffffffffu;
+
+/**
+ * Server-side record of a single RPC. Plain trivially-copyable data:
+ * the ring-buffer store overwrites slots in place.
  */
 struct Span
 {
@@ -38,8 +49,8 @@ struct Span
     SpanId spanId = 0;
     SpanId parentSpanId = kNoParent;
 
-    /** Microservice that served the RPC. */
-    std::string service;
+    /** Microservice that served the RPC (interned name id). */
+    ServiceId service = kNoService;
 
     /** Instance index within the service. */
     unsigned instance = 0;
@@ -72,6 +83,10 @@ struct Span
     /** Total server-side latency. */
     Tick duration() const { return end - start; }
 };
+
+static_assert(std::is_trivially_copyable_v<Span>,
+              "Span must stay trivially copyable: the ring-buffer "
+              "store relies on cheap slot overwrites");
 
 } // namespace uqsim::trace
 

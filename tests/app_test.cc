@@ -135,11 +135,11 @@ TEST_F(AppTest, SpanNestingRespectsCallOrder)
     const auto &store = world_.app->traceStore();
     trace::Span front, mid, leaf;
     for (const auto &s : store.spans()) {
-        if (s.service == "front")
+        if (s.service == store.serviceId("front"))
             front = s;
-        if (s.service == "mid")
+        if (s.service == store.serviceId("mid"))
             mid = s;
-        if (s.service == "leaf")
+        if (s.service == store.serviceId("leaf"))
             leaf = s;
     }
     EXPECT_LE(front.start, mid.start);
@@ -356,13 +356,13 @@ TEST_F(AppTest, MediaPayloadOnlyOnFlaggedEdges)
     const auto &store = app.traceStore();
     Tick plain_net = 0, media_net = 0;
     for (const auto &s : store.spans()) {
-        if (s.service == "front") {
+        if (s.service == store.serviceId("front")) {
             // front's span includes both downstream transfers
             continue;
         }
-        if (s.service == "plain")
+        if (s.service == store.serviceId("plain"))
             plain_net = s.networkTime;
-        if (s.service == "media")
+        if (s.service == store.serviceId("media"))
             media_net = s.networkTime;
     }
     EXPECT_LT(plain_net, 200 * kTicksPerUs);

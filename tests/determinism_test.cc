@@ -34,11 +34,14 @@ struct RunArtifacts
 };
 
 RunArtifacts
-runSocialNetwork(std::uint64_t seed)
+runSocialNetwork(std::uint64_t seed, bool tracing = true,
+                 std::uint64_t sample_every = 1)
 {
     apps::WorldConfig c;
     c.workerServers = 5;
     c.seed = seed;
+    c.appConfig.tracing = tracing;
+    c.appConfig.traceSampleEvery = sample_every;
     apps::World w(c);
     apps::buildSocialNetwork(w);
     workload::runLoad(*w.app, 200.0, kTicksPerSec / 10,
@@ -70,6 +73,20 @@ TEST(DeterminismTest, DifferentSeedDifferentDigest)
     const RunArtifacts a = runSocialNetwork(123);
     const RunArtifacts b = runSocialNetwork(124);
     EXPECT_NE(a.digest, b.digest);
+}
+
+TEST(DeterminismTest, TracingIsObservationOnly)
+{
+    // Collection must never influence the simulation: the digest is
+    // identical whether spans are kept, sampled down, or dropped.
+    const RunArtifacts traced = runSocialNetwork(123, true);
+    const RunArtifacts sampled = runSocialNetwork(123, true, 16);
+    const RunArtifacts untraced = runSocialNetwork(123, false);
+    EXPECT_EQ(traced.digest, untraced.digest);
+    EXPECT_EQ(traced.digest, sampled.digest);
+    EXPECT_EQ(traced.executed, untraced.executed);
+    EXPECT_GT(traced.traceJson.size(), sampled.traceJson.size());
+    EXPECT_EQ(untraced.traceJson, "[]\n");
 }
 
 TEST(DeterminismTest, RunJsonEmbedsDigest)

@@ -77,23 +77,26 @@ TEST(IntegrationTest, TraceTreeMatchesGraphReachability)
     for (const auto &s : store.spans())
         by_id[s.spanId] = &s;
     unsigned checked = 0;
+    const trace::ServiceId client_id = store.serviceId("client");
     for (const auto &s : store.spans()) {
-        if (s.service == "client")
+        if (s.service == client_id)
             continue;
-        ASSERT_TRUE(w.app->hasService(s.service)) << s.service;
+        const std::string &svc = store.serviceName(s.service);
+        ASSERT_TRUE(w.app->hasService(svc)) << svc;
         auto parent = by_id.find(s.parentSpanId);
         if (parent == by_id.end())
             continue; // parent span sampled out
-        const std::string &parent_svc = parent->second->service;
-        if (parent_svc == "client") {
-            EXPECT_EQ(s.service, w.app->entry());
+        if (parent->second->service == client_id) {
+            EXPECT_EQ(svc, w.app->entry());
             continue;
         }
+        const std::string &parent_svc =
+            store.serviceName(parent->second->service);
         const auto targets =
             w.app->service(parent_svc).def().handler.callTargets();
-        EXPECT_NE(std::find(targets.begin(), targets.end(), s.service),
+        EXPECT_NE(std::find(targets.begin(), targets.end(), svc),
                   targets.end())
-            << parent_svc << " -> " << s.service;
+            << parent_svc << " -> " << svc;
         ++checked;
     }
     EXPECT_GT(checked, 100u);

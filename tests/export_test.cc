@@ -36,7 +36,7 @@ TEST(TraceExportTest, SpansCarryZipkinFields)
     sp.traceId = 0xabc;
     sp.spanId = 0x123;
     sp.parentSpanId = 0x99;
-    sp.service = "composePost";
+    sp.service = store.intern("composePost");
     sp.start = 1000;
     sp.end = 51000;
     sp.appTime = 30000;
@@ -63,7 +63,7 @@ TEST(TraceExportTest, RootSpanOmitsParentId)
     sp.traceId = 1;
     sp.spanId = 2;
     sp.parentSpanId = trace::kNoParent;
-    sp.service = "client";
+    sp.service = store.intern("client");
     sp.start = 0;
     sp.end = 10;
     store.insert(sp);
@@ -78,7 +78,7 @@ TEST(TraceExportTest, MaxSpansCapsOutput)
         trace::Span sp;
         sp.traceId = 1;
         sp.spanId = static_cast<trace::SpanId>(i + 1);
-        sp.service = "svc";
+        sp.service = store.intern("svc");
         sp.start = 0;
         sp.end = 1;
         store.insert(sp);
@@ -102,6 +102,60 @@ TEST(TraceExportTest, RealRunProducesBalancedJson)
     const std::string json =
         trace::toZipkinJson(w.app->traceStore(), 500);
     // Braces and brackets balance.
+    long depth = 0;
+    for (char c : json) {
+        if (c == '{' || c == '[')
+            ++depth;
+        if (c == '}' || c == ']')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_GT(json.size(), 1000u);
+}
+
+TEST(PerfettoExportTest, EventsCarryTrackMetadata)
+{
+    trace::TraceStore store;
+    trace::Span root;
+    root.traceId = 0x42;
+    root.spanId = 1;
+    root.service = store.intern("frontend");
+    root.start = 0;
+    root.end = 2000;
+    store.insert(root);
+    trace::Span child = root;
+    child.spanId = 2;
+    child.parentSpanId = 1;
+    child.service = store.intern("backend");
+    child.start = 500;
+    child.end = 1500;
+    store.insert(child);
+
+    const std::string json = trace::toPerfettoJson(store);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+    // One process_name per trace, one thread_name per service track.
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"frontend\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"backend\""), std::string::npos);
+    // Complete ("X") events for both spans, tagged with components.
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"downstreamUs\""), std::string::npos);
+    // Eviction accounting rides along for tooling.
+    EXPECT_NE(json.find("\"spansEvicted\":0"), std::string::npos);
+}
+
+TEST(PerfettoExportTest, RealRunProducesBalancedJson)
+{
+    apps::World w(cfg());
+    apps::buildSocialNetwork(w);
+    workload::runLoad(*w.app, 100.0, kTicksPerSec, kTicksPerSec,
+                      workload::QueryMix::fromApp(*w.app),
+                      workload::UserPopulation::uniform(50), 3);
+    const std::string json =
+        trace::toPerfettoJson(w.app->traceStore(), 500);
     long depth = 0;
     for (char c : json) {
         if (c == '{' || c == '[')

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the unified metrics registry: get-or-create semantics,
+ * stable references, deterministic snapshots and reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/metrics.hh"
+
+namespace uqsim {
+namespace {
+
+TEST(MetricsRegistryTest, OwnsNamedMetrics)
+{
+    MetricsRegistry reg;
+    reg.counter("app.requests").inc(3);
+    reg.gauge("monitor.load").set(0.7);
+    reg.histogram("app.latency").record(123);
+    EXPECT_EQ(reg.counter("app.requests").value(), 3u);
+    EXPECT_EQ(reg.gauge("monitor.load").value(), 0.7);
+    EXPECT_EQ(reg.histogram("app.latency").count(), 1u);
+    EXPECT_TRUE(reg.has("app.requests"));
+    EXPECT_FALSE(reg.has("missing"));
+    EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistryTest, ReferencesAreStable)
+{
+    MetricsRegistry reg;
+    Counter &first = reg.counter("a");
+    // Registering many more metrics must not move the original.
+    for (int i = 0; i < 100; ++i)
+        reg.counter("filler." + std::to_string(i));
+    EXPECT_EQ(&first, &reg.counter("a"));
+    first.inc();
+    EXPECT_EQ(reg.counter("a").value(), 1u);
+}
+
+TEST(MetricsRegistryTest, DumpIsNameOrdered)
+{
+    MetricsRegistry reg;
+    reg.counter("zeta").inc();
+    reg.counter("alpha").inc();
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string out = os.str();
+    EXPECT_LT(out.find("alpha"), out.find("zeta"));
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotIsBalancedAndComplete)
+{
+    MetricsRegistry reg;
+    reg.counter("app.requests").inc(42);
+    reg.gauge("monitor.util").set(0.25);
+    reg.histogram("app.latency").record(1000);
+    reg.histogram("app.latency").record(3000);
+
+    std::ostringstream os;
+    reg.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"app.requests\":42"), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+    long depth = 0;
+    for (char c : json) {
+        if (c == '{')
+            ++depth;
+        if (c == '}')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesEverything)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("c");
+    c.inc(9);
+    reg.gauge("g").set(5.0);
+    reg.histogram("h").record(5);
+    reg.resetAll();
+    EXPECT_EQ(reg.counter("c").value(), 0u);
+    EXPECT_EQ(reg.gauge("g").value(), 0.0);
+    EXPECT_EQ(reg.histogram("h").count(), 0u);
+    // Same instance after reset: held references stay valid.
+    EXPECT_EQ(&c, &reg.counter("c"));
+}
+
+} // namespace
+} // namespace uqsim

@@ -1,12 +1,10 @@
 /**
  * @file
- * Tests for counters, time-weighted gauges, windowed stats and the
- * registry.
+ * Tests for counters, time-weighted gauges and windowed stats. The
+ * named registry is covered in metrics_test.cc.
  */
 
 #include <gtest/gtest.h>
-
-#include <sstream>
 
 #include "core/stats.hh"
 
@@ -91,38 +89,6 @@ TEST(WindowedStatTest, EmptyWindowReportsZero)
     EXPECT_EQ(s.windowCount(), 0u);
     EXPECT_EQ(s.windowMean(), 0.0);
     EXPECT_EQ(s.windowP99(), 0u);
-}
-
-TEST(StatRegistryTest, OwnsNamedStats)
-{
-    StatRegistry reg;
-    reg.counter("requests").inc(3);
-    reg.gauge("load").set(0.7);
-    reg.histogram("latency").record(123);
-    EXPECT_EQ(reg.counter("requests").value(), 3u);
-    EXPECT_EQ(reg.gauge("load").value(), 0.7);
-    EXPECT_EQ(reg.histogram("latency").count(), 1u);
-}
-
-TEST(StatRegistryTest, DumpContainsNames)
-{
-    StatRegistry reg;
-    reg.counter("foo").inc();
-    reg.histogram("bar").record(10);
-    std::ostringstream os;
-    reg.dump(os);
-    EXPECT_NE(os.str().find("foo"), std::string::npos);
-    EXPECT_NE(os.str().find("bar"), std::string::npos);
-}
-
-TEST(StatRegistryTest, ResetAllClears)
-{
-    StatRegistry reg;
-    reg.counter("c").inc(9);
-    reg.histogram("h").record(5);
-    reg.resetAll();
-    EXPECT_EQ(reg.counter("c").value(), 0u);
-    EXPECT_EQ(reg.histogram("h").count(), 0u);
 }
 
 } // namespace

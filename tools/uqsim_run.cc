@@ -18,10 +18,12 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "apps/catalog.hh"
 #include "apps/single_tier.hh"
@@ -32,6 +34,7 @@
 #include "cpu/power.hh"
 #include "serverless/platform.hh"
 #include "trace/analysis.hh"
+#include "trace/export.hh"
 #include "workload/load_sweep.hh"
 
 using namespace uqsim;
@@ -56,6 +59,9 @@ struct Options
     std::uint64_t users = 1000;
     std::uint64_t seed = 42;
     std::string report = "summary"; // summary|services|traces|cost|energy
+    std::string traceOut;           // Perfetto JSON file ("" = none)
+    std::string metricsOut;         // metrics snapshot JSON ("" = none)
+    std::size_t traceCapacity = trace::TraceStore::kDefaultCapacity;
     bool list = false;
 };
 
@@ -82,19 +88,39 @@ usage()
         "  --users N          user population (default 1000)\n"
         "  --seed N           world seed (default 42)\n"
         "  --report KIND      summary | services | traces | cost | energy\n"
-        "  --list             list applications and exit\n";
+        "  --trace-out FILE   write collected spans as Chrome/Perfetto\n"
+        "                     trace-event JSON (open in ui.perfetto.dev)\n"
+        "  --metrics-out FILE write the metrics-registry snapshot as JSON\n"
+        "  --trace-capacity N span ring-buffer capacity (default "
+            + std::to_string(trace::TraceStore::kDefaultCapacity) + ")\n"
+        "  --list             list applications and exit\n"
+        "\nOptions taking a value also accept --opt=value.\n";
 }
 
 bool
 parse(int argc, char **argv, Options &opt)
 {
-    auto need = [&](int &i) -> const char * {
-        if (i + 1 >= argc)
-            fatal(strCat("missing value for ", argv[i]));
-        return argv[++i];
-    };
+    // Accept both "--opt value" and "--opt=value" by splitting on the
+    // first '=' of every long option up-front.
+    std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
+        const std::size_t eq = a.find('=');
+        if (a.rfind("--", 0) == 0 && eq != std::string::npos) {
+            args.push_back(a.substr(0, eq));
+            args.push_back(a.substr(eq + 1));
+        } else {
+            args.push_back(a);
+        }
+    }
+
+    auto need = [&](std::size_t &i) -> const char * {
+        if (i + 1 >= args.size())
+            fatal(strCat("missing value for ", args[i]));
+        return args[++i].c_str();
+    };
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
         if (a == "--app")
             opt.app = need(i);
         else if (a == "--qps")
@@ -127,6 +153,13 @@ parse(int argc, char **argv, Options &opt)
             opt.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
         else if (a == "--report")
             opt.report = need(i);
+        else if (a == "--trace-out")
+            opt.traceOut = need(i);
+        else if (a == "--metrics-out")
+            opt.metricsOut = need(i);
+        else if (a == "--trace-capacity")
+            opt.traceCapacity =
+                static_cast<std::size_t>(std::atoll(need(i)));
         else if (a == "--list")
             opt.list = true;
         else if (a == "--help" || a == "-h") {
@@ -217,6 +250,7 @@ main(int argc, char **argv)
     config.workerServers = opt.servers;
     config.coreModel = coreModel(opt.core);
     config.seed = opt.seed;
+    config.appConfig.traceCapacity = opt.traceCapacity;
     if (opt.fpga)
         config.appConfig.fpga = net::FpgaOffloadModel::on();
     apps::World world(config);
@@ -313,9 +347,21 @@ main(int argc, char **argv)
     if (opt.report == "traces") {
         trace::TraceAnalysis ta(app.traceStore());
         printBanner(std::cout, "critical path (mean us/request)");
-        for (const auto &[svc, ns] : ta.criticalPath())
-            std::cout << "  " << svc << ": " << fmtDouble(ns / 1000.0, 0)
-                      << "\n";
+        TextTable cp({"service", "exclusive", "queue", "app", "network",
+                      "downstream"});
+        for (const auto &e : ta.criticalPathBreakdown())
+            cp.add(e.service, fmtDouble(e.exclusiveNs / 1000.0, 0),
+                   fmtDouble(e.queueNs / 1000.0, 0),
+                   fmtDouble(e.appNs / 1000.0, 0),
+                   fmtDouble(e.networkNs / 1000.0, 0),
+                   fmtDouble(e.downstreamNs / 1000.0, 0));
+        cp.print(std::cout);
+        const auto &store = app.traceStore();
+        if (store.evicted() > 0)
+            std::cout << "note: " << store.evicted()
+                      << " oldest spans evicted from the ring "
+                         "(capacity " << store.capacity()
+                      << "; raise with --trace-capacity)\n";
     }
     if (opt.report == "cost") {
         const Tick window = secToTicks(600.0);
@@ -348,6 +394,25 @@ main(int argc, char **argv)
                                    std::max<double>(1.0, r.completed),
                                2)
                   << " J\n";
+    }
+
+    // ---- file exports ---------------------------------------------------
+    if (!opt.traceOut.empty()) {
+        std::ofstream out(opt.traceOut);
+        if (!out)
+            fatal(strCat("cannot open '", opt.traceOut, "' for writing"));
+        trace::exportPerfettoJson(app.traceStore(), out);
+        std::cout << "wrote " << app.traceStore().size() << " spans to "
+                  << opt.traceOut << " (open in ui.perfetto.dev)\n";
+    }
+    if (!opt.metricsOut.empty()) {
+        std::ofstream out(opt.metricsOut);
+        if (!out)
+            fatal(strCat("cannot open '", opt.metricsOut,
+                         "' for writing"));
+        app.metrics().writeJson(out);
+        std::cout << "wrote metrics snapshot to " << opt.metricsOut
+                  << "\n";
     }
     return 0;
 }
