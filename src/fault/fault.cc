@@ -1,0 +1,640 @@
+#include "fault/fault.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "core/logging.hh"
+
+namespace uqsim::fault {
+
+std::string
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Crash:
+        return "crash";
+      case FaultKind::ErrorRate:
+        return "errors";
+      case FaultKind::Slowdown:
+        return "slow";
+      case FaultKind::Partition:
+        return "partition";
+    }
+    return "unknown";
+}
+
+std::string
+FaultSpec::describe() const
+{
+    std::string s = strCat(faultKindName(kind),
+                           " t=", ticksToMs(start), "ms");
+    if (duration)
+        s += strCat(" dur=", ticksToMs(duration), "ms");
+    switch (kind) {
+      case FaultKind::Crash:
+        s += strCat(" ", service, "[", instance, "]");
+        break;
+      case FaultKind::ErrorRate:
+        s += strCat(" ", service, " rate=", rate);
+        break;
+      case FaultKind::Slowdown:
+        s += strCat(" server=", server, " factor=", factor);
+        break;
+      case FaultKind::Partition:
+        s += strCat(" ", groupA.first, "-", groupA.last, " | ",
+                    groupB.first, "-", groupB.last, " loss=", loss);
+        break;
+    }
+    return s;
+}
+
+bool
+parseDuration(const std::string &text, Tick &out)
+{
+    if (text.empty())
+        return false;
+    std::size_t i = 0;
+    while (i < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[i])) ||
+            text[i] == '.'))
+        ++i;
+    if (i == 0)
+        return false;
+    double value = 0.0;
+    try {
+        std::size_t consumed = 0;
+        value = std::stod(text.substr(0, i), &consumed);
+        if (consumed != i)
+            return false;
+    } catch (...) {
+        return false;
+    }
+    const std::string unit = text.substr(i);
+    double scale;
+    if (unit.empty() || unit == "ms")
+        scale = static_cast<double>(kTicksPerMs);
+    else if (unit == "ns")
+        scale = 1.0;
+    else if (unit == "us")
+        scale = static_cast<double>(kTicksPerUs);
+    else if (unit == "s")
+        scale = static_cast<double>(kTicksPerSec);
+    else
+        return false;
+    if (value < 0.0)
+        return false;
+    out = static_cast<Tick>(value * scale);
+    return true;
+}
+
+namespace {
+
+bool
+parseUnsigned(const std::string &text, unsigned &out)
+{
+    if (text.empty())
+        return false;
+    try {
+        std::size_t consumed = 0;
+        const unsigned long v = std::stoul(text, &consumed);
+        if (consumed != text.size())
+            return false;
+        out = static_cast<unsigned>(v);
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+bool
+parseDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    try {
+        std::size_t consumed = 0;
+        const double v = std::stod(text, &consumed);
+        if (consumed != text.size())
+            return false;
+        out = v;
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+bool
+parseRange(const std::string &text, ServerRange &out)
+{
+    const std::size_t dash = text.find('-');
+    if (dash == std::string::npos) {
+        unsigned v;
+        if (!parseUnsigned(text, v))
+            return false;
+        out.first = out.last = v;
+        return true;
+    }
+    if (!parseUnsigned(text.substr(0, dash), out.first) ||
+        !parseUnsigned(text.substr(dash + 1), out.last))
+        return false;
+    return out.first <= out.last;
+}
+
+bool
+kindFromName(const std::string &name, FaultKind &out)
+{
+    if (name == "crash")
+        out = FaultKind::Crash;
+    else if (name == "errors" || name == "error" || name == "error-rate")
+        out = FaultKind::ErrorRate;
+    else if (name == "slow" || name == "slowdown")
+        out = FaultKind::Slowdown;
+    else if (name == "partition")
+        out = FaultKind::Partition;
+    else
+        return false;
+    return true;
+}
+
+/**
+ * Apply one key=value pair to @p spec; shared between the flag parser
+ * and the JSON parser so both syntaxes accept the same keys.
+ */
+bool
+applyKey(FaultSpec &spec, const std::string &key, const std::string &value,
+         std::string &error)
+{
+    if (key == "t" || key == "start") {
+        if (!parseDuration(value, spec.start)) {
+            error = strCat("bad time '", value, "' for key '", key, "'");
+            return false;
+        }
+    } else if (key == "dur" || key == "duration") {
+        if (!parseDuration(value, spec.duration)) {
+            error = strCat("bad duration '", value, "'");
+            return false;
+        }
+    } else if (key == "service") {
+        if (value.empty()) {
+            error = "empty service name";
+            return false;
+        }
+        spec.service = value;
+    } else if (key == "instance") {
+        if (!parseUnsigned(value, spec.instance)) {
+            error = strCat("bad instance '", value, "'");
+            return false;
+        }
+    } else if (key == "rate") {
+        if (!parseDouble(value, spec.rate) || spec.rate < 0.0 ||
+            spec.rate > 1.0) {
+            error = strCat("bad rate '", value, "' (want [0,1])");
+            return false;
+        }
+    } else if (key == "server") {
+        if (!parseUnsigned(value, spec.server)) {
+            error = strCat("bad server '", value, "'");
+            return false;
+        }
+    } else if (key == "factor") {
+        if (!parseDouble(value, spec.factor) || spec.factor < 1.0) {
+            error = strCat("bad factor '", value, "' (want >= 1)");
+            return false;
+        }
+    } else if (key == "a") {
+        if (!parseRange(value, spec.groupA)) {
+            error = strCat("bad server range '", value, "' for group a");
+            return false;
+        }
+    } else if (key == "b") {
+        if (!parseRange(value, spec.groupB)) {
+            error = strCat("bad server range '", value, "' for group b");
+            return false;
+        }
+    } else if (key == "loss") {
+        if (!parseDouble(value, spec.loss) || spec.loss < 0.0 ||
+            spec.loss > 1.0) {
+            error = strCat("bad loss '", value, "' (want [0,1])");
+            return false;
+        }
+    } else {
+        error = strCat("unknown fault key '", key, "'");
+        return false;
+    }
+    return true;
+}
+
+/** Kind-specific sanity checks once all keys are applied. */
+bool
+validateSpec(const FaultSpec &spec, std::string &error)
+{
+    switch (spec.kind) {
+      case FaultKind::Crash:
+        if (spec.service.empty()) {
+            error = "crash fault needs service=";
+            return false;
+        }
+        break;
+      case FaultKind::ErrorRate:
+        if (spec.service.empty()) {
+            error = "errors fault needs service=";
+            return false;
+        }
+        if (spec.duration == 0) {
+            error = "errors fault needs dur=";
+            return false;
+        }
+        break;
+      case FaultKind::Slowdown:
+        if (spec.duration == 0) {
+            error = "slow fault needs dur=";
+            return false;
+        }
+        break;
+      case FaultKind::Partition:
+        if (spec.duration == 0) {
+            error = "partition fault needs dur=";
+            return false;
+        }
+        if (spec.groupA.last == 0 && spec.groupA.first == 0 &&
+            spec.groupB.last == 0 && spec.groupB.first == 0) {
+            error = "partition fault needs a= and b= server ranges";
+            return false;
+        }
+        break;
+    }
+    return true;
+}
+
+// ---- Minimal JSON reader ----------------------------------------------
+//
+// Just enough JSON for fault schedules: objects, arrays, strings,
+// numbers, booleans and null. No escapes beyond \" \\ \/ \n \t. Keeps
+// the suite dependency-free.
+
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &kv : object)
+            if (kv.first == key)
+                return &kv.second;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string &error)
+        : text_(text), error_(error)
+    {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size()) {
+            error_ = strCat("trailing JSON at offset ", pos_);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        error_ = strCat(msg, " at offset ", pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of JSON");
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"')
+            return parseString(out);
+        if (c == 't' || c == 'f')
+            return parseBool(out);
+        if (c == 'n')
+            return parseNull(out);
+        return parseNumber(out);
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue key;
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skipWs();
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.object.emplace_back(key.string, std::move(value));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.array.push_back(std::move(value));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(JsonValue &out)
+    {
+        out.type = JsonValue::Type::String;
+        ++pos_; // '"'
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_];
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return fail("unterminated escape");
+                switch (text_[pos_]) {
+                  case '"': c = '"'; break;
+                  case '\\': c = '\\'; break;
+                  case '/': c = '/'; break;
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  default:
+                    return fail("unsupported escape");
+                }
+            }
+            out.string.push_back(c);
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            return fail("unterminated string");
+        ++pos_; // closing '"'
+        return true;
+    }
+
+    bool
+    parseBool(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Bool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            out.boolean = true;
+            pos_ += 4;
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            out.boolean = false;
+            pos_ += 5;
+            return true;
+        }
+        return fail("bad literal");
+    }
+
+    bool
+    parseNull(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Null;
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return true;
+        }
+        return fail("bad literal");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Number;
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '-' || text_[end] == '+' ||
+                text_[end] == '.' || text_[end] == 'e' ||
+                text_[end] == 'E'))
+            ++end;
+        if (end == pos_)
+            return fail("expected value");
+        try {
+            std::size_t consumed = 0;
+            out.number = std::stod(text_.substr(pos_, end - pos_),
+                                   &consumed);
+            if (consumed != end - pos_)
+                return fail("bad number");
+        } catch (...) {
+            return fail("bad number");
+        }
+        pos_ = end;
+        return true;
+    }
+
+    const std::string &text_;
+    std::string &error_;
+    std::size_t pos_ = 0;
+};
+
+/** Render a scalar JSON value back to the flag-syntax value string. */
+bool
+scalarToString(const JsonValue &v, std::string &out)
+{
+    switch (v.type) {
+      case JsonValue::Type::String:
+        out = v.string;
+        return true;
+      case JsonValue::Type::Number:
+        // Integers print without a trailing ".000000".
+        if (v.number == static_cast<double>(
+                            static_cast<long long>(v.number)))
+            out = strCat(static_cast<long long>(v.number));
+        else
+            out = strCat(v.number);
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+specFromJsonObject(const JsonValue &obj, FaultSpec &out, std::string &error)
+{
+    if (obj.type != JsonValue::Type::Object) {
+        error = "fault entry is not a JSON object";
+        return false;
+    }
+    const JsonValue *kind = obj.find("kind");
+    if (!kind || kind->type != JsonValue::Type::String) {
+        error = "fault entry missing string \"kind\"";
+        return false;
+    }
+    FaultSpec spec;
+    if (!kindFromName(kind->string, spec.kind)) {
+        error = strCat("unknown fault kind '", kind->string, "'");
+        return false;
+    }
+    for (const auto &kv : obj.object) {
+        if (kv.first == "kind")
+            continue;
+        std::string value;
+        if (!scalarToString(kv.second, value)) {
+            error = strCat("fault key '", kv.first,
+                           "' must be a string or number");
+            return false;
+        }
+        if (!applyKey(spec, kv.first, value, error))
+            return false;
+    }
+    if (!validateSpec(spec, error))
+        return false;
+    out = spec;
+    return true;
+}
+
+} // namespace
+
+bool
+parseFaultFlag(const std::string &text, FaultSpec &out, std::string &error)
+{
+    const std::size_t at = text.find('@');
+    if (at == std::string::npos) {
+        error = strCat("fault spec '", text, "' missing 'kind@...'");
+        return false;
+    }
+    FaultSpec spec;
+    if (!kindFromName(text.substr(0, at), spec.kind)) {
+        error = strCat("unknown fault kind '", text.substr(0, at), "'");
+        return false;
+    }
+    std::size_t pos = at + 1;
+    while (pos < text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string pair = text.substr(pos, comma - pos);
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            error = strCat("bad fault parameter '", pair,
+                           "' (want key=value)");
+            return false;
+        }
+        if (!applyKey(spec, pair.substr(0, eq), pair.substr(eq + 1),
+                      error))
+            return false;
+        pos = comma + 1;
+    }
+    if (!validateSpec(spec, error))
+        return false;
+    out = spec;
+    return true;
+}
+
+bool
+parseFaultFile(const std::string &json_text, std::vector<FaultSpec> &out,
+               std::string &error)
+{
+    JsonValue root;
+    JsonParser parser(json_text, error);
+    if (!parser.parse(root))
+        return false;
+    const JsonValue *list = &root;
+    if (root.type == JsonValue::Type::Object) {
+        list = root.find("faults");
+        if (!list) {
+            error = "fault file object has no \"faults\" array";
+            return false;
+        }
+    }
+    if (list->type != JsonValue::Type::Array) {
+        error = "fault schedule must be a JSON array";
+        return false;
+    }
+    std::vector<FaultSpec> specs;
+    for (std::size_t i = 0; i < list->array.size(); ++i) {
+        FaultSpec spec;
+        if (!specFromJsonObject(list->array[i], spec, error)) {
+            error = strCat("fault #", i, ": ", error);
+            return false;
+        }
+        specs.push_back(std::move(spec));
+    }
+    out = std::move(specs);
+    return true;
+}
+
+} // namespace uqsim::fault

@@ -1,0 +1,179 @@
+#include "fault/injector.hh"
+
+#include "core/logging.hh"
+
+namespace uqsim::fault {
+
+FaultInjector::FaultInjector(service::App &app, std::uint64_t seed)
+    // Derived stream (never forked): arming an injector must not
+    // perturb the app's own RNG sequences.
+    : app_(app), rng_(seed ^ 0x4641554c54535452ull)
+{
+    requestsFailed_ = &app_.metrics().counter("fault.requests_failed");
+    messagesDropped_ = &app_.metrics().counter("fault.messages_dropped");
+    crashes_ = &app_.metrics().counter("fault.crashes");
+}
+
+FaultInjector::~FaultInjector()
+{
+    // The app may outlive the injector; never leave hooks dangling.
+    if (armed_) {
+        app_.setFaultHook(nullptr);
+        app_.network().setDropHook(nullptr);
+    }
+}
+
+void
+FaultInjector::add(FaultSpec spec)
+{
+    if (armed_)
+        fatal("FaultInjector::add after arm()");
+    schedule_.push_back(std::move(spec));
+}
+
+void
+FaultInjector::addAll(const std::vector<FaultSpec> &specs)
+{
+    for (const auto &s : specs)
+        add(s);
+}
+
+void
+FaultInjector::arm()
+{
+    if (armed_)
+        fatal("FaultInjector::arm called twice");
+    armed_ = true;
+    live_.assign(schedule_.size(), false);
+
+    bool any_errors = false, any_partitions = false, any_crashes = false;
+    for (const FaultSpec &spec : schedule_) {
+        switch (spec.kind) {
+          case FaultKind::Crash:
+          case FaultKind::ErrorRate: {
+            if (!app_.hasService(spec.service))
+                fatal(strCat("fault targets unknown service '",
+                             spec.service, "'"));
+            const auto &insts = app_.service(spec.service).instances();
+            if (spec.kind == FaultKind::Crash &&
+                spec.instance >= insts.size())
+                fatal(strCat("fault targets instance ", spec.instance,
+                             " of '", spec.service, "' which has only ",
+                             insts.size()));
+            (spec.kind == FaultKind::Crash ? any_crashes : any_errors) =
+                true;
+            break;
+          }
+          case FaultKind::Slowdown:
+            if (spec.server >= app_.cluster().size())
+                fatal(strCat("fault targets unknown server ",
+                             spec.server));
+            break;
+          case FaultKind::Partition:
+            any_partitions = true;
+            break;
+        }
+    }
+
+    // Install only what the schedule needs: every hook left null keeps
+    // that code path — and the execution digest — untouched.
+    if (any_errors)
+        app_.setFaultHook(this);
+    if (any_partitions)
+        app_.network().setDropHook([this](unsigned src, unsigned dst) {
+            return shouldDropMessage(src, dst);
+        });
+    if (any_crashes)
+        app_.enableCrashTracking();
+
+    for (std::size_t i = 0; i < schedule_.size(); ++i) {
+        const FaultSpec &spec = schedule_[i];
+        app_.sim().scheduleAt(spec.start, [this, i]() { startFault(i); });
+        // duration 0 means a permanent fault (crash with no restart).
+        if (spec.duration > 0)
+            app_.sim().scheduleAt(spec.end(),
+                                  [this, i]() { endFault(i); });
+    }
+}
+
+void
+FaultInjector::startFault(std::size_t idx)
+{
+    const FaultSpec &spec = schedule_[idx];
+    live_[idx] = true;
+    ++active_;
+    switch (spec.kind) {
+      case FaultKind::Crash:
+        crashes_->inc();
+        app_.crashInstance(spec.service, spec.instance);
+        break;
+      case FaultKind::Slowdown:
+        app_.cluster().server(spec.server).setSlowFactor(spec.factor);
+        break;
+      case FaultKind::ErrorRate:
+      case FaultKind::Partition:
+        // Window-gated hooks; nothing to flip besides live_.
+        break;
+    }
+}
+
+void
+FaultInjector::endFault(std::size_t idx)
+{
+    const FaultSpec &spec = schedule_[idx];
+    live_[idx] = false;
+    --active_;
+    switch (spec.kind) {
+      case FaultKind::Crash:
+        app_.restartInstance(spec.service, spec.instance);
+        break;
+      case FaultKind::Slowdown:
+        app_.cluster().server(spec.server).setSlowFactor(1.0);
+        break;
+      case FaultKind::ErrorRate:
+      case FaultKind::Partition:
+        break;
+    }
+}
+
+bool
+FaultInjector::shouldFailRequest(const service::Microservice &svc)
+{
+    if (active_ == 0)
+        return false;
+    for (std::size_t i = 0; i < schedule_.size(); ++i) {
+        if (!live_[i] || schedule_[i].kind != FaultKind::ErrorRate)
+            continue;
+        if (schedule_[i].service != svc.name())
+            continue;
+        if (rng_.bernoulli(schedule_[i].rate)) {
+            requestsFailed_->inc();
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FaultInjector::shouldDropMessage(unsigned src, unsigned dst)
+{
+    if (active_ == 0)
+        return false;
+    for (std::size_t i = 0; i < schedule_.size(); ++i) {
+        if (!live_[i] || schedule_[i].kind != FaultKind::Partition)
+            continue;
+        const FaultSpec &spec = schedule_[i];
+        const bool crosses =
+            (spec.groupA.contains(src) && spec.groupB.contains(dst)) ||
+            (spec.groupA.contains(dst) && spec.groupB.contains(src));
+        if (!crosses)
+            continue;
+        if (spec.loss >= 1.0 || rng_.bernoulli(spec.loss)) {
+            messagesDropped_->inc();
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace uqsim::fault

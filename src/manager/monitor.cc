@@ -54,7 +54,25 @@ Monitor::sampleOnce()
         // cores than threads).
         double util = 0.0;
         unsigned n = 0;
+        std::uint64_t served_delta = 0, failed_delta = 0;
         for (const auto &inst : svc->instances()) {
+            // Error accounting counts *all* instances: a crashed
+            // instance's failures are exactly what the panel must show.
+            const std::uint64_t served = inst->served();
+            const std::uint64_t failed = inst->failed();
+            const std::uint64_t prev_served =
+                lastServed_.count(inst.get()) ? lastServed_[inst.get()]
+                                              : 0;
+            const std::uint64_t prev_failed =
+                lastFailed_.count(inst.get()) ? lastFailed_[inst.get()]
+                                              : 0;
+            lastServed_[inst.get()] = served;
+            lastFailed_[inst.get()] = failed;
+            served_delta += served >= prev_served ? served - prev_served
+                                                  : served;
+            failed_delta += failed >= prev_failed ? failed - prev_failed
+                                                  : failed;
+
             if (!inst->active())
                 continue;
             const Tick busy = inst->cpuBusyTime();
@@ -70,6 +88,10 @@ Monitor::sampleOnce()
             ++n;
         }
         s.cpuUtil = n ? util / n : 0.0;
+        const std::uint64_t finished = served_delta + failed_delta;
+        s.errorRate = finished ? static_cast<double>(failed_delta) /
+                                     static_cast<double>(finished)
+                               : 0.0;
 
         // Publish the same signals to the app-wide registry so one
         // metrics snapshot shows what the cluster manager saw.
@@ -79,6 +101,7 @@ Monitor::sampleOnce()
         g.occupancy->set(s.occupancy);
         g.queueDepth->set(s.queueDepth);
         g.instances->set(static_cast<double>(s.instances));
+        g.errorRate->set(s.errorRate);
 
         round.push_back(std::move(s));
     }
@@ -100,6 +123,7 @@ Monitor::gaugesFor(const service::Microservice &svc)
     g.occupancy = &m.gauge("monitor.occupancy." + svc.name());
     g.queueDepth = &m.gauge("monitor.queue_depth." + svc.name());
     g.instances = &m.gauge("monitor.instances." + svc.name());
+    g.errorRate = &m.gauge("monitor.error_rate." + svc.name());
     return gauges_.emplace(&svc, g).first->second;
 }
 

@@ -42,6 +42,13 @@ struct TierSample
     double queueDepth = 0.0;
     /** Active instances. */
     unsigned instances = 0;
+    /**
+     * Fraction of requests finishing at this tier during the last
+     * interval that failed (injected errors, shedding, deadline
+     * refusals, crash victims). What an operator's error-rate panel
+     * shows during an incident.
+     */
+    double errorRate = 0.0;
 };
 
 /**
@@ -89,6 +96,7 @@ class Monitor
         Gauge *occupancy = nullptr;
         Gauge *queueDepth = nullptr;
         Gauge *instances = nullptr;
+        Gauge *errorRate = nullptr;
     };
 
     void sampleOnce();
@@ -101,6 +109,9 @@ class Monitor
     std::vector<std::vector<TierSample>> history_;
     /** Previous cumulative busy time per instance, for utilization. */
     std::unordered_map<const void *, Tick> lastBusy_;
+    /** Previous served/failed counts per instance, for error rate. */
+    std::unordered_map<const void *, std::uint64_t> lastServed_;
+    std::unordered_map<const void *, std::uint64_t> lastFailed_;
     /** Per-tier gauges published to the app's metrics registry. */
     std::unordered_map<const void *, TierGauges> gauges_;
 };

@@ -64,6 +64,10 @@ Network::send(unsigned src, unsigned dst, Bytes size, DeliverFn deliver)
     const Tick now = sim_.now();
 
     if (src == dst) {
+        if (dropHook_ && dropHook_(src, dst)) {
+            ++dropped_;
+            return;
+        }
         const Tick delay = config_.loopbackLatency;
         sim_.schedule(delay, [this, size, delay,
                               deliver = std::move(deliver)]() {
@@ -82,6 +86,13 @@ Network::send(unsigned src, unsigned dst, Bytes size, DeliverFn deliver)
     const Tick tx_start = std::max(now, tx.busyUntil);
     const Tick ser = serializationDelay(size, gbps);
     tx.busyUntil = tx_start + ser;
+
+    // Drop *after* the tx accounting: the sender still paid the NIC
+    // serialization; the message dies in the fabric, not at the source.
+    if (dropHook_ && dropHook_(src, dst)) {
+        ++dropped_;
+        return;
+    }
 
     const Tick prop = propagation(src, dst);
     const Tick delivery = tx.busyUntil + prop;

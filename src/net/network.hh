@@ -158,11 +158,27 @@ class Network
      */
     void send(unsigned src, unsigned dst, Bytes size, DeliverFn deliver);
 
+    /**
+     * Fault-injection drop hook, consulted per message *after* the
+     * sender's NIC has spent the serialization time (the packet leaves
+     * the host and dies in the fabric). Returning true swallows the
+     * message: the delivery callback never fires, so recovery is
+     * entirely up to the endpoint's timeout/retry machinery. Null (the
+     * default) means a perfectly reliable fabric.
+     */
+    void setDropHook(std::function<bool(unsigned src, unsigned dst)> hook)
+    {
+        dropHook_ = std::move(hook);
+    }
+
     /** Messages delivered so far. */
     std::uint64_t messagesDelivered() const { return messages_; }
 
     /** Payload bytes delivered so far. */
     Bytes bytesDelivered() const { return bytes_; }
+
+    /** Messages swallowed by the drop hook (partitions, packet loss). */
+    std::uint64_t messagesDropped() const { return dropped_; }
 
   private:
     struct TxQueue
@@ -183,8 +199,10 @@ class Network
     Rng rng_;
     std::unordered_map<unsigned, TxQueue> txQueues_;
     std::unordered_map<unsigned, bool> wireless_;
+    std::function<bool(unsigned, unsigned)> dropHook_;
     std::uint64_t messages_ = 0;
     Bytes bytes_ = 0;
+    std::uint64_t dropped_ = 0;
 };
 
 } // namespace uqsim::net

@@ -17,24 +17,40 @@ ConnectionPool::ConnectionPool(unsigned max_connections, bool blocking,
         fatal("blocking ConnectionPool needs at least one connection");
 }
 
-void
+ConnectionPool::Ticket
 ConnectionPool::acquire(std::function<void()> granted)
 {
     if (!blocking_) {
         ++inUse_;
         granted();
-        return;
+        return kGrantedImmediately;
     }
     if (inUse_ < maxConnections_) {
         ++inUse_;
         granted();
-        return;
+        return kGrantedImmediately;
     }
     ++blockedAcquires_;
     if (blockedMetric_)
         blockedMetric_->inc();
-    waiters_.push_back(std::move(granted));
+    const Ticket t = nextTicket_++;
+    waiters_.push_back(Waiter{t, std::move(granted)});
     peakWaiting_ = std::max(peakWaiting_, waiters_.size());
+    return t;
+}
+
+bool
+ConnectionPool::cancel(Ticket ticket)
+{
+    if (ticket == kGrantedImmediately)
+        return false;
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+        if (it->ticket == ticket) {
+            waiters_.erase(it);
+            return true;
+        }
+    }
+    return false;
 }
 
 void
@@ -43,8 +59,10 @@ ConnectionPool::release()
     if (inUse_ == 0)
         panic("ConnectionPool::release with no connection in use");
     if (blocking_ && !waiters_.empty()) {
-        // Hand the connection straight to the next waiter.
-        auto granted = std::move(waiters_.front());
+        // Hand the connection straight to the next waiter. The grant
+        // may reenter acquire()/release() on this pool synchronously,
+        // so detach the waiter entry before invoking it.
+        auto granted = std::move(waiters_.front().granted);
         waiters_.pop_front();
         granted();
         return;

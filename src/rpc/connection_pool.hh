@@ -41,10 +41,27 @@ class ConnectionPool
                    Counter *blocked = nullptr);
 
     /**
+     * Identifies a parked acquire so it can be cancelled (e.g. by an
+     * acquire-timeout). 0 means "granted synchronously, nothing to
+     * cancel".
+     */
+    using Ticket = std::uint64_t;
+    static constexpr Ticket kGrantedImmediately = 0;
+
+    /**
      * Request a connection; @p granted runs immediately if one is
      * free (or the pool is non-blocking), otherwise when released.
+     * @return kGrantedImmediately if @p granted already ran, else a
+     *         ticket for cancel().
      */
-    void acquire(std::function<void()> granted);
+    Ticket acquire(std::function<void()> granted);
+
+    /**
+     * Abandon a parked acquire. @return true if the waiter was still
+     * parked (its callback will never run); false if it was already
+     * granted or cancelled.
+     */
+    bool cancel(Ticket ticket);
 
     /** Return a connection; may synchronously grant a waiter. */
     void release();
@@ -62,11 +79,18 @@ class ConnectionPool
     std::uint64_t blockedAcquires() const { return blockedAcquires_; }
 
   private:
+    struct Waiter
+    {
+        Ticket ticket = 0;
+        std::function<void()> granted;
+    };
+
     unsigned maxConnections_;
     bool blocking_;
     Counter *blockedMetric_ = nullptr;
     unsigned inUse_ = 0;
-    std::deque<std::function<void()>> waiters_;
+    std::deque<Waiter> waiters_;
+    Ticket nextTicket_ = 1;
     std::size_t peakWaiting_ = 0;
     std::uint64_t blockedAcquires_ = 0;
 };

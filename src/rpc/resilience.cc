@@ -1,0 +1,139 @@
+#include "rpc/resilience.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace uqsim::rpc {
+
+CircuitBreaker::CircuitBreaker(BreakerPolicy policy) : pol_(policy)
+{
+    if (pol_.buckets == 0)
+        fatal("CircuitBreaker with zero buckets");
+    if (pol_.window == 0)
+        fatal("CircuitBreaker with zero window");
+    bucketWidth_ = std::max<Tick>(1, pol_.window / pol_.buckets);
+    buckets_.resize(pol_.buckets);
+}
+
+void
+CircuitBreaker::advance(Tick now)
+{
+    if (now < currentStart_ + bucketWidth_)
+        return;
+    // Rotate forward; clear every bucket we step over. A long quiet
+    // period clears the whole window in at most `buckets` steps.
+    const std::uint64_t steps =
+        std::min<std::uint64_t>((now - currentStart_) / bucketWidth_,
+                                buckets_.size());
+    for (std::uint64_t i = 0; i < steps; ++i) {
+        current_ = (current_ + 1) % buckets_.size();
+        buckets_[current_] = Bucket{};
+    }
+    // Snap the bucket origin so it always covers `now`.
+    currentStart_ = now - (now % bucketWidth_);
+}
+
+std::uint64_t
+CircuitBreaker::windowSuccess() const
+{
+    std::uint64_t n = 0;
+    for (const Bucket &b : buckets_)
+        n += b.success;
+    return n;
+}
+
+std::uint64_t
+CircuitBreaker::windowFailure() const
+{
+    std::uint64_t n = 0;
+    for (const Bucket &b : buckets_)
+        n += b.failure;
+    return n;
+}
+
+double
+CircuitBreaker::failureRate(Tick now)
+{
+    advance(now);
+    const std::uint64_t s = windowSuccess();
+    const std::uint64_t f = windowFailure();
+    const std::uint64_t total = s + f;
+    return total ? static_cast<double>(f) / static_cast<double>(total)
+                 : 0.0;
+}
+
+void
+CircuitBreaker::transition(State next, Tick now)
+{
+    state_ = next;
+    if (next == State::Open) {
+        openedAt_ = now;
+        ++timesOpened_;
+    } else if (next == State::Closed) {
+        // Fresh start: past failures must not instantly re-trip.
+        for (Bucket &b : buckets_)
+            b = Bucket{};
+    }
+    probesInFlight_ = 0;
+}
+
+bool
+CircuitBreaker::allow(Tick now)
+{
+    if (!pol_.enabled)
+        return true;
+    advance(now);
+    switch (state_) {
+      case State::Closed:
+        return true;
+      case State::Open:
+        if (now < openedAt_ + pol_.cooldown)
+            return false;
+        transition(State::HalfOpen, now);
+        [[fallthrough]];
+      case State::HalfOpen:
+        if (probesInFlight_ >= pol_.halfOpenProbes)
+            return false;
+        ++probesInFlight_;
+        return true;
+    }
+    return true;
+}
+
+void
+CircuitBreaker::record(Tick now, bool success)
+{
+    if (!pol_.enabled)
+        return;
+    advance(now);
+
+    if (state_ == State::HalfOpen) {
+        if (probesInFlight_ > 0)
+            --probesInFlight_;
+        // One probe decides: success closes, failure re-opens.
+        transition(success ? State::Closed : State::Open, now);
+        if (success) {
+            Bucket &b = buckets_[current_];
+            ++b.success;
+        }
+        return;
+    }
+
+    Bucket &b = buckets_[current_];
+    if (success)
+        ++b.success;
+    else
+        ++b.failure;
+
+    if (state_ == State::Closed && !success) {
+        const std::uint64_t s = windowSuccess();
+        const std::uint64_t f = windowFailure();
+        if (s + f >= pol_.minVolume &&
+            static_cast<double>(f) / static_cast<double>(s + f) >=
+                pol_.failureThreshold)
+            transition(State::Open, now);
+    }
+}
+
+} // namespace uqsim::rpc

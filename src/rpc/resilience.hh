@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Client-side resilience policies: deadlines, retries with budgets,
+ * and a rolling-window circuit breaker.
+ *
+ * The paper's failure studies (Figs 17, 19, 20) are all *propagation*
+ * stories: one slow or failed tier amplifies through naive clients.
+ * This module supplies the standard production countermeasures —
+ * bounded retries with exponential backoff + jitter, a per-service
+ * retry *budget* (token bucket earning a fraction of successful
+ * traffic) that caps the retry amplification factor, and a circuit
+ * breaker per caller→callee pair that converts a failing dependency
+ * into fast local failures until a cooldown passes.
+ *
+ * Everything here is passive state interrogated by the RPC layer: no
+ * object schedules simulator events, so an inactive policy cannot
+ * perturb the execution digest.
+ */
+
+#ifndef UQSIM_RPC_RESILIENCE_HH
+#define UQSIM_RPC_RESILIENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace uqsim::rpc {
+
+/**
+ * Retry discipline for calls *to* one service (set on the callee's
+ * ServiceDef, like the protocol).
+ */
+struct RetryPolicy
+{
+    /** Total attempts including the first (1 = no retries). */
+    unsigned maxAttempts = 1;
+
+    /** Backoff before retry k (1-based): base * 2^(k-1), capped. */
+    Tick baseBackoff = 1 * kTicksPerMs;
+    Tick maxBackoff = 100 * kTicksPerMs;
+
+    /**
+     * Jitter fraction in [0,1]: the actual backoff is drawn uniformly
+     * from [(1-jitter)*b, b]. Decorrelates synchronized retry waves.
+     */
+    double jitter = 0.5;
+
+    /**
+     * Retry-budget earn rate: every first attempt deposits this many
+     * tokens, every retry withdraws one. 0 disables the budget (naive
+     * unbounded-amplification retries — the storm regime).
+     */
+    double budgetRatio = 0.0;
+
+    /** Token-bucket cap (burst allowance). */
+    double budgetCap = 100.0;
+
+    bool enabled() const { return maxAttempts > 1; }
+};
+
+/**
+ * Token-bucket retry budget: retries may consume at most
+ * budgetRatio of the first-attempt rate (plus the initial burst).
+ */
+class RetryBudget
+{
+  public:
+    RetryBudget(double ratio, double cap)
+        : ratio_(ratio), cap_(cap), tokens_(cap)
+    {}
+
+    /** Account one first attempt (earns ratio tokens). */
+    void
+    onAttempt()
+    {
+        tokens_ = tokens_ + ratio_ > cap_ ? cap_ : tokens_ + ratio_;
+    }
+
+    /** Try to pay for one retry. @return false if the budget is dry. */
+    bool
+    tryWithdraw()
+    {
+        if (tokens_ < 1.0)
+            return false;
+        tokens_ -= 1.0;
+        return true;
+    }
+
+    double tokens() const { return tokens_; }
+
+  private:
+    double ratio_;
+    double cap_;
+    double tokens_;
+};
+
+/** Circuit-breaker tuning for calls *to* one service. */
+struct BreakerPolicy
+{
+    bool enabled = false;
+
+    /** Rolling window over which failure rate is measured. */
+    Tick window = 1 * kTicksPerSec;
+
+    /** Number of rotating sub-buckets in the window. */
+    unsigned buckets = 10;
+
+    /** Failure fraction that trips the breaker. */
+    double failureThreshold = 0.5;
+
+    /** Minimum calls in the window before the rate is meaningful. */
+    std::uint64_t minVolume = 10;
+
+    /** Open-state duration before probing resumes. */
+    Tick cooldown = 500 * kTicksPerMs;
+
+    /** Concurrent probe calls allowed while half-open. */
+    unsigned halfOpenProbes = 1;
+};
+
+/**
+ * Rolling-window circuit breaker for one caller→callee pair.
+ *
+ * Closed: calls pass, outcomes recorded in rotating time buckets.
+ * When the windowed failure rate crosses the threshold (with minimum
+ * volume), the breaker opens: calls fail fast for `cooldown`. It then
+ * half-opens, letting a bounded number of probes through; one success
+ * closes it, one failure re-opens it.
+ *
+ * State advances lazily inside allow()/record() from the caller's
+ * clock — the breaker never schedules events of its own.
+ */
+class CircuitBreaker
+{
+  public:
+    enum class State : std::uint8_t
+    {
+        Closed,
+        Open,
+        HalfOpen,
+    };
+
+    explicit CircuitBreaker(BreakerPolicy policy);
+
+    /**
+     * Gate one call at time @p now. A true return in HalfOpen state
+     * reserves a probe slot; report its outcome through record().
+     */
+    bool allow(Tick now);
+
+    /** Record an attempt outcome at time @p now. */
+    void record(Tick now, bool success);
+
+    State state() const { return state_; }
+    std::uint64_t timesOpened() const { return timesOpened_; }
+
+    /** Windowed failure rate (diagnostic). */
+    double failureRate(Tick now);
+
+  private:
+    struct Bucket
+    {
+        std::uint64_t success = 0;
+        std::uint64_t failure = 0;
+    };
+
+    /** Rotate buckets so that current covers @p now. */
+    void advance(Tick now);
+
+    void transition(State next, Tick now);
+
+    std::uint64_t windowSuccess() const;
+    std::uint64_t windowFailure() const;
+
+    BreakerPolicy pol_;
+    Tick bucketWidth_;
+    std::vector<Bucket> buckets_;
+    std::size_t current_ = 0;
+    /** Start tick of the current bucket. */
+    Tick currentStart_ = 0;
+    State state_ = State::Closed;
+    Tick openedAt_ = 0;
+    unsigned probesInFlight_ = 0;
+    std::uint64_t timesOpened_ = 0;
+};
+
+/**
+ * Per-callee resilience configuration, applied to every caller of the
+ * service that carries it. All defaults off: a ServiceDef without an
+ * explicit policy behaves exactly as before this layer existed.
+ */
+struct ResiliencePolicy
+{
+    /** Per-attempt RPC timeout (0 = none). Covers pool wait. */
+    Tick timeout = 0;
+
+    /** Connection-pool acquire timeout (0 = wait forever). */
+    Tick acquireTimeout = 0;
+
+    /**
+     * Load shedding: refuse arrivals once the instance queue reaches
+     * this depth (0 = off). Refusals are retryable errors, unlike the
+     * silent tail-drop at queueCapacity.
+     */
+    unsigned shedQueueLength = 0;
+
+    RetryPolicy retry;
+    BreakerPolicy breaker;
+
+    /** @return true if any mechanism is configured. */
+    bool
+    active() const
+    {
+        return timeout > 0 || acquireTimeout > 0 || shedQueueLength > 0 ||
+               retry.enabled() || breaker.enabled;
+    }
+};
+
+} // namespace uqsim::rpc
+
+#endif // UQSIM_RPC_RESILIENCE_HH

@@ -18,26 +18,50 @@ struct HandlerCtx
     Instance *inst = nullptr;
     RequestPtr req;
     trace::Span span;
-    /** Reply continuation installed by rpcCall. */
-    std::function<void(std::shared_ptr<HandlerCtx>)> respond;
+    /** Reply continuation installed by rpcAttempt. */
+    std::function<void(std::shared_ptr<HandlerCtx>, RpcStatus)> respond;
 };
 
-namespace {
-
-/** Shared accounting for one in-flight RPC. */
-struct CallState
+/**
+ * Shared state of one RPC attempt. Settling (success, timeout, crash,
+ * refusal) happens exactly once through App::settleAttempt; the
+ * `settled` flag is shared with the server-side Arrival so zombie
+ * continuations — late replies, deliveries of abandoned requests —
+ * can detect they lost the race and quietly stop.
+ */
+struct AttemptState
 {
-    explicit CallState(Tick start) : tStart(start) {}
-    Tick tStart;
+    std::shared_ptr<bool> settled = std::make_shared<bool>(false);
+    App *app = nullptr;
+    rpc::ConnectionPool *pool = nullptr;
+    rpc::ConnectionPool::Ticket ticket =
+        rpc::ConnectionPool::kGrantedImmediately;
+    bool poolAcquired = false;
+    bool poolReleased = false;
+    EventHandle timeoutEv;
+    EventHandle acquireEv;
+    /** Target instance while registered for crash tracking. */
+    Instance *target = nullptr;
+    bool registered = false;
+    Tick tStart = 0;
     Tick callerNet = 0;
-};
+    RpcDone done;
 
-} // namespace
+    ~AttemptState()
+    {
+        // An attempt can die without settling (e.g. its message was
+        // dropped by a partition and no timeout was set); keep the
+        // crash registry free of dangling pointers regardless.
+        if (registered && app && target)
+            app->unregisterAttempt(*target, this);
+    }
+};
 
 App::App(Simulator &sim, cpu::Cluster &cluster, net::Network &network,
          Config config, std::uint64_t seed)
     : sim_(sim), cluster_(cluster), network_(network),
       config_(std::move(config)), rng_(seed),
+      resilienceRng_(seed ^ 0x524553494c49454eull),
       traceStore_(config_.traceCapacity), collector_(traceStore_)
 {
     collector_.setEnabled(config_.tracing);
@@ -49,7 +73,19 @@ App::App(Simulator &sim, cpu::Cluster &cluster, net::Network &network,
     completed_ = &metrics_.counter("app.requests_completed");
     completedInQos_ = &metrics_.counter("app.requests_completed_in_qos");
     droppedRequests_ = &metrics_.counter("app.requests_dropped");
+    requestsFailed_ = &metrics_.counter("app.requests_failed");
     poolBlocked_ = &metrics_.counter("rpc.pool.blocked_acquires");
+    rpcErrors_ = &metrics_.counter("rpc.errors");
+    rpcTimeouts_ = &metrics_.counter("rpc.timeouts");
+    rpcRetries_ = &metrics_.counter("rpc.retries");
+    rpcRetryBudgetExhausted_ =
+        &metrics_.counter("rpc.retry_budget_exhausted");
+    rpcBreakerFastFails_ = &metrics_.counter("rpc.breaker_fast_fails");
+    rpcDeadlineExceeded_ = &metrics_.counter("rpc.deadline_exceeded");
+    rpcShed_ = &metrics_.counter("rpc.shed");
+    rpcPoolTimeouts_ = &metrics_.counter("rpc.pool.acquire_timeouts");
+    rpcCrashedInFlight_ = &metrics_.counter("rpc.crashed_in_flight");
+    rpcAbandonedArrivals_ = &metrics_.counter("rpc.abandoned_arrivals");
 }
 
 Microservice &
@@ -220,6 +256,151 @@ App::poolFor(const void *caller, const Microservice &target)
     return *it->second;
 }
 
+rpc::CircuitBreaker &
+App::breakerFor(const void *caller, const Microservice &target)
+{
+    const PoolKey key{caller, &target};
+    auto it = breakers_.find(key);
+    if (it == breakers_.end())
+        it = breakers_
+                 .emplace(key, std::make_unique<rpc::CircuitBreaker>(
+                                   target.def().resilience.breaker))
+                 .first;
+    return *it->second;
+}
+
+rpc::RetryBudget &
+App::budgetFor(const Microservice &target)
+{
+    auto it = budgets_.find(&target);
+    if (it == budgets_.end()) {
+        const rpc::RetryPolicy &r = target.def().resilience.retry;
+        it = budgets_
+                 .emplace(&target,
+                          rpc::RetryBudget(r.budgetRatio, r.budgetCap))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+App::registerAttempt(Instance &inst, AttemptState *as)
+{
+    inflight_[&inst].push_back(as);
+}
+
+void
+App::unregisterAttempt(Instance &inst, AttemptState *as)
+{
+    auto it = inflight_.find(&inst);
+    if (it == inflight_.end())
+        return;
+    auto &v = it->second;
+    v.erase(std::remove(v.begin(), v.end(), as), v.end());
+    if (v.empty())
+        inflight_.erase(it);
+}
+
+void
+App::failInFlight(Instance &inst)
+{
+    auto it = inflight_.find(&inst);
+    if (it == inflight_.end())
+        return;
+    // Settling unregisters, so detach the list first.
+    std::vector<AttemptState *> victims = std::move(it->second);
+    inflight_.erase(it);
+    for (AttemptState *as : victims) {
+        if (*as->settled)
+            continue;
+        as->registered = false; // already detached from the registry
+        rpcCrashedInFlight_->inc();
+        settleAttempt(*as, RpcStatus::Crashed);
+    }
+}
+
+void
+App::crashInstance(const std::string &service_name, unsigned idx)
+{
+    Microservice &svc = service(service_name);
+    if (idx >= svc.instances().size())
+        fatal(strCat("crashInstance: service '", service_name,
+                     "' has no instance ", idx));
+    Instance &inst = *svc.instances()[idx];
+    if (!inst.active_ && inst.freeThreads_ == 0)
+        return; // already down
+    inst.active_ = false;
+    ++inst.crashEpoch_;
+    // Fail the callers first (their settle flags silence the queued
+    // closures), then drop the queue: the process and its state die.
+    failInFlight(inst);
+    inst.queue_.clear();
+    inst.freeThreads_ = 0;
+}
+
+void
+App::restartInstance(const std::string &service_name, unsigned idx)
+{
+    Microservice &svc = service(service_name);
+    if (idx >= svc.instances().size())
+        fatal(strCat("restartInstance: service '", service_name,
+                     "' has no instance ", idx));
+    Instance &inst = *svc.instances()[idx];
+    if (inst.active_)
+        return;
+    inst.freeThreads_ = svc.def().threadsPerInstance;
+    inst.queue_.clear();
+    inst.active_ = true;
+}
+
+void
+App::settleAttempt(AttemptState &as, RpcStatus status)
+{
+    if (*as.settled)
+        return;
+    *as.settled = true;
+    as.timeoutEv.cancel();
+    as.acquireEv.cancel();
+    if (as.registered && as.target) {
+        unregisterAttempt(*as.target, &as);
+        as.registered = false;
+    }
+    if (as.poolAcquired) {
+        // Mirrors the legacy completion order: connection back first,
+        // then the caller continues. A timed-out attempt models its
+        // connection as closed-and-replaced, which also frees a slot.
+        if (!as.poolReleased) {
+            as.poolReleased = true;
+            as.pool->release();
+        }
+    } else if (as.ticket != rpc::ConnectionPool::kGrantedImmediately) {
+        as.pool->cancel(as.ticket);
+    }
+    auto done = std::move(as.done);
+    done(status, sim_.now() - as.tStart, as.callerNet);
+}
+
+void
+App::recordErrorSpan(const RequestPtr &req, trace::SpanId parent_span,
+                     const Microservice &target, Tick start,
+                     unsigned attempt_no, RpcStatus status)
+{
+    if (!config_.tracing)
+        return;
+    trace::Span sp;
+    sp.traceId = req->traceId;
+    sp.spanId = ids_.nextSpan();
+    sp.parentSpanId = parent_span;
+    sp.service = target.traceServiceId();
+    sp.instance = 0;
+    sp.queryType = req->queryType;
+    sp.start = start;
+    sp.end = sim_.now();
+    sp.status = static_cast<std::uint8_t>(status);
+    sp.attempt = static_cast<std::uint8_t>(std::min(attempt_no, 255u));
+    collector_.collect(sp);
+}
+
 void
 App::chargeCompute(Microservice &svc, double cycles, double ipc)
 {
@@ -242,8 +423,145 @@ void
 App::rpcCall(unsigned caller_server, Instance *caller_inst,
              Microservice &target, RequestPtr req,
              trace::SpanId parent_span, Bytes req_bytes, Bytes resp_bytes,
-             bool carries_media,
-             std::function<void(Tick wall, Tick caller_net)> done)
+             bool carries_media, RpcDone done)
+{
+    const rpc::ResiliencePolicy &pol = target.def().resilience;
+    if (!pol.active()) {
+        // Legacy fire-and-wait path: no gates, no retries, no extra
+        // events — byte-identical execution to the pre-resilience
+        // runtime (the digest tests depend on this).
+        rpcAttempt(caller_server, caller_inst, target, req, parent_span,
+                   req_bytes, resp_bytes, carries_media, 1,
+                   std::move(done));
+        return;
+    }
+
+    App *app = this;
+    Microservice *tgt = &target;
+    const void *caller_key =
+        caller_inst ? static_cast<const void *>(caller_inst)
+                    : static_cast<const void *>(this);
+    rpc::CircuitBreaker *br =
+        pol.breaker.enabled ? &breakerFor(caller_key, target) : nullptr;
+
+    const Tick call_start = sim_.now();
+    if (req->deadline && call_start >= req->deadline) {
+        rpcDeadlineExceeded_->inc();
+        rpcErrors_->inc();
+        recordErrorSpan(req, parent_span, target, call_start, 1,
+                        RpcStatus::DeadlineExceeded);
+        done(RpcStatus::DeadlineExceeded, 0, 0);
+        return;
+    }
+    if (br && !br->allow(call_start)) {
+        rpcBreakerFastFails_->inc();
+        rpcErrors_->inc();
+        recordErrorSpan(req, parent_span, target, call_start, 1,
+                        RpcStatus::BreakerOpen);
+        done(RpcStatus::BreakerOpen, 0, 0);
+        return;
+    }
+
+    // The budget earns on first attempts only, so retry traffic is
+    // capped at budgetRatio of the offered load.
+    if (pol.retry.enabled() && pol.retry.budgetRatio > 0.0)
+        budgetFor(target).onAttempt();
+
+    // Retry loop: ctl->attempt references itself (for rescheduling),
+    // so the cycle must be broken explicitly when the call finishes.
+    struct RetryCtl
+    {
+        std::function<void(unsigned)> attempt;
+        RpcDone done;
+    };
+    auto ctl = std::make_shared<RetryCtl>();
+    ctl->done = std::move(done);
+    auto finish = [ctl](RpcStatus s, Tick w, Tick n) {
+        auto d = std::move(ctl->done);
+        ctl->attempt = nullptr;
+        d(s, w, n);
+    };
+
+    ctl->attempt = [app, caller_server, caller_inst, tgt, req, parent_span,
+                    req_bytes, resp_bytes, carries_media, br, ctl,
+                    finish](unsigned attempt_no) {
+        const Tick attempt_start = app->sim_.now();
+        app->rpcAttempt(caller_server, caller_inst, *tgt, req, parent_span,
+                        req_bytes, resp_bytes, carries_media, attempt_no,
+                        [app, tgt, req, parent_span, br, ctl, finish,
+                         attempt_no, attempt_start](RpcStatus status,
+                                                    Tick wall,
+                                                    Tick caller_net) {
+            const Tick now = app->sim_.now();
+            if (br)
+                br->record(now, status == RpcStatus::Ok);
+            if (status == RpcStatus::Ok) {
+                finish(status, wall, caller_net);
+                return;
+            }
+            app->rpcErrors_->inc();
+            app->recordErrorSpan(req, parent_span, *tgt, attempt_start,
+                                 attempt_no, status);
+
+            const rpc::RetryPolicy &rp = tgt->def().resilience.retry;
+            bool retry = rp.enabled() && attempt_no < rp.maxAttempts &&
+                         status != RpcStatus::DeadlineExceeded;
+            if (retry && req->deadline && now >= req->deadline)
+                retry = false;
+            if (retry && rp.budgetRatio > 0.0 &&
+                !app->budgetFor(*tgt).tryWithdraw()) {
+                app->rpcRetryBudgetExhausted_->inc();
+                retry = false;
+            }
+            if (!retry) {
+                finish(status, wall, caller_net);
+                return;
+            }
+            app->rpcRetries_->inc();
+            ++req->retries;
+
+            // Exponential backoff, decorrelated by jitter drawn from
+            // the dedicated resilience stream (never the model RNG).
+            Tick backoff = rp.baseBackoff;
+            for (unsigned i = 1; i < attempt_no && backoff < rp.maxBackoff;
+                 ++i)
+                backoff *= 2;
+            backoff = std::min(backoff, rp.maxBackoff);
+            if (rp.jitter > 0.0 && backoff > 0) {
+                const double lo =
+                    std::clamp(1.0 - rp.jitter, 0.0, 1.0);
+                backoff = static_cast<Tick>(
+                    static_cast<double>(backoff) *
+                    app->resilienceRng_.uniform(lo, 1.0));
+            }
+            app->sim_.schedule(backoff, [app, tgt, req, br, ctl, finish,
+                                         attempt_no]() {
+                const Tick t = app->sim_.now();
+                if (req->deadline && t >= req->deadline) {
+                    app->rpcDeadlineExceeded_->inc();
+                    app->rpcErrors_->inc();
+                    finish(RpcStatus::DeadlineExceeded, 0, 0);
+                    return;
+                }
+                if (br && !br->allow(t)) {
+                    app->rpcBreakerFastFails_->inc();
+                    app->rpcErrors_->inc();
+                    finish(RpcStatus::BreakerOpen, 0, 0);
+                    return;
+                }
+                ctl->attempt(attempt_no + 1);
+            });
+        });
+    };
+    ctl->attempt(1);
+}
+
+void
+App::rpcAttempt(unsigned caller_server, Instance *caller_inst,
+                Microservice &target, RequestPtr req,
+                trace::SpanId parent_span, Bytes req_bytes,
+                Bytes resp_bytes, bool carries_media, unsigned attempt_no,
+                RpcDone done)
 {
     // Capture only pointers to stable objects (the App owns services;
     // ServiceDef, pools and instances never move during a run).
@@ -266,13 +584,53 @@ App::rpcCall(unsigned caller_server, Instance *caller_inst,
     rpc::ConnectionPool *pool = &poolFor(caller_key, target);
     Microservice *caller_svc = caller_inst ? &caller_inst->svc() : nullptr;
 
-    auto cs = std::make_shared<CallState>(sim_.now());
-    auto done_sh = std::make_shared<
-        std::function<void(Tick, Tick)>>(std::move(done));
+    const rpc::ResiliencePolicy *pol = &target.def().resilience;
+    // Crash-aware selection + zombie guards engage with any policy or
+    // armed fault schedule; the plain path stays exactly legacy.
+    const bool resilient = pol->active() || crashTracking_;
 
-    pool->acquire([app, caller_server, caller_svc, tgt, req, parent_span,
-                   req_payload, resp_payload, req_wire, resp_wire, proto,
-                   pool, cs, done_sh]() {
+    auto as = std::make_shared<AttemptState>();
+    as->app = this;
+    as->pool = pool;
+    as->tStart = sim_.now();
+    as->done = std::move(done);
+
+    // Per-attempt timeout, capped to the remaining deadline budget so
+    // a deep call chain never waits past its caller's patience. When
+    // the deadline is the binding constraint, expiry is reported as
+    // DeadlineExceeded, not a generic timeout.
+    Tick eff_timeout = pol->timeout;
+    bool deadline_bound = false;
+    if (req->deadline) {
+        const Tick remaining =
+            req->deadline > as->tStart ? req->deadline - as->tStart : 1;
+        if (eff_timeout == 0 || remaining < eff_timeout) {
+            eff_timeout = remaining;
+            deadline_bound = true;
+        }
+    }
+    if (eff_timeout > 0) {
+        as->timeoutEv =
+            sim_.schedule(eff_timeout, [app, as, deadline_bound]() {
+                if (*as->settled)
+                    return;
+                if (deadline_bound) {
+                    app->rpcDeadlineExceeded_->inc();
+                    app->settleAttempt(*as,
+                                       RpcStatus::DeadlineExceeded);
+                } else {
+                    app->rpcTimeouts_->inc();
+                    app->settleAttempt(*as, RpcStatus::Timeout);
+                }
+            });
+    }
+
+    as->ticket = pool->acquire([app, caller_server, caller_svc, tgt, req,
+                                parent_span, req_payload, resp_payload,
+                                req_wire, resp_wire, proto, attempt_no,
+                                resilient, as]() {
+        as->poolAcquired = true;
+        as->acquireEv.cancel();
         cpu::Server &csrv = app->cluster_.server(caller_server);
         const bool fpga = app->config_.fpga.enabled;
         const Cycles send_tcp =
@@ -290,25 +648,44 @@ App::rpcCall(unsigned caller_server, Instance *caller_inst,
         csrv.execute(send_cycles, kipc, [app, caller_server, tgt, req,
                                          parent_span, resp_payload,
                                          req_payload, req_wire, resp_wire,
-                                         proto, pool, cs, send_tcp_frac,
-                                         done_sh](Tick send_busy) {
+                                         proto, attempt_no, resilient, as,
+                                         send_tcp_frac](Tick send_busy) {
+            if (*as->settled)
+                return;
             req->networkTime += send_busy;
             req->tcpProcTime += static_cast<Tick>(
                 send_tcp_frac * static_cast<double>(send_busy));
-            cs->callerNet += send_busy;
+            as->callerNet += send_busy;
 
-            Instance *ti = &tgt->selectInstance(*req);
+            Instance *ti;
+            if (resilient) {
+                ti = tgt->trySelectInstance(*req);
+                if (!ti) {
+                    // Outage: nothing active to route to. Fail fast on
+                    // the caller instead of aborting the simulation.
+                    app->settleAttempt(*as, RpcStatus::Unreachable);
+                    return;
+                }
+            } else {
+                ti = &tgt->selectInstance(*req);
+            }
+            if (app->crashTracking_) {
+                as->target = ti;
+                as->registered = true;
+                app->registerAttempt(*ti, as.get());
+            }
             const unsigned callee_server = ti->server().id();
             const bool fpga = app->config_.fpga.enabled;
             const Tick fpga_lat =
                 fpga ? app->config_.fpga.pipelineLatency : 0;
 
             // Reply continuation: runs on the callee once the handler
-            // (or the drop path) finishes.
+            // (or the drop/refusal path) finishes. Error replies still
+            // traverse the wire — a refusal is a message too.
             auto respond = [app, caller_server, callee_server, tgt, ti,
-                            req, resp_payload, resp_wire, proto, pool, cs,
-                            fpga_lat,
-                            done_sh](std::shared_ptr<HandlerCtx> ctx) {
+                            req, resp_payload, resp_wire, proto,
+                            fpga_lat, as](std::shared_ptr<HandlerCtx> ctx,
+                                          RpcStatus status) {
                 const bool f = app->config_.fpga.enabled;
                 const Cycles reply_tcp =
                     f ? app->config_.fpga.hostSendCycles
@@ -325,9 +702,8 @@ App::rpcCall(unsigned caller_server, Instance *caller_inst,
                 ti->server().execute(reply_cycles, kipc_t,
                                      [app, caller_server, callee_server,
                                       req, resp_payload, resp_wire, proto,
-                                      pool, cs, fpga_lat, ctx,
-                                      reply_tcp_frac,
-                                      done_sh](Tick reply_busy) {
+                                      fpga_lat, ctx, reply_tcp_frac, as,
+                                      status](Tick reply_busy) {
                     req->networkTime += reply_busy;
                     req->tcpProcTime += static_cast<Tick>(
                         reply_tcp_frac * static_cast<double>(reply_busy));
@@ -336,9 +712,14 @@ App::rpcCall(unsigned caller_server, Instance *caller_inst,
                         ctx->span.end = app->sim_.now();
                         const Tick dur = ctx->span.duration();
                         Microservice &svc = ctx->inst->svc();
-                        svc.mutableLatency().record(dur);
-                        svc.latencyWindow().record(app->sim_.now(), dur);
-                        ++ctx->inst->served_;
+                        if (status == RpcStatus::Ok) {
+                            svc.mutableLatency().record(dur);
+                            svc.latencyWindow().record(app->sim_.now(),
+                                                       dur);
+                            ++ctx->inst->served_;
+                        } else {
+                            ++ctx->inst->failed_;
+                        }
                         if (app->config_.tracing)
                             app->collector_.collect(ctx->span);
                     }
@@ -346,17 +727,19 @@ App::rpcCall(unsigned caller_server, Instance *caller_inst,
                                        resp_wire,
                                        [app, caller_server, req,
                                         resp_payload, resp_wire, proto,
-                                        pool, cs, fpga_lat,
-                                        done_sh](Tick queueing_tx,
-                                                 Tick prop) {
+                                        fpga_lat, as,
+                                        status](Tick queueing_tx,
+                                                Tick prop) {
                         auto finish = [app, caller_server, req,
                                        resp_payload, resp_wire, proto,
-                                       pool, cs, queueing_tx, prop,
-                                       fpga_lat, done_sh]() {
+                                       queueing_tx, prop, fpga_lat, as,
+                                       status]() {
+                            if (*as->settled)
+                                return; // late reply; caller moved on
                             req->networkTime += queueing_tx + fpga_lat;
                             req->tcpProcTime += fpga_lat;
                             req->wireTime += prop;
-                            cs->callerNet += queueing_tx + fpga_lat;
+                            as->callerNet += queueing_tx + fpga_lat;
                             cpu::Server &csrv2 =
                                 app->cluster_.server(caller_server);
                             const bool f2 = app->config_.fpga.enabled;
@@ -372,17 +755,16 @@ App::rpcCall(unsigned caller_server, Instance *caller_inst,
                                     std::max<Cycles>(1, recv_cycles));
                             csrv2.execute(recv_cycles,
                                           app->kernelIpc(csrv2),
-                                          [app, req, pool, cs,
-                                           recv_tcp_frac,
-                                           done_sh](Tick recv_busy) {
+                                          [app, req, recv_tcp_frac, as,
+                                           status](Tick recv_busy) {
+                                if (*as->settled)
+                                    return;
                                 req->networkTime += recv_busy;
                                 req->tcpProcTime += static_cast<Tick>(
                                     recv_tcp_frac *
                                     static_cast<double>(recv_busy));
-                                cs->callerNet += recv_busy;
-                                pool->release();
-                                (*done_sh)(app->sim_.now() - cs->tStart,
-                                           cs->callerNet);
+                                as->callerNet += recv_busy;
+                                app->settleAttempt(*as, status);
                             });
                         };
                         if (fpga_lat > 0)
@@ -395,18 +777,20 @@ App::rpcCall(unsigned caller_server, Instance *caller_inst,
 
             app->network_.send(
                 caller_server, callee_server, req_wire,
-                [app, tgt, ti, req, parent_span, req_payload, req_wire, cs,
-                 fpga_lat, proto,
+                [app, tgt, ti, req, parent_span, req_payload, req_wire,
+                 fpga_lat, proto, attempt_no, as,
                  respond = std::move(respond)](Tick queueing_tx,
                                                Tick prop) mutable {
                 auto deliver = [app, tgt, ti, req, parent_span,
-                                req_payload, req_wire, cs, queueing_tx,
-                                prop, fpga_lat, proto,
+                                req_payload, req_wire, queueing_tx,
+                                prop, fpga_lat, proto, attempt_no, as,
                                 respond = std::move(respond)]() mutable {
+                    if (*as->settled)
+                        return; // caller gave up while we were in flight
                     req->networkTime += queueing_tx + fpga_lat;
                     req->tcpProcTime += fpga_lat;
                     req->wireTime += prop;
-                    cs->callerNet += queueing_tx + fpga_lat;
+                    as->callerNet += queueing_tx + fpga_lat;
                     const bool f = app->config_.fpga.enabled;
                     const Cycles rr_tcp =
                         f ? app->config_.fpga.hostRecvCycles
@@ -423,13 +807,15 @@ App::rpcCall(unsigned caller_server, Instance *caller_inst,
                     ti->server().execute(
                         recv_cycles, kipc_t,
                         [app, ti, req, parent_span, rr_tcp_frac,
+                         attempt_no, as,
                          respond = std::move(respond)](
                             Tick recv_busy) mutable {
                         req->networkTime += recv_busy;
                         req->tcpProcTime += static_cast<Tick>(
                             rr_tcp_frac * static_cast<double>(recv_busy));
                         app->deliverToInstance(*ti, req, parent_span,
-                                               recv_busy,
+                                               recv_busy, attempt_no,
+                                               as->settled,
                                                std::move(respond));
                     });
                 };
@@ -440,19 +826,70 @@ App::rpcCall(unsigned caller_server, Instance *caller_inst,
             });
         });
     });
+
+    if (as->ticket != rpc::ConnectionPool::kGrantedImmediately &&
+        pol->acquireTimeout > 0 && !*as->settled) {
+        // Parked behind a saturated HTTP/1.1 pool: give up after the
+        // configured wait instead of parking forever (Fig 17B's hang).
+        as->acquireEv = sim_.schedule(pol->acquireTimeout, [app, as]() {
+            if (as->poolAcquired || *as->settled)
+                return;
+            app->rpcPoolTimeouts_->inc();
+            app->settleAttempt(*as, RpcStatus::PoolTimeout);
+        });
+    }
 }
 
 void
 App::deliverToInstance(
     Instance &inst, RequestPtr req, trace::SpanId parent_span,
-    Tick pre_network,
-    std::function<void(std::shared_ptr<HandlerCtx>)> respond)
+    Tick pre_network, unsigned attempt_no, std::shared_ptr<bool> abandoned,
+    std::function<void(std::shared_ptr<HandlerCtx>, RpcStatus)> respond)
 {
+    if (abandoned && *abandoned)
+        return; // caller settled while the request was on the wire
+
+    // Injected transient errors fail the request at arrival: the
+    // server spends reply-path cycles sending the error back, which is
+    // what a process returning 5xx costs.
+    if (faultHook_ && faultHook_->shouldFailRequest(inst.svc())) {
+        ++inst.failed_;
+        respond(nullptr, RpcStatus::Error);
+        return;
+    }
+
+    // Deadline admission: never queue work whose caller chain has
+    // already given up (deadline propagation).
+    if (req->deadline && sim_.now() >= req->deadline) {
+        rpcDeadlineExceeded_->inc();
+        ++inst.failed_;
+        respond(nullptr, RpcStatus::DeadlineExceeded);
+        return;
+    }
+
+    const rpc::ResiliencePolicy &pol = inst.svc().def().resilience;
+    if (pol.shedQueueLength > 0 &&
+        inst.queue_.size() >= pol.shedQueueLength) {
+        // Load shedding: refuse early with a cheap, retryable error
+        // instead of letting the queue grow to the overflow cliff.
+        rpcShed_->inc();
+        ++inst.failed_;
+        respond(nullptr, RpcStatus::Shed);
+        return;
+    }
+
     if (inst.queue_.size() >= inst.svc().def().queueCapacity) {
-        // Queue overflow: drop and immediately unwind to the caller.
-        req->dropped = true;
         ++inst.dropped_;
-        respond(nullptr);
+        if (!pol.active()) {
+            // Legacy queue overflow: mark the end-to-end request
+            // dropped and unwind through the normal reply path.
+            req->dropped = true;
+            respond(nullptr, RpcStatus::Ok);
+        } else {
+            // Under a resilience policy, overflow is a retryable
+            // per-attempt error rather than a silent request kill.
+            respond(nullptr, RpcStatus::Overflow);
+        }
         return;
     }
     Instance::Arrival arrival;
@@ -460,6 +897,9 @@ App::deliverToInstance(
     arrival.parentSpan = parent_span;
     arrival.enqueued = sim_.now();
     arrival.preNetworkTime = pre_network;
+    arrival.attempt =
+        static_cast<std::uint8_t>(std::min(attempt_no, 255u));
+    arrival.abandoned = std::move(abandoned);
     arrival.respondCtx = std::move(respond);
     inst.queue_.push_back(std::move(arrival));
     maybeStartHandling(inst);
@@ -471,6 +911,12 @@ App::maybeStartHandling(Instance &inst)
     while (inst.freeThreads_ > 0 && !inst.queue_.empty()) {
         Instance::Arrival a = std::move(inst.queue_.front());
         inst.queue_.pop_front();
+        if (a.abandoned && *a.abandoned) {
+            // The caller timed out while this sat in the queue; skip
+            // it without burning a worker thread on dead work.
+            rpcAbandonedArrivals_->inc();
+            continue;
+        }
         --inst.freeThreads_;
 
         auto ctx = std::make_shared<HandlerCtx>();
@@ -483,6 +929,7 @@ App::maybeStartHandling(Instance &inst)
         ctx->span.service = inst.svc().traceServiceId();
         ctx->span.instance = inst.index();
         ctx->span.queryType = a.req->queryType;
+        ctx->span.attempt = a.attempt;
         // Arrival is timestamped before kernel receive processing.
         ctx->span.start = a.enqueued >= a.preNetworkTime
                               ? a.enqueued - a.preNetworkTime
@@ -491,13 +938,20 @@ App::maybeStartHandling(Instance &inst)
         ctx->span.networkTime = a.preNetworkTime;
         ctx->req->queueTime += ctx->span.queueTime;
 
-        runStage(ctx, 0, [this, ctx]() {
+        const std::uint64_t epoch = inst.crashEpoch_;
+        runStage(ctx, 0, [this, ctx, epoch]() {
             Instance &done_inst = *ctx->inst;
+            if (done_inst.crashEpoch_ != epoch) {
+                // The instance crashed mid-handler: the process is
+                // gone, no reply is ever sent. The caller was settled
+                // by the crash path.
+                return;
+            }
             ++done_inst.freeThreads_;
             // The reply path does not hold a worker thread; pull the
             // next queued request in before responding.
             maybeStartHandling(done_inst);
-            ctx->respond(ctx);
+            ctx->respond(ctx, ctx->span.statusEnum());
         });
     }
 }
@@ -508,7 +962,10 @@ App::runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
 {
     Microservice &svc = ctx->inst->svc();
     const auto &stages = svc.def().handler.stages;
-    if (idx >= stages.size()) {
+    // Once a downstream dependency failed for good, abort the handler:
+    // the remaining stages would compute on behalf of a request that is
+    // already doomed, and the error must surface to the caller now.
+    if (ctx->span.status != 0 || idx >= stages.size()) {
         done();
         return;
     }
@@ -577,8 +1034,14 @@ App::runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
                         ctx->span.spanId, st.requestBytes, st.responseBytes,
                         st.carriesMedia,
                         [this, ctx, remaining, net_sum, call_start,
-                         joined_next](Tick wall, Tick caller_net) {
+                         joined_next](RpcStatus status, Tick wall,
+                                      Tick caller_net) {
                     (void)wall;
+                    // A parallel fanout fails if any branch fails;
+                    // first failure wins the join status.
+                    if (status != RpcStatus::Ok && ctx->span.status == 0)
+                        ctx->span.status =
+                            static_cast<std::uint8_t>(status);
                     *net_sum += caller_net;
                     if (--*remaining == 0) {
                         const Tick wall_total = sim_.now() - call_start;
@@ -605,10 +1068,19 @@ App::runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
                 rpcCall(server_id, ctx->inst, *target, ctx->req,
                         ctx->span.spanId, stage->requestBytes,
                         stage->responseBytes, stage->carriesMedia,
-                        [ctx, do_call, i](Tick wall, Tick caller_net) {
+                        [ctx, stage, do_call, i](RpcStatus status, Tick wall,
+                                                 Tick caller_net) {
                     ctx->span.networkTime += caller_net;
                     ctx->span.downstreamWait +=
                         wall > caller_net ? wall - caller_net : 0;
+                    if (status != RpcStatus::Ok) {
+                        if (ctx->span.status == 0)
+                            ctx->span.status =
+                                static_cast<std::uint8_t>(status);
+                        // Skip the remaining sequential calls.
+                        (*do_call)(stage->fanout);
+                        return;
+                    }
                     (*do_call)(i + 1);
                 });
             };
@@ -643,11 +1115,17 @@ App::runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
                 ctx->span.spanId, st.requestBytes, st.responseBytes,
                 st.carriesMedia,
                 [this, ctx, stage, server_id, hit,
-                 next_shared](Tick wall, Tick caller_net) {
+                 next_shared](RpcStatus status, Tick wall, Tick caller_net) {
             ctx->span.networkTime += caller_net;
             ctx->span.downstreamWait +=
                 wall > caller_net ? wall - caller_net : 0;
-            if (hit || stage->dbTarget.empty()) {
+            // A failed cache lookup degrades to a miss: fall through to
+            // the backing store when one exists (cache-aside pattern).
+            const bool effective_hit = hit && status == RpcStatus::Ok;
+            if (effective_hit || stage->dbTarget.empty()) {
+                if (status != RpcStatus::Ok && stage->dbTarget.empty() &&
+                    ctx->span.status == 0)
+                    ctx->span.status = static_cast<std::uint8_t>(status);
                 (*next_shared)();
                 return;
             }
@@ -655,11 +1133,14 @@ App::runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
             rpcCall(server_id, ctx->inst, *db, ctx->req, ctx->span.spanId,
                     stage->requestBytes, stage->responseBytes,
                     stage->carriesMedia,
-                    [ctx, next_shared](Tick wall2, Tick caller_net2) {
+                    [ctx, next_shared](RpcStatus status2, Tick wall2,
+                                       Tick caller_net2) {
                 ctx->span.networkTime += caller_net2;
                 ctx->span.downstreamWait += wall2 > caller_net2
                                                 ? wall2 - caller_net2
                                                 : 0;
+                if (status2 != RpcStatus::Ok && ctx->span.status == 0)
+                    ctx->span.status = static_cast<std::uint8_t>(status2);
                 (*next_shared)();
             });
         });
@@ -684,6 +1165,8 @@ App::inject(unsigned query_type, std::uint64_t user_id, CompletionFn done)
     req->queryType = query_type;
     req->userId = user_id;
     req->injectTime = sim_.now();
+    if (config_.requestDeadline > 0)
+        req->deadline = sim_.now() + config_.requestDeadline;
     req->traceId = config_.tracing ? ids_.nextTrace() : 0;
     injected_->inc();
 
@@ -693,10 +1176,17 @@ App::inject(unsigned query_type, std::uint64_t user_id, CompletionFn done)
             client_span_id, config_.clientRequestBytes,
             config_.clientResponseBytes, /*carries_media=*/true,
             [this, req, client_span_id,
-             done = std::move(done)](Tick wall, Tick caller_net) {
+             done = std::move(done)](RpcStatus status, Tick wall,
+                                     Tick caller_net) {
         (void)wall;
         req->completeTime = sim_.now();
-        if (req->dropped) {
+        if (status != RpcStatus::Ok) {
+            // The entry RPC failed after all client-side resilience was
+            // exhausted: a user-visible error, distinct from a silent
+            // legacy queue drop.
+            req->failStatus = static_cast<std::uint8_t>(status);
+            requestsFailed_->inc();
+        } else if (req->dropped) {
             droppedRequests_->inc();
         } else {
             completed_->inc();
@@ -718,6 +1208,9 @@ App::inject(unsigned query_type, std::uint64_t user_id, CompletionFn done)
             client_span.start = req->injectTime;
             client_span.end = req->completeTime;
             client_span.networkTime = caller_net;
+            client_span.status = static_cast<std::uint8_t>(status);
+            client_span.attempt = static_cast<std::uint8_t>(
+                std::min<std::uint32_t>(req->retries + 1, 255));
             collector_.collect(client_span);
         }
         if (done)
@@ -762,6 +1255,7 @@ App::statReset()
         for (const auto &inst : svc->instances()) {
             inst->served_ = 0;
             inst->dropped_ = 0;
+            inst->failed_ = 0;
             inst->cpuBusyTime_ = 0;
         }
     }

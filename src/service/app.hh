@@ -33,6 +33,7 @@
 #include "net/network.hh"
 #include "rpc/connection_pool.hh"
 #include "rpc/protocol.hh"
+#include "rpc/resilience.hh"
 #include "service/microservice.hh"
 #include "service/request.hh"
 #include "trace/analysis.hh"
@@ -41,9 +42,32 @@
 namespace uqsim::service {
 
 struct HandlerCtx;
+struct AttemptState;
 
 /** Completion callback for end-to-end requests. */
 using CompletionFn = std::function<void(const Request &)>;
+
+/** Outcome of one RPC (alias of the span status vocabulary). */
+using RpcStatus = trace::SpanStatus;
+
+/** Completion callback of one RPC as seen by the caller. */
+using RpcDone = std::function<void(RpcStatus status, Tick wall,
+                                   Tick caller_net)>;
+
+/**
+ * Interface the fault-injection engine implements to fail individual
+ * request deliveries (transient per-request error rates). The hook is
+ * consulted once per arrival at an instance; a true return converts
+ * the delivery into an error response on the wire.
+ */
+class RequestFaultHook
+{
+  public:
+    virtual ~RequestFaultHook() = default;
+
+    /** @return true to fail this arrival at @p svc. */
+    virtual bool shouldFailRequest(const Microservice &svc) = 0;
+};
 
 /**
  * End-to-end application: graph + runtime.
@@ -81,6 +105,13 @@ class App
         /** Client-to-frontend payloads. */
         Bytes clientRequestBytes = 1024;
         Bytes clientResponseBytes = 4096;
+
+        /**
+         * End-to-end request deadline assigned at injection (0 = none).
+         * Propagated down the call chain: attempts cap their timeout to
+         * the remaining budget and tiers refuse arrivals past it.
+         */
+        Tick requestDeadline = 0;
     };
 
     App(Simulator &sim, cpu::Cluster &cluster, net::Network &network,
@@ -150,6 +181,35 @@ class App
     /** Change the QoS target. */
     void setQosLatency(Tick qos) { config_.qosLatency = qos; }
 
+    /** Set the end-to-end deadline for subsequently injected requests. */
+    void setRequestDeadline(Tick d) { config_.requestDeadline = d; }
+
+    // -- Fault injection --------------------------------------------------
+
+    /**
+     * Install (or clear, with nullptr) the per-request fault hook.
+     * While null — the default — delivery never consults it, so the
+     * execution digest is untouched.
+     */
+    void setFaultHook(RequestFaultHook *hook) { faultHook_ = hook; }
+
+    /**
+     * Track in-flight RPC attempts per target instance so a crash can
+     * fail them. Off by default (zero bookkeeping on the common path);
+     * the fault injector arms it when its schedule contains a crash.
+     */
+    void enableCrashTracking() { crashTracking_ = true; }
+
+    /**
+     * Crash instance @p idx of @p service_name: it stops accepting
+     * work, its queue is drained, and every tracked in-flight attempt
+     * against it fails with RpcStatus::Crashed.
+     */
+    void crashInstance(const std::string &service_name, unsigned idx);
+
+    /** Restore a crashed instance with a fresh thread pool. */
+    void restartInstance(const std::string &service_name, unsigned idx);
+
     // -- Results ----------------------------------------------------------
 
     /** End-to-end latency over completed (non-dropped) requests. */
@@ -167,6 +227,11 @@ class App
     std::uint64_t droppedRequests() const
     {
         return droppedRequests_->value();
+    }
+    /** Requests whose entry RPC failed after resilience was exhausted. */
+    std::uint64_t failedRequests() const
+    {
+        return requestsFailed_->value();
     }
 
     /** Aggregate network-processing work time per completed request. */
@@ -193,6 +258,9 @@ class App
     void statReset();
 
   private:
+    /** The attempt state (app.cc) unregisters itself on destruction. */
+    friend struct AttemptState;
+
     /** Per-(caller-instance, callee) connection pool key. */
     using PoolKey = std::pair<const void *, const Microservice *>;
 
@@ -215,21 +283,56 @@ class App
     rpc::ConnectionPool &poolFor(const void *caller,
                                  const Microservice &target);
 
+    /** Per-(caller, callee) circuit breaker, created on first use. */
+    rpc::CircuitBreaker &breakerFor(const void *caller,
+                                    const Microservice &target);
+
+    /** Per-callee retry budget, created on first use. */
+    rpc::RetryBudget &budgetFor(const Microservice &target);
+
     /**
-     * Issue one RPC from @p caller_server to @p target.
-     * @p done fires back on the caller with the RPC wall time.
+     * Issue one RPC from @p caller_server to @p target, applying the
+     * target's resilience policy (deadline check, breaker gate, retry
+     * loop around rpcAttempt). With an inactive policy this is a
+     * passthrough to a single attempt — the legacy fire-and-wait path.
+     * @p done fires back on the caller with the outcome and wall time.
      */
     void rpcCall(unsigned caller_server, Instance *caller_inst,
                  Microservice &target, RequestPtr req,
                  trace::SpanId parent_span, Bytes req_bytes,
-                 Bytes resp_bytes, bool carries_media,
-                 std::function<void(Tick wall, Tick caller_net)> done);
+                 Bytes resp_bytes, bool carries_media, RpcDone done);
+
+    /** One attempt of an RPC: serialize, send, queue, handle, reply. */
+    void rpcAttempt(unsigned caller_server, Instance *caller_inst,
+                    Microservice &target, RequestPtr req,
+                    trace::SpanId parent_span, Bytes req_bytes,
+                    Bytes resp_bytes, bool carries_media,
+                    unsigned attempt_no, RpcDone done);
+
+    /** Settle one attempt exactly once and fire its completion. */
+    void settleAttempt(AttemptState &as, RpcStatus status);
+
+    /** Record a caller-side span for a failed attempt. */
+    void recordErrorSpan(const RequestPtr &req, trace::SpanId parent_span,
+                         const Microservice &target, Tick start,
+                         unsigned attempt_no, RpcStatus status);
+
+    // -- Crash bookkeeping (active only with crash tracking on) ---------
+
+    void registerAttempt(Instance &inst, AttemptState *as);
+    void unregisterAttempt(Instance &inst, AttemptState *as);
+
+    /** Fail every tracked in-flight attempt against @p inst. */
+    void failInFlight(Instance &inst);
 
     /** Arrival at the chosen instance after receive processing. */
     void
     deliverToInstance(Instance &inst, RequestPtr req,
                       trace::SpanId parent_span, Tick pre_network,
-                      std::function<void(std::shared_ptr<HandlerCtx>)>
+                      unsigned attempt_no,
+                      std::shared_ptr<bool> abandoned,
+                      std::function<void(std::shared_ptr<HandlerCtx>,
+                                         RpcStatus)>
                           respond);
 
     /** Start handling queued work if threads are available. */
@@ -250,6 +353,12 @@ class App
     net::Network &network_;
     Config config_;
     Rng rng_;
+    /**
+     * Dedicated stream for resilience decisions (retry jitter).
+     * Seeded by derivation, NOT forked from rng_: forking would jump
+     * the main stream and change digests of runs that never retry.
+     */
+    Rng resilienceRng_;
 
     std::map<std::string, std::unique_ptr<Microservice>> services_;
     std::vector<Microservice *> serviceOrder_;
@@ -260,8 +369,18 @@ class App
     std::unordered_map<PoolKey, std::unique_ptr<rpc::ConnectionPool>,
                        PoolKeyHash>
         pools_;
+    std::unordered_map<PoolKey, std::unique_ptr<rpc::CircuitBreaker>,
+                       PoolKeyHash>
+        breakers_;
+    std::unordered_map<const Microservice *, rpc::RetryBudget> budgets_;
     std::unordered_map<std::string, double> kernelIpcCache_;
     std::unordered_map<std::string, double> serviceIpcCache_;
+
+    RequestFaultHook *faultHook_ = nullptr;
+    bool crashTracking_ = false;
+    /** In-flight attempts per target instance (crash tracking only). */
+    std::unordered_map<const Instance *, std::vector<AttemptState *>>
+        inflight_;
 
     MetricsRegistry metrics_;
     trace::TraceStore traceStore_;
@@ -277,8 +396,20 @@ class App
     Counter *completed_ = nullptr;
     Counter *completedInQos_ = nullptr;
     Counter *droppedRequests_ = nullptr;
+    Counter *requestsFailed_ = nullptr;
     /** Aggregate blocked-acquire count across all connection pools. */
     Counter *poolBlocked_ = nullptr;
+    /** RPC attempt outcomes and resilience actions. */
+    Counter *rpcErrors_ = nullptr;
+    Counter *rpcTimeouts_ = nullptr;
+    Counter *rpcRetries_ = nullptr;
+    Counter *rpcRetryBudgetExhausted_ = nullptr;
+    Counter *rpcBreakerFastFails_ = nullptr;
+    Counter *rpcDeadlineExceeded_ = nullptr;
+    Counter *rpcShed_ = nullptr;
+    Counter *rpcPoolTimeouts_ = nullptr;
+    Counter *rpcCrashedInFlight_ = nullptr;
+    Counter *rpcAbandonedArrivals_ = nullptr;
     double totalNetworkTime_ = 0.0;
     double totalAppTime_ = 0.0;
 };

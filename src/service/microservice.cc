@@ -69,26 +69,36 @@ Microservice::activeInstances() const
 Instance &
 Microservice::selectInstance(const Request &req)
 {
-    const unsigned active = activeInstances();
-    if (active == 0)
+    if (activeInstances() == 0)
         panic(strCat("service '", def_.name, "' has no active instances"));
+    Instance *inst = trySelectInstance(req);
+    if (!inst)
+        panic(strCat("sharded service '", def_.name,
+                     "' routed to inactive shard"));
+    return *inst;
+}
+
+Instance *
+Microservice::trySelectInstance(const Request &req)
+{
+    if (activeInstances() == 0)
+        return nullptr;
 
     if (misrouted_)
-        return *instances_.front();
+        return instances_.front().get();
 
     if (def_.kind == ServiceKind::Cache ||
         def_.kind == ServiceKind::Database) {
         // Shard by user key over *all* instances (shards do not move
         // when instances warm up; stateful tiers are provisioned
-        // up-front). Inactive shards would be a config error.
+        // up-front). An inactive shard means its data is unreachable.
         const std::size_t shard =
             std::hash<std::uint64_t>{}(req.userId * 0x9e3779b97f4a7c15ull) %
             instances_.size();
         Instance &inst = *instances_[shard];
         if (!inst.active())
-            panic(strCat("sharded service '", def_.name,
-                         "' routed to inactive shard"));
-        return inst;
+            return nullptr;
+        return &inst;
     }
 
     if (def_.lbPolicy == LbPolicy::JoinShortestQueue) {
@@ -108,9 +118,7 @@ Microservice::selectInstance(const Request &req)
                 best_load = load;
             }
         }
-        if (best)
-            return *best;
-        panic("selectInstance: no active instance found in scan");
+        return best;
     }
 
     // Stateless: round-robin over active instances.
@@ -118,9 +126,9 @@ Microservice::selectInstance(const Request &req)
         Instance &inst = *instances_[rrCursor_ % instances_.size()];
         ++rrCursor_;
         if (inst.active())
-            return inst;
+            return &inst;
     }
-    panic("selectInstance: no active instance found in scan");
+    return nullptr;
 }
 
 void

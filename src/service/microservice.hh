@@ -24,6 +24,7 @@
 #include "cpu/microarch.hh"
 #include "cpu/server.hh"
 #include "rpc/protocol.hh"
+#include "rpc/resilience.hh"
 #include "service/handler.hh"
 #include "service/request.hh"
 #include "trace/span.hh"
@@ -79,6 +80,13 @@ struct ServiceDef
     /** Protocol used by callers *of* this service. */
     rpc::ProtocolModel protocol = rpc::ProtocolModel::thrift();
 
+    /**
+     * Resilience policy applied by callers *of* this service
+     * (deadlines, retries, breaker, shedding). Inactive by default:
+     * the legacy no-failure semantics are preserved bit-for-bit.
+     */
+    rpc::ResiliencePolicy resilience;
+
     /** Load-balancing policy across instances (stateless tiers). */
     LbPolicy lbPolicy = LbPolicy::RoundRobin;
 
@@ -130,6 +138,19 @@ class Instance
     /** Requests dropped on queue overflow. */
     std::uint64_t dropped() const { return dropped_; }
 
+    /**
+     * Requests that terminated with a failure status at this instance
+     * (injected errors, shedding, deadline refusals, crash victims).
+     */
+    std::uint64_t failed() const { return failed_; }
+
+    /**
+     * Crash generation: bumped every time the instance crashes so
+     * continuations belonging to a previous life can detect that their
+     * thread/queue state is gone.
+     */
+    std::uint64_t crashEpoch() const { return crashEpoch_; }
+
     /** Cumulative CPU busy time of this instance's compute tasks. */
     Tick cpuBusyTime() const { return cpuBusyTime_; }
 
@@ -145,8 +166,17 @@ class Instance
         Tick enqueued = 0;
         /** Network processing charged to this span before handling. */
         Tick preNetworkTime = 0;
+        /** 1-based attempt number of the RPC being served. */
+        std::uint8_t attempt = 1;
+        /**
+         * Shared settle flag of the caller's attempt: set once the
+         * caller timed out / gave up, so the work can be skipped.
+         * Null on the legacy (no-resilience) path.
+         */
+        std::shared_ptr<bool> abandoned;
         /** Continuation delivering the response to the caller side. */
-        std::function<void(std::shared_ptr<HandlerCtx>)> respondCtx;
+        std::function<void(std::shared_ptr<HandlerCtx>, trace::SpanStatus)>
+            respondCtx;
     };
 
     Microservice &svc_;
@@ -159,6 +189,8 @@ class Instance
 
     std::uint64_t served_ = 0;
     std::uint64_t dropped_ = 0;
+    std::uint64_t failed_ = 0;
+    std::uint64_t crashEpoch_ = 0;
     Tick cpuBusyTime_ = 0;
 };
 
@@ -202,6 +234,14 @@ class Microservice
      * userId; stateless tiers round-robin over active instances.
      */
     Instance &selectInstance(const Request &req);
+
+    /**
+     * Crash-tolerant variant: @return nullptr instead of panicking
+     * when no active instance (or the required shard) is available.
+     * Used by the resilient RPC path so an outage becomes a fast
+     * client-side failure rather than a simulator abort.
+     */
+    Instance *trySelectInstance(const Request &req);
 
     /**
      * Fault injection (Fig 22a): emulate a switch-routing

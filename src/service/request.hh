@@ -46,6 +46,23 @@ struct Request
     bool dropped = false;
 
     /**
+     * Absolute end-to-end deadline (0 = none). Propagated down the
+     * call chain: every hop admission-checks against it, so work is
+     * never queued for a request whose caller has already given up.
+     */
+    Tick deadline = 0;
+
+    /**
+     * Terminal failure of the *end-to-end* request (a trace::SpanStatus
+     * value; 0 while healthy). Set when the entry-level RPC fails after
+     * resilience is exhausted.
+     */
+    std::uint8_t failStatus = 0;
+
+    /** RPC attempts beyond the first, summed over all hops. */
+    std::uint32_t retries = 0;
+
+    /**
      * Total time spent processing network requests on behalf of this
      * request across all hops: kernel TCP work, (de)serialization,
      * NIC queueing and wire time. Parallel branches sum, so this is

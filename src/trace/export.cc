@@ -46,8 +46,12 @@ emitSpan(std::ostream &os, const TraceStore &store, const Span &sp)
        << ",\"queryType\":\"" << sp.queryType << "\""
        << ",\"queueUs\":\"" << ticksToUs(sp.queueTime) << "\""
        << ",\"appUs\":\"" << ticksToUs(sp.appTime) << "\""
-       << ",\"networkUs\":\"" << ticksToUs(sp.networkTime) << "\""
-       << "}}";
+       << ",\"networkUs\":\"" << ticksToUs(sp.networkTime) << "\"";
+    if (sp.failed())
+        os << ",\"error\":\"" << spanStatusName(sp.statusEnum()) << "\"";
+    if (sp.attempt > 1)
+        os << ",\"attempt\":\"" << unsigned{sp.attempt} << "\"";
+    os << "}}";
 }
 
 } // namespace
@@ -120,8 +124,11 @@ exportPerfettoJson(const TraceStore &store, std::ostream &os,
     for (std::size_t i = 0; i < n; ++i) {
         const Span &sp = spans[i];
         sep();
+        // Failed hops go to a distinct category so a Perfetto query
+        // (or the UI's category filter) isolates them at a glance.
         os << "{\"ph\":\"X\",\"pid\":" << sp.traceId
-           << ",\"tid\":" << sp.service + 1 << ",\"cat\":\"rpc\""
+           << ",\"tid\":" << sp.service + 1 << ",\"cat\":\""
+           << (sp.failed() ? "rpc.error" : "rpc") << "\""
            << ",\"name\":\"" << spanService(store, sp) << "\""
            << ",\"ts\":" << ticksToUs(sp.start)
            << ",\"dur\":" << ticksToUs(sp.duration())
@@ -133,8 +140,13 @@ exportPerfettoJson(const TraceStore &store, std::ostream &os,
            << ",\"queueUs\":" << ticksToUs(sp.queueTime)
            << ",\"appUs\":" << ticksToUs(sp.appTime)
            << ",\"networkUs\":" << ticksToUs(sp.networkTime)
-           << ",\"downstreamUs\":" << ticksToUs(sp.downstreamWait)
-           << "}}";
+           << ",\"downstreamUs\":" << ticksToUs(sp.downstreamWait);
+        if (sp.failed())
+            os << ",\"status\":\"" << spanStatusName(sp.statusEnum())
+               << "\"";
+        if (sp.attempt > 1)
+            os << ",\"attempt\":" << unsigned{sp.attempt};
+        os << "}}";
     }
     os << "\n],\"otherData\":{"
        << "\"spansStored\":" << store.size()

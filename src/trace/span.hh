@@ -40,6 +40,54 @@ using ServiceId = std::uint32_t;
 constexpr ServiceId kNoService = 0xffffffffu;
 
 /**
+ * Terminal outcome of one RPC (or one attempt of it). Ok is the value
+ * zero so legacy spans — and the exporters' "only emit when non-default"
+ * rule — need no migration.
+ */
+enum class SpanStatus : std::uint8_t
+{
+    Ok = 0,
+    Error,             ///< injected or application-level failure
+    Timeout,           ///< per-attempt RPC timer expired
+    DeadlineExceeded,  ///< end-to-end deadline passed
+    Crashed,           ///< serving instance crashed mid-flight
+    Overflow,          ///< instance queue full (resilient path)
+    Shed,              ///< load shedding at a saturated tier
+    BreakerOpen,       ///< circuit breaker refused the call
+    PoolTimeout,       ///< connection-pool acquire timed out
+    Unreachable,       ///< no active instance to route to
+};
+
+/** @return a short printable status name ("ok", "timeout", ...). */
+inline const char *
+spanStatusName(SpanStatus s)
+{
+    switch (s) {
+      case SpanStatus::Ok:
+        return "ok";
+      case SpanStatus::Error:
+        return "error";
+      case SpanStatus::Timeout:
+        return "timeout";
+      case SpanStatus::DeadlineExceeded:
+        return "deadline_exceeded";
+      case SpanStatus::Crashed:
+        return "crashed";
+      case SpanStatus::Overflow:
+        return "overflow";
+      case SpanStatus::Shed:
+        return "shed";
+      case SpanStatus::BreakerOpen:
+        return "breaker_open";
+      case SpanStatus::PoolTimeout:
+        return "pool_timeout";
+      case SpanStatus::Unreachable:
+        return "unreachable";
+    }
+    return "unknown";
+}
+
+/**
  * Server-side record of a single RPC. Plain trivially-copyable data:
  * the ring-buffer store overwrites slots in place.
  */
@@ -80,8 +128,23 @@ struct Span
     /** Time blocked waiting on downstream RPC responses. */
     Tick downstreamWait = 0;
 
+    /** Terminal outcome (SpanStatus; Ok for successful RPCs). */
+    std::uint8_t status = 0;
+
+    /** 1-based attempt number of the RPC this span records. */
+    std::uint8_t attempt = 1;
+
     /** Total server-side latency. */
     Tick duration() const { return end - start; }
+
+    /** @return the typed outcome. */
+    SpanStatus statusEnum() const
+    {
+        return static_cast<SpanStatus>(status);
+    }
+
+    /** @return true if the RPC ended in any non-Ok outcome. */
+    bool failed() const { return status != 0; }
 };
 
 static_assert(std::is_trivially_copyable_v<Span>,

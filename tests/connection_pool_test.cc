@@ -70,6 +70,84 @@ TEST(ConnectionPoolTest, PeakWaitingTracksHighWatermark)
     EXPECT_EQ(pool.peakWaiting(), 3u);
 }
 
+TEST(ConnectionPoolTest, CancelledWaiterNeverRuns)
+{
+    ConnectionPool pool(1, true);
+    pool.acquire([] {});
+    bool ran = false;
+    const ConnectionPool::Ticket t = pool.acquire([&] { ran = true; });
+    ASSERT_NE(t, ConnectionPool::kGrantedImmediately);
+    EXPECT_TRUE(pool.cancel(t));
+    EXPECT_FALSE(pool.cancel(t)); // second cancel is a no-op
+    pool.release();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(pool.inUse(), 0u);
+}
+
+TEST(ConnectionPoolTest, ReentrantGrantCanReacquireAndRelease)
+{
+    // A waiter granted synchronously from inside release() immediately
+    // finishes its (zero-cost) call and releases again, granting the
+    // next waiter — recursion through release() must not corrupt the
+    // pool or skip waiters.
+    ConnectionPool pool(1, true);
+    std::vector<int> order;
+    pool.acquire([&] { order.push_back(0); });
+    for (int i = 1; i <= 3; ++i)
+        pool.acquire([&, i] {
+            order.push_back(i);
+            pool.release(); // cascades to the next waiter
+        });
+    EXPECT_EQ(pool.waiting(), 3u);
+    pool.release(); // releases 0; grants 1 -> 2 -> 3 recursively
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(pool.inUse(), 0u);
+    EXPECT_EQ(pool.waiting(), 0u);
+}
+
+TEST(ConnectionPoolTest, ReentrantAcquireInsideGrantParksAgain)
+{
+    // A grant callback that immediately re-acquires must park (the
+    // connection it holds is the only one), not self-deadlock or
+    // double-grant.
+    ConnectionPool pool(1, true);
+    int outer = 0, inner = 0;
+    pool.acquire([&] { ++outer; });
+    pool.acquire([&] {
+        ++outer;
+        pool.acquire([&] { ++inner; });
+    });
+    EXPECT_EQ(outer, 1);
+    pool.release(); // grants the second acquire, which parks a third
+    EXPECT_EQ(outer, 2);
+    EXPECT_EQ(inner, 0);
+    EXPECT_EQ(pool.waiting(), 1u);
+    pool.release();
+    EXPECT_EQ(inner, 1);
+    EXPECT_EQ(pool.inUse(), 1u);
+}
+
+TEST(ConnectionPoolTest, PeakWaitingSurvivesChurn)
+{
+    // Alternating acquire/release churn must keep the high watermark,
+    // and cancelled waiters still count toward it.
+    ConnectionPool pool(1, true);
+    pool.acquire([] {});
+    std::vector<ConnectionPool::Ticket> parked;
+    for (int i = 0; i < 5; ++i)
+        parked.push_back(pool.acquire([] {}));
+    EXPECT_EQ(pool.peakWaiting(), 5u);
+    for (ConnectionPool::Ticket t : parked)
+        EXPECT_TRUE(pool.cancel(t));
+    EXPECT_EQ(pool.waiting(), 0u);
+    for (int i = 0; i < 3; ++i) {
+        pool.acquire([] {});
+        pool.release();
+    }
+    EXPECT_EQ(pool.peakWaiting(), 5u);
+    EXPECT_EQ(pool.blockedAcquires(), 8u);
+}
+
 TEST(ConnectionPoolDeathTest, OverReleasePanics)
 {
     ConnectionPool pool(1, true);

@@ -56,6 +56,58 @@ TEST(TraceExportTest, SpansCarryZipkinFields)
               std::string::npos);
 }
 
+TEST(TraceExportTest, FailedSpansCarryStatusTags)
+{
+    trace::TraceStore store;
+    trace::Span ok;
+    ok.traceId = 1;
+    ok.spanId = 2;
+    ok.service = store.intern("healthy");
+    ok.start = 1000;
+    ok.end = 2000;
+    store.insert(ok);
+    trace::Span bad;
+    bad.traceId = 1;
+    bad.spanId = 3;
+    bad.service = store.intern("flaky");
+    bad.start = 1000;
+    bad.end = 2000;
+    bad.status = static_cast<std::uint8_t>(trace::SpanStatus::Timeout);
+    bad.attempt = 3;
+    store.insert(bad);
+
+    const std::string zipkin = trace::toZipkinJson(store);
+    EXPECT_NE(zipkin.find("\"error\":\"timeout\""), std::string::npos);
+    EXPECT_NE(zipkin.find("\"attempt\":\"3\""), std::string::npos);
+
+    const std::string perfetto = trace::toPerfettoJson(store);
+    // Failed hops land in their own category with status/attempt args.
+    EXPECT_NE(perfetto.find("\"cat\":\"rpc.error\""), std::string::npos);
+    EXPECT_NE(perfetto.find("\"status\":\"timeout\""), std::string::npos);
+    EXPECT_NE(perfetto.find("\"attempt\":3"), std::string::npos);
+    // The healthy span keeps the plain category.
+    EXPECT_NE(perfetto.find("\"cat\":\"rpc\""), std::string::npos);
+}
+
+TEST(TraceExportTest, HealthySpansCarryNoStatusTags)
+{
+    trace::TraceStore store;
+    trace::Span sp;
+    sp.traceId = 1;
+    sp.spanId = 2;
+    sp.service = store.intern("healthy");
+    sp.start = 1000;
+    sp.end = 2000;
+    store.insert(sp);
+    // No failures anywhere: the legacy export stays byte-for-byte free
+    // of resilience vocabulary.
+    EXPECT_EQ(trace::toZipkinJson(store).find("error"), std::string::npos);
+    const std::string perfetto = trace::toPerfettoJson(store);
+    EXPECT_EQ(perfetto.find("rpc.error"), std::string::npos);
+    EXPECT_EQ(perfetto.find("status"), std::string::npos);
+    EXPECT_EQ(perfetto.find("attempt"), std::string::npos);
+}
+
 TEST(TraceExportTest, RootSpanOmitsParentId)
 {
     trace::TraceStore store;

@@ -21,7 +21,9 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -32,6 +34,8 @@
 #include "core/logging.hh"
 #include "core/table.hh"
 #include "cpu/power.hh"
+#include "fault/fault.hh"
+#include "fault/injector.hh"
 #include "serverless/platform.hh"
 #include "trace/analysis.hh"
 #include "trace/export.hh"
@@ -58,12 +62,24 @@ struct Options
     double skew = -1.0;          // <0: uniform users
     std::uint64_t users = 1000;
     std::uint64_t seed = 42;
-    std::string report = "summary"; // summary|services|traces|cost|energy
+    std::string report = "summary"; // see kReportKinds
     std::string traceOut;           // Perfetto JSON file ("" = none)
     std::string metricsOut;         // metrics snapshot JSON ("" = none)
     std::size_t traceCapacity = trace::TraceStore::kDefaultCapacity;
     bool list = false;
+
+    // -- Fault injection & client-side resilience -------------------
+    std::vector<fault::FaultSpec> faults;
+    Tick rpcTimeout = 0;      // per-attempt timeout (0 = none)
+    Tick deadline = 0;        // end-to-end deadline (0 = none)
+    unsigned retries = 0;     // extra attempts beyond the first
+    double retryBudget = 0.0; // budget tokens per request (0 = unlimited)
+    bool breaker = false;     // circuit breaker with defaults
+    unsigned shed = 0;        // shed above this queue length (0 = off)
 };
+
+const char *const kReportKinds[] = {"summary", "services", "traces",
+                                    "cost", "energy", "resilience"};
 
 void
 usage()
@@ -87,7 +103,20 @@ usage()
         "  --skew PCT         user skew 0-99 (default: uniform)\n"
         "  --users N          user population (default 1000)\n"
         "  --seed N           world seed (default 42)\n"
-        "  --report KIND      summary | services | traces | cost | energy\n"
+        "  --report KIND      summary | services | traces | cost | energy |\n"
+        "                     resilience\n"
+        "  --faults FILE      JSON fault schedule (see docs/RESILIENCE.md)\n"
+        "  --fault SPEC       one fault window, repeatable:\n"
+        "                     crash@t=2s,dur=1s,service=X,instance=0\n"
+        "                     errors@t=1s,dur=2s,service=X,rate=0.5\n"
+        "                     slow@t=1s,dur=2s,server=0,factor=10\n"
+        "                     partition@t=3s,dur=1s,a=0-1,b=2-4,loss=1\n"
+        "  --rpc-timeout DUR  per-attempt RPC timeout (e.g. 50ms; 0 = off)\n"
+        "  --deadline DUR     end-to-end request deadline (0 = off)\n"
+        "  --retries N        RPC retries after a failed attempt\n"
+        "  --retry-budget R   retry tokens earned per request (0 = unlimited)\n"
+        "  --breaker          per-edge circuit breaker (default thresholds)\n"
+        "  --shed N           shed arrivals above queue length N\n"
         "  --trace-out FILE   write collected spans as Chrome/Perfetto\n"
         "                     trace-event JSON (open in ui.perfetto.dev)\n"
         "  --metrics-out FILE write the metrics-registry snapshot as JSON\n"
@@ -114,43 +143,82 @@ parse(int argc, char **argv, Options &opt)
         }
     }
 
-    auto need = [&](std::size_t &i) -> const char * {
+    auto need = [&](std::size_t &i) -> const std::string & {
         if (i + 1 >= args.size())
             fatal(strCat("missing value for ", args[i]));
-        return args[++i].c_str();
+        return args[++i];
+    };
+    // Strict numeric parsing: the whole value must convert, so typos
+    // like "--qps 3o0" die with a clear message instead of silently
+    // truncating to garbage the way atof/atoi would.
+    auto numDouble = [&](std::size_t &i) {
+        const std::string &flag = args[i], &v = need(i);
+        try {
+            std::size_t consumed = 0;
+            const double value = std::stod(v, &consumed);
+            if (consumed != v.size())
+                throw std::invalid_argument(v);
+            return value;
+        } catch (...) {
+            fatal(strCat("bad number '", v, "' for ", flag));
+        }
+    };
+    auto numU64 = [&](std::size_t &i) {
+        const std::string &flag = args[i], &v = need(i);
+        try {
+            std::size_t consumed = 0;
+            const unsigned long long value = std::stoull(v, &consumed);
+            if (consumed != v.size() || v[0] == '-')
+                throw std::invalid_argument(v);
+            return static_cast<std::uint64_t>(value);
+        } catch (...) {
+            fatal(strCat("bad non-negative integer '", v, "' for ",
+                         flag));
+        }
+    };
+    auto numUnsigned = [&](std::size_t &i) {
+        return static_cast<unsigned>(numU64(i));
+    };
+    auto durationVal = [&](std::size_t &i) {
+        const std::string &flag = args[i], &v = need(i);
+        Tick out = 0;
+        if (!fault::parseDuration(v, out))
+            fatal(strCat("bad duration '", v, "' for ", flag,
+                         " (want e.g. 50ms, 2s, 800us)"));
+        return out;
     };
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &a = args[i];
         if (a == "--app")
             opt.app = need(i);
         else if (a == "--qps")
-            opt.qps = std::atof(need(i));
+            opt.qps = numDouble(i);
         else if (a == "--duration")
-            opt.durationSec = std::atof(need(i));
+            opt.durationSec = numDouble(i);
         else if (a == "--warmup")
-            opt.warmupSec = std::atof(need(i));
+            opt.warmupSec = numDouble(i);
         else if (a == "--servers")
-            opt.servers = static_cast<unsigned>(std::atoi(need(i)));
+            opt.servers = numUnsigned(i);
         else if (a == "--drones")
-            opt.drones = static_cast<unsigned>(std::atoi(need(i)));
+            opt.drones = numUnsigned(i);
         else if (a == "--core")
             opt.core = need(i);
         else if (a == "--freq")
-            opt.freqMhz = std::atof(need(i));
+            opt.freqMhz = numDouble(i);
         else if (a == "--fpga")
             opt.fpga = true;
         else if (a == "--lambda")
             opt.lambda = need(i);
         else if (a == "--slow-servers")
-            opt.slowServers = static_cast<unsigned>(std::atoi(need(i)));
+            opt.slowServers = numUnsigned(i);
         else if (a == "--slow-factor")
-            opt.slowFactor = std::atof(need(i));
+            opt.slowFactor = numDouble(i);
         else if (a == "--skew")
-            opt.skew = std::atof(need(i));
+            opt.skew = numDouble(i);
         else if (a == "--users")
-            opt.users = static_cast<std::uint64_t>(std::atoll(need(i)));
+            opt.users = numU64(i);
         else if (a == "--seed")
-            opt.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+            opt.seed = numU64(i);
         else if (a == "--report")
             opt.report = need(i);
         else if (a == "--trace-out")
@@ -158,8 +226,41 @@ parse(int argc, char **argv, Options &opt)
         else if (a == "--metrics-out")
             opt.metricsOut = need(i);
         else if (a == "--trace-capacity")
-            opt.traceCapacity =
-                static_cast<std::size_t>(std::atoll(need(i)));
+            opt.traceCapacity = static_cast<std::size_t>(numU64(i));
+        else if (a == "--faults") {
+            const std::string &path = need(i);
+            std::ifstream in(path);
+            if (!in)
+                fatal(strCat("cannot read fault schedule '", path, "'"));
+            std::ostringstream text;
+            text << in.rdbuf();
+            std::vector<fault::FaultSpec> specs;
+            std::string error;
+            if (!fault::parseFaultFile(text.str(), specs, error))
+                fatal(strCat("bad fault schedule '", path, "': ", error));
+            opt.faults.insert(opt.faults.end(), specs.begin(),
+                              specs.end());
+        } else if (a == "--fault") {
+            const std::string &spec_text = need(i);
+            fault::FaultSpec spec;
+            std::string error;
+            if (!fault::parseFaultFlag(spec_text, spec, error))
+                fatal(strCat("bad --fault '", spec_text, "': ", error));
+            opt.faults.push_back(std::move(spec));
+        } else if (a == "--rpc-timeout")
+            opt.rpcTimeout = durationVal(i);
+        else if (a == "--deadline")
+            opt.deadline = durationVal(i);
+        else if (a == "--retries")
+            opt.retries = numUnsigned(i);
+        else if (a == "--retry-budget") {
+            opt.retryBudget = numDouble(i);
+            if (opt.retryBudget < 0.0)
+                fatal("--retry-budget must be >= 0");
+        } else if (a == "--breaker")
+            opt.breaker = true;
+        else if (a == "--shed")
+            opt.shed = numUnsigned(i);
         else if (a == "--list")
             opt.list = true;
         else if (a == "--help" || a == "-h") {
@@ -169,6 +270,27 @@ parse(int argc, char **argv, Options &opt)
             fatal(strCat("unknown option '", a, "' (try --help)"));
         }
     }
+
+    bool report_ok = false;
+    for (const char *kind : kReportKinds)
+        report_ok = report_ok || opt.report == kind;
+    if (!report_ok)
+        fatal(strCat("unknown report kind '", opt.report,
+                     "' (want summary, services, traces, cost, energy "
+                     "or resilience)"));
+    if (opt.qps <= 0.0)
+        fatal("--qps must be positive");
+    if (opt.durationSec <= 0.0)
+        fatal("--duration must be positive");
+    if (opt.warmupSec < 0.0)
+        fatal("--warmup must be non-negative");
+    if (opt.servers == 0)
+        fatal("--servers must be positive");
+    if (opt.skew >= 100.0)
+        fatal("--skew must be below 100");
+    if (!opt.lambda.empty() && opt.lambda != "s3" && opt.lambda != "mem")
+        fatal(strCat("unknown --lambda kind '", opt.lambda,
+                     "' (want s3 or mem)"));
     return true;
 }
 
@@ -271,6 +393,34 @@ main(int argc, char **argv)
     if (opt.slowServers > 0)
         world.cluster.injectSlowServers(opt.slowServers, opt.slowFactor);
 
+    // Client-side resilience: apply the same policy to the callers of
+    // every tier. Left untouched (all flags at defaults) the RPC path
+    // is the legacy one and digests match older builds bit-for-bit.
+    if (opt.rpcTimeout || opt.retries || opt.breaker || opt.shed) {
+        for (service::Microservice *svc : app.services()) {
+            rpc::ResiliencePolicy &pol = svc->mutableDef().resilience;
+            pol.timeout = opt.rpcTimeout;
+            if (opt.retries) {
+                pol.retry.maxAttempts = opt.retries + 1;
+                pol.retry.budgetRatio = opt.retryBudget;
+            }
+            pol.breaker.enabled = opt.breaker;
+            pol.shedQueueLength = opt.shed;
+        }
+    }
+    if (opt.deadline)
+        app.setRequestDeadline(opt.deadline);
+
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (!opt.faults.empty()) {
+        injector = std::make_unique<fault::FaultInjector>(app, opt.seed);
+        injector->addAll(opt.faults);
+        injector->arm();
+        std::cout << "armed fault schedule:\n";
+        for (const fault::FaultSpec &spec : injector->schedule())
+            std::cout << "  " << spec.describe() << "\n";
+    }
+
     cpu::EnergyMeter meter(world.sim, world.cluster,
                            cpu::PowerModel::xeon());
     if (opt.report == "energy")
@@ -291,6 +441,10 @@ main(int argc, char **argv)
     TextTable summary({"metric", "value"});
     summary.add("completed", r.completed);
     summary.add("dropped", r.dropped);
+    // Only present when something actually failed, so the default
+    // (fault-free) output stays byte-identical.
+    if (app.failedRequests() > 0)
+        summary.add("failed", app.failedRequests());
     summary.add("p50", fmtMs(r.p50));
     summary.add("p95", fmtMs(r.p95));
     summary.add("p99", fmtMs(r.p99));
@@ -384,6 +538,43 @@ main(int argc, char **argv)
                       << fmtDouble(lc.cost(inv, billed) * scale, 2)
                       << "  (" << inv << " invocations measured)\n";
         }
+    }
+    if (opt.report == "resilience") {
+        printBanner(std::cout, "resilience / fault outcomes");
+        TextTable t({"counter", "value"});
+        static const char *const kCounters[] = {
+            "app.requests_failed",
+            "rpc.errors",
+            "rpc.timeouts",
+            "rpc.retries",
+            "rpc.retry_budget_exhausted",
+            "rpc.breaker_fast_fails",
+            "rpc.deadline_exceeded",
+            "rpc.shed",
+            "rpc.pool.acquire_timeouts",
+            "rpc.crashed_in_flight",
+            "rpc.abandoned_arrivals",
+            "fault.requests_failed",
+            "fault.crashes",
+            "fault.messages_dropped",
+        };
+        for (const char *name : kCounters)
+            t.add(name, app.metrics().counter(name).value());
+        t.add("net.messages_dropped",
+              world.network->messagesDropped());
+        t.print(std::cout);
+        TextTable e({"service", "served", "failed", "dropped"});
+        for (const service::Microservice *svc : app.services()) {
+            std::uint64_t served = 0, failed = 0, dropped = 0;
+            for (const auto &inst : svc->instances()) {
+                served += inst->served();
+                failed += inst->failed();
+                dropped += inst->dropped();
+            }
+            e.add(svc->name(), served, failed, dropped);
+        }
+        printBanner(std::cout, "per-service outcomes");
+        e.print(std::cout);
     }
     if (opt.report == "energy") {
         printBanner(std::cout, "energy");
