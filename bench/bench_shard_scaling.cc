@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Shard-scaling throughput of the parallel DES core.
+ *
+ * Builds the social-network world as N replica shards with a fixed
+ * per-shard load (so total simulated work grows with N), drives it
+ * with N worker threads, and reports wall-clock events/sec per
+ * configuration plus the speedup over the one-shard baseline as JSON.
+ *
+ * The digest column doubles as a correctness check: for a fixed shard
+ * count it must not change with the thread count, and the recorded
+ * value lets CI diff runs across commits.
+ *
+ * By default the bench only records (--min-speedup 0): meaningful
+ * speedups need as many physical cores as shards, which CI runners
+ * and laptops may not have. Pass --min-speedup 2 on a >=4-core
+ * machine to enforce the scaling claim.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/scenario.hh"
+#include "core/json.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+
+using namespace uqsim;
+
+namespace {
+
+struct Row
+{
+    unsigned shards = 1;
+    unsigned threads = 1;
+    std::uint64_t events = 0;
+    double wallSec = 0.0;
+    double eventsPerSec = 0.0;
+    double speedup = 1.0;
+    std::uint64_t digest = 0;
+};
+
+Row
+runConfig(unsigned shards, double qps_per_shard, double duration_sec)
+{
+    apps::Scenario scn;
+    scn.app = "social-network";
+    scn.qps = qps_per_shard * shards;
+    scn.durationSec = duration_sec;
+    scn.warmupSec = 0.5;
+    scn.shards = shards;
+    scn.threads = shards;
+
+    apps::ShardedWorld w(apps::worldConfigFor(scn), scn.shards,
+                         scn.threads);
+    for (unsigned s = 0; s < shards; ++s)
+        apps::buildScenarioApp(w.shard(s), scn);
+    const workload::UserPopulation users =
+        workload::UserPopulation::uniform(scn.users);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    apps::runShardedLoad(w, scn.qps, secToTicks(scn.warmupSec),
+                         secToTicks(scn.durationSec), users,
+                         scn.seed + 1);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    Row row;
+    row.shards = shards;
+    row.threads = shards;
+    row.events = w.engine().eventsExecuted();
+    row.wallSec = std::chrono::duration<double>(t1 - t0).count();
+    row.eventsPerSec =
+        row.wallSec > 0.0 ? static_cast<double>(row.events) / row.wallSec
+                          : 0.0;
+    row.digest = w.engine().executionDigest();
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    double min_speedup = 0.0;
+    double qps_per_shard = 300.0;
+    double duration_sec = 3.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto need = [&] {
+            if (i + 1 >= argc)
+                fatal(strCat("missing value for ", a));
+            return std::string(argv[++i]);
+        };
+        if (a == "--out")
+            out_path = need();
+        else if (a == "--min-speedup")
+            min_speedup = std::atof(need().c_str());
+        else if (a == "--qps-per-shard")
+            qps_per_shard = std::atof(need().c_str());
+        else if (a == "--duration")
+            duration_sec = std::atof(need().c_str());
+        else
+            fatal(strCat("unknown option '", a, "'"));
+    }
+
+    printBanner(std::cout, "shard scaling (social-network, fixed "
+                           "per-shard load)");
+    TextTable table({"shards", "threads", "events", "wall(s)",
+                     "events/sec", "speedup", "digest"});
+    std::vector<Row> rows;
+    for (unsigned shards : {1u, 2u, 4u}) {
+        Row row = runConfig(shards, qps_per_shard, duration_sec);
+        if (!rows.empty())
+            row.speedup = row.eventsPerSec / rows.front().eventsPerSec;
+        rows.push_back(row);
+        std::ostringstream digest;
+        digest << std::hex << row.digest;
+        table.add(row.shards, row.threads, row.events,
+                  fmtDouble(row.wallSec, 2),
+                  fmtDouble(row.eventsPerSec / 1e6, 2) + "M",
+                  fmtDouble(row.speedup, 2) + "x", digest.str());
+    }
+    table.print(std::cout);
+
+    json::Writer w;
+    w.beginObject();
+    w.field("bench", "shard_scaling");
+    w.field("app", "social-network");
+    w.field("qps_per_shard", qps_per_shard);
+    w.field("duration_sec", duration_sec);
+    w.beginArray("rows");
+    for (const Row &row : rows) {
+        w.beginObject();
+        w.field("shards", row.shards);
+        w.field("threads", row.threads);
+        w.field("events", row.events);
+        w.field("wall_sec", row.wallSec);
+        w.field("events_per_sec", row.eventsPerSec);
+        w.field("speedup_vs_1", row.speedup);
+        std::ostringstream digest;
+        digest << std::hex << row.digest;
+        w.field("digest", digest.str());
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    const std::string doc = w.str() + "\n";
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out)
+            fatal(strCat("cannot open '", out_path, "' for writing"));
+        out << doc;
+        std::cout << "wrote " << out_path << "\n";
+    } else {
+        std::cout << doc;
+    }
+
+    const double best = rows.back().speedup;
+    if (min_speedup > 0.0 && best < min_speedup) {
+        std::cerr << "FAIL: speedup " << best << "x at "
+                  << rows.back().shards << " shards is below the --min-"
+                  << "speedup " << min_speedup << "x gate\n";
+        return 1;
+    }
+    return 0;
+}

@@ -6,7 +6,15 @@
 
 namespace uqsim::apps {
 
-World::World(WorldConfig config) : cluster(sim), config_(config)
+World::World(WorldConfig config) : World(std::move(config), External{}) {}
+
+World::World(WorldConfig config, SimContext external_ctx)
+    : World(std::move(config), External{true, external_ctx})
+{}
+
+World::World(WorldConfig config, External ext)
+    : ctx(ext.present ? ext.ctx : SimContext(sim)), cluster(ctx),
+      config_(config)
 {
     if (config_.workerServers == 0)
         fatal("World with no worker servers");
@@ -21,9 +29,9 @@ World::World(WorldConfig config) : cluster(sim), config_(config)
     client_ = &cluster.addServer(client_model);
 
     Rng root(config_.seed);
-    network = std::make_unique<net::Network>(sim, config_.netConfig,
+    network = std::make_unique<net::Network>(ctx, config_.netConfig,
                                              root.fork());
-    app = std::make_unique<service::App>(sim, cluster, *network,
+    app = std::make_unique<service::App>(ctx, cluster, *network,
                                          config_.appConfig, root.next());
     app->setClientServer(*client_);
 }

@@ -3,10 +3,16 @@
  * World construction and tier-building helpers shared by all six
  * end-to-end applications.
  *
- * A World bundles one Simulator with its compute cluster, network
- * fabric and App runtime in the right construction order, plus a
- * dedicated client server that injects user requests (so client-side
+ * A World bundles one scheduling context with its compute cluster,
+ * network fabric and App runtime in the right construction order, plus
+ * a dedicated client server that injects user requests (so client-side
  * protocol costs are modelled but never bottleneck).
+ *
+ * Standalone, a World owns its Simulator and is driven through it, as
+ * before. Inside a ShardedWorld (apps/scenario.hh) each World is one
+ * shard: it is constructed with the shard's SimContext, all of its
+ * components schedule into that shard's queue/clock, and the
+ * ParallelSimulator drives every shard together.
  */
 
 #ifndef UQSIM_APPS_BUILDER_HH
@@ -17,7 +23,7 @@
 #include <string>
 
 #include "core/distributions.hh"
-#include "core/simulator.hh"
+#include "core/sim_context.hh"
 #include "cpu/core_model.hh"
 #include "cpu/server.hh"
 #include "net/network.hh"
@@ -52,10 +58,23 @@ class World
   public:
     explicit World(WorldConfig config = {});
 
+    /**
+     * Build this world as one shard of a larger deployment: every
+     * component schedules through @p ctx instead of the world's own
+     * Simulator (which stays dormant — don't drive `sim` here, drive
+     * the owning engine).
+     */
+    World(WorldConfig config, SimContext ctx);
+
     World(const World &) = delete;
     World &operator=(const World &) = delete;
 
+    /** Drives standalone worlds; dormant when a shard context rules. */
     Simulator sim;
+
+    /** The scheduling context all of this world's components use. */
+    SimContext ctx;
+
     cpu::Cluster cluster;
     std::unique_ptr<net::Network> network;
     std::unique_ptr<service::App> app;
@@ -75,6 +94,14 @@ class World
     unsigned workers() const { return config_.workerServers; }
 
   private:
+    struct External
+    {
+        bool present = false;
+        SimContext ctx;
+    };
+
+    World(WorldConfig config, External ext);
+
     WorldConfig config_;
     cpu::Server *client_ = nullptr;
     std::size_t cursor_ = 0;

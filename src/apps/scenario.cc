@@ -1,0 +1,438 @@
+#include "apps/scenario.hh"
+
+#include <algorithm>
+
+#include "apps/catalog.hh"
+#include "apps/single_tier.hh"
+#include "apps/social_network.hh"
+#include "apps/swarm.hh"
+#include "core/json.hh"
+#include "core/logging.hh"
+#include "workload/generators.hh"
+
+namespace uqsim::apps {
+
+namespace {
+
+/** Golden-ratio stride: distinct shard seeds from one root seed. */
+constexpr std::uint64_t kSeedStride = 0x9e3779b97f4a7c15ull;
+
+std::string
+ticksField(Tick t)
+{
+    return strCat(t, "ns");
+}
+
+bool
+durationFromValue(const json::Value &v, Tick &out)
+{
+    std::string text;
+    if (!json::scalarToString(v, text))
+        return false;
+    return fault::parseDuration(text, out);
+}
+
+void
+writeFault(json::Writer &w, const fault::FaultSpec &f)
+{
+    w.beginObject();
+    w.field("kind", fault::faultKindName(f.kind));
+    w.field("t", ticksField(f.start));
+    w.field("dur", ticksField(f.duration));
+    switch (f.kind) {
+      case fault::FaultKind::Crash:
+        w.field("service", f.service);
+        w.field("instance", f.instance);
+        break;
+      case fault::FaultKind::ErrorRate:
+        w.field("service", f.service);
+        w.field("rate", f.rate);
+        break;
+      case fault::FaultKind::Slowdown:
+        w.field("server", f.server);
+        w.field("factor", f.factor);
+        break;
+      case fault::FaultKind::Partition:
+        w.field("a", strCat(f.groupA.first, "-", f.groupA.last));
+        w.field("b", strCat(f.groupB.first, "-", f.groupB.last));
+        w.field("loss", f.loss);
+        break;
+    }
+    w.endObject();
+}
+
+} // namespace
+
+bool
+parseScenarioJson(const std::string &text, Scenario &out,
+                  std::string &error)
+{
+    json::Value root;
+    if (!json::parse(text, root, error))
+        return false;
+    if (!root.isObject()) {
+        error = "scenario must be a JSON object";
+        return false;
+    }
+
+    Scenario s = out; // absent keys keep the caller's defaults
+
+    auto wantNumber = [&](const json::Value &v, const std::string &key,
+                          double &dst) {
+        if (!v.isNumber()) {
+            error = strCat("scenario key '", key, "' must be a number");
+            return false;
+        }
+        dst = v.number;
+        return true;
+    };
+    auto wantUnsigned = [&](const json::Value &v, const std::string &key,
+                            std::uint64_t &dst) {
+        if (!v.isNumber() || v.number < 0.0 ||
+            v.number != static_cast<double>(
+                            static_cast<std::uint64_t>(v.number))) {
+            error = strCat("scenario key '", key,
+                           "' must be a non-negative integer");
+            return false;
+        }
+        dst = static_cast<std::uint64_t>(v.number);
+        return true;
+    };
+    auto wantString = [&](const json::Value &v, const std::string &key,
+                          std::string &dst) {
+        if (!v.isString()) {
+            error = strCat("scenario key '", key, "' must be a string");
+            return false;
+        }
+        dst = v.string;
+        return true;
+    };
+    auto wantBool = [&](const json::Value &v, const std::string &key,
+                        bool &dst) {
+        if (!v.isBool()) {
+            error = strCat("scenario key '", key, "' must be a boolean");
+            return false;
+        }
+        dst = v.boolean;
+        return true;
+    };
+    auto wantDuration = [&](const json::Value &v, const std::string &key,
+                            Tick &dst) {
+        if (!durationFromValue(v, dst)) {
+            error = strCat("scenario key '", key,
+                           "' must be a duration (e.g. \"50ms\")");
+            return false;
+        }
+        return true;
+    };
+
+    for (const auto &kv : root.object) {
+        const std::string &key = kv.first;
+        const json::Value &v = kv.second;
+        std::uint64_t u = 0;
+        bool ok = true;
+        if (key == "app")
+            ok = wantString(v, key, s.app);
+        else if (key == "qps")
+            ok = wantNumber(v, key, s.qps);
+        else if (key == "duration_sec")
+            ok = wantNumber(v, key, s.durationSec);
+        else if (key == "warmup_sec")
+            ok = wantNumber(v, key, s.warmupSec);
+        else if (key == "servers") {
+            if ((ok = wantUnsigned(v, key, u)))
+                s.servers = static_cast<unsigned>(u);
+        } else if (key == "drones") {
+            if ((ok = wantUnsigned(v, key, u)))
+                s.drones = static_cast<unsigned>(u);
+        } else if (key == "core")
+            ok = wantString(v, key, s.core);
+        else if (key == "freq_mhz")
+            ok = wantNumber(v, key, s.freqMhz);
+        else if (key == "fpga")
+            ok = wantBool(v, key, s.fpga);
+        else if (key == "lambda")
+            ok = wantString(v, key, s.lambda);
+        else if (key == "slow_servers") {
+            if ((ok = wantUnsigned(v, key, u)))
+                s.slowServers = static_cast<unsigned>(u);
+        } else if (key == "slow_factor")
+            ok = wantNumber(v, key, s.slowFactor);
+        else if (key == "skew")
+            ok = wantNumber(v, key, s.skew);
+        else if (key == "users")
+            ok = wantUnsigned(v, key, s.users);
+        else if (key == "seed")
+            ok = wantUnsigned(v, key, s.seed);
+        else if (key == "shards") {
+            if ((ok = wantUnsigned(v, key, u)))
+                s.shards = static_cast<unsigned>(u);
+        } else if (key == "threads") {
+            if ((ok = wantUnsigned(v, key, u)))
+                s.threads = static_cast<unsigned>(u);
+        } else if (key == "rpc_timeout")
+            ok = wantDuration(v, key, s.rpcTimeout);
+        else if (key == "deadline")
+            ok = wantDuration(v, key, s.deadline);
+        else if (key == "retries") {
+            if ((ok = wantUnsigned(v, key, u)))
+                s.retries = static_cast<unsigned>(u);
+        } else if (key == "retry_budget")
+            ok = wantNumber(v, key, s.retryBudget);
+        else if (key == "breaker")
+            ok = wantBool(v, key, s.breaker);
+        else if (key == "shed") {
+            if ((ok = wantUnsigned(v, key, u)))
+                s.shed = static_cast<unsigned>(u);
+        } else if (key == "trace_capacity") {
+            if ((ok = wantUnsigned(v, key, u)))
+                s.traceCapacity = static_cast<std::size_t>(u);
+        } else if (key == "faults") {
+            if (!v.isArray()) {
+                error = "scenario key 'faults' must be an array";
+                return false;
+            }
+            s.faults.clear();
+            for (const json::Value &entry : v.array) {
+                fault::FaultSpec spec;
+                if (!fault::faultFromJson(entry, spec, error))
+                    return false;
+                s.faults.push_back(std::move(spec));
+            }
+        } else {
+            error = strCat("unknown scenario key '", key, "'");
+            return false;
+        }
+        if (!ok)
+            return false;
+    }
+
+    // The same sanity rules uqsim_run enforces on flags.
+    if (s.qps <= 0.0) {
+        error = "qps must be positive";
+        return false;
+    }
+    if (s.durationSec <= 0.0) {
+        error = "duration_sec must be positive";
+        return false;
+    }
+    if (s.warmupSec < 0.0) {
+        error = "warmup_sec must be non-negative";
+        return false;
+    }
+    if (s.servers == 0) {
+        error = "servers must be positive";
+        return false;
+    }
+    if (s.shards == 0 || s.threads == 0) {
+        error = "shards and threads must be positive";
+        return false;
+    }
+    if (s.skew >= 100.0) {
+        error = "skew must be below 100";
+        return false;
+    }
+    if (s.retryBudget < 0.0) {
+        error = "retry_budget must be >= 0";
+        return false;
+    }
+    if (!s.lambda.empty() && s.lambda != "s3" && s.lambda != "mem") {
+        error = strCat("unknown lambda kind '", s.lambda,
+                       "' (want s3 or mem)");
+        return false;
+    }
+    cpu::CoreModel unused;
+    if (!coreModelByName(s.core, unused)) {
+        error = strCat("unknown core model '", s.core, "'");
+        return false;
+    }
+
+    out = std::move(s);
+    return true;
+}
+
+std::string
+scenarioToJson(const Scenario &s)
+{
+    json::Writer w;
+    w.beginObject();
+    w.field("app", s.app);
+    w.field("qps", s.qps);
+    w.field("duration_sec", s.durationSec);
+    w.field("warmup_sec", s.warmupSec);
+    w.field("servers", s.servers);
+    w.field("drones", s.drones);
+    w.field("core", s.core);
+    w.field("freq_mhz", s.freqMhz);
+    w.field("fpga", s.fpga);
+    w.field("lambda", s.lambda);
+    w.field("slow_servers", s.slowServers);
+    w.field("slow_factor", s.slowFactor);
+    w.field("skew", s.skew);
+    w.field("users", s.users);
+    w.field("seed", s.seed);
+    w.field("shards", s.shards);
+    w.field("threads", s.threads);
+    w.field("rpc_timeout", ticksField(s.rpcTimeout));
+    w.field("deadline", ticksField(s.deadline));
+    w.field("retries", s.retries);
+    w.field("retry_budget", s.retryBudget);
+    w.field("breaker", s.breaker);
+    w.field("shed", s.shed);
+    w.field("trace_capacity",
+            static_cast<std::uint64_t>(s.traceCapacity));
+    w.beginArray("faults");
+    for (const fault::FaultSpec &f : s.faults)
+        writeFault(w, f);
+    w.endArray();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+bool
+coreModelByName(const std::string &name, cpu::CoreModel &out)
+{
+    if (name == "xeon")
+        out = cpu::CoreModel::xeon();
+    else if (name == "xeon18")
+        out = cpu::CoreModel::xeonAt1800();
+    else if (name == "thunderx")
+        out = cpu::CoreModel::thunderx();
+    else
+        return false;
+    return true;
+}
+
+WorldConfig
+worldConfigFor(const Scenario &s)
+{
+    WorldConfig config;
+    config.workerServers = s.servers;
+    if (!coreModelByName(s.core, config.coreModel))
+        fatal(strCat("unknown core model '", s.core, "'"));
+    config.seed = s.seed;
+    config.appConfig.traceCapacity = s.traceCapacity;
+    if (s.fpga)
+        config.appConfig.fpga = net::FpgaOffloadModel::on();
+    return config;
+}
+
+void
+buildScenarioApp(World &w, const Scenario &s)
+{
+    const std::string &n = s.app;
+    SwarmOptions so;
+    so.drones = s.drones;
+    if (n == "social-network")
+        buildSocialNetwork(w);
+    else if (n == "social-monolith")
+        buildSocialNetworkMonolith(w);
+    else if (n == "media")
+        buildApp(w, AppId::MediaService);
+    else if (n == "ecommerce")
+        buildApp(w, AppId::Ecommerce);
+    else if (n == "banking")
+        buildApp(w, AppId::Banking);
+    else if (n == "swarm-cloud")
+        buildSwarm(w, SwarmVariant::Cloud, so);
+    else if (n == "swarm-edge")
+        buildSwarm(w, SwarmVariant::Edge, so);
+    else if (n == "nginx")
+        buildSingleTier(w, SingleTierKind::Nginx);
+    else if (n == "memcached")
+        buildSingleTier(w, SingleTierKind::Memcached);
+    else if (n == "mongodb")
+        buildSingleTier(w, SingleTierKind::MongoDB);
+    else if (n == "xapian")
+        buildSingleTier(w, SingleTierKind::Xapian);
+    else if (n == "recommender")
+        buildSingleTier(w, SingleTierKind::Recommender);
+    else
+        fatal(strCat("unknown app '", n, "' (try --list)"));
+}
+
+ShardedWorld::ShardedWorld(const WorldConfig &base, unsigned shards,
+                           unsigned threads)
+    : engine_({shards, kMaxTick, threads})
+{
+    worlds_.reserve(shards);
+    for (unsigned i = 0; i < shards; ++i) {
+        WorldConfig config = base;
+        config.seed = shardSeed(base.seed, i);
+        worlds_.push_back(
+            std::make_unique<World>(config, engine_.context(i)));
+    }
+}
+
+std::uint64_t
+ShardedWorld::shardSeed(std::uint64_t seed, unsigned shard)
+{
+    return seed + shard * kSeedStride;
+}
+
+workload::LoadResult
+runShardedLoad(ShardedWorld &w, double qps, Tick warmup, Tick measure,
+               const workload::UserPopulation &users, std::uint64_t seed)
+{
+    const unsigned shards = w.shards();
+    ParallelSimulator &engine = w.engine();
+
+    // Per-shard generators: each shard is an independent replica fed
+    // its slice of the offered load with a shard-derived workload
+    // seed. Construction/start order mirrors workload::runLoad() so
+    // the one-shard call sequence (and digest) is unchanged.
+    std::vector<std::unique_ptr<workload::OpenLoopGenerator>> gens;
+    gens.reserve(shards);
+    for (unsigned i = 0; i < shards; ++i) {
+        service::App &app = *w.shard(i).app;
+        gens.push_back(std::make_unique<workload::OpenLoopGenerator>(
+            app, workload::QueryMix::fromApp(app), users,
+            ShardedWorld::shardSeed(seed, i)));
+        gens.back()->setQps(qps / shards);
+        gens.back()->start();
+    }
+    engine.runFor(warmup);
+    for (unsigned i = 0; i < shards; ++i)
+        w.shard(i).app->statReset();
+    engine.runFor(measure);
+    for (auto &gen : gens)
+        gen->stop();
+    // Bounded drain window, as in runLoad(): completions of arrivals
+    // inside the window are kept; rates use the arrival window only.
+    engine.runFor(measure / 5);
+    const double span_sec = ticksToSec(measure);
+
+    // Aggregate the measured window across shards. With one shard
+    // every expression degenerates to runLoad()'s own.
+    workload::LoadResult r;
+    r.offeredQps = qps;
+    Histogram latency;
+    std::uint64_t within_qos = 0;
+    double util_sum = 0.0, net_sum = 0.0, comp_sum = 0.0;
+    for (unsigned i = 0; i < shards; ++i) {
+        service::App &app = *w.shard(i).app;
+        r.completed += app.completed();
+        r.dropped += app.droppedRequests();
+        within_qos += app.completedWithinQos();
+        latency.merge(app.endToEndLatency());
+        util_sum += app.cluster().averageUtilization();
+        const double n = static_cast<double>(app.completed());
+        net_sum += app.meanNetworkTimePerRequest() * n;
+        comp_sum += app.meanAppTimePerRequest() * n;
+    }
+    r.p50 = latency.p50();
+    r.p95 = latency.p95();
+    r.p99 = latency.p99();
+    r.meanMs = ticksToMs(static_cast<Tick>(latency.mean()));
+    r.achievedQps =
+        span_sec > 0.0 ? static_cast<double>(r.completed) / span_sec : 0.0;
+    r.goodputQps = span_sec > 0.0
+                       ? static_cast<double>(within_qos) / span_sec
+                       : 0.0;
+    r.meanUtilization = util_sum / std::max(1u, shards);
+    r.networkShare =
+        (net_sum + comp_sum) > 0.0 ? net_sum / (net_sum + comp_sum) : 0.0;
+    return r;
+}
+
+} // namespace uqsim::apps

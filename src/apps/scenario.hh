@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Scenario configuration + sharded deployments.
+ *
+ * A Scenario is the complete declarative description of one uqsim_run
+ * invocation: which app, how much hardware, the load window, the
+ * client-side resilience policy, the fault schedule and the shard
+ * layout. It round-trips through JSON (`--config` / `--dump-config`),
+ * so a run is fully described by one file plus the binary version.
+ *
+ * ShardedWorld is the parallel deployment built from a Scenario: N
+ * replica Worlds, each bound to one shard of a ParallelSimulator, with
+ * shard-derived seeds. Shard 0 of an N=1 deployment is bit-identical
+ * to a standalone World (same seed, same construction order), which is
+ * what keeps `--shards 1` digests equal to the classic single-queue
+ * path.
+ */
+
+#ifndef UQSIM_APPS_SCENARIO_HH
+#define UQSIM_APPS_SCENARIO_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/builder.hh"
+#include "core/parallel.hh"
+#include "fault/fault.hh"
+#include "trace/collector.hh"
+#include "workload/load_sweep.hh"
+#include "workload/user_population.hh"
+
+namespace uqsim::apps {
+
+/**
+ * Everything that defines one run. Field-for-field the uqsim_run
+ * option surface; see tools/uqsim_run.cc --help for semantics.
+ */
+struct Scenario
+{
+    std::string app = "social-network";
+
+    // -- load window ------------------------------------------------
+    double qps = 300.0;
+    double durationSec = 10.0;
+    double warmupSec = 2.0;
+
+    // -- platform ---------------------------------------------------
+    unsigned servers = 5;
+    unsigned drones = 24;
+    std::string core = "xeon";
+    double freqMhz = 0.0;
+    bool fpga = false;
+    std::string lambda; ///< "", "s3", "mem"
+    unsigned slowServers = 0;
+    double slowFactor = 40.0;
+
+    // -- workload ---------------------------------------------------
+    double skew = -1.0; ///< <0: uniform users
+    std::uint64_t users = 1000;
+    std::uint64_t seed = 42;
+
+    // -- shard layout -----------------------------------------------
+    unsigned shards = 1;
+    unsigned threads = 1;
+
+    // -- client-side resilience ------------------------------------
+    Tick rpcTimeout = 0;
+    Tick deadline = 0;
+    unsigned retries = 0;
+    double retryBudget = 0.0;
+    bool breaker = false;
+    unsigned shed = 0;
+
+    // -- faults & tracing -------------------------------------------
+    std::vector<fault::FaultSpec> faults;
+    std::size_t traceCapacity = trace::TraceStore::kDefaultCapacity;
+};
+
+/**
+ * Parse a scenario JSON document. Unknown keys are errors (typos must
+ * not silently change a run). Durations accept "50ms"-style strings or
+ * bare numbers (milliseconds); fields left out keep their defaults in
+ * @p out as passed in, so CLI flags before --config act as defaults.
+ * @return false and set @p error on malformed input.
+ */
+bool parseScenarioJson(const std::string &text, Scenario &out,
+                       std::string &error);
+
+/**
+ * Render @p s as a scenario JSON document (deterministic key order,
+ * durations in "ns" units). parseScenarioJson(scenarioToJson(s))
+ * reproduces @p s exactly.
+ */
+std::string scenarioToJson(const Scenario &s);
+
+/** Resolve a --core name; @return false if unknown. */
+bool coreModelByName(const std::string &name, cpu::CoreModel &out);
+
+/** The WorldConfig a scenario's hardware fields describe. */
+WorldConfig worldConfigFor(const Scenario &s);
+
+/**
+ * Build the scenario's app into @p w (any of the --app names:
+ * end-to-end services, single-tier baselines, the monolith). Dies on
+ * an unknown name.
+ */
+void buildScenarioApp(World &w, const Scenario &s);
+
+/**
+ * A sharded deployment: @p shards replica Worlds, each one shard of a
+ * ParallelSimulator. Shard i seeds its World with shardSeed(seed, i),
+ * where shardSeed(seed, 0) == seed — so a one-shard ShardedWorld
+ * reproduces the standalone World bit-for-bit. Replicas have no
+ * cross-shard channels, so the engine runs with unbounded lookahead;
+ * cross-shard traffic through SimContext::postToShard() requires an
+ * explicit finite lookahead (see core/parallel.hh).
+ */
+class ShardedWorld
+{
+  public:
+    ShardedWorld(const WorldConfig &base, unsigned shards,
+                 unsigned threads);
+
+    ShardedWorld(const ShardedWorld &) = delete;
+    ShardedWorld &operator=(const ShardedWorld &) = delete;
+
+    ParallelSimulator &engine() { return engine_; }
+    const ParallelSimulator &engine() const { return engine_; }
+
+    unsigned shards() const { return engine_.shardCount(); }
+
+    World &shard(unsigned i) { return *worlds_[i]; }
+    const World &shard(unsigned i) const { return *worlds_[i]; }
+
+    /** The deterministic per-shard seed derivation (i=0 -> seed). */
+    static std::uint64_t shardSeed(std::uint64_t seed, unsigned shard);
+
+  private:
+    ParallelSimulator engine_;
+    std::vector<std::unique_ptr<World>> worlds_;
+};
+
+/**
+ * The sharded counterpart of workload::runLoad(): drive every shard
+ * with its own open-loop generator at qps/shards (workload seed
+ * shardSeed(seed, i)), then aggregate the measured window across
+ * shards (histograms merged, counts summed, utilization averaged).
+ * With one shard this issues the exact call sequence of runLoad(), so
+ * digests and printed numbers match the classic path bit-for-bit.
+ */
+workload::LoadResult runShardedLoad(ShardedWorld &w, double qps,
+                                    Tick warmup, Tick measure,
+                                    const workload::UserPopulation &users,
+                                    std::uint64_t seed);
+
+} // namespace uqsim::apps
+
+#endif // UQSIM_APPS_SCENARIO_HH

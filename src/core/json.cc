@@ -1,0 +1,383 @@
+#include "core/json.hh"
+
+#include <cctype>
+#include <cstdint>
+
+#include "core/logging.hh"
+
+namespace uqsim::json {
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &error)
+        : text_(text), error_(error)
+    {}
+
+    bool
+    parse(Value &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size()) {
+            error_ = strCat("trailing JSON at offset ", pos_);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        error_ = strCat(msg, " at offset ", pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of JSON");
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"')
+            return parseString(out);
+        if (c == 't' || c == 'f')
+            return parseBool(out);
+        if (c == 'n')
+            return parseNull(out);
+        return parseNumber(out);
+    }
+
+    bool
+    parseObject(Value &out)
+    {
+        out.type = Value::Type::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            Value key;
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skipWs();
+            Value value;
+            if (!parseValue(value))
+                return false;
+            out.object.emplace_back(key.string, std::move(value));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(Value &out)
+    {
+        out.type = Value::Type::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            Value value;
+            if (!parseValue(value))
+                return false;
+            out.array.push_back(std::move(value));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(Value &out)
+    {
+        out.type = Value::Type::String;
+        ++pos_; // '"'
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_];
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return fail("unterminated escape");
+                switch (text_[pos_]) {
+                  case '"': c = '"'; break;
+                  case '\\': c = '\\'; break;
+                  case '/': c = '/'; break;
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  default:
+                    return fail("unsupported escape");
+                }
+            }
+            out.string.push_back(c);
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            return fail("unterminated string");
+        ++pos_; // closing '"'
+        return true;
+    }
+
+    bool
+    parseBool(Value &out)
+    {
+        out.type = Value::Type::Bool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            out.boolean = true;
+            pos_ += 4;
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            out.boolean = false;
+            pos_ += 5;
+            return true;
+        }
+        return fail("bad literal");
+    }
+
+    bool
+    parseNull(Value &out)
+    {
+        out.type = Value::Type::Null;
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return true;
+        }
+        return fail("bad literal");
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        out.type = Value::Type::Number;
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '-' || text_[end] == '+' ||
+                text_[end] == '.' || text_[end] == 'e' ||
+                text_[end] == 'E'))
+            ++end;
+        if (end == pos_)
+            return fail("expected value");
+        try {
+            std::size_t consumed = 0;
+            out.number = std::stod(text_.substr(pos_, end - pos_),
+                                   &consumed);
+            if (consumed != end - pos_)
+                return fail("bad number");
+        } catch (...) {
+            return fail("bad number");
+        }
+        pos_ = end;
+        return true;
+    }
+
+    const std::string &text_;
+    std::string &error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+parse(const std::string &text, Value &out, std::string &error)
+{
+    return Parser(text, error).parse(out);
+}
+
+bool
+scalarToString(const Value &v, std::string &out)
+{
+    switch (v.type) {
+      case Value::Type::String:
+        out = v.string;
+        return true;
+      case Value::Type::Number:
+        if (v.number ==
+            static_cast<double>(static_cast<long long>(v.number)))
+            out = strCat(static_cast<long long>(v.number));
+        else
+            out = strCat(v.number);
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out.push_back(c);
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+Writer::indent()
+{
+    for (int i = 0; i < depth_; ++i)
+        out_ += "  ";
+}
+
+void
+Writer::comma()
+{
+    if (!needComma_.empty() && needComma_.back())
+        out_ += ",";
+    out_ += out_.empty() ? "" : "\n";
+    indent();
+    if (!needComma_.empty())
+        needComma_.back() = true;
+}
+
+void
+Writer::keyPrefix(const std::string &key)
+{
+    comma();
+    if (!key.empty())
+        out_ += quote(key) + ": ";
+}
+
+void
+Writer::beginObject(const std::string &key)
+{
+    keyPrefix(key);
+    out_ += "{";
+    needComma_.push_back(false);
+    ++depth_;
+}
+
+void
+Writer::beginArray(const std::string &key)
+{
+    keyPrefix(key);
+    out_ += "[";
+    needComma_.push_back(false);
+    ++depth_;
+}
+
+void
+Writer::endObject()
+{
+    --depth_;
+    const bool had = !needComma_.empty() && needComma_.back();
+    needComma_.pop_back();
+    if (had) {
+        out_ += "\n";
+        indent();
+    }
+    out_ += "}";
+}
+
+void
+Writer::endArray()
+{
+    --depth_;
+    const bool had = !needComma_.empty() && needComma_.back();
+    needComma_.pop_back();
+    if (had) {
+        out_ += "\n";
+        indent();
+    }
+    out_ += "]";
+}
+
+void
+Writer::field(const std::string &key, const std::string &value)
+{
+    keyPrefix(key);
+    out_ += quote(value);
+}
+
+void
+Writer::field(const std::string &key, const char *value)
+{
+    field(key, std::string(value));
+}
+
+void
+Writer::field(const std::string &key, double value)
+{
+    keyPrefix(key);
+    out_ += strCat(value);
+}
+
+void
+Writer::field(const std::string &key, std::uint64_t value)
+{
+    keyPrefix(key);
+    out_ += strCat(value);
+}
+
+void
+Writer::field(const std::string &key, unsigned value)
+{
+    field(key, static_cast<std::uint64_t>(value));
+}
+
+void
+Writer::field(const std::string &key, bool value)
+{
+    keyPrefix(key);
+    out_ += value ? "true" : "false";
+}
+
+} // namespace uqsim::json

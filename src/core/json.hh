@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Minimal dependency-free JSON reader/writer.
+ *
+ * Just enough JSON for configuration surfaces (fault schedules,
+ * scenario files): objects, arrays, strings, numbers, booleans and
+ * null. No escapes beyond \" \\ \/ \n \t. Originally embedded in the
+ * fault-schedule parser; extracted here so every config surface
+ * (--faults, --config) shares one parser.
+ */
+
+#ifndef UQSIM_CORE_JSON_HH
+#define UQSIM_CORE_JSON_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace uqsim::json {
+
+/** One parsed JSON value (a tagged union, tree-owned). */
+struct Value
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    std::vector<std::pair<std::string, Value>> object;
+
+    /** Object member lookup; nullptr if absent (or not an object). */
+    const Value *
+    find(const std::string &key) const
+    {
+        for (const auto &kv : object)
+            if (kv.first == key)
+                return &kv.second;
+        return nullptr;
+    }
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isString() const { return type == Type::String; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isBool() const { return type == Type::Bool; }
+};
+
+/**
+ * Parse @p text into @p out. On failure @return false and set
+ * @p error to a message naming the byte offset.
+ */
+bool parse(const std::string &text, Value &out, std::string &error);
+
+/**
+ * Render a scalar (string or number) back to a plain value string;
+ * integers print without a trailing ".000000". @return false for
+ * non-scalar values.
+ */
+bool scalarToString(const Value &v, std::string &out);
+
+/** Quote and escape @p s as a JSON string literal. */
+std::string quote(const std::string &s);
+
+/**
+ * Incremental writer for the tiny subset we emit: nested objects and
+ * arrays with pretty two-space indentation. Keys are emitted in call
+ * order, so output is deterministic.
+ */
+class Writer
+{
+  public:
+    /** Begin an object ("{"); @p key names it inside a parent object. */
+    void beginObject(const std::string &key = "");
+
+    /** Begin an array ("["); @p key names it inside a parent object. */
+    void beginArray(const std::string &key = "");
+
+    void endObject();
+    void endArray();
+
+    /** Emit one scalar member (string form is quoted). */
+    void field(const std::string &key, const std::string &value);
+    void field(const std::string &key, const char *value);
+    void field(const std::string &key, double value);
+    void field(const std::string &key, std::uint64_t value);
+    void field(const std::string &key, unsigned value);
+    void field(const std::string &key, bool value);
+
+    /** The accumulated document (call after the last end*()). */
+    std::string str() const { return out_; }
+
+  private:
+    void indent();
+    void comma();
+    void keyPrefix(const std::string &key);
+
+    std::string out_;
+    std::vector<bool> needComma_;
+    int depth_ = 0;
+};
+
+} // namespace uqsim::json
+
+#endif // UQSIM_CORE_JSON_HH

@@ -1,0 +1,348 @@
+#include "core/parallel.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace uqsim {
+
+namespace {
+
+/** a + b clamped to kMaxTick (lookahead may be "infinite"). */
+Tick
+satAdd(Tick a, Tick b)
+{
+    return a > kMaxTick - b ? kMaxTick : a + b;
+}
+
+/** Finalization mix (splitmix64) for composing shard digests. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+ParallelSimulator::ParallelSimulator(Config config)
+    : lookahead_(config.lookahead)
+{
+    if (config.shards == 0)
+        panic("ParallelSimulator with zero shards");
+    if (config.lookahead == 0)
+        panic("ParallelSimulator with zero lookahead (cross-shard "
+              "events would never be safe to buffer)");
+    shards_.reserve(config.shards);
+    mail_.reserve(config.shards);
+    for (unsigned i = 0; i < config.shards; ++i) {
+        shards_.push_back(std::make_unique<Shard>());
+        mail_.push_back(std::make_unique<Mailbox>());
+    }
+    nthreads_ = std::max(1u, std::min(config.threads, config.shards));
+    if (nthreads_ > 1) {
+        workers_.reserve(nthreads_);
+        for (unsigned i = 0; i < nthreads_; ++i)
+            workers_.emplace_back([this, i]() { workerLoop(i); });
+    }
+}
+
+ParallelSimulator::~ParallelSimulator()
+{
+    if (!workers_.empty()) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            shutdown_ = true;
+        }
+        cvStart_.notify_all();
+        for (std::thread &t : workers_)
+            t.join();
+    }
+}
+
+SimContext
+ParallelSimulator::context(unsigned shard)
+{
+    if (shard >= shards_.size())
+        panic(strCat("context(", shard, ") out of range; ",
+                     shards_.size(), " shards"));
+    Shard &s = *shards_[shard];
+    return SimContext(s.queue, s.now, shard, *this);
+}
+
+Tick
+ParallelSimulator::now(unsigned shard) const
+{
+    if (shard >= shards_.size())
+        panic(strCat("now(", shard, ") out of range"));
+    return shards_[shard]->now;
+}
+
+void
+ParallelSimulator::postToShard(unsigned src, unsigned dst, Tick when,
+                               EventCallback cb)
+{
+    if (dst >= shards_.size())
+        panic(strCat("postToShard(", dst, ") out of range; ",
+                     shards_.size(), " shards"));
+    Shard &from = *shards_[src];
+    if (dst == src) {
+        // Same-shard fast path: an ordinary local event.
+        from.queue.schedule(when, std::move(cb));
+        return;
+    }
+    // The conservative contract: anything crossing a shard boundary
+    // must land at least `lookahead` after the sender's clock,
+    // otherwise the window [minNext, minNext+lookahead) already being
+    // executed elsewhere could contain the delivery time.
+    if (when < satAdd(from.now, lookahead_))
+        panic(strCat("cross-shard event from shard ", src, " (now=",
+                     from.now, ") to shard ", dst, " at when=", when,
+                     " violates lookahead ", lookahead_));
+    Mailbox &box = *mail_[dst];
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.msgs.push_back(Mail{when, src, from.mailSeq++, std::move(cb)});
+    box.maybeNonEmpty = true;
+}
+
+void
+ParallelSimulator::deliverMail()
+{
+    for (unsigned dst = 0; dst < shards_.size(); ++dst) {
+        Mailbox &box = *mail_[dst];
+        if (!box.maybeNonEmpty)
+            continue;
+        std::vector<Mail> msgs;
+        {
+            std::lock_guard<std::mutex> lock(box.mu);
+            msgs.swap(box.msgs);
+            box.maybeNonEmpty = false;
+        }
+        // (when, src, seq) is a total order: seq is unique per source.
+        // Sorting makes the merge independent of the interleaving in
+        // which worker threads appended to the mailbox.
+        std::sort(msgs.begin(), msgs.end(),
+                  [](const Mail &a, const Mail &b) {
+                      if (a.when != b.when)
+                          return a.when < b.when;
+                      if (a.src != b.src)
+                          return a.src < b.src;
+                      return a.seq < b.seq;
+                  });
+        Shard &s = *shards_[dst];
+        for (Mail &m : msgs) {
+            if (m.when < s.now)
+                panic(strCat("mailbox delivery at when=", m.when,
+                             " behind shard ", dst, " clock now=",
+                             s.now, " (lookahead too small?)"));
+            s.queue.schedule(m.when, std::move(m.cb));
+        }
+    }
+}
+
+Tick
+ParallelSimulator::minNextTick() const
+{
+    Tick min_next = kMaxTick;
+    for (const auto &s : shards_)
+        if (!s->queue.empty())
+            min_next = std::min(min_next, s->queue.nextTick());
+    return min_next;
+}
+
+void
+ParallelSimulator::runShard(Shard &s, Tick horizon)
+{
+    EventQueue &q = s.queue;
+    while (!q.empty() && q.nextTick() < horizon) {
+        auto [when, cb] = q.popNext();
+        s.now = when;
+        cb();
+    }
+}
+
+void
+ParallelSimulator::runRound(Tick horizon)
+{
+    if (nthreads_ <= 1) {
+        for (auto &s : shards_)
+            runShard(*s, horizon);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        roundHorizon_ = horizon;
+        pendingWorkers_ = nthreads_;
+        ++generation_;
+    }
+    cvStart_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    cvDone_.wait(lock, [this]() { return pendingWorkers_ == 0; });
+}
+
+void
+ParallelSimulator::workerLoop(unsigned index)
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        Tick horizon;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cvStart_.wait(lock, [this, seen]() {
+                return shutdown_ || generation_ != seen;
+            });
+            if (shutdown_)
+                return;
+            seen = generation_;
+            horizon = roundHorizon_;
+        }
+        // Static shard-to-worker assignment: shard s runs on worker
+        // s % nthreads_, every round, so per-shard execution is
+        // sequential across rounds as well as within one.
+        for (unsigned s = index; s < shards_.size(); s += nthreads_)
+            runShard(*shards_[s], horizon);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--pendingWorkers_ == 0)
+                cvDone_.notify_all();
+        }
+    }
+}
+
+void
+ParallelSimulator::runUntil(Tick deadline)
+{
+    for (const auto &s : shards_)
+        if (deadline < s->now)
+            panic(strCat("runUntil(", deadline, ") in the past; shard "
+                         "clock now=", s->now));
+    while (true) {
+        deliverMail();
+        const Tick min_next = minNextTick();
+        if (min_next > deadline)
+            break;
+        // Events fire while strictly below the horizon, so the
+        // inclusive deadline needs horizon = deadline + 1; satAdd
+        // keeps both that and an "infinite" lookahead from wrapping.
+        const Tick horizon = std::min(satAdd(deadline, 1),
+                                      satAdd(min_next, lookahead_));
+        runRound(horizon);
+    }
+    for (auto &s : shards_)
+        s->now = deadline;
+}
+
+void
+ParallelSimulator::run()
+{
+    while (true) {
+        deliverMail();
+        const Tick min_next = minNextTick();
+        if (min_next == kMaxTick)
+            break;
+        runRound(satAdd(min_next, lookahead_));
+    }
+}
+
+void
+ParallelSimulator::runFor(Tick duration)
+{
+    Tick start = 0;
+    for (const auto &s : shards_)
+        start = std::max(start, s->now);
+    runUntil(satAdd(start, duration));
+}
+
+std::uint64_t
+ParallelSimulator::eventsExecuted() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : shards_)
+        total += s->queue.executedCount();
+    return total;
+}
+
+std::uint64_t
+ParallelSimulator::shardDigest(unsigned shard) const
+{
+    if (shard >= shards_.size())
+        panic(strCat("shardDigest(", shard, ") out of range"));
+    return shards_[shard]->queue.executionDigest();
+}
+
+std::uint64_t
+ParallelSimulator::executionDigest() const
+{
+    // One shard must stay bit-identical to the Simulator digest so a
+    // sharded world with --shards 1 proves the whole refactor inert.
+    if (shards_.size() == 1)
+        return shards_[0]->queue.executionDigest();
+    // Commutative composition (wrapping sum of a per-shard mix): the
+    // result does not depend on any cross-shard ordering, only on each
+    // shard's own order-sensitive digest. The shard id is folded in so
+    // two identical shards do not cancel.
+    std::uint64_t acc = 0;
+    for (unsigned i = 0; i < shards_.size(); ++i)
+        acc += mix64(shards_[i]->queue.executionDigest() ^
+                     (0x9e3779b97f4a7c15ull * (i + 1)));
+    return acc;
+}
+
+// -- SimContext methods needing the engine definition -------------------
+
+void
+SimContext::postToShard(unsigned dst, Tick delay, EventCallback cb)
+{
+    const Tick when = satAdd(now(), delay);
+    if (!engine_) {
+        if (dst != 0)
+            panic(strCat("postToShard(", dst, ") in a single-shard "
+                         "world"));
+        queue_->schedule(when, std::move(cb));
+        return;
+    }
+    engine_->postToShard(shard_, dst, when, std::move(cb));
+}
+
+unsigned
+SimContext::shardCount() const
+{
+    return engine_ ? engine_->shardCount() : 1;
+}
+
+Tick
+SimContext::lookahead() const
+{
+    return engine_ ? engine_->lookahead() : kMaxTick;
+}
+
+void
+SimContext::run()
+{
+    if (engine_)
+        engine_->run();
+    else
+        sim_->run();
+}
+
+void
+SimContext::runUntil(Tick deadline)
+{
+    if (engine_)
+        engine_->runUntil(deadline);
+    else
+        sim_->runUntil(deadline);
+}
+
+void
+SimContext::pastScheduleError(Tick when) const
+{
+    const Tick now_tick = *now_;
+    panic(strCat("scheduleAt(when=", when, ") is ", now_tick - when,
+                 " ticks in the past (now=", now_tick, ", shard ",
+                 shard_, ")"));
+}
+
+} // namespace uqsim

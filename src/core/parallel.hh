@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Conservative sharded parallel discrete-event engine.
+ *
+ * The world is partitioned into shards; each shard owns its own
+ * EventQueue and clock and executes strictly sequentially, so all
+ * single-threaded invariants of the model hold within a shard. Shards
+ * are synchronized with a barrier-stepped conservative protocol:
+ *
+ *   round:  horizon = min(next event time over all shards) + lookahead
+ *           every shard executes its events with time < horizon
+ *   barrier: cross-shard events buffered during the round are merged
+ *            into their destination queues in deterministic
+ *            (when, source shard, source sequence) order
+ *
+ * The lookahead is the minimum cross-shard latency (for the network
+ * worlds: the minimum inter-shard wire latency); every cross-shard
+ * event must be scheduled at least `lookahead` ticks in the future,
+ * which is what makes executing the window [minNext, minNext+lookahead)
+ * safe: nothing sent during the round can land inside it.
+ *
+ * Determinism is by construction, independent of the worker-thread
+ * count: shard execution is sequential, rounds are a pure function of
+ * simulation state, and mailbox merges are sorted. Per-shard FNV-1a
+ * digests compose into a run digest that is order-sensitive within a
+ * shard and order-insensitive (commutative) across shards; with one
+ * shard the composed digest is bit-identical to the single-threaded
+ * Simulator digest. See docs/PARALLEL.md.
+ */
+
+#ifndef UQSIM_CORE_PARALLEL_HH
+#define UQSIM_CORE_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/event_queue.hh"
+#include "core/sim_context.hh"
+#include "core/types.hh"
+
+namespace uqsim {
+
+/**
+ * Sharded simulation driver: N queues, N clocks, one horizon.
+ */
+class ParallelSimulator
+{
+  public:
+    struct Config
+    {
+        /** Number of shards (server groups with their own queue). */
+        unsigned shards = 1;
+
+        /**
+         * Conservative synchronization window: the minimum cross-shard
+         * event delay. kMaxTick (the default) declares that no
+         * cross-shard channel exists — shards then run the whole
+         * window in one round and any postToShard() is an error.
+         */
+        Tick lookahead = kMaxTick;
+
+        /**
+         * Worker threads executing shard rounds (capped to the shard
+         * count). 1 runs rounds inline on the driving thread. The
+         * execution digest does not depend on this value.
+         */
+        unsigned threads = 1;
+    };
+
+    explicit ParallelSimulator(Config config);
+    ~ParallelSimulator();
+
+    ParallelSimulator(const ParallelSimulator &) = delete;
+    ParallelSimulator &operator=(const ParallelSimulator &) = delete;
+
+    /** @return the scheduling context of shard @p shard. */
+    SimContext context(unsigned shard);
+
+    unsigned shardCount() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
+    /** Worker threads actually running rounds. */
+    unsigned threads() const { return nthreads_; }
+
+    Tick lookahead() const { return lookahead_; }
+
+    /** @return shard @p shard's current clock. */
+    Tick now(unsigned shard) const;
+
+    /** Run until every queue and mailbox drains. */
+    void run();
+
+    /**
+     * Run every shard up to @p deadline (events with time <= deadline
+     * fire), then set all shard clocks to @p deadline.
+     */
+    void runUntil(Tick deadline);
+
+    /** Convenience wrapper: runUntil(max shard clock + duration). */
+    void runFor(Tick duration);
+
+    /** Total events executed across all shards. */
+    std::uint64_t eventsExecuted() const;
+
+    /**
+     * The composed run digest. One shard: that shard's FNV-1a digest
+     * verbatim (bit-identical to the Simulator path). N shards: a
+     * commutative mix of the per-shard digests, so the value is
+     * independent of cross-shard execution interleaving — and thus of
+     * the worker-thread count — while remaining order-sensitive within
+     * each shard.
+     */
+    std::uint64_t executionDigest() const;
+
+    /** Shard @p shard's own order-sensitive digest. */
+    std::uint64_t shardDigest(unsigned shard) const;
+
+  private:
+    friend class SimContext;
+
+    /** One shard: queue + clock + outbound mail sequence. */
+    struct Shard
+    {
+        EventQueue queue;
+        Tick now = 0;
+        /** Sequence of cross-shard sends originating here. */
+        std::uint64_t mailSeq = 0;
+    };
+
+    /** One buffered cross-shard event. */
+    struct Mail
+    {
+        Tick when = 0;
+        unsigned src = 0;
+        std::uint64_t seq = 0;
+        EventCallback cb;
+    };
+
+    /** Per-destination mailbox (locked by concurrent senders). */
+    struct Mailbox
+    {
+        std::mutex mu;
+        std::vector<Mail> msgs;
+        /** Lock-free emptiness hint for the control loop. */
+        bool maybeNonEmpty = false;
+    };
+
+    /** Buffer a cross-shard event (called via SimContext). */
+    void postToShard(unsigned src, unsigned dst, Tick when,
+                     EventCallback cb);
+
+    /**
+     * Merge all pending mail into destination queues, sorted by
+     * (when, src, seq). Runs between rounds (no workers active).
+     */
+    void deliverMail();
+
+    /** Earliest pending event time across all shard queues. */
+    Tick minNextTick() const;
+
+    /** Execute one round: every shard runs events with time < horizon. */
+    void runRound(Tick horizon);
+
+    /** Sequentially run shard @p s up to @p horizon. */
+    void runShard(Shard &s, Tick horizon);
+
+    /** Worker-pool body for worker @p index. */
+    void workerLoop(unsigned index);
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<std::unique_ptr<Mailbox>> mail_;
+    Tick lookahead_ = kMaxTick;
+
+    // -- Worker pool (nthreads_ > 1 only) ------------------------------
+    unsigned nthreads_ = 1;
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable cvStart_;
+    std::condition_variable cvDone_;
+    std::uint64_t generation_ = 0;
+    unsigned pendingWorkers_ = 0;
+    Tick roundHorizon_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace uqsim
+
+#endif // UQSIM_CORE_PARALLEL_HH

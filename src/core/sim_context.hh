@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The scheduling handle every model component holds.
+ *
+ * A SimContext names the execution shard a component belongs to and is
+ * the only scheduling surface model code may use: components never
+ * touch a Simulator or EventQueue directly. The handle is a cheap
+ * value type over (event queue, clock, shard id, engine):
+ *
+ *  - In a single-shard world it wraps a plain Simulator; the implicit
+ *    conversion from `Simulator &` keeps drivers (tests, benches,
+ *    examples) that construct components with a Simulator compiling
+ *    unchanged.
+ *  - In a sharded world it is minted by ParallelSimulator::context(i)
+ *    and schedules into shard i's own queue and clock. Cross-shard
+ *    communication goes through postToShard(), which enforces the
+ *    conservative lookahead and delivers through the engine's
+ *    mailboxes at the next synchronization barrier.
+ *
+ * Scheduling and clock reads are shard-local and wait-free; only
+ * postToShard() to a *different* shard takes a (per-destination) lock.
+ * See docs/PARALLEL.md for the migration guide from the old
+ * `Simulator &` API.
+ */
+
+#ifndef UQSIM_CORE_SIM_CONTEXT_HH
+#define UQSIM_CORE_SIM_CONTEXT_HH
+
+#include <cstdint>
+
+#include "core/event_queue.hh"
+#include "core/simulator.hh"
+#include "core/types.hh"
+
+namespace uqsim {
+
+class ParallelSimulator;
+
+/**
+ * Shard-addressed scheduling handle (see file comment).
+ */
+class SimContext
+{
+  public:
+    /** Null handle; must be rebound before use. */
+    SimContext() = default;
+
+    /** Single-shard context over a plain Simulator (implicit). */
+    SimContext(Simulator &sim)
+        : queue_(&sim.queue_), now_(&sim.now_), sim_(&sim)
+    {}
+
+    /** @return the current simulated time of this shard. */
+    Tick now() const { return *now_; }
+
+    /**
+     * Schedule a callback @p delay ticks from now on this shard.
+     * @return a cancellation handle.
+     */
+    EventHandle
+    schedule(Tick delay, EventCallback cb)
+    {
+        return queue_->schedule(*now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Schedule a callback at absolute time @p when on this shard.
+     * Scheduling in the past is an internal error; the panic reports
+     * the offending when/now ticks and the shard.
+     */
+    EventHandle
+    scheduleAt(Tick when, EventCallback cb)
+    {
+        if (when < *now_)
+            pastScheduleError(when);
+        return queue_->schedule(when, std::move(cb));
+    }
+
+    /**
+     * Schedule @p cb on shard @p dst, @p delay ticks from now.
+     *
+     * Same-shard posts degrade to schedule(). Cross-shard posts
+     * require a sharded world and `delay >= lookahead()` (the
+     * conservative synchronization window); violating either is an
+     * internal error. Cross-shard events are buffered in the engine's
+     * mailbox for @p dst and merged into its queue at the next barrier
+     * in deterministic (when, source shard, source sequence) order, so
+     * no cancellation handle is returned.
+     */
+    void postToShard(unsigned dst, Tick delay, EventCallback cb);
+
+    /** @return this component's shard id (0 in single-shard worlds). */
+    unsigned shard() const { return shard_; }
+
+    /** @return the number of shards in the world (1 if unsharded). */
+    unsigned shardCount() const;
+
+    /**
+     * @return the conservative lookahead: the minimum cross-shard
+     * delay, i.e. the minimum inter-shard network latency. kMaxTick in
+     * single-shard worlds and in sharded worlds with no cross-shard
+     * channels.
+     */
+    Tick lookahead() const;
+
+    /** @return true when this context belongs to a sharded world. */
+    bool sharded() const { return engine_ != nullptr; }
+
+    // -- Driver surface (top-level harnesses only, never event code) --
+
+    /**
+     * Run the *whole world* (every shard) until its queues drain.
+     * Driver-only: must not be called from inside an event callback.
+     */
+    void run();
+
+    /** Run the whole world up to @p deadline (clocks end there). */
+    void runUntil(Tick deadline);
+
+    /** Convenience wrapper: runUntil(now() + duration). */
+    void runFor(Tick duration) { runUntil(*now_ + duration); }
+
+    // -- Shard-local observability ------------------------------------
+
+    /** Events executed by *this shard* so far. */
+    std::uint64_t eventsExecuted() const { return queue_->executedCount(); }
+
+    /**
+     * This shard's running FNV-1a execution digest (order-sensitive
+     * within the shard). The world-level digest composes these; see
+     * ParallelSimulator::executionDigest().
+     */
+    std::uint64_t executionDigest() const
+    {
+        return queue_->executionDigest();
+    }
+
+    /** @return this shard's underlying event queue (stats, tests). */
+    const EventQueue &queue() const { return *queue_; }
+
+  private:
+    friend class ParallelSimulator;
+
+    /** Shard-addressed context; minted by ParallelSimulator. */
+    SimContext(EventQueue &queue, const Tick &now, unsigned shard,
+               ParallelSimulator &engine)
+        : queue_(&queue), now_(&now), shard_(shard), engine_(&engine)
+    {}
+
+    [[noreturn]] void pastScheduleError(Tick when) const;
+
+    EventQueue *queue_ = nullptr;
+    const Tick *now_ = nullptr;
+    unsigned shard_ = 0;
+    /** Non-null in single-shard worlds (drives run*()). */
+    Simulator *sim_ = nullptr;
+    /** Non-null in sharded worlds. */
+    ParallelSimulator *engine_ = nullptr;
+};
+
+} // namespace uqsim
+
+#endif // UQSIM_CORE_SIM_CONTEXT_HH

@@ -8,7 +8,8 @@ EventHandle
 Simulator::scheduleAt(Tick when, EventCallback cb)
 {
     if (when < now_)
-        panic(strCat("scheduleAt(", when, ") in the past; now=", now_));
+        panic(strCat("scheduleAt(when=", when, ") is ", now_ - when,
+                     " ticks in the past (now=", now_, ")"));
     return queue_.schedule(when, std::move(cb));
 }
 

@@ -2,10 +2,12 @@
  * @file
  * The top-level simulation driver.
  *
- * A Simulator owns the event queue and the simulated clock. Model
- * components hold a reference to the Simulator and use schedule() /
- * scheduleAt() to advance their state machines. The driver (test,
- * example or bench) then calls run(), runUntil() or runFor().
+ * A Simulator owns the event queue and the simulated clock of a
+ * single-shard world. Model components do not hold it directly: they
+ * schedule through a SimContext (core/sim_context.hh), which converts
+ * implicitly from `Simulator &`. The driver (test, example or bench)
+ * calls run(), runUntil() or runFor(); sharded worlds use
+ * ParallelSimulator (core/parallel.hh) instead.
  */
 
 #ifndef UQSIM_CORE_SIMULATOR_HH
@@ -78,6 +80,9 @@ class Simulator
     }
 
   private:
+    /** SimContext schedules straight into the queue/clock. */
+    friend class SimContext;
+
     EventQueue queue_;
     Tick now_ = 0;
 };

@@ -4,9 +4,9 @@
 
 namespace uqsim::cpu {
 
-EnergyMeter::EnergyMeter(Simulator &sim, Cluster &cluster,
+EnergyMeter::EnergyMeter(SimContext ctx, Cluster &cluster,
                          PowerModel model, Tick interval)
-    : sim_(sim), cluster_(cluster), model_(model), interval_(interval)
+    : ctx_(ctx), cluster_(cluster), model_(model), interval_(interval)
 {
     if (interval == 0)
         fatal("EnergyMeter with zero interval");
@@ -22,7 +22,7 @@ EnergyMeter::start()
     for (std::size_t i = 0; i < cluster_.size(); ++i)
         lastBusy_[i] = cluster_.server(static_cast<unsigned>(i))
                            .totalBusyTime();
-    pending_ = sim_.schedule(interval_, [this]() { sampleOnce(); });
+    pending_ = ctx_.schedule(interval_, [this]() { sampleOnce(); });
 }
 
 void
@@ -55,7 +55,7 @@ EnergyMeter::sampleOnce()
                    interval_sec;
     }
     meteredTime_ += interval_;
-    pending_ = sim_.schedule(interval_, [this]() { sampleOnce(); });
+    pending_ = ctx_.schedule(interval_, [this]() { sampleOnce(); });
 }
 
 double

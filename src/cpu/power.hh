@@ -72,7 +72,7 @@ class EnergyMeter
      * @param model    per-server power parameters
      * @param interval sampling period
      */
-    EnergyMeter(Simulator &sim, Cluster &cluster, PowerModel model,
+    EnergyMeter(SimContext ctx, Cluster &cluster, PowerModel model,
                 Tick interval = 100 * kTicksPerMs);
 
     /** Begin sampling. */
@@ -91,7 +91,7 @@ class EnergyMeter
   private:
     void sampleOnce();
 
-    Simulator &sim_;
+    SimContext ctx_;
     Cluster &cluster_;
     PowerModel model_;
     Tick interval_;

@@ -7,8 +7,8 @@
 
 namespace uqsim::cpu {
 
-Server::Server(Simulator &sim, unsigned id, CoreModel model)
-    : sim_(sim), id_(id), model_(std::move(model)),
+Server::Server(SimContext ctx, unsigned id, CoreModel model)
+    : ctx_(ctx), id_(id), model_(std::move(model)),
       freqMhz_(model_.nominalFreqMhz)
 {
     if (model_.coresPerServer == 0)
@@ -42,11 +42,11 @@ void
 Server::startTask(Task task)
 {
     ++busyCores_;
-    utilization_.update(sim_.now(),
+    utilization_.update(ctx_.now(),
                         static_cast<double>(busyCores_) / numCores());
     const Tick duration = taskDuration(task);
     TaskDone done = std::move(task.done);
-    sim_.schedule(duration, [this, duration, done = std::move(done)]() {
+    ctx_.schedule(duration, [this, duration, done = std::move(done)]() {
         onTaskDone(duration, std::move(done));
     });
 }
@@ -62,7 +62,7 @@ Server::onTaskDone(Tick busy_time, TaskDone done)
         pending_.pop_front();
         startTask(std::move(next));
     } else {
-        utilization_.update(sim_.now(),
+        utilization_.update(ctx_.now(),
                             static_cast<double>(busyCores_) / numCores());
     }
     if (done)
@@ -88,13 +88,13 @@ Server::setSlowFactor(double factor)
 double
 Server::utilizationAvg() const
 {
-    return utilization_.average(sim_.now());
+    return utilization_.average(ctx_.now());
 }
 
 void
 Server::statReset()
 {
-    utilization_.reset(sim_.now());
+    utilization_.reset(ctx_.now());
     totalBusyTime_ = 0;
     tasksCompleted_ = 0;
 }
@@ -103,7 +103,7 @@ Server &
 Cluster::addServer(const CoreModel &model)
 {
     servers_.push_back(std::make_unique<Server>(
-        sim_, static_cast<unsigned>(servers_.size()), model));
+        ctx_, static_cast<unsigned>(servers_.size()), model));
     return *servers_.back();
 }
 

@@ -19,7 +19,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/simulator.hh"
+#include "core/sim_context.hh"
 #include "core/stats.hh"
 #include "core/types.hh"
 #include "cpu/core_model.hh"
@@ -36,11 +36,11 @@ class Server
 {
   public:
     /**
-     * @param sim    owning simulator
+     * @param ctx    scheduling context (names the owning shard)
      * @param id     unique server id within the cluster
      * @param model  core type and count
      */
-    Server(Simulator &sim, unsigned id, CoreModel model);
+    Server(SimContext ctx, unsigned id, CoreModel model);
 
     Server(const Server &) = delete;
     Server &operator=(const Server &) = delete;
@@ -113,7 +113,7 @@ class Server
     void startTask(Task task);
     void onTaskDone(Tick busy_time, TaskDone done);
 
-    Simulator &sim_;
+    SimContext ctx_;
     unsigned id_;
     CoreModel model_;
     double freqMhz_;
@@ -134,7 +134,7 @@ class Server
 class Cluster
 {
   public:
-    explicit Cluster(Simulator &sim) : sim_(sim) {}
+    explicit Cluster(SimContext ctx) : ctx_(ctx) {}
 
     /** Add one server of the given core type; returns it. */
     Server &addServer(const CoreModel &model);
@@ -175,7 +175,7 @@ class Cluster
     void statResetAll();
 
   private:
-    Simulator &sim_;
+    SimContext ctx_;
     std::vector<std::unique_ptr<Server>> servers_;
     std::size_t rrCursor_ = 0;
 };

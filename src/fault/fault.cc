@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <map>
 
+#include "core/json.hh"
 #include "core/logging.hh"
 
 namespace uqsim::fault {
@@ -267,279 +268,16 @@ validateSpec(const FaultSpec &spec, std::string &error)
     return true;
 }
 
-// ---- Minimal JSON reader ----------------------------------------------
-//
-// Just enough JSON for fault schedules: objects, arrays, strings,
-// numbers, booleans and null. No escapes beyond \" \\ \/ \n \t. Keeps
-// the suite dependency-free.
-
-struct JsonValue
-{
-    enum class Type { Null, Bool, Number, String, Array, Object };
-    Type type = Type::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string string;
-    std::vector<JsonValue> array;
-    std::vector<std::pair<std::string, JsonValue>> object;
-
-    const JsonValue *
-    find(const std::string &key) const
-    {
-        for (const auto &kv : object)
-            if (kv.first == key)
-                return &kv.second;
-        return nullptr;
-    }
-};
-
-class JsonParser
-{
-  public:
-    JsonParser(const std::string &text, std::string &error)
-        : text_(text), error_(error)
-    {}
-
-    bool
-    parse(JsonValue &out)
-    {
-        skipWs();
-        if (!parseValue(out))
-            return false;
-        skipWs();
-        if (pos_ != text_.size()) {
-            error_ = strCat("trailing JSON at offset ", pos_);
-            return false;
-        }
-        return true;
-    }
-
-  private:
-    bool
-    fail(const std::string &msg)
-    {
-        error_ = strCat(msg, " at offset ", pos_);
-        return false;
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    bool
-    parseValue(JsonValue &out)
-    {
-        if (pos_ >= text_.size())
-            return fail("unexpected end of JSON");
-        const char c = text_[pos_];
-        if (c == '{')
-            return parseObject(out);
-        if (c == '[')
-            return parseArray(out);
-        if (c == '"')
-            return parseString(out);
-        if (c == 't' || c == 'f')
-            return parseBool(out);
-        if (c == 'n')
-            return parseNull(out);
-        return parseNumber(out);
-    }
-
-    bool
-    parseObject(JsonValue &out)
-    {
-        out.type = JsonValue::Type::Object;
-        ++pos_; // '{'
-        skipWs();
-        if (pos_ < text_.size() && text_[pos_] == '}') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            JsonValue key;
-            if (pos_ >= text_.size() || text_[pos_] != '"')
-                return fail("expected object key");
-            if (!parseString(key))
-                return false;
-            skipWs();
-            if (pos_ >= text_.size() || text_[pos_] != ':')
-                return fail("expected ':'");
-            ++pos_;
-            skipWs();
-            JsonValue value;
-            if (!parseValue(value))
-                return false;
-            out.object.emplace_back(key.string, std::move(value));
-            skipWs();
-            if (pos_ >= text_.size())
-                return fail("unterminated object");
-            if (text_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (text_[pos_] == '}') {
-                ++pos_;
-                return true;
-            }
-            return fail("expected ',' or '}'");
-        }
-    }
-
-    bool
-    parseArray(JsonValue &out)
-    {
-        out.type = JsonValue::Type::Array;
-        ++pos_; // '['
-        skipWs();
-        if (pos_ < text_.size() && text_[pos_] == ']') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            JsonValue value;
-            if (!parseValue(value))
-                return false;
-            out.array.push_back(std::move(value));
-            skipWs();
-            if (pos_ >= text_.size())
-                return fail("unterminated array");
-            if (text_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (text_[pos_] == ']') {
-                ++pos_;
-                return true;
-            }
-            return fail("expected ',' or ']'");
-        }
-    }
-
-    bool
-    parseString(JsonValue &out)
-    {
-        out.type = JsonValue::Type::String;
-        ++pos_; // '"'
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            char c = text_[pos_];
-            if (c == '\\') {
-                ++pos_;
-                if (pos_ >= text_.size())
-                    return fail("unterminated escape");
-                switch (text_[pos_]) {
-                  case '"': c = '"'; break;
-                  case '\\': c = '\\'; break;
-                  case '/': c = '/'; break;
-                  case 'n': c = '\n'; break;
-                  case 't': c = '\t'; break;
-                  default:
-                    return fail("unsupported escape");
-                }
-            }
-            out.string.push_back(c);
-            ++pos_;
-        }
-        if (pos_ >= text_.size())
-            return fail("unterminated string");
-        ++pos_; // closing '"'
-        return true;
-    }
-
-    bool
-    parseBool(JsonValue &out)
-    {
-        out.type = JsonValue::Type::Bool;
-        if (text_.compare(pos_, 4, "true") == 0) {
-            out.boolean = true;
-            pos_ += 4;
-            return true;
-        }
-        if (text_.compare(pos_, 5, "false") == 0) {
-            out.boolean = false;
-            pos_ += 5;
-            return true;
-        }
-        return fail("bad literal");
-    }
-
-    bool
-    parseNull(JsonValue &out)
-    {
-        out.type = JsonValue::Type::Null;
-        if (text_.compare(pos_, 4, "null") == 0) {
-            pos_ += 4;
-            return true;
-        }
-        return fail("bad literal");
-    }
-
-    bool
-    parseNumber(JsonValue &out)
-    {
-        out.type = JsonValue::Type::Number;
-        std::size_t end = pos_;
-        while (end < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
-                text_[end] == '-' || text_[end] == '+' ||
-                text_[end] == '.' || text_[end] == 'e' ||
-                text_[end] == 'E'))
-            ++end;
-        if (end == pos_)
-            return fail("expected value");
-        try {
-            std::size_t consumed = 0;
-            out.number = std::stod(text_.substr(pos_, end - pos_),
-                                   &consumed);
-            if (consumed != end - pos_)
-                return fail("bad number");
-        } catch (...) {
-            return fail("bad number");
-        }
-        pos_ = end;
-        return true;
-    }
-
-    const std::string &text_;
-    std::string &error_;
-    std::size_t pos_ = 0;
-};
-
-/** Render a scalar JSON value back to the flag-syntax value string. */
 bool
-scalarToString(const JsonValue &v, std::string &out)
+specFromJsonObject(const json::Value &obj, FaultSpec &out,
+                   std::string &error)
 {
-    switch (v.type) {
-      case JsonValue::Type::String:
-        out = v.string;
-        return true;
-      case JsonValue::Type::Number:
-        // Integers print without a trailing ".000000".
-        if (v.number == static_cast<double>(
-                            static_cast<long long>(v.number)))
-            out = strCat(static_cast<long long>(v.number));
-        else
-            out = strCat(v.number);
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-specFromJsonObject(const JsonValue &obj, FaultSpec &out, std::string &error)
-{
-    if (obj.type != JsonValue::Type::Object) {
+    if (!obj.isObject()) {
         error = "fault entry is not a JSON object";
         return false;
     }
-    const JsonValue *kind = obj.find("kind");
-    if (!kind || kind->type != JsonValue::Type::String) {
+    const json::Value *kind = obj.find("kind");
+    if (!kind || !kind->isString()) {
         error = "fault entry missing string \"kind\"";
         return false;
     }
@@ -552,7 +290,7 @@ specFromJsonObject(const JsonValue &obj, FaultSpec &out, std::string &error)
         if (kv.first == "kind")
             continue;
         std::string value;
-        if (!scalarToString(kv.second, value)) {
+        if (!json::scalarToString(kv.second, value)) {
             error = strCat("fault key '", kv.first,
                            "' must be a string or number");
             return false;
@@ -567,6 +305,12 @@ specFromJsonObject(const JsonValue &obj, FaultSpec &out, std::string &error)
 }
 
 } // namespace
+
+bool
+faultFromJson(const json::Value &obj, FaultSpec &out, std::string &error)
+{
+    return specFromJsonObject(obj, out, error);
+}
 
 bool
 parseFaultFlag(const std::string &text, FaultSpec &out, std::string &error)
@@ -608,19 +352,18 @@ bool
 parseFaultFile(const std::string &json_text, std::vector<FaultSpec> &out,
                std::string &error)
 {
-    JsonValue root;
-    JsonParser parser(json_text, error);
-    if (!parser.parse(root))
+    json::Value root;
+    if (!json::parse(json_text, root, error))
         return false;
-    const JsonValue *list = &root;
-    if (root.type == JsonValue::Type::Object) {
+    const json::Value *list = &root;
+    if (root.isObject()) {
         list = root.find("faults");
         if (!list) {
             error = "fault file object has no \"faults\" array";
             return false;
         }
     }
-    if (list->type != JsonValue::Type::Array) {
+    if (!list->isArray()) {
         error = "fault schedule must be a JSON array";
         return false;
     }

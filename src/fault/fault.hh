@@ -20,6 +20,10 @@
 
 #include "core/types.hh"
 
+namespace uqsim::json {
+struct Value;
+}
+
 namespace uqsim::fault {
 
 /** What kind of failure a window injects. */
@@ -124,6 +128,14 @@ bool parseFaultFlag(const std::string &text, FaultSpec &out,
  */
 bool parseFaultFile(const std::string &json_text,
                     std::vector<FaultSpec> &out, std::string &error);
+
+/**
+ * Build one FaultSpec from an already-parsed JSON object (the element
+ * shape of parseFaultFile). Shared with the scenario-config surface
+ * (`uqsim_run --config`), which embeds a "faults" array.
+ */
+bool faultFromJson(const json::Value &obj, FaultSpec &out,
+                   std::string &error);
 
 } // namespace uqsim::fault
 

@@ -88,10 +88,10 @@ FaultInjector::arm()
 
     for (std::size_t i = 0; i < schedule_.size(); ++i) {
         const FaultSpec &spec = schedule_[i];
-        app_.sim().scheduleAt(spec.start, [this, i]() { startFault(i); });
+        app_.ctx().scheduleAt(spec.start, [this, i]() { startFault(i); });
         // duration 0 means a permanent fault (crash with no restart).
         if (spec.duration > 0)
-            app_.sim().scheduleAt(spec.end(),
+            app_.ctx().scheduleAt(spec.end(),
                                   [this, i]() { endFault(i); });
     }
 }

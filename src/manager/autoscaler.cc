@@ -39,7 +39,7 @@ AutoScaler::start()
         return;
     running_ = true;
     pending_ =
-        app_.sim().schedule(config_.interval, [this]() { decideOnce(); });
+        app_.ctx().schedule(config_.interval, [this]() { decideOnce(); });
 }
 
 void
@@ -66,7 +66,7 @@ AutoScaler::decideOnce()
 {
     if (!running_)
         return;
-    const Tick now = app_.sim().now();
+    const Tick now = app_.ctx().now();
     unsigned scaled_this_round = 0;
     for (const std::string &name : watched_) {
         if (config_.maxScaleOutsPerRound &&
@@ -89,7 +89,7 @@ AutoScaler::decideOnce()
         // startup (container pull + warmup) delay.
         service::Instance &inst = svc.addInstance(placer_());
         inst.setActive(false);
-        app_.sim().schedule(config_.startupDelay, [&inst]() {
+        app_.ctx().schedule(config_.startupDelay, [&inst]() {
             inst.setActive(true);
         });
         lastScale_[name] = now;
@@ -100,7 +100,7 @@ AutoScaler::decideOnce()
             value});
     }
     pending_ =
-        app_.sim().schedule(config_.interval, [this]() { decideOnce(); });
+        app_.ctx().schedule(config_.interval, [this]() { decideOnce(); });
 }
 
 } // namespace uqsim::manager

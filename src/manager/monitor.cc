@@ -19,7 +19,7 @@ Monitor::start()
     if (running_)
         return;
     running_ = true;
-    pending_ = app_.sim().schedule(interval_, [this]() { sampleOnce(); });
+    pending_ = app_.ctx().schedule(interval_, [this]() { sampleOnce(); });
 }
 
 void
@@ -34,7 +34,7 @@ Monitor::sampleOnce()
 {
     if (!running_)
         return;
-    const Tick now = app_.sim().now();
+    const Tick now = app_.ctx().now();
     std::vector<TierSample> round;
     round.reserve(app_.services().size());
 
@@ -106,7 +106,7 @@ Monitor::sampleOnce()
         round.push_back(std::move(s));
     }
     history_.push_back(std::move(round));
-    pending_ = app_.sim().schedule(interval_, [this]() { sampleOnce(); });
+    pending_ = app_.ctx().schedule(interval_, [this]() { sampleOnce(); });
 }
 
 Monitor::TierGauges &

@@ -11,7 +11,7 @@ RateLimiter::RateLimiter(service::App &app, double rate_qps, double burst)
 {
     if (burst <= 0.0)
         fatal("RateLimiter with non-positive burst");
-    lastRefill_ = app.sim().now();
+    lastRefill_ = app.ctx().now();
 }
 
 void
@@ -24,7 +24,7 @@ RateLimiter::setRateQps(double rate_qps)
 void
 RateLimiter::refill()
 {
-    const Tick now = app_.sim().now();
+    const Tick now = app_.ctx().now();
     if (rateQps_ > 0.0) {
         const double elapsed_sec = ticksToSec(now - lastRefill_);
         tokens_ = std::min(burst_, tokens_ + elapsed_sec * rateQps_);

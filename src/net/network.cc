@@ -7,8 +7,8 @@
 
 namespace uqsim::net {
 
-Network::Network(Simulator &sim, NetworkConfig config, Rng rng)
-    : sim_(sim), config_(config), rng_(rng)
+Network::Network(SimContext ctx, NetworkConfig config, Rng rng)
+    : ctx_(ctx), config_(config), rng_(rng)
 {
     if (config_.linkGbps <= 0.0 || config_.wirelessGbps <= 0.0)
         fatal("Network with non-positive link bandwidth");
@@ -61,7 +61,7 @@ Network::txQueue(unsigned server_id)
 void
 Network::send(unsigned src, unsigned dst, Bytes size, DeliverFn deliver)
 {
-    const Tick now = sim_.now();
+    const Tick now = ctx_.now();
 
     if (src == dst) {
         if (dropHook_ && dropHook_(src, dst)) {
@@ -69,7 +69,7 @@ Network::send(unsigned src, unsigned dst, Bytes size, DeliverFn deliver)
             return;
         }
         const Tick delay = config_.loopbackLatency;
-        sim_.schedule(delay, [this, size, delay,
+        ctx_.schedule(delay, [this, size, delay,
                               deliver = std::move(deliver)]() {
             ++messages_;
             bytes_ += size;
@@ -98,7 +98,7 @@ Network::send(unsigned src, unsigned dst, Bytes size, DeliverFn deliver)
     const Tick delivery = tx.busyUntil + prop;
     const Tick queueing_tx = tx.busyUntil - now;
 
-    sim_.scheduleAt(delivery, [this, size, queueing_tx, prop,
+    ctx_.scheduleAt(delivery, [this, size, queueing_tx, prop,
                                deliver = std::move(deliver)]() {
         ++messages_;
         bytes_ += size;

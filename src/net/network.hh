@@ -25,7 +25,7 @@
 
 #include "core/distributions.hh"
 #include "core/rng.hh"
-#include "core/simulator.hh"
+#include "core/sim_context.hh"
 #include "core/types.hh"
 
 namespace uqsim::net {
@@ -136,7 +136,7 @@ using DeliverFn = std::function<void(Tick queueing_tx, Tick propagation)>;
 class Network
 {
   public:
-    Network(Simulator &sim, NetworkConfig config, Rng rng);
+    Network(SimContext ctx, NetworkConfig config, Rng rng);
 
     Network(const Network &) = delete;
     Network &operator=(const Network &) = delete;
@@ -194,7 +194,7 @@ class Network
 
     TxQueue &txQueue(unsigned server_id);
 
-    Simulator &sim_;
+    SimContext ctx_;
     NetworkConfig config_;
     Rng rng_;
     std::unordered_map<unsigned, TxQueue> txQueues_;

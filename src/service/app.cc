@@ -57,9 +57,9 @@ struct AttemptState
     }
 };
 
-App::App(Simulator &sim, cpu::Cluster &cluster, net::Network &network,
+App::App(SimContext ctx, cpu::Cluster &cluster, net::Network &network,
          Config config, std::uint64_t seed)
-    : sim_(sim), cluster_(cluster), network_(network),
+    : ctx_(ctx), cluster_(cluster), network_(network),
       config_(std::move(config)), rng_(seed),
       resilienceRng_(seed ^ 0x524553494c49454eull),
       traceStore_(config_.traceCapacity), collector_(traceStore_)
@@ -377,7 +377,7 @@ App::settleAttempt(AttemptState &as, RpcStatus status)
         as.pool->cancel(as.ticket);
     }
     auto done = std::move(as.done);
-    done(status, sim_.now() - as.tStart, as.callerNet);
+    done(status, ctx_.now() - as.tStart, as.callerNet);
 }
 
 void
@@ -395,7 +395,7 @@ App::recordErrorSpan(const RequestPtr &req, trace::SpanId parent_span,
     sp.instance = 0;
     sp.queryType = req->queryType;
     sp.start = start;
-    sp.end = sim_.now();
+    sp.end = ctx_.now();
     sp.status = static_cast<std::uint8_t>(status);
     sp.attempt = static_cast<std::uint8_t>(std::min(attempt_no, 255u));
     collector_.collect(sp);
@@ -444,7 +444,7 @@ App::rpcCall(unsigned caller_server, Instance *caller_inst,
     rpc::CircuitBreaker *br =
         pol.breaker.enabled ? &breakerFor(caller_key, target) : nullptr;
 
-    const Tick call_start = sim_.now();
+    const Tick call_start = ctx_.now();
     if (req->deadline && call_start >= req->deadline) {
         rpcDeadlineExceeded_->inc();
         rpcErrors_->inc();
@@ -485,14 +485,14 @@ App::rpcCall(unsigned caller_server, Instance *caller_inst,
     ctl->attempt = [app, caller_server, caller_inst, tgt, req, parent_span,
                     req_bytes, resp_bytes, carries_media, br, ctl,
                     finish](unsigned attempt_no) {
-        const Tick attempt_start = app->sim_.now();
+        const Tick attempt_start = app->ctx_.now();
         app->rpcAttempt(caller_server, caller_inst, *tgt, req, parent_span,
                         req_bytes, resp_bytes, carries_media, attempt_no,
                         [app, tgt, req, parent_span, br, ctl, finish,
                          attempt_no, attempt_start](RpcStatus status,
                                                     Tick wall,
                                                     Tick caller_net) {
-            const Tick now = app->sim_.now();
+            const Tick now = app->ctx_.now();
             if (br)
                 br->record(now, status == RpcStatus::Ok);
             if (status == RpcStatus::Ok) {
@@ -534,9 +534,9 @@ App::rpcCall(unsigned caller_server, Instance *caller_inst,
                     static_cast<double>(backoff) *
                     app->resilienceRng_.uniform(lo, 1.0));
             }
-            app->sim_.schedule(backoff, [app, tgt, req, br, ctl, finish,
+            app->ctx_.schedule(backoff, [app, tgt, req, br, ctl, finish,
                                          attempt_no]() {
-                const Tick t = app->sim_.now();
+                const Tick t = app->ctx_.now();
                 if (req->deadline && t >= req->deadline) {
                     app->rpcDeadlineExceeded_->inc();
                     app->rpcErrors_->inc();
@@ -592,7 +592,7 @@ App::rpcAttempt(unsigned caller_server, Instance *caller_inst,
     auto as = std::make_shared<AttemptState>();
     as->app = this;
     as->pool = pool;
-    as->tStart = sim_.now();
+    as->tStart = ctx_.now();
     as->done = std::move(done);
 
     // Per-attempt timeout, capped to the remaining deadline budget so
@@ -611,7 +611,7 @@ App::rpcAttempt(unsigned caller_server, Instance *caller_inst,
     }
     if (eff_timeout > 0) {
         as->timeoutEv =
-            sim_.schedule(eff_timeout, [app, as, deadline_bound]() {
+            ctx_.schedule(eff_timeout, [app, as, deadline_bound]() {
                 if (*as->settled)
                     return;
                 if (deadline_bound) {
@@ -709,12 +709,12 @@ App::rpcAttempt(unsigned caller_server, Instance *caller_inst,
                         reply_tcp_frac * static_cast<double>(reply_busy));
                     if (ctx) {
                         ctx->span.networkTime += reply_busy;
-                        ctx->span.end = app->sim_.now();
+                        ctx->span.end = app->ctx_.now();
                         const Tick dur = ctx->span.duration();
                         Microservice &svc = ctx->inst->svc();
                         if (status == RpcStatus::Ok) {
                             svc.mutableLatency().record(dur);
-                            svc.latencyWindow().record(app->sim_.now(),
+                            svc.latencyWindow().record(app->ctx_.now(),
                                                        dur);
                             ++ctx->inst->served_;
                         } else {
@@ -768,7 +768,7 @@ App::rpcAttempt(unsigned caller_server, Instance *caller_inst,
                             });
                         };
                         if (fpga_lat > 0)
-                            app->sim_.schedule(fpga_lat, finish);
+                            app->ctx_.schedule(fpga_lat, finish);
                         else
                             finish();
                     });
@@ -820,7 +820,7 @@ App::rpcAttempt(unsigned caller_server, Instance *caller_inst,
                     });
                 };
                 if (fpga_lat > 0)
-                    app->sim_.schedule(fpga_lat, std::move(deliver));
+                    app->ctx_.schedule(fpga_lat, std::move(deliver));
                 else
                     deliver();
             });
@@ -831,7 +831,7 @@ App::rpcAttempt(unsigned caller_server, Instance *caller_inst,
         pol->acquireTimeout > 0 && !*as->settled) {
         // Parked behind a saturated HTTP/1.1 pool: give up after the
         // configured wait instead of parking forever (Fig 17B's hang).
-        as->acquireEv = sim_.schedule(pol->acquireTimeout, [app, as]() {
+        as->acquireEv = ctx_.schedule(pol->acquireTimeout, [app, as]() {
             if (as->poolAcquired || *as->settled)
                 return;
             app->rpcPoolTimeouts_->inc();
@@ -860,7 +860,7 @@ App::deliverToInstance(
 
     // Deadline admission: never queue work whose caller chain has
     // already given up (deadline propagation).
-    if (req->deadline && sim_.now() >= req->deadline) {
+    if (req->deadline && ctx_.now() >= req->deadline) {
         rpcDeadlineExceeded_->inc();
         ++inst.failed_;
         respond(nullptr, RpcStatus::DeadlineExceeded);
@@ -895,7 +895,7 @@ App::deliverToInstance(
     Instance::Arrival arrival;
     arrival.req = std::move(req);
     arrival.parentSpan = parent_span;
-    arrival.enqueued = sim_.now();
+    arrival.enqueued = ctx_.now();
     arrival.preNetworkTime = pre_network;
     arrival.attempt =
         static_cast<std::uint8_t>(std::min(attempt_no, 255u));
@@ -934,7 +934,7 @@ App::maybeStartHandling(Instance &inst)
         ctx->span.start = a.enqueued >= a.preNetworkTime
                               ? a.enqueued - a.preNetworkTime
                               : 0;
-        ctx->span.queueTime = sim_.now() - a.enqueued;
+        ctx->span.queueTime = ctx_.now() - a.enqueued;
         ctx->span.networkTime = a.preNetworkTime;
         ctx->req->queueTime += ctx->span.queueTime;
 
@@ -1010,7 +1010,7 @@ App::runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
                 next();
             };
             if (io_ns > 0)
-                sim_.schedule(io_ns, std::move(fin));
+                ctx_.schedule(io_ns, std::move(fin));
             else
                 fin();
         });
@@ -1023,7 +1023,7 @@ App::runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
         }
         Microservice *target = &service(st.target);
         const unsigned server_id = ctx->inst->server().id();
-        const Tick call_start = sim_.now();
+        const Tick call_start = ctx_.now();
         if (st.parallel) {
             auto remaining = std::make_shared<unsigned>(st.fanout);
             auto net_sum = std::make_shared<Tick>(0);
@@ -1044,7 +1044,7 @@ App::runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
                             static_cast<std::uint8_t>(status);
                     *net_sum += caller_net;
                     if (--*remaining == 0) {
-                        const Tick wall_total = sim_.now() - call_start;
+                        const Tick wall_total = ctx_.now() - call_start;
                         ctx->span.networkTime += *net_sum;
                         ctx->span.downstreamWait +=
                             wall_total > *net_sum ? wall_total - *net_sum
@@ -1092,7 +1092,7 @@ App::runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
         const Tick d = static_cast<Tick>(
             std::max(0.0, st.delayNs.sample(rng_)));
         const bool is_net = st.delayIsNetwork;
-        sim_.schedule(d, [ctx, d, is_net, next = std::move(next)]() mutable {
+        ctx_.schedule(d, [ctx, d, is_net, next = std::move(next)]() mutable {
             if (is_net) {
                 ctx->span.networkTime += d;
                 ctx->req->networkTime += d;
@@ -1164,9 +1164,9 @@ App::inject(unsigned query_type, std::uint64_t user_id, CompletionFn done)
     req->id = nextRequestId_++;
     req->queryType = query_type;
     req->userId = user_id;
-    req->injectTime = sim_.now();
+    req->injectTime = ctx_.now();
     if (config_.requestDeadline > 0)
-        req->deadline = sim_.now() + config_.requestDeadline;
+        req->deadline = ctx_.now() + config_.requestDeadline;
     req->traceId = config_.tracing ? ids_.nextTrace() : 0;
     injected_->inc();
 
@@ -1179,7 +1179,7 @@ App::inject(unsigned query_type, std::uint64_t user_id, CompletionFn done)
              done = std::move(done)](RpcStatus status, Tick wall,
                                      Tick caller_net) {
         (void)wall;
-        req->completeTime = sim_.now();
+        req->completeTime = ctx_.now();
         if (status != RpcStatus::Ok) {
             // The entry RPC failed after all client-side resilience was
             // exhausted: a user-visible error, distinct from a silent

@@ -27,7 +27,7 @@
 #include "core/histogram.hh"
 #include "core/metrics.hh"
 #include "core/rng.hh"
-#include "core/simulator.hh"
+#include "core/sim_context.hh"
 #include "core/types.hh"
 #include "cpu/server.hh"
 #include "net/network.hh"
@@ -114,7 +114,7 @@ class App
         Tick requestDeadline = 0;
     };
 
-    App(Simulator &sim, cpu::Cluster &cluster, net::Network &network,
+    App(SimContext ctx, cpu::Cluster &cluster, net::Network &network,
         Config config, std::uint64_t seed);
 
     App(const App &) = delete;
@@ -246,7 +246,9 @@ class App
     MetricsRegistry &metrics() { return metrics_; }
     const MetricsRegistry &metrics() const { return metrics_; }
 
-    Simulator &sim() { return sim_; }
+    /** The scheduling context (shard handle) this app runs in. */
+    SimContext &ctx() { return ctx_; }
+    const SimContext &ctx() const { return ctx_; }
     cpu::Cluster &cluster() { return cluster_; }
     net::Network &network() { return network_; }
     Rng &rng() { return rng_; }
@@ -348,7 +350,7 @@ class App
     /** Charge a network task's cycles to kernel mode. */
     void chargeNetwork(Microservice *svc, double cycles, double ipc);
 
-    Simulator &sim_;
+    SimContext ctx_;
     cpu::Cluster &cluster_;
     net::Network &network_;
     Config config_;

@@ -90,12 +90,12 @@ OpenLoopGenerator::scheduleNext()
         return;
     double rate = qps_;
     if (shape_)
-        rate *= std::max(1e-6, shape_(app_.sim().now()));
+        rate *= std::max(1e-6, shape_(app_.ctx().now()));
     const double mean_gap_ns =
         static_cast<double>(kTicksPerSec) / rate;
     const Tick gap = std::max<Tick>(
         1, static_cast<Tick>(rng_.exponential(mean_gap_ns)));
-    pending_ = app_.sim().schedule(gap, [this]() {
+    pending_ = app_.ctx().schedule(gap, [this]() {
         if (!running_)
             return;
         const unsigned qt = mix_.sample(rng_);
@@ -147,7 +147,7 @@ ClosedLoopGenerator::issueOne(std::uint64_t user)
             return;
         const Tick think = static_cast<Tick>(
             std::max(0.0, thinkTime_.sample(rng_)));
-        app_.sim().schedule(think, [this]() {
+        app_.ctx().schedule(think, [this]() {
             issueOne(users_.sample(rng_));
         });
     });

@@ -11,7 +11,7 @@ runLoad(service::App &app, double qps, Tick warmup, Tick measure,
         const QueryMix &mix, const UserPopulation &users,
         std::uint64_t seed)
 {
-    Simulator &sim = app.sim();
+    SimContext &sim = app.ctx();
     OpenLoopGenerator gen(app, mix, users, seed);
     gen.setQps(qps);
     gen.start();

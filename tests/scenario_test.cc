@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Scenario config round-trip and validation tests.
+ *
+ * A scenario JSON file plus the binary version fully describes a run,
+ * so the surface must be lossless (dump -> parse -> dump is the
+ * identity), strict (unknown keys and malformed values are errors, not
+ * silently ignored), and layered (absent keys keep the caller's
+ * defaults, which is what lets CLI flags before --config act as
+ * defaults the file overrides).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/scenario.hh"
+
+namespace uqsim {
+namespace {
+
+apps::Scenario
+fullScenario()
+{
+    apps::Scenario s;
+    s.app = "ecommerce";
+    s.qps = 450.5;
+    s.durationSec = 8.0;
+    s.warmupSec = 1.5;
+    s.servers = 7;
+    s.drones = 16;
+    s.core = "thunderx";
+    s.freqMhz = 1800.0;
+    s.fpga = true;
+    s.lambda = "s3";
+    s.slowServers = 2;
+    s.slowFactor = 12.5;
+    s.skew = 90.0;
+    s.users = 5000;
+    s.seed = 1234;
+    s.shards = 4;
+    s.threads = 2;
+    s.rpcTimeout = 50 * kTicksPerMs;
+    s.deadline = 200 * kTicksPerMs;
+    s.retries = 3;
+    s.retryBudget = 0.2;
+    s.breaker = true;
+    s.shed = 64;
+    s.traceCapacity = 1 << 12;
+
+    fault::FaultSpec crash;
+    crash.kind = fault::FaultKind::Crash;
+    crash.start = 2 * kTicksPerSec;
+    crash.duration = kTicksPerSec;
+    crash.service = "frontend";
+    crash.instance = 1;
+    s.faults.push_back(crash);
+
+    fault::FaultSpec part;
+    part.kind = fault::FaultKind::Partition;
+    part.start = 3 * kTicksPerSec;
+    part.duration = kTicksPerSec;
+    part.groupA = {0, 1};
+    part.groupB = {2, 4};
+    part.loss = 0.5;
+    s.faults.push_back(part);
+    return s;
+}
+
+TEST(ScenarioTest, DumpParseDumpIsIdentity)
+{
+    const apps::Scenario original = fullScenario();
+    const std::string doc = apps::scenarioToJson(original);
+
+    apps::Scenario parsed; // defaults; every key in doc overrides
+    std::string error;
+    ASSERT_TRUE(apps::parseScenarioJson(doc, parsed, error)) << error;
+    EXPECT_EQ(apps::scenarioToJson(parsed), doc);
+
+    // Spot-check semantic equality, not just textual round-trip.
+    EXPECT_EQ(parsed.app, "ecommerce");
+    EXPECT_DOUBLE_EQ(parsed.qps, 450.5);
+    EXPECT_EQ(parsed.rpcTimeout, 50 * kTicksPerMs);
+    EXPECT_EQ(parsed.shards, 4u);
+    EXPECT_EQ(parsed.threads, 2u);
+    EXPECT_TRUE(parsed.fpga);
+    ASSERT_EQ(parsed.faults.size(), 2u);
+    EXPECT_EQ(parsed.faults[0].kind, fault::FaultKind::Crash);
+    EXPECT_EQ(parsed.faults[0].service, "frontend");
+    EXPECT_EQ(parsed.faults[1].kind, fault::FaultKind::Partition);
+    EXPECT_EQ(parsed.faults[1].groupB.last, 4u);
+    EXPECT_DOUBLE_EQ(parsed.faults[1].loss, 0.5);
+}
+
+TEST(ScenarioTest, AbsentKeysKeepCallerDefaults)
+{
+    apps::Scenario s;
+    s.qps = 777.0;
+    s.shards = 3;
+    std::string error;
+    ASSERT_TRUE(apps::parseScenarioJson("{\"servers\": 9}", s, error))
+        << error;
+    EXPECT_EQ(s.servers, 9u);      // from the document
+    EXPECT_DOUBLE_EQ(s.qps, 777.0); // caller's default survives
+    EXPECT_EQ(s.shards, 3u);
+}
+
+TEST(ScenarioTest, DurationsAcceptStringsAndBareMilliseconds)
+{
+    apps::Scenario s;
+    std::string error;
+    ASSERT_TRUE(apps::parseScenarioJson(
+        "{\"rpc_timeout\": \"2s\", \"deadline\": 150}", s, error))
+        << error;
+    EXPECT_EQ(s.rpcTimeout, 2 * kTicksPerSec);
+    EXPECT_EQ(s.deadline, 150 * kTicksPerMs);
+}
+
+TEST(ScenarioTest, RejectsMalformedInput)
+{
+    apps::Scenario s;
+    std::string error;
+
+    EXPECT_FALSE(apps::parseScenarioJson("not json", s, error));
+
+    EXPECT_FALSE(apps::parseScenarioJson("[1, 2]", s, error));
+    EXPECT_NE(error.find("object"), std::string::npos);
+
+    EXPECT_FALSE(apps::parseScenarioJson("{\"qqps\": 10}", s, error));
+    EXPECT_NE(error.find("unknown scenario key"), std::string::npos);
+
+    EXPECT_FALSE(apps::parseScenarioJson("{\"qps\": \"fast\"}", s,
+                                         error));
+    EXPECT_FALSE(apps::parseScenarioJson("{\"servers\": 2.5}", s,
+                                         error));
+    EXPECT_FALSE(apps::parseScenarioJson("{\"qps\": 0}", s, error));
+    EXPECT_FALSE(apps::parseScenarioJson("{\"shards\": 0}", s, error));
+    EXPECT_FALSE(apps::parseScenarioJson("{\"skew\": 100}", s, error));
+    EXPECT_FALSE(apps::parseScenarioJson("{\"core\": \"pentium\"}", s,
+                                         error));
+    EXPECT_FALSE(apps::parseScenarioJson("{\"lambda\": \"gcf\"}", s,
+                                         error));
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"faults\": [{\"kind\": \"meteor\"}]}", s, error));
+    EXPECT_NE(error.find("unknown fault kind"), std::string::npos);
+}
+
+TEST(ScenarioTest, ShardSeedDerivation)
+{
+    // Shard 0 must reuse the root seed exactly: that is what makes a
+    // one-shard ShardedWorld bit-identical to a standalone World.
+    EXPECT_EQ(apps::ShardedWorld::shardSeed(42, 0), 42u);
+    EXPECT_NE(apps::ShardedWorld::shardSeed(42, 1), 42u);
+    EXPECT_NE(apps::ShardedWorld::shardSeed(42, 1),
+              apps::ShardedWorld::shardSeed(42, 2));
+}
+
+TEST(ScenarioTest, ShardedWorldStructure)
+{
+    apps::Scenario scn;
+    scn.servers = 3;
+    apps::ShardedWorld w(apps::worldConfigFor(scn), 3, 2);
+    EXPECT_EQ(w.shards(), 3u);
+    EXPECT_EQ(w.engine().shardCount(), 3u);
+    EXPECT_EQ(w.engine().threads(), 2u);
+    for (unsigned s = 0; s < 3; ++s) {
+        EXPECT_EQ(w.shard(s).config().seed,
+                  apps::ShardedWorld::shardSeed(scn.seed, s));
+        EXPECT_TRUE(w.shard(s).ctx.sharded());
+        EXPECT_EQ(w.shard(s).ctx.shard(), s);
+    }
+}
+
+TEST(ScenarioTest, CoreModelNames)
+{
+    cpu::CoreModel m;
+    EXPECT_TRUE(apps::coreModelByName("xeon", m));
+    EXPECT_TRUE(apps::coreModelByName("xeon18", m));
+    EXPECT_TRUE(apps::coreModelByName("thunderx", m));
+    EXPECT_FALSE(apps::coreModelByName("m1", m));
+}
+
+} // namespace
+} // namespace uqsim

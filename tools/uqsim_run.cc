@@ -11,9 +11,14 @@
  *   uqsim_run --app banking --lambda s3 --report cost
  *   uqsim_run --app swarm-edge --qps 4 --drones 24
  *   uqsim_run --app social-network --slow-servers 2 --skew 90
+ *   uqsim_run --app social-network --shards 4 --threads 4
+ *   uqsim_run --config scenario.json
  *   uqsim_run --list
  *
  * Prints a latency/goodput summary plus the requested report section.
+ * The whole run is described by an apps::Scenario: flags fill one in,
+ * --config loads one from JSON (later flags override it), and
+ * --dump-config prints the effective scenario and exits.
  */
 
 #include <cstdlib>
@@ -28,9 +33,7 @@
 #include <vector>
 
 #include "apps/catalog.hh"
-#include "apps/single_tier.hh"
-#include "apps/social_network.hh"
-#include "apps/swarm.hh"
+#include "apps/scenario.hh"
 #include "core/logging.hh"
 #include "core/table.hh"
 #include "cpu/power.hh"
@@ -47,35 +50,15 @@ namespace {
 
 struct Options
 {
-    std::string app = "social-network";
-    double qps = 300.0;
-    double durationSec = 10.0;
-    double warmupSec = 2.0;
-    unsigned servers = 5;
-    unsigned drones = 24;
-    std::string core = "xeon";
-    double freqMhz = 0.0;
-    bool fpga = false;
-    std::string lambda;          // "", "s3", "mem"
-    unsigned slowServers = 0;
-    double slowFactor = 40.0;
-    double skew = -1.0;          // <0: uniform users
-    std::uint64_t users = 1000;
-    std::uint64_t seed = 42;
+    /** The run itself; every model-affecting flag lands here. */
+    apps::Scenario scn;
+
+    // -- output-only options (not part of the scenario) -------------
     std::string report = "summary"; // see kReportKinds
     std::string traceOut;           // Perfetto JSON file ("" = none)
     std::string metricsOut;         // metrics snapshot JSON ("" = none)
-    std::size_t traceCapacity = trace::TraceStore::kDefaultCapacity;
     bool list = false;
-
-    // -- Fault injection & client-side resilience -------------------
-    std::vector<fault::FaultSpec> faults;
-    Tick rpcTimeout = 0;      // per-attempt timeout (0 = none)
-    Tick deadline = 0;        // end-to-end deadline (0 = none)
-    unsigned retries = 0;     // extra attempts beyond the first
-    double retryBudget = 0.0; // budget tokens per request (0 = unlimited)
-    bool breaker = false;     // circuit breaker with defaults
-    unsigned shed = 0;        // shed above this queue length (0 = off)
+    bool dumpConfig = false;
 };
 
 const char *const kReportKinds[] = {"summary", "services", "traces",
@@ -92,7 +75,7 @@ usage()
         "  --qps N            offered load (default 300)\n"
         "  --duration SEC     measured window (default 10)\n"
         "  --warmup SEC       warmup window (default 2)\n"
-        "  --servers N        worker servers (default 5)\n"
+        "  --servers N        worker servers per shard (default 5)\n"
         "  --drones N         swarm size (default 24)\n"
         "  --core MODEL       xeon | xeon18 | thunderx (default xeon)\n"
         "  --freq MHZ         RAPL frequency cap for all servers\n"
@@ -103,6 +86,13 @@ usage()
         "  --skew PCT         user skew 0-99 (default: uniform)\n"
         "  --users N          user population (default 1000)\n"
         "  --seed N           world seed (default 42)\n"
+        "  --shards N         replica shards, each its own event queue\n"
+        "                     (default 1; load splits evenly)\n"
+        "  --threads N        worker threads driving the shards\n"
+        "                     (default 1; never changes results)\n"
+        "  --config FILE      load a scenario JSON (flags after it\n"
+        "                     override; see --dump-config)\n"
+        "  --dump-config      print the effective scenario JSON, exit\n"
         "  --report KIND      summary | services | traces | cost | energy |\n"
         "                     resilience\n"
         "  --faults FILE      JSON fault schedule (see docs/RESILIENCE.md)\n"
@@ -187,38 +177,57 @@ parse(int argc, char **argv, Options &opt)
                          " (want e.g. 50ms, 2s, 800us)"));
         return out;
     };
+    apps::Scenario &scn = opt.scn;
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &a = args[i];
         if (a == "--app")
-            opt.app = need(i);
+            scn.app = need(i);
         else if (a == "--qps")
-            opt.qps = numDouble(i);
+            scn.qps = numDouble(i);
         else if (a == "--duration")
-            opt.durationSec = numDouble(i);
+            scn.durationSec = numDouble(i);
         else if (a == "--warmup")
-            opt.warmupSec = numDouble(i);
+            scn.warmupSec = numDouble(i);
         else if (a == "--servers")
-            opt.servers = numUnsigned(i);
+            scn.servers = numUnsigned(i);
         else if (a == "--drones")
-            opt.drones = numUnsigned(i);
+            scn.drones = numUnsigned(i);
         else if (a == "--core")
-            opt.core = need(i);
+            scn.core = need(i);
         else if (a == "--freq")
-            opt.freqMhz = numDouble(i);
+            scn.freqMhz = numDouble(i);
         else if (a == "--fpga")
-            opt.fpga = true;
+            scn.fpga = true;
         else if (a == "--lambda")
-            opt.lambda = need(i);
+            scn.lambda = need(i);
         else if (a == "--slow-servers")
-            opt.slowServers = numUnsigned(i);
+            scn.slowServers = numUnsigned(i);
         else if (a == "--slow-factor")
-            opt.slowFactor = numDouble(i);
+            scn.slowFactor = numDouble(i);
         else if (a == "--skew")
-            opt.skew = numDouble(i);
+            scn.skew = numDouble(i);
         else if (a == "--users")
-            opt.users = numU64(i);
+            scn.users = numU64(i);
         else if (a == "--seed")
-            opt.seed = numU64(i);
+            scn.seed = numU64(i);
+        else if (a == "--shards")
+            scn.shards = numUnsigned(i);
+        else if (a == "--threads")
+            scn.threads = numUnsigned(i);
+        else if (a == "--config") {
+            // Processed in flag order: flags before act as defaults
+            // the file overrides, flags after override the file.
+            const std::string &path = need(i);
+            std::ifstream in(path);
+            if (!in)
+                fatal(strCat("cannot read scenario '", path, "'"));
+            std::ostringstream text;
+            text << in.rdbuf();
+            std::string error;
+            if (!apps::parseScenarioJson(text.str(), scn, error))
+                fatal(strCat("bad scenario '", path, "': ", error));
+        } else if (a == "--dump-config")
+            opt.dumpConfig = true;
         else if (a == "--report")
             opt.report = need(i);
         else if (a == "--trace-out")
@@ -226,7 +235,7 @@ parse(int argc, char **argv, Options &opt)
         else if (a == "--metrics-out")
             opt.metricsOut = need(i);
         else if (a == "--trace-capacity")
-            opt.traceCapacity = static_cast<std::size_t>(numU64(i));
+            scn.traceCapacity = static_cast<std::size_t>(numU64(i));
         else if (a == "--faults") {
             const std::string &path = need(i);
             std::ifstream in(path);
@@ -238,7 +247,7 @@ parse(int argc, char **argv, Options &opt)
             std::string error;
             if (!fault::parseFaultFile(text.str(), specs, error))
                 fatal(strCat("bad fault schedule '", path, "': ", error));
-            opt.faults.insert(opt.faults.end(), specs.begin(),
+            scn.faults.insert(scn.faults.end(), specs.begin(),
                               specs.end());
         } else if (a == "--fault") {
             const std::string &spec_text = need(i);
@@ -246,21 +255,21 @@ parse(int argc, char **argv, Options &opt)
             std::string error;
             if (!fault::parseFaultFlag(spec_text, spec, error))
                 fatal(strCat("bad --fault '", spec_text, "': ", error));
-            opt.faults.push_back(std::move(spec));
+            scn.faults.push_back(std::move(spec));
         } else if (a == "--rpc-timeout")
-            opt.rpcTimeout = durationVal(i);
+            scn.rpcTimeout = durationVal(i);
         else if (a == "--deadline")
-            opt.deadline = durationVal(i);
+            scn.deadline = durationVal(i);
         else if (a == "--retries")
-            opt.retries = numUnsigned(i);
+            scn.retries = numUnsigned(i);
         else if (a == "--retry-budget") {
-            opt.retryBudget = numDouble(i);
-            if (opt.retryBudget < 0.0)
+            scn.retryBudget = numDouble(i);
+            if (scn.retryBudget < 0.0)
                 fatal("--retry-budget must be >= 0");
         } else if (a == "--breaker")
-            opt.breaker = true;
+            scn.breaker = true;
         else if (a == "--shed")
-            opt.shed = numUnsigned(i);
+            scn.shed = numUnsigned(i);
         else if (a == "--list")
             opt.list = true;
         else if (a == "--help" || a == "-h") {
@@ -278,67 +287,27 @@ parse(int argc, char **argv, Options &opt)
         fatal(strCat("unknown report kind '", opt.report,
                      "' (want summary, services, traces, cost, energy "
                      "or resilience)"));
-    if (opt.qps <= 0.0)
+    if (scn.qps <= 0.0)
         fatal("--qps must be positive");
-    if (opt.durationSec <= 0.0)
+    if (scn.durationSec <= 0.0)
         fatal("--duration must be positive");
-    if (opt.warmupSec < 0.0)
+    if (scn.warmupSec < 0.0)
         fatal("--warmup must be non-negative");
-    if (opt.servers == 0)
+    if (scn.servers == 0)
         fatal("--servers must be positive");
-    if (opt.skew >= 100.0)
+    if (scn.shards == 0)
+        fatal("--shards must be positive");
+    if (scn.threads == 0)
+        fatal("--threads must be positive");
+    if (scn.skew >= 100.0)
         fatal("--skew must be below 100");
-    if (!opt.lambda.empty() && opt.lambda != "s3" && opt.lambda != "mem")
-        fatal(strCat("unknown --lambda kind '", opt.lambda,
+    if (!scn.lambda.empty() && scn.lambda != "s3" && scn.lambda != "mem")
+        fatal(strCat("unknown --lambda kind '", scn.lambda,
                      "' (want s3 or mem)"));
+    cpu::CoreModel core_check;
+    if (!apps::coreModelByName(scn.core, core_check))
+        fatal(strCat("unknown core model '", scn.core, "'"));
     return true;
-}
-
-cpu::CoreModel
-coreModel(const std::string &name)
-{
-    if (name == "xeon")
-        return cpu::CoreModel::xeon();
-    if (name == "xeon18")
-        return cpu::CoreModel::xeonAt1800();
-    if (name == "thunderx")
-        return cpu::CoreModel::thunderx();
-    fatal(strCat("unknown core model '", name, "'"));
-}
-
-/** Build the requested app; returns true if it is a swarm variant. */
-void
-buildByName(apps::World &w, const Options &opt)
-{
-    const std::string &n = opt.app;
-    apps::SwarmOptions so;
-    so.drones = opt.drones;
-    if (n == "social-network")
-        apps::buildSocialNetwork(w);
-    else if (n == "social-monolith")
-        apps::buildSocialNetworkMonolith(w);
-    else if (n == "media")
-        apps::buildApp(w, apps::AppId::MediaService);
-    else if (n == "ecommerce")
-        apps::buildApp(w, apps::AppId::Ecommerce);
-    else if (n == "banking")
-        apps::buildApp(w, apps::AppId::Banking);
-    else if (n == "swarm-cloud")
-        apps::buildSwarm(w, apps::SwarmVariant::Cloud, so);
-    else if (n == "swarm-edge")
-        apps::buildSwarm(w, apps::SwarmVariant::Edge, so);
-    else if (n == "nginx")
-        apps::buildSingleTier(w, apps::SingleTierKind::Nginx);
-    else if (n == "memcached")
-        apps::buildSingleTier(w, apps::SingleTierKind::Memcached);
-    else if (n == "mongodb")
-        apps::buildSingleTier(w, apps::SingleTierKind::MongoDB);
-    else if (n == "xapian")
-        apps::buildSingleTier(w, apps::SingleTierKind::Xapian);
-    else if (n == "recommender")
-        apps::buildSingleTier(w, apps::SingleTierKind::Recommender);
-    else
-        fatal(strCat("unknown app '", n, "' (try --list)"));
 }
 
 void
@@ -367,84 +336,109 @@ main(int argc, char **argv)
         listApps();
         return 0;
     }
+    if (opt.dumpConfig) {
+        std::cout << apps::scenarioToJson(opt.scn);
+        return 0;
+    }
+    const apps::Scenario &scn = opt.scn;
 
-    apps::WorldConfig config;
-    config.workerServers = opt.servers;
-    config.coreModel = coreModel(opt.core);
-    config.seed = opt.seed;
-    config.appConfig.traceCapacity = opt.traceCapacity;
-    if (opt.fpga)
-        config.appConfig.fpga = net::FpgaOffloadModel::on();
-    apps::World world(config);
-    buildByName(world, opt);
-    service::App &app = *world.app;
+    const apps::WorldConfig config = apps::worldConfigFor(scn);
+    apps::ShardedWorld sharded(config, scn.shards, scn.threads);
+    const unsigned nshards = sharded.shards();
 
     serverless::LambdaConfig lambda_cfg;
-    if (!opt.lambda.empty()) {
-        lambda_cfg.stateStore = opt.lambda == "s3"
+    if (!scn.lambda.empty())
+        lambda_cfg.stateStore = scn.lambda == "s3"
                                     ? serverless::StateStoreKind::S3
                                     : serverless::StateStoreKind::
                                           RemoteMemory;
-        serverless::LambdaPlatform::applyToApp(app, lambda_cfg,
-                                               world.cluster);
-    }
-    if (opt.freqMhz > 0.0)
-        world.cluster.setAllFrequenciesMhz(opt.freqMhz);
-    if (opt.slowServers > 0)
-        world.cluster.injectSlowServers(opt.slowServers, opt.slowFactor);
 
-    // Client-side resilience: apply the same policy to the callers of
-    // every tier. Left untouched (all flags at defaults) the RPC path
-    // is the legacy one and digests match older builds bit-for-bit.
-    if (opt.rpcTimeout || opt.retries || opt.breaker || opt.shed) {
-        for (service::Microservice *svc : app.services()) {
-            rpc::ResiliencePolicy &pol = svc->mutableDef().resilience;
-            pol.timeout = opt.rpcTimeout;
-            if (opt.retries) {
-                pol.retry.maxAttempts = opt.retries + 1;
-                pol.retry.budgetRatio = opt.retryBudget;
+    // Build and configure every shard identically (modulo its seed).
+    // Per-shard application order matches the classic single-world
+    // driver step for step, so one shard reproduces it bit-for-bit.
+    std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
+    std::vector<std::unique_ptr<cpu::EnergyMeter>> meters;
+    for (unsigned s = 0; s < nshards; ++s) {
+        apps::World &world = sharded.shard(s);
+        apps::buildScenarioApp(world, scn);
+        service::App &app = *world.app;
+
+        if (!scn.lambda.empty())
+            serverless::LambdaPlatform::applyToApp(app, lambda_cfg,
+                                                   world.cluster);
+        if (scn.freqMhz > 0.0)
+            world.cluster.setAllFrequenciesMhz(scn.freqMhz);
+        if (scn.slowServers > 0)
+            world.cluster.injectSlowServers(scn.slowServers,
+                                            scn.slowFactor);
+
+        // Client-side resilience: apply the same policy to the callers
+        // of every tier. Left untouched (all flags at defaults) the RPC
+        // path is the legacy one and digests match older builds
+        // bit-for-bit.
+        if (scn.rpcTimeout || scn.retries || scn.breaker || scn.shed) {
+            for (service::Microservice *svc : app.services()) {
+                rpc::ResiliencePolicy &pol = svc->mutableDef().resilience;
+                pol.timeout = scn.rpcTimeout;
+                if (scn.retries) {
+                    pol.retry.maxAttempts = scn.retries + 1;
+                    pol.retry.budgetRatio = scn.retryBudget;
+                }
+                pol.breaker.enabled = scn.breaker;
+                pol.shedQueueLength = scn.shed;
             }
-            pol.breaker.enabled = opt.breaker;
-            pol.shedQueueLength = opt.shed;
         }
-    }
-    if (opt.deadline)
-        app.setRequestDeadline(opt.deadline);
+        if (scn.deadline)
+            app.setRequestDeadline(scn.deadline);
 
-    std::unique_ptr<fault::FaultInjector> injector;
-    if (!opt.faults.empty()) {
-        injector = std::make_unique<fault::FaultInjector>(app, opt.seed);
-        injector->addAll(opt.faults);
-        injector->arm();
+        if (!scn.faults.empty()) {
+            auto injector = std::make_unique<fault::FaultInjector>(
+                app, apps::ShardedWorld::shardSeed(scn.seed, s));
+            injector->addAll(scn.faults);
+            injector->arm();
+            injectors.push_back(std::move(injector));
+        }
+
+        meters.push_back(std::make_unique<cpu::EnergyMeter>(
+            world.ctx, world.cluster, cpu::PowerModel::xeon()));
+        if (opt.report == "energy")
+            meters.back()->start();
+    }
+    if (!injectors.empty()) {
+        // Every shard arms the same schedule; print it once.
         std::cout << "armed fault schedule:\n";
-        for (const fault::FaultSpec &spec : injector->schedule())
+        for (const fault::FaultSpec &spec : injectors.front()->schedule())
             std::cout << "  " << spec.describe() << "\n";
     }
 
-    cpu::EnergyMeter meter(world.sim, world.cluster,
-                           cpu::PowerModel::xeon());
-    if (opt.report == "energy")
-        meter.start();
-
+    service::App &app = *sharded.shard(0).app;
     const workload::UserPopulation users =
-        opt.skew >= 0.0
-            ? workload::UserPopulation::skewed(opt.users, opt.skew)
-            : workload::UserPopulation::uniform(opt.users);
-    const auto r = workload::runLoad(
-        app, opt.qps, secToTicks(opt.warmupSec),
-        secToTicks(opt.durationSec), workload::QueryMix::fromApp(app),
-        users, opt.seed + 1);
+        scn.skew >= 0.0
+            ? workload::UserPopulation::skewed(scn.users, scn.skew)
+            : workload::UserPopulation::uniform(scn.users);
+    const auto r = apps::runShardedLoad(
+        sharded, scn.qps, secToTicks(scn.warmupSec),
+        secToTicks(scn.durationSec), users, scn.seed + 1);
+
+    // Cross-shard sums for the summary/report sections.
+    std::uint64_t failed_total = 0;
+    for (unsigned s = 0; s < nshards; ++s)
+        failed_total += sharded.shard(s).app->failedRequests();
 
     // ---- summary ---------------------------------------------------------
-    std::cout << opt.app << " @ " << opt.qps << " qps on " << opt.servers
-              << "x " << config.coreModel.name << "\n";
+    std::cout << scn.app << " @ " << scn.qps << " qps on " << scn.servers
+              << "x " << config.coreModel.name;
+    if (nshards > 1)
+        std::cout << " (" << nshards << " shards, "
+                  << sharded.engine().threads() << " threads)";
+    std::cout << "\n";
     TextTable summary({"metric", "value"});
     summary.add("completed", r.completed);
     summary.add("dropped", r.dropped);
     // Only present when something actually failed, so the default
     // (fault-free) output stays byte-identical.
-    if (app.failedRequests() > 0)
-        summary.add("failed", app.failedRequests());
+    if (failed_total > 0)
+        summary.add("failed", failed_total);
     summary.add("p50", fmtMs(r.p50));
     summary.add("p95", fmtMs(r.p95));
     summary.add("p99", fmtMs(r.p99));
@@ -457,13 +451,13 @@ main(int argc, char **argv)
                 fmtDouble(100.0 * r.networkShare, 1) + "%");
     summary.add("cluster CPU utilization",
                 fmtDouble(100.0 * r.meanUtilization, 2) + "%");
-    summary.add("events simulated", world.sim.eventsExecuted());
+    summary.add("events simulated", sharded.engine().eventsExecuted());
     {
         // Order-sensitive fingerprint of the executed event sequence;
-        // equal seeds must reproduce it bit-for-bit.
+        // equal seeds must reproduce it bit-for-bit (at any --threads).
         std::ostringstream digest;
         digest << std::hex << std::setw(16) << std::setfill('0')
-               << world.sim.executionDigest();
+               << sharded.engine().executionDigest();
         summary.add("execution digest", digest.str());
     }
     summary.print(std::cout);
@@ -472,7 +466,9 @@ main(int argc, char **argv)
     if (app.queryTypes().size() > 1) {
         TextTable q({"query type", "count", "p50(ms)", "p99(ms)"});
         for (unsigned i = 0; i < app.queryTypes().size(); ++i) {
-            const auto &h = app.endToEndLatencyFor(i);
+            Histogram h;
+            for (unsigned s = 0; s < nshards; ++s)
+                h.merge(sharded.shard(s).app->endToEndLatencyFor(i));
             if (h.count() == 0)
                 continue;
             q.add(app.queryTypes()[i].name, h.count(),
@@ -484,6 +480,13 @@ main(int argc, char **argv)
     }
 
     // ---- optional report sections ---------------------------------------
+    // Trace-derived sections read shard 0 (each shard records its own
+    // spans; the shards are statistical replicas).
+    if (nshards > 1 &&
+        (opt.report == "services" || opt.report == "traces" ||
+         !opt.traceOut.empty() || !opt.metricsOut.empty()))
+        std::cout << "note: trace/metrics sections cover shard 0 of "
+                  << nshards << "\n";
     if (opt.report == "services" || opt.report == "traces") {
         trace::TraceAnalysis ta(app.traceStore());
         printBanner(std::cout, "per-service (from traces)");
@@ -521,20 +524,25 @@ main(int argc, char **argv)
         const Tick window = secToTicks(600.0);
         const serverless::Ec2CostModel ec2;
         printBanner(std::cout, "cost (per 10 minutes)");
-        if (opt.lambda.empty()) {
-            std::cout << "EC2 reserved (" << opt.servers
+        if (scn.lambda.empty()) {
+            std::cout << "EC2 reserved (" << scn.servers * nshards
                       << " servers as m5.12xlarge): $"
-                      << fmtDouble(ec2.cost(opt.servers, window), 2)
+                      << fmtDouble(
+                             ec2.cost(scn.servers * nshards, window), 2)
                       << "\n";
         } else {
             const serverless::LambdaCostModel lc;
-            const auto inv = serverless::LambdaPlatform::invocations(
-                app, lambda_cfg.storeName);
-            const auto billed =
-                serverless::LambdaPlatform::billedDuration(
-                    app, lc, lambda_cfg.storeName);
-            const double scale = 600.0 / opt.durationSec;
-            std::cout << "Lambda (" << opt.lambda << " state): $"
+            std::uint64_t inv = 0;
+            Tick billed = 0;
+            for (unsigned s = 0; s < nshards; ++s) {
+                service::App &a = *sharded.shard(s).app;
+                inv += serverless::LambdaPlatform::invocations(
+                    a, lambda_cfg.storeName);
+                billed += serverless::LambdaPlatform::billedDuration(
+                    a, lc, lambda_cfg.storeName);
+            }
+            const double scale = 600.0 / scn.durationSec;
+            std::cout << "Lambda (" << scn.lambda << " state): $"
                       << fmtDouble(lc.cost(inv, billed) * scale, 2)
                       << "  (" << inv << " invocations measured)\n";
         }
@@ -558,30 +566,51 @@ main(int argc, char **argv)
             "fault.crashes",
             "fault.messages_dropped",
         };
-        for (const char *name : kCounters)
-            t.add(name, app.metrics().counter(name).value());
-        t.add("net.messages_dropped",
-              world.network->messagesDropped());
+        for (const char *name : kCounters) {
+            std::uint64_t total = 0;
+            for (unsigned s = 0; s < nshards; ++s)
+                total += sharded.shard(s)
+                             .app->metrics()
+                             .counter(name)
+                             .value();
+            t.add(name, total);
+        }
+        {
+            std::uint64_t net_dropped = 0;
+            for (unsigned s = 0; s < nshards; ++s)
+                net_dropped +=
+                    sharded.shard(s).network->messagesDropped();
+            t.add("net.messages_dropped", net_dropped);
+        }
         t.print(std::cout);
         TextTable e({"service", "served", "failed", "dropped"});
-        for (const service::Microservice *svc : app.services()) {
+        for (unsigned i = 0; i < app.services().size(); ++i) {
             std::uint64_t served = 0, failed = 0, dropped = 0;
-            for (const auto &inst : svc->instances()) {
-                served += inst->served();
-                failed += inst->failed();
-                dropped += inst->dropped();
+            for (unsigned s = 0; s < nshards; ++s) {
+                const service::Microservice *svc =
+                    sharded.shard(s).app->services()[i];
+                for (const auto &inst : svc->instances()) {
+                    served += inst->served();
+                    failed += inst->failed();
+                    dropped += inst->dropped();
+                }
             }
-            e.add(svc->name(), served, failed, dropped);
+            e.add(app.services()[i]->name(), served, failed, dropped);
         }
         printBanner(std::cout, "per-service outcomes");
         e.print(std::cout);
     }
     if (opt.report == "energy") {
+        double joules = 0.0, watts = 0.0;
+        for (const auto &meter : meters) {
+            joules += meter->totalJoules();
+            watts += meter->averageWatts();
+        }
         printBanner(std::cout, "energy");
-        std::cout << "cluster average power: "
-                  << fmtDouble(meter.averageWatts(), 0) << " W\n"
+        std::cout << "cluster average power: " << fmtDouble(watts, 0)
+                  << " W\n"
                   << "energy per completed request: "
-                  << fmtDouble(meter.totalJoules() /
+                  << fmtDouble(joules /
                                    std::max<double>(1.0, r.completed),
                                2)
                   << " J\n";
