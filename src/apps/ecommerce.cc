@@ -224,10 +224,10 @@ buildEcommerce(World &w, const AppOptions &opt)
     EcommerceQueries q;
     q.browseCatalogue =
         app.addQueryType({"browseCatalogue", 50.0, 1.0, 0, {"browse"}});
-    q.addToCart = app.addQueryType({"addToCart", 20.0, 1.0, 0, {"cart"}});
+    q.addToCart = app.addQueryType({"addToCart", 20.0, 1.0, 0, {"cart", "write"}});
     q.placeOrder =
-        app.addQueryType({"placeOrder", 15.0, 1.0, 0, {"order"}});
-    q.wishlist = app.addQueryType({"wishlist", 10.0, 1.0, 0, {"wish"}});
+        app.addQueryType({"placeOrder", 15.0, 1.0, 0, {"order", "write"}});
+    q.wishlist = app.addQueryType({"wishlist", 10.0, 1.0, 0, {"wish", "write"}});
     q.login = app.addQueryType({"login", 5.0, 1.0, 0, {"login"}});
     app.validate();
     return q;
@@ -285,10 +285,10 @@ buildEcommerceMonolith(World &w, const AppOptions &opt)
     EcommerceQueries q;
     q.browseCatalogue =
         app.addQueryType({"browseCatalogue", 50.0, 1.0, 0, {"browse"}});
-    q.addToCart = app.addQueryType({"addToCart", 20.0, 1.0, 0, {"cart"}});
+    q.addToCart = app.addQueryType({"addToCart", 20.0, 1.0, 0, {"cart", "write"}});
     q.placeOrder =
-        app.addQueryType({"placeOrder", 15.0, 1.0, 0, {"order"}});
-    q.wishlist = app.addQueryType({"wishlist", 10.0, 1.0, 0, {"wish"}});
+        app.addQueryType({"placeOrder", 15.0, 1.0, 0, {"order", "write"}});
+    q.wishlist = app.addQueryType({"wishlist", 10.0, 1.0, 0, {"wish", "write"}});
     q.login = app.addQueryType({"login", 5.0, 1.0, 0, {"login"}});
     app.validate();
     return q;

@@ -187,6 +187,46 @@ parseScenarioJson(const std::string &text, Scenario &out,
         } else if (key == "trace_capacity") {
             if ((ok = wantUnsigned(v, key, u)))
                 s.traceCapacity = static_cast<std::size_t>(u);
+        } else if (key == "data") {
+            if (!v.isObject()) {
+                error = "scenario key 'data' must be an object";
+                return false;
+            }
+            for (const auto &dkv : v.object) {
+                const std::string dkey = "data." + dkv.first;
+                const json::Value &dv = dkv.second;
+                bool dok = true;
+                if (dkv.first == "keys")
+                    dok = wantUnsigned(dv, dkey, s.dataKeys);
+                else if (dkv.first == "capacity")
+                    dok = wantUnsigned(dv, dkey, s.dataCapacity);
+                else if (dkv.first == "policy")
+                    dok = wantString(dv, dkey, s.dataPolicy);
+                else if (dkv.first == "popularity")
+                    dok = wantString(dv, dkey, s.dataPopularity);
+                else if (dkv.first == "zipf_s")
+                    dok = wantNumber(dv, dkey, s.dataZipfS);
+                else if (dkv.first == "hot_fraction")
+                    dok = wantNumber(dv, dkey, s.dataHotFraction);
+                else if (dkv.first == "hot_mass")
+                    dok = wantNumber(dv, dkey, s.dataHotMass);
+                else if (dkv.first == "ttl")
+                    dok = wantDuration(dv, dkey, s.dataTtl);
+                else if (dkv.first == "write")
+                    dok = wantString(dv, dkey, s.dataWrite);
+                else if (dkv.first == "shift_period")
+                    dok = wantDuration(dv, dkey, s.dataShiftPeriod);
+                else if (dkv.first == "vnodes") {
+                    if ((dok = wantUnsigned(dv, dkey, u)))
+                        s.dataVnodes = static_cast<unsigned>(u);
+                } else {
+                    error = strCat("unknown scenario key 'data.",
+                                   dkv.first, "'");
+                    return false;
+                }
+                if (!dok)
+                    return false;
+            }
         } else if (key == "faults") {
             if (!v.isArray()) {
                 error = "scenario key 'faults' must be an array";
@@ -246,6 +286,44 @@ parseScenarioJson(const std::string &text, Scenario &out,
         error = strCat("unknown core model '", s.core, "'");
         return false;
     }
+    data::CachePolicy pol;
+    if (!data::cachePolicyByName(s.dataPolicy, pol)) {
+        error = strCat("unknown data.policy '", s.dataPolicy,
+                       "' (want lru, lfu or slru)");
+        return false;
+    }
+    data::Popularity pop;
+    if (!data::popularityByName(s.dataPopularity, pop)) {
+        error = strCat("unknown data.popularity '", s.dataPopularity,
+                       "' (want zipf, uniform or hotspot)");
+        return false;
+    }
+    data::WritePolicy wp;
+    if (!data::writePolicyByName(s.dataWrite, wp)) {
+        error = strCat("unknown data.write '", s.dataWrite,
+                       "' (want through or invalidate)");
+        return false;
+    }
+    if (s.dataKeys > 0 && s.dataCapacity == 0) {
+        error = "data.capacity must be positive when data.keys is set";
+        return false;
+    }
+    if (s.dataZipfS < 0.0) {
+        error = "data.zipf_s must be >= 0";
+        return false;
+    }
+    if (s.dataHotFraction <= 0.0 || s.dataHotFraction > 1.0) {
+        error = "data.hot_fraction must be in (0, 1]";
+        return false;
+    }
+    if (s.dataHotMass < 0.0 || s.dataHotMass > 1.0) {
+        error = "data.hot_mass must be in [0, 1]";
+        return false;
+    }
+    if (s.dataVnodes == 0) {
+        error = "data.vnodes must be positive";
+        return false;
+    }
 
     out = std::move(s);
     return true;
@@ -281,6 +359,19 @@ scenarioToJson(const Scenario &s)
     w.field("shed", s.shed);
     w.field("trace_capacity",
             static_cast<std::uint64_t>(s.traceCapacity));
+    w.beginObject("data");
+    w.field("keys", s.dataKeys);
+    w.field("capacity", s.dataCapacity);
+    w.field("policy", s.dataPolicy);
+    w.field("popularity", s.dataPopularity);
+    w.field("zipf_s", s.dataZipfS);
+    w.field("hot_fraction", s.dataHotFraction);
+    w.field("hot_mass", s.dataHotMass);
+    w.field("ttl", ticksField(s.dataTtl));
+    w.field("write", s.dataWrite);
+    w.field("shift_period", ticksField(s.dataShiftPeriod));
+    w.field("vnodes", s.dataVnodes);
+    w.endObject();
     w.beginArray("faults");
     for (const fault::FaultSpec &f : s.faults)
         writeFault(w, f);
@@ -301,6 +392,27 @@ coreModelByName(const std::string &name, cpu::CoreModel &out)
     else
         return false;
     return true;
+}
+
+data::DataTierConfig
+dataTierConfigFor(const Scenario &s)
+{
+    data::DataTierConfig c;
+    c.keyspace.keys = s.dataKeys;
+    if (!data::popularityByName(s.dataPopularity, c.keyspace.popularity))
+        fatal(strCat("unknown data popularity '", s.dataPopularity, "'"));
+    c.keyspace.zipfS = s.dataZipfS;
+    c.keyspace.hotFraction = s.dataHotFraction;
+    c.keyspace.hotMass = s.dataHotMass;
+    c.keyspace.shiftPeriod = s.dataShiftPeriod;
+    c.cache.capacity = s.dataCapacity;
+    if (!data::cachePolicyByName(s.dataPolicy, c.cache.policy))
+        fatal(strCat("unknown data policy '", s.dataPolicy, "'"));
+    if (!data::writePolicyByName(s.dataWrite, c.cache.write))
+        fatal(strCat("unknown data write policy '", s.dataWrite, "'"));
+    c.cache.ttl = s.dataTtl;
+    c.vnodes = s.dataVnodes;
+    return c;
 }
 
 WorldConfig
@@ -349,6 +461,11 @@ buildScenarioApp(World &w, const Scenario &s)
         buildSingleTier(w, SingleTierKind::Recommender);
     else
         fatal(strCat("unknown app '", n, "' (try --list)"));
+
+    // The keyed data tier is strictly opt-in: without keys the build
+    // above is byte-identical to every pre-data-tier scenario.
+    if (s.dataKeys > 0)
+        w.app->enableKeyedData(dataTierConfigFor(s));
 }
 
 ShardedWorld::ShardedWorld(const WorldConfig &base, unsigned shards,

@@ -26,6 +26,7 @@
 
 #include "apps/builder.hh"
 #include "core/parallel.hh"
+#include "data/config.hh"
 #include "fault/fault.hh"
 #include "trace/collector.hh"
 #include "workload/load_sweep.hh"
@@ -73,10 +74,26 @@ struct Scenario
     bool breaker = false;
     unsigned shed = 0;
 
+    // -- keyed data tier (0 keys = legacy fixed-hitProb caches) -----
+    std::uint64_t dataKeys = 0;
+    std::uint64_t dataCapacity = 4096; ///< entries per cache instance
+    std::string dataPolicy = "lru";        ///< lru | lfu | slru
+    std::string dataPopularity = "zipf";   ///< zipf | uniform | hotspot
+    double dataZipfS = 1.0;
+    double dataHotFraction = 0.1;
+    double dataHotMass = 0.9;
+    Tick dataTtl = 0;
+    std::string dataWrite = "through";     ///< through | invalidate
+    Tick dataShiftPeriod = 0;
+    unsigned dataVnodes = 64;
+
     // -- faults & tracing -------------------------------------------
     std::vector<fault::FaultSpec> faults;
     std::size_t traceCapacity = trace::TraceStore::kDefaultCapacity;
 };
+
+/** The DataTierConfig a scenario's data fields describe. */
+data::DataTierConfig dataTierConfigFor(const Scenario &s);
 
 /**
  * Parse a scenario JSON document. Unknown keys are errors (typos must

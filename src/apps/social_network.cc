@@ -33,25 +33,27 @@ registerQueries(service::App &app)
     q.readTimeline = app.addQueryType(
         {"readTimeline", 55.0, 1.0, 0, {"read"}});
     q.composeText = app.addQueryType(
-        {"composePost-text", 20.0, 1.0, 0, {"compose"}});
+        {"composePost-text", 20.0, 1.0, 0, {"compose", "write"}});
     q.composeImage = app.addQueryType(
-        {"composePost-image", 8.0, 1.15, 200 * kKiB, {"compose", "image"}});
+        {"composePost-image", 8.0, 1.15, 200 * kKiB,
+         {"compose", "image", "write"}});
     q.composeVideo = app.addQueryType(
-        {"composePost-video", 4.0, 1.3, 1536 * kKiB, {"compose", "video"}});
+        {"composePost-video", 4.0, 1.3, 1536 * kKiB,
+         {"compose", "video", "write"}});
     q.repost = app.addQueryType(
-        {"repost", 4.0, 1.1, 0, {"read", "compose"}});
+        {"repost", 4.0, 1.1, 0, {"read", "compose", "write"}});
     // Replying publicly reads the post then composes the reply; a
     // direct message writes straight into one user's inbox timeline.
     q.reply = app.addQueryType({"reply", 3.0, 1.0, 0, {"reply"}});
     q.directMessage =
-        app.addQueryType({"directMessage", 3.0, 1.0, 0, {"dm"}});
+        app.addQueryType({"directMessage", 3.0, 1.0, 0, {"dm", "write"}});
     q.login = app.addQueryType({"login", 4.0, 1.0, 0, {"login"}});
     q.followUser = app.addQueryType(
-        {"followUser", 5.0, 1.0, 0, {"follow"}});
+        {"followUser", 5.0, 1.0, 0, {"follow", "write"}});
     q.unfollowUser = app.addQueryType(
-        {"unfollowUser", 2.0, 1.0, 0, {"follow"}});
+        {"unfollowUser", 2.0, 1.0, 0, {"follow", "write"}});
     q.blockUser = app.addQueryType(
-        {"blockUser", 1.0, 1.0, 0, {"block"}});
+        {"blockUser", 1.0, 1.0, 0, {"block", "write"}});
     return q;
 }
 

@@ -1,0 +1,265 @@
+#include "data/cache_model.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace uqsim::data {
+
+namespace {
+
+inline void
+bump(Counter *c)
+{
+    if (c)
+        c->inc();
+}
+
+} // namespace
+
+const char *
+cachePolicyName(CachePolicy p)
+{
+    switch (p) {
+      case CachePolicy::Lru:
+        return "lru";
+      case CachePolicy::Lfu:
+        return "lfu";
+      case CachePolicy::SegmentedLru:
+        return "slru";
+    }
+    return "unknown";
+}
+
+bool
+cachePolicyByName(const std::string &name, CachePolicy &out)
+{
+    if (name == "lru")
+        out = CachePolicy::Lru;
+    else if (name == "lfu")
+        out = CachePolicy::Lfu;
+    else if (name == "slru")
+        out = CachePolicy::SegmentedLru;
+    else
+        return false;
+    return true;
+}
+
+const char *
+writePolicyName(WritePolicy p)
+{
+    switch (p) {
+      case WritePolicy::Through:
+        return "through";
+      case WritePolicy::Invalidate:
+        return "invalidate";
+    }
+    return "unknown";
+}
+
+bool
+writePolicyByName(const std::string &name, WritePolicy &out)
+{
+    if (name == "through")
+        out = WritePolicy::Through;
+    else if (name == "invalidate")
+        out = WritePolicy::Invalidate;
+    else
+        return false;
+    return true;
+}
+
+CacheModel::CacheModel(CacheModelConfig config) : config_(config)
+{
+    if (config_.capacity == 0)
+        fatal("CacheModel with zero capacity");
+    if (config_.policy == CachePolicy::SegmentedLru) {
+        const double frac =
+            std::clamp(config_.protectedFraction, 0.0, 1.0);
+        protectedCapacity_ = std::min<std::uint64_t>(
+            config_.capacity - 1,
+            static_cast<std::uint64_t>(
+                frac * static_cast<double>(config_.capacity)));
+    }
+}
+
+void
+CacheModel::bindMetrics(MetricsRegistry &m, const std::string &tier)
+{
+    hits_ = &m.counter("data." + tier + ".hits");
+    misses_ = &m.counter("data." + tier + ".misses");
+    inserts_ = &m.counter("data." + tier + ".inserts");
+    evictions_ = &m.counter("data." + tier + ".evictions");
+    expirations_ = &m.counter("data." + tier + ".expirations");
+    invalidations_ = &m.counter("data." + tier + ".invalidations");
+    writes_ = &m.counter("data." + tier + ".writes");
+    coldRestarts_ = &m.counter("data." + tier + ".cold_restarts");
+}
+
+bool
+CacheModel::expired(const Entry &e, Tick now) const
+{
+    return config_.ttl != 0 && now >= e.written + config_.ttl;
+}
+
+bool
+CacheModel::access(std::uint64_t key, Tick now)
+{
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        if (expired(it->second, now)) {
+            eraseEntry(key, it->second);
+            ++stats_.expirations;
+            bump(expirations_);
+        } else {
+            ++stats_.hits;
+            bump(hits_);
+            touch(key, it->second);
+            return true;
+        }
+    }
+    ++stats_.misses;
+    bump(misses_);
+    insert(key, now);
+    return false;
+}
+
+void
+CacheModel::write(std::uint64_t key, Tick now)
+{
+    ++stats_.writes;
+    bump(writes_);
+    auto it = entries_.find(key);
+    if (config_.write == WritePolicy::Through) {
+        if (it != entries_.end()) {
+            it->second.written = now;
+            touch(key, it->second);
+        } else {
+            insert(key, now);
+        }
+        return;
+    }
+    if (it != entries_.end()) {
+        eraseEntry(key, it->second);
+        ++stats_.invalidations;
+        bump(invalidations_);
+    }
+}
+
+void
+CacheModel::clearCold()
+{
+    entries_.clear();
+    recency_[0].clear();
+    recency_[1].clear();
+    freqBuckets_.clear();
+    ++stats_.coldRestarts;
+    bump(coldRestarts_);
+}
+
+void
+CacheModel::eraseEntry(std::uint64_t key, Entry &e)
+{
+    if (config_.policy == CachePolicy::Lfu) {
+        auto bit = freqBuckets_.find(e.freq);
+        bit->second.erase(e.where);
+        if (bit->second.empty())
+            freqBuckets_.erase(bit);
+    } else {
+        recency_[e.segment].erase(e.where);
+    }
+    entries_.erase(key);
+}
+
+void
+CacheModel::insert(std::uint64_t key, Tick now)
+{
+    while (entries_.size() >= config_.capacity)
+        evictOne();
+    Entry e;
+    e.written = now;
+    if (config_.policy == CachePolicy::Lfu) {
+        e.freq = 1;
+        auto &bucket = freqBuckets_[1];
+        bucket.push_back(key);
+        e.where = std::prev(bucket.end());
+    } else {
+        // LRU and SLRU both install at the probation/recency head.
+        recency_[0].push_front(key);
+        e.where = recency_[0].begin();
+        e.segment = 0;
+    }
+    entries_.emplace(key, e);
+    ++stats_.inserts;
+    bump(inserts_);
+}
+
+void
+CacheModel::evictOne()
+{
+    std::uint64_t victim = 0;
+    switch (config_.policy) {
+      case CachePolicy::Lru:
+        victim = recency_[0].back();
+        break;
+      case CachePolicy::SegmentedLru:
+        // Probation evicts first; the protected segment is only
+        // raided when probation is empty.
+        victim = recency_[0].empty() ? recency_[1].back()
+                                     : recency_[0].back();
+        break;
+      case CachePolicy::Lfu:
+        // Coldest frequency bucket, FIFO within it.
+        victim = freqBuckets_.begin()->second.front();
+        break;
+    }
+    auto it = entries_.find(victim);
+    eraseEntry(victim, it->second);
+    ++stats_.evictions;
+    bump(evictions_);
+}
+
+void
+CacheModel::touch(std::uint64_t key, Entry &e)
+{
+    switch (config_.policy) {
+      case CachePolicy::Lru:
+        recency_[0].splice(recency_[0].begin(), recency_[0], e.where);
+        return;
+      case CachePolicy::Lfu: {
+        auto bit = freqBuckets_.find(e.freq);
+        bit->second.erase(e.where);
+        if (bit->second.empty())
+            freqBuckets_.erase(bit);
+        ++e.freq;
+        auto &bucket = freqBuckets_[e.freq];
+        bucket.push_back(key);
+        e.where = std::prev(bucket.end());
+        return;
+      }
+      case CachePolicy::SegmentedLru:
+        if (e.segment == 1) {
+            recency_[1].splice(recency_[1].begin(), recency_[1],
+                               e.where);
+            return;
+        }
+        // Promotion on a probation hit; the protected segment demotes
+        // its own LRU tail back to probation when over budget.
+        recency_[0].erase(e.where);
+        recency_[1].push_front(key);
+        e.where = recency_[1].begin();
+        e.segment = 1;
+        if (recency_[1].size() > protectedCapacity_ &&
+            recency_[1].size() > 1) {
+            const std::uint64_t demoted = recency_[1].back();
+            recency_[1].pop_back();
+            recency_[0].push_front(demoted);
+            Entry &d = entries_.find(demoted)->second;
+            d.where = recency_[0].begin();
+            d.segment = 0;
+        }
+        return;
+    }
+}
+
+} // namespace uqsim::data

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Bounded-memory cache models with emergent hit/miss behaviour.
+ *
+ * A CacheModel is one cache process's resident set: a bounded number
+ * of entries managed by LRU, LFU or segmented-LRU replacement, with
+ * optional TTL expiry and a write policy (write-through keeps written
+ * keys warm; write-invalidate evicts them). Hit/miss is *emergent*
+ * from the access stream and the capacity — there is no hit-probability
+ * knob — which is what makes cold caches after a crash, warm-up
+ * transients after scale-out, and working-set effects under skew
+ * reproducible phenomena instead of inputs.
+ *
+ * The model is fill-on-miss (cache-aside): a read miss installs the
+ * key immediately, as trace-driven cache simulators do; fill latency
+ * is modelled by the database RPC the handler issues on the miss, not
+ * inside the cache. All bookkeeping is deterministic: replacement
+ * order derives from lists and ordered maps only, never from
+ * unordered-container iteration.
+ */
+
+#ifndef UQSIM_DATA_CACHE_MODEL_HH
+#define UQSIM_DATA_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "core/metrics.hh"
+#include "core/types.hh"
+
+namespace uqsim::data {
+
+/** Replacement policy. */
+enum class CachePolicy
+{
+    Lru,           ///< classic least-recently-used (memcached default)
+    Lfu,           ///< least-frequently-used, FIFO within a frequency
+    SegmentedLru,  ///< probation + protected segments (scan-resistant)
+};
+
+/** What a write does to the cached copy. */
+enum class WritePolicy
+{
+    Through,     ///< write updates the cache entry (stays warm)
+    Invalidate,  ///< write evicts the entry (next read misses)
+};
+
+const char *cachePolicyName(CachePolicy p);
+bool cachePolicyByName(const std::string &name, CachePolicy &out);
+const char *writePolicyName(WritePolicy p);
+bool writePolicyByName(const std::string &name, WritePolicy &out);
+
+/** Configuration of one cache instance's store. */
+struct CacheModelConfig
+{
+    /** Resident-set capacity in entries (must be > 0). */
+    std::uint64_t capacity = 4096;
+
+    CachePolicy policy = CachePolicy::Lru;
+
+    WritePolicy write = WritePolicy::Through;
+
+    /** Entry time-to-live (0 = entries never expire). */
+    Tick ttl = 0;
+
+    /** Fraction of capacity given to the protected segment (SLRU). */
+    double protectedFraction = 0.8;
+};
+
+/** Cumulative per-instance accounting. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t expirations = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t writes = 0;
+    /** Cold restarts (crash or fresh scale-out replica). */
+    std::uint64_t coldRestarts = 0;
+
+    double
+    hitRatio() const
+    {
+        const std::uint64_t n = hits + misses;
+        return n ? static_cast<double>(hits) / static_cast<double>(n)
+                 : 0.0;
+    }
+};
+
+/**
+ * One cache instance's keyed store.
+ */
+class CacheModel
+{
+  public:
+    explicit CacheModel(CacheModelConfig config);
+
+    CacheModel(const CacheModel &) = delete;
+    CacheModel &operator=(const CacheModel &) = delete;
+
+    const CacheModelConfig &config() const { return config_; }
+
+    /**
+     * Bind shared per-tier counters (data.<tier>.*). Instances of a
+     * tier share the counters; per-instance detail stays in stats().
+     */
+    void bindMetrics(MetricsRegistry &m, const std::string &tier);
+
+    /**
+     * One read access to @p key at time @p now. @return true on hit.
+     * A miss installs the key (fill-on-miss), evicting per policy.
+     */
+    bool access(std::uint64_t key, Tick now);
+
+    /** One write: apply the write policy (update or invalidate). */
+    void write(std::uint64_t key, Tick now);
+
+    /** Drop everything: the process died or just started. */
+    void clearCold();
+
+    /** Resident entries right now. */
+    std::uint64_t size() const { return entries_.size(); }
+
+    const CacheStats &stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        /** Position in the recency list of segment_ (LRU/SLRU). */
+        std::list<std::uint64_t>::iterator where;
+        /** Which SLRU segment holds the key (0 probation, 1 protected). */
+        std::uint8_t segment = 0;
+        /** Access count (LFU). */
+        std::uint64_t freq = 0;
+        /** Insert/refresh time for TTL expiry. */
+        Tick written = 0;
+    };
+
+    bool expired(const Entry &e, Tick now) const;
+    void eraseEntry(std::uint64_t key, Entry &e);
+    /** Install @p key, evicting per policy if at capacity. */
+    void insert(std::uint64_t key, Tick now);
+    void evictOne();
+    /** Move @p key to the front of its recency order after a hit. */
+    void touch(std::uint64_t key, Entry &e);
+
+    CacheModelConfig config_;
+    std::uint64_t protectedCapacity_ = 0;
+
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    /** Recency lists, MRU at front: [0] probation/LRU, [1] protected. */
+    std::list<std::uint64_t> recency_[2];
+    /** LFU frequency buckets, FIFO within a bucket; begin() = coldest. */
+    std::map<std::uint64_t, std::list<std::uint64_t>> freqBuckets_;
+
+    CacheStats stats_;
+    /** Shared tier counters (null until bindMetrics). */
+    Counter *hits_ = nullptr;
+    Counter *misses_ = nullptr;
+    Counter *inserts_ = nullptr;
+    Counter *evictions_ = nullptr;
+    Counter *expirations_ = nullptr;
+    Counter *invalidations_ = nullptr;
+    Counter *writes_ = nullptr;
+    Counter *coldRestarts_ = nullptr;
+};
+
+} // namespace uqsim::data
+
+#endif // UQSIM_DATA_CACHE_MODEL_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Aggregate configuration of the keyed data tier, plus the routing
+ * hint RPCs carry when a call is addressed to a key's shard.
+ */
+
+#ifndef UQSIM_DATA_CONFIG_HH
+#define UQSIM_DATA_CONFIG_HH
+
+#include <cstdint>
+
+#include "data/cache_model.hh"
+#include "data/keyspace.hh"
+
+namespace uqsim::data {
+
+/**
+ * Everything `App::enableKeyedData()` needs: the key universe, the
+ * per-instance cache store, and the ring grain. keys == 0 means the
+ * keyed tier is disabled and the legacy fixed-hitProb path runs
+ * bit-for-bit unchanged.
+ */
+struct DataTierConfig
+{
+    KeyspaceConfig keyspace;
+
+    /** Store of each cache instance (capacity is per instance). */
+    CacheModelConfig cache;
+
+    /** Virtual ring points per shard of every stateful tier. */
+    unsigned vnodes = 64;
+
+    bool enabled() const { return keyspace.keys > 0; }
+};
+
+/**
+ * How one RPC should be routed. Passed by value through the RPC path
+ * because instance selection happens at a later simulated time than
+ * the stage that issued the call, and the Request object is shared
+ * by every concurrent hop — a mutable field on it would race.
+ */
+struct RouteHint
+{
+    /** Data key the call is about (valid when byKey). */
+    std::uint64_t key = 0;
+
+    /** Route by consistent-hash shard of `key` instead of user id. */
+    bool byKey = false;
+};
+
+/**
+ * Query-type tag marking writes: keyed cache stages of queries
+ * carrying this tag apply the write policy (update or invalidate)
+ * instead of a read lookup.
+ */
+inline constexpr const char *kWriteTag = "write";
+
+} // namespace uqsim::data
+
+#endif // UQSIM_DATA_CONFIG_HH

@@ -1,0 +1,135 @@
+#include "data/keyspace.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace uqsim::data {
+
+const char *
+popularityName(Popularity p)
+{
+    switch (p) {
+      case Popularity::Zipf:
+        return "zipf";
+      case Popularity::Uniform:
+        return "uniform";
+      case Popularity::Hotspot:
+        return "hotspot";
+    }
+    return "unknown";
+}
+
+bool
+popularityByName(const std::string &name, Popularity &out)
+{
+    if (name == "zipf")
+        out = Popularity::Zipf;
+    else if (name == "uniform")
+        out = Popularity::Uniform;
+    else if (name == "hotspot")
+        out = Popularity::Hotspot;
+    else
+        return false;
+    return true;
+}
+
+KeyPopularity::KeyPopularity(const KeyspaceConfig &config)
+    : config_(config),
+      // The Zipf table is built only when used; a 1-key placeholder
+      // keeps the member cheap for the other laws.
+      zipf_(config.popularity == Popularity::Zipf
+                ? static_cast<std::size_t>(std::max<std::uint64_t>(
+                      1, config.keys))
+                : 1,
+            config.zipfS)
+{
+    if (config_.keys == 0)
+        fatal("KeyPopularity over an empty keyspace");
+    if (config_.popularity == Popularity::Hotspot) {
+        hotKeys_ = static_cast<std::uint64_t>(
+            std::ceil(config_.hotFraction *
+                      static_cast<double>(config_.keys)));
+        hotKeys_ = std::clamp<std::uint64_t>(hotKeys_, 1, config_.keys);
+    }
+}
+
+std::uint64_t
+KeyPopularity::sampleRank(Rng &rng) const
+{
+    switch (config_.popularity) {
+      case Popularity::Zipf:
+        return static_cast<std::uint64_t>(zipf_.sample(rng));
+      case Popularity::Uniform:
+        return rng.uniformInt(config_.keys);
+      case Popularity::Hotspot: {
+        // One draw decides both hot-vs-cold and the position within
+        // the chosen set, keeping the one-draw-per-access contract.
+        const double u = rng.uniform01();
+        if (u < config_.hotMass && hotKeys_ > 0) {
+            const double frac = u / std::max(1e-300, config_.hotMass);
+            const auto r = static_cast<std::uint64_t>(
+                frac * static_cast<double>(hotKeys_));
+            return std::min(r, hotKeys_ - 1);
+        }
+        const std::uint64_t coldKeys = config_.keys - hotKeys_;
+        if (coldKeys == 0)
+            return config_.keys - 1;
+        const double frac = (u - config_.hotMass) /
+                            std::max(1e-300, 1.0 - config_.hotMass);
+        const auto r = static_cast<std::uint64_t>(
+            frac * static_cast<double>(coldKeys));
+        return hotKeys_ + std::min(r, coldKeys - 1);
+      }
+    }
+    return 0;
+}
+
+double
+KeyPopularity::rankProbability(std::uint64_t rank) const
+{
+    if (rank >= config_.keys)
+        return 0.0;
+    switch (config_.popularity) {
+      case Popularity::Zipf: {
+        const double below =
+            rank ? zipf_.topKMass(static_cast<std::size_t>(rank)) : 0.0;
+        return zipf_.topKMass(static_cast<std::size_t>(rank + 1)) - below;
+      }
+      case Popularity::Uniform:
+        return 1.0 / static_cast<double>(config_.keys);
+      case Popularity::Hotspot:
+        if (rank < hotKeys_)
+            return config_.hotMass / static_cast<double>(hotKeys_);
+        return (1.0 - config_.hotMass) /
+               static_cast<double>(config_.keys - hotKeys_);
+    }
+    return 0.0;
+}
+
+Keyspace::Keyspace(const KeyspaceConfig &config)
+    : config_(config), popularity_(config)
+{}
+
+std::uint64_t
+Keyspace::keyForRank(std::uint64_t rank, Tick now) const
+{
+    if (config_.shiftPeriod == 0)
+        return rank;
+    // Rotate the rank->key mapping once per period by a large odd
+    // stride, so consecutive hot sets are disjoint key regions (a
+    // modest +1 rotation would keep most of the old hot set hot).
+    const std::uint64_t window = now / config_.shiftPeriod;
+    const std::uint64_t stride =
+        (config_.keys / 2) | 1; // odd => full-cycle rotation
+    return (rank + window * stride) % config_.keys;
+}
+
+std::uint64_t
+Keyspace::sampleKey(Rng &rng, Tick now) const
+{
+    return keyForRank(popularity_.sampleRank(rng), now);
+}
+
+} // namespace uqsim::data

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Key universes and key popularity for the stateful data tier.
+ *
+ * Every DeathStarBench application leans on memcached/MongoDB tiers,
+ * and the phenomena the paper reports around them — tail-at-scale
+ * under skew (Fig 22), slow post-incident recovery (Fig 20) — are
+ * driven by *which keys* requests touch: a few hot keys concentrate
+ * load and fill caches, and a cold cache after a crash re-learns the
+ * same hot set. A Keyspace models that: a bounded universe of keys
+ * with a popularity law (Zipf, uniform, or a shifting hotspot),
+ * sampled deterministically from the app's existing RNG stream.
+ *
+ * Sampling returns an abstract key id in [0, keys). Hot keys have low
+ * ranks; the ShardMap hashes ids onto shards, so the hottest key lands
+ * on exactly one shard and hot-shard effects emerge without tuning.
+ */
+
+#ifndef UQSIM_DATA_KEYSPACE_HH
+#define UQSIM_DATA_KEYSPACE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/distributions.hh"
+#include "core/rng.hh"
+#include "core/types.hh"
+
+namespace uqsim::data {
+
+/** Popularity law over the key universe. */
+enum class Popularity
+{
+    Zipf,     ///< rank r drawn with P(r) ~ 1/r^s (IRM)
+    Uniform,  ///< every key equally likely
+    Hotspot,  ///< a small hot set receives most accesses
+};
+
+/** @return printable name ("zipf", "uniform", "hotspot"). */
+const char *popularityName(Popularity p);
+
+/** Parse a popularity name; @return false if unknown. */
+bool popularityByName(const std::string &name, Popularity &out);
+
+/** Declarative description of one key universe. */
+struct KeyspaceConfig
+{
+    /** Number of distinct keys (0 = keyed data tier disabled). */
+    std::uint64_t keys = 0;
+
+    Popularity popularity = Popularity::Zipf;
+
+    /** Zipf exponent s (Popularity::Zipf). */
+    double zipfS = 1.0;
+
+    /** Fraction of keys that form the hot set (Popularity::Hotspot). */
+    double hotFraction = 0.1;
+
+    /** Fraction of accesses that go to the hot set. */
+    double hotMass = 0.9;
+
+    /**
+     * Period after which the popularity ranking rotates to a different
+     * region of the keyspace (0 = static). A shifting hotspot forces
+     * caches to continuously re-warm — the paper's diurnal/trending
+     * access patterns in miniature.
+     */
+    Tick shiftPeriod = 0;
+};
+
+/**
+ * KeyPopularity: draws a popularity *rank* (0 = hottest). Split from
+ * Keyspace so the statistical tests can validate the rank law in
+ * isolation from the rank->key rotation.
+ */
+class KeyPopularity
+{
+  public:
+    KeyPopularity(const KeyspaceConfig &config);
+
+    /** Draw a rank in [0, keys); one uniform draw from @p rng. */
+    std::uint64_t sampleRank(Rng &rng) const;
+
+    /** Closed-form probability of @p rank (the chi-square oracle). */
+    double rankProbability(std::uint64_t rank) const;
+
+  private:
+    KeyspaceConfig config_;
+    /** Inverted-CDF sampler (Zipf only). */
+    ZipfDistribution zipf_;
+    /** Hot-set size in keys (Hotspot only). */
+    std::uint64_t hotKeys_ = 0;
+};
+
+/**
+ * A key universe: popularity + time-based rotation. sampleKey() is the
+ * one hot-path entry point: exactly one RNG draw per access, taken
+ * from the caller's stream, so keyed runs stay seed-deterministic at
+ * any shard/thread count.
+ */
+class Keyspace
+{
+  public:
+    explicit Keyspace(const KeyspaceConfig &config);
+
+    const KeyspaceConfig &config() const { return config_; }
+    std::uint64_t keys() const { return config_.keys; }
+
+    /**
+     * Draw the key accessed by one data operation at time @p now.
+     * Rank is drawn from the popularity law; with a shift period the
+     * rank->key mapping rotates once per period, moving the hot set.
+     */
+    std::uint64_t sampleKey(Rng &rng, Tick now) const;
+
+    /** The key identity of @p rank at time @p now (test hook). */
+    std::uint64_t keyForRank(std::uint64_t rank, Tick now) const;
+
+  private:
+    KeyspaceConfig config_;
+    KeyPopularity popularity_;
+};
+
+} // namespace uqsim::data
+
+#endif // UQSIM_DATA_KEYSPACE_HH

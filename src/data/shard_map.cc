@@ -1,0 +1,51 @@
+#include "data/shard_map.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace uqsim::data {
+
+ShardMap::ShardMap(unsigned vnodes) : vnodes_(vnodes)
+{
+    if (vnodes_ == 0)
+        fatal("ShardMap with zero vnodes");
+}
+
+void
+ShardMap::rebuild(unsigned shards)
+{
+    if (shards == 0)
+        fatal("ShardMap with zero shards");
+    shards_ = shards;
+    ring_.clear();
+    ring_.reserve(static_cast<std::size_t>(shards) * vnodes_);
+    for (unsigned s = 0; s < shards; ++s)
+        for (unsigned v = 0; v < vnodes_; ++v)
+            ring_.push_back(
+                {mixKey((static_cast<std::uint64_t>(s) << 32) | v), s});
+    std::sort(ring_.begin(), ring_.end(),
+              [](const Point &a, const Point &b) {
+                  // Positions can collide across shards; break the tie
+                  // by shard id so the ring order is total.
+                  return a.position != b.position
+                             ? a.position < b.position
+                             : a.shard < b.shard;
+              });
+}
+
+unsigned
+ShardMap::shardFor(std::uint64_t key) const
+{
+    if (ring_.empty())
+        fatal("ShardMap::shardFor before rebuild()");
+    const std::uint64_t h = mixKey(key);
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), h,
+        [](const Point &p, std::uint64_t pos) { return p.position < pos; });
+    if (it == ring_.end())
+        it = ring_.begin(); // wrap around the ring
+    return it->shard;
+}
+
+} // namespace uqsim::data

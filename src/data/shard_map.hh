@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Consistent-hash key -> shard placement for stateful tiers.
+ *
+ * Cache and database tiers shard their key universe across instances.
+ * A ShardMap places each shard at several virtual points on a hash
+ * ring and routes a key to the first point clockwise of the key's own
+ * hash — the memcached-client/Dynamo scheme. Two properties matter
+ * for the simulation: the hottest key maps to exactly *one* shard
+ * (hot-shard tails emerge without tuning), and growing the tier moves
+ * only ~1/n of the keys (a scale-out warms up the new replica instead
+ * of chilling every shard, unlike modulo placement).
+ *
+ * Hashing is a fixed 64-bit mixer, not std::hash, so placement is
+ * identical across platforms and library versions — digests depend
+ * on it.
+ */
+
+#ifndef UQSIM_DATA_SHARD_MAP_HH
+#define UQSIM_DATA_SHARD_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace uqsim::data {
+
+/** SplitMix64 finalizer: the ring's position/lookup mixer. */
+inline std::uint64_t
+mixKey(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Hash-ring placement of @p shards shards.
+ */
+class ShardMap
+{
+  public:
+    /** @param vnodes virtual ring points per shard (placement grain). */
+    explicit ShardMap(unsigned vnodes = 64);
+
+    /** (Re)build the ring for @p shards shards. */
+    void rebuild(unsigned shards);
+
+    unsigned shards() const { return shards_; }
+    unsigned vnodes() const { return vnodes_; }
+
+    /** The shard owning @p key (ring successor of the key's hash). */
+    unsigned shardFor(std::uint64_t key) const;
+
+  private:
+    struct Point
+    {
+        std::uint64_t position;
+        unsigned shard;
+    };
+
+    unsigned vnodes_;
+    unsigned shards_ = 0;
+    /** Ring points sorted by position. */
+    std::vector<Point> ring_;
+};
+
+} // namespace uqsim::data
+
+#endif // UQSIM_DATA_SHARD_MAP_HH

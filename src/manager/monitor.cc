@@ -93,6 +93,28 @@ Monitor::sampleOnce()
                                      static_cast<double>(finished)
                                : 0.0;
 
+        if (svc->hasCacheModels()) {
+            // Interval hit ratio from the tier's registry counters
+            // (which include downed-shard misses the models never see).
+            const std::uint64_t hits =
+                app_.metrics()
+                    .counter("data." + svc->name() + ".hits")
+                    .value();
+            const std::uint64_t misses =
+                app_.metrics()
+                    .counter("data." + svc->name() + ".misses")
+                    .value();
+            const std::uint64_t h = hits - lastHits_[svc];
+            const std::uint64_t m = misses - lastMisses_[svc];
+            lastHits_[svc] = hits;
+            lastMisses_[svc] = misses;
+            s.cacheLookups = h + m;
+            s.hitRatio = s.cacheLookups
+                             ? static_cast<double>(h) /
+                                   static_cast<double>(s.cacheLookups)
+                             : 0.0;
+        }
+
         // Publish the same signals to the app-wide registry so one
         // metrics snapshot shows what the cluster manager saw.
         TierGauges &g = gaugesFor(*svc);
@@ -102,6 +124,8 @@ Monitor::sampleOnce()
         g.queueDepth->set(s.queueDepth);
         g.instances->set(static_cast<double>(s.instances));
         g.errorRate->set(s.errorRate);
+        if (g.hitRatio)
+            g.hitRatio->set(s.hitRatio);
 
         round.push_back(std::move(s));
     }
@@ -124,6 +148,8 @@ Monitor::gaugesFor(const service::Microservice &svc)
     g.queueDepth = &m.gauge("monitor.queue_depth." + svc.name());
     g.instances = &m.gauge("monitor.instances." + svc.name());
     g.errorRate = &m.gauge("monitor.error_rate." + svc.name());
+    if (svc.hasCacheModels())
+        g.hitRatio = &m.gauge("monitor.hit_ratio." + svc.name());
     return gauges_.emplace(&svc, g).first->second;
 }
 

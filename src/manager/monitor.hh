@@ -49,6 +49,15 @@ struct TierSample
      * shows during an incident.
      */
     double errorRate = 0.0;
+    /**
+     * Cache hit ratio over the last interval (keyed data tiers only;
+     * 0 elsewhere). Downed-shard lookups count as misses, so an
+     * operator sees the dip while a shard is unreachable and the
+     * cold-cache warm-up curve after it restarts.
+     */
+    double hitRatio = 0.0;
+    /** Cache lookups during the last interval (keyed tiers only). */
+    std::uint64_t cacheLookups = 0;
 };
 
 /**
@@ -97,6 +106,8 @@ class Monitor
         Gauge *queueDepth = nullptr;
         Gauge *instances = nullptr;
         Gauge *errorRate = nullptr;
+        /** Only for keyed data tiers; null keeps legacy snapshots. */
+        Gauge *hitRatio = nullptr;
     };
 
     void sampleOnce();
@@ -112,6 +123,9 @@ class Monitor
     /** Previous served/failed counts per instance, for error rate. */
     std::unordered_map<const void *, std::uint64_t> lastServed_;
     std::unordered_map<const void *, std::uint64_t> lastFailed_;
+    /** Previous data-tier hit/miss counters, for interval hit ratio. */
+    std::unordered_map<const void *, std::uint64_t> lastHits_;
+    std::unordered_map<const void *, std::uint64_t> lastMisses_;
     /** Per-tier gauges published to the app's metrics registry. */
     std::unordered_map<const void *, TierGauges> gauges_;
 };

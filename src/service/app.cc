@@ -336,6 +336,11 @@ App::crashInstance(const std::string &service_name, unsigned idx)
     failInFlight(inst);
     inst.queue_.clear();
     inst.freeThreads_ = 0;
+    // Keyed state dies with the process: whatever replaces this shard
+    // (a restart or a standby) starts with a cold store and must
+    // re-learn the hot set — the Fig 20 recovery transient.
+    if (data::CacheModel *model = svc.cacheModel(idx))
+        model->clearCold();
 }
 
 void
@@ -351,6 +356,34 @@ App::restartInstance(const std::string &service_name, unsigned idx)
     inst.freeThreads_ = svc.def().threadsPerInstance;
     inst.queue_.clear();
     inst.active_ = true;
+}
+
+void
+App::enableKeyedData(const data::DataTierConfig &config)
+{
+    if (!config.enabled())
+        fatal("enableKeyedData: keyspace.keys must be > 0");
+    if (keyspace_)
+        fatal("enableKeyedData called twice");
+    dataConfig_ = config;
+    keyspace_ = std::make_unique<data::Keyspace>(config.keyspace);
+    for (Microservice *svc : serviceOrder_) {
+        const ServiceKind kind = svc->def().kind;
+        if (kind == ServiceKind::Cache || kind == ServiceKind::Database)
+            svc->enableKeyedRouting(config.vnodes);
+        if (kind == ServiceKind::Cache)
+            svc->attachCacheModels(config.cache);
+    }
+    // Flip every cache stage whose target is a ring-managed cache
+    // tier into keyed mode.
+    for (Microservice *svc : serviceOrder_) {
+        for (Stage &st : svc->mutableDef().handler.stages) {
+            if (st.kind != Stage::Kind::Cache)
+                continue;
+            if (service(st.target).def().kind == ServiceKind::Cache)
+                st.keyed = true;
+        }
+    }
 }
 
 void
@@ -423,7 +456,7 @@ void
 App::rpcCall(unsigned caller_server, Instance *caller_inst,
              Microservice &target, RequestPtr req,
              trace::SpanId parent_span, Bytes req_bytes, Bytes resp_bytes,
-             bool carries_media, RpcDone done)
+             bool carries_media, RpcDone done, data::RouteHint route)
 {
     const rpc::ResiliencePolicy &pol = target.def().resilience;
     if (!pol.active()) {
@@ -432,7 +465,7 @@ App::rpcCall(unsigned caller_server, Instance *caller_inst,
         // runtime (the digest tests depend on this).
         rpcAttempt(caller_server, caller_inst, target, req, parent_span,
                    req_bytes, resp_bytes, carries_media, 1,
-                   std::move(done));
+                   std::move(done), route);
         return;
     }
 
@@ -483,7 +516,7 @@ App::rpcCall(unsigned caller_server, Instance *caller_inst,
     };
 
     ctl->attempt = [app, caller_server, caller_inst, tgt, req, parent_span,
-                    req_bytes, resp_bytes, carries_media, br, ctl,
+                    req_bytes, resp_bytes, carries_media, route, br, ctl,
                     finish](unsigned attempt_no) {
         const Tick attempt_start = app->ctx_.now();
         app->rpcAttempt(caller_server, caller_inst, *tgt, req, parent_span,
@@ -551,7 +584,8 @@ App::rpcCall(unsigned caller_server, Instance *caller_inst,
                 }
                 ctl->attempt(attempt_no + 1);
             });
-        });
+        },
+                        route);
     };
     ctl->attempt(1);
 }
@@ -561,7 +595,7 @@ App::rpcAttempt(unsigned caller_server, Instance *caller_inst,
                 Microservice &target, RequestPtr req,
                 trace::SpanId parent_span, Bytes req_bytes,
                 Bytes resp_bytes, bool carries_media, unsigned attempt_no,
-                RpcDone done)
+                RpcDone done, data::RouteHint route)
 {
     // Capture only pointers to stable objects (the App owns services;
     // ServiceDef, pools and instances never move during a run).
@@ -628,7 +662,7 @@ App::rpcAttempt(unsigned caller_server, Instance *caller_inst,
     as->ticket = pool->acquire([app, caller_server, caller_svc, tgt, req,
                                 parent_span, req_payload, resp_payload,
                                 req_wire, resp_wire, proto, attempt_no,
-                                resilient, as]() {
+                                resilient, route, as]() {
         as->poolAcquired = true;
         as->acquireEv.cancel();
         cpu::Server &csrv = app->cluster_.server(caller_server);
@@ -648,7 +682,8 @@ App::rpcAttempt(unsigned caller_server, Instance *caller_inst,
         csrv.execute(send_cycles, kipc, [app, caller_server, tgt, req,
                                          parent_span, resp_payload,
                                          req_payload, req_wire, resp_wire,
-                                         proto, attempt_no, resilient, as,
+                                         proto, attempt_no, resilient,
+                                         route, as,
                                          send_tcp_frac](Tick send_busy) {
             if (*as->settled)
                 return;
@@ -658,7 +693,16 @@ App::rpcAttempt(unsigned caller_server, Instance *caller_inst,
             as->callerNet += send_busy;
 
             Instance *ti;
-            if (resilient) {
+            if (route.byKey) {
+                // Keyed mode: the call is addressed to the key's ring
+                // shard. A downed shard means the key's data is
+                // unreachable — fail fast regardless of policy.
+                ti = tgt->tryInstanceForKey(route.key);
+                if (!ti) {
+                    app->settleAttempt(*as, RpcStatus::Unreachable);
+                    return;
+                }
+            } else if (resilient) {
                 ti = tgt->trySelectInstance(*req);
                 if (!ti) {
                     // Outage: nothing active to route to. Fail fast on
@@ -1107,14 +1151,36 @@ App::runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
       case Stage::Kind::Cache: {
         Microservice *cache_tier = &service(st.target);
         const unsigned server_id = ctx->inst->server().id();
-        const bool hit = rng_.bernoulli(st.hitRatio);
+        // Keyed mode: draw the accessed key and let hit/miss emerge
+        // from the owning shard's bounded store. Legacy mode keeps
+        // the fixed-probability coin flip — the same single RNG draw
+        // at the same point in the event stream, so configurations
+        // without a keyspace stay bit-identical.
+        bool hit;
+        data::RouteHint route;
+        if (st.keyed && keyspace_) {
+            const std::uint64_t key =
+                keyspace_->sampleKey(rng_, ctx_.now());
+            ctx->req->dataKey = key;
+            route = {key, true};
+            const bool is_write = qt.hasTag(data::kWriteTag);
+            hit = cache_tier->keyedAccess(key, ctx_.now(), is_write);
+            if (hit) {
+                if (ctx->span.dataHits != 255)
+                    ++ctx->span.dataHits;
+            } else if (ctx->span.dataMisses != 255) {
+                ++ctx->span.dataMisses;
+            }
+        } else {
+            hit = rng_.bernoulli(st.hitRatio);
+        }
         const Stage *stage = &st;
         auto next_shared =
             std::make_shared<std::function<void()>>(std::move(next));
         rpcCall(server_id, ctx->inst, *cache_tier, ctx->req,
                 ctx->span.spanId, st.requestBytes, st.responseBytes,
                 st.carriesMedia,
-                [this, ctx, stage, server_id, hit,
+                [this, ctx, stage, server_id, hit, route,
                  next_shared](RpcStatus status, Tick wall, Tick caller_net) {
             ctx->span.networkTime += caller_net;
             ctx->span.downstreamWait +=
@@ -1130,6 +1196,10 @@ App::runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
                 return;
             }
             Microservice *db = &service(stage->dbTarget);
+            // The backing store shards by the same key when it is
+            // ring-managed, so hot keys hammer one DB shard too.
+            const data::RouteHint db_route =
+                db->keyedRouting() ? route : data::RouteHint{};
             rpcCall(server_id, ctx->inst, *db, ctx->req, ctx->span.spanId,
                     stage->requestBytes, stage->responseBytes,
                     stage->carriesMedia,
@@ -1142,8 +1212,10 @@ App::runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
                 if (status2 != RpcStatus::Ok && ctx->span.status == 0)
                     ctx->span.status = static_cast<std::uint8_t>(status2);
                 (*next_shared)();
-            });
-        });
+            },
+                    db_route);
+        },
+                route);
         return;
       }
     }

@@ -30,6 +30,7 @@
 #include "core/sim_context.hh"
 #include "core/types.hh"
 #include "cpu/server.hh"
+#include "data/config.hh"
 #include "net/network.hh"
 #include "rpc/connection_pool.hh"
 #include "rpc/protocol.hh"
@@ -184,6 +185,22 @@ class App
     /** Set the end-to-end deadline for subsequently injected requests. */
     void setRequestDeadline(Tick d) { config_.requestDeadline = d; }
 
+    // -- Keyed data tier --------------------------------------------------
+
+    /**
+     * Turn on the stateful data tier: install the key universe, give
+     * every Cache-kind tier per-instance bounded stores, switch every
+     * Cache stage to keyed mode, and shard Cache/Database tiers with
+     * consistent hashing. Call once, after the graph is built and all
+     * instances are placed. Strictly opt-in: without this call no
+     * keyed state exists and execution is bit-identical to the legacy
+     * fixed-hitProb runtime.
+     */
+    void enableKeyedData(const data::DataTierConfig &config);
+
+    /** The key universe (null when keyed data is off). */
+    const data::Keyspace *keyspace() const { return keyspace_.get(); }
+
     // -- Fault injection --------------------------------------------------
 
     /**
@@ -298,18 +315,22 @@ class App
      * loop around rpcAttempt). With an inactive policy this is a
      * passthrough to a single attempt — the legacy fire-and-wait path.
      * @p done fires back on the caller with the outcome and wall time.
+     * @p route (keyed mode) addresses the call to a data key's shard
+     * instead of the legacy userId/round-robin selection.
      */
     void rpcCall(unsigned caller_server, Instance *caller_inst,
                  Microservice &target, RequestPtr req,
                  trace::SpanId parent_span, Bytes req_bytes,
-                 Bytes resp_bytes, bool carries_media, RpcDone done);
+                 Bytes resp_bytes, bool carries_media, RpcDone done,
+                 data::RouteHint route = {});
 
     /** One attempt of an RPC: serialize, send, queue, handle, reply. */
     void rpcAttempt(unsigned caller_server, Instance *caller_inst,
                     Microservice &target, RequestPtr req,
                     trace::SpanId parent_span, Bytes req_bytes,
                     Bytes resp_bytes, bool carries_media,
-                    unsigned attempt_no, RpcDone done);
+                    unsigned attempt_no, RpcDone done,
+                    data::RouteHint route = {});
 
     /** Settle one attempt exactly once and fire its completion. */
     void settleAttempt(AttemptState &as, RpcStatus status);
@@ -377,6 +398,10 @@ class App
     std::unordered_map<const Microservice *, rpc::RetryBudget> budgets_;
     std::unordered_map<std::string, double> kernelIpcCache_;
     std::unordered_map<std::string, double> serviceIpcCache_;
+
+    /** Key universe of the stateful data tier (keyed mode only). */
+    std::unique_ptr<data::Keyspace> keyspace_;
+    data::DataTierConfig dataConfig_;
 
     RequestFaultHook *faultHook_ = nullptr;
     bool crashTracking_ = false;

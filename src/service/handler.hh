@@ -54,8 +54,17 @@ struct Stage
     /** Database tier called on a cache miss (Kind::Cache only). */
     std::string dbTarget;
 
-    /** Cache hit probability (Kind::Cache only). */
+    /** Cache hit probability (Kind::Cache only, legacy mode). */
     double hitRatio = 0.95;
+
+    /**
+     * Keyed mode (Kind::Cache only): sample a key from the app's
+     * Keyspace and let hit/miss *emerge* from the target tier's
+     * CacheModel state instead of the hitRatio coin flip. Flipped by
+     * App::enableKeyedData(); while false (the default) the legacy
+     * path runs bit-for-bit unchanged.
+     */
+    bool keyed = false;
 
     /** Number of calls issued by this stage (Kind::Call). */
     unsigned fanout = 1;

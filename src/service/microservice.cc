@@ -53,7 +53,117 @@ Microservice::addInstance(cpu::Server &server)
 {
     instances_.push_back(std::make_unique<Instance>(
         *this, static_cast<unsigned>(instances_.size()), server));
+    if (shardMap_)
+        // Consistent hashing: the new shard takes over ~1/n of the
+        // ring; the moved keys find it cold and warm it up.
+        shardMap_->rebuild(static_cast<unsigned>(instances_.size()));
+    if (!cacheModels_.empty()) {
+        cacheModels_.push_back(
+            std::make_unique<data::CacheModel>(cacheConfig_));
+        cacheModels_.back()->bindMetrics(app_.metrics(), def_.name);
+        // A scale-out replica starts empty: account it as a cold
+        // restart so warm-up transients are visible in data.* metrics.
+        cacheModels_.back()->clearCold();
+    }
     return *instances_.back();
+}
+
+void
+Microservice::enableKeyedRouting(unsigned vnodes)
+{
+    if (instances_.empty())
+        fatal(strCat("enableKeyedRouting on '", def_.name,
+                     "' before any instance"));
+    shardMap_ = std::make_unique<data::ShardMap>(vnodes);
+    shardMap_->rebuild(static_cast<unsigned>(instances_.size()));
+}
+
+unsigned
+Microservice::shardIndexForKey(std::uint64_t key) const
+{
+    if (!shardMap_)
+        fatal(strCat("shardIndexForKey on '", def_.name,
+                     "' without keyed routing"));
+    return shardMap_->shardFor(key);
+}
+
+Instance *
+Microservice::tryInstanceForKey(std::uint64_t key)
+{
+    if (misrouted_)
+        return instances_.front().get();
+    Instance &inst = *instances_[shardIndexForKey(key)];
+    if (!inst.active())
+        return nullptr;
+    return &inst;
+}
+
+void
+Microservice::attachCacheModels(const data::CacheModelConfig &config)
+{
+    if (!cacheModels_.empty())
+        fatal(strCat("cache models already attached to '", def_.name,
+                     "'"));
+    if (instances_.empty())
+        fatal(strCat("attachCacheModels on '", def_.name,
+                     "' before any instance"));
+    cacheConfig_ = config;
+    cacheModels_.reserve(instances_.size());
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+        cacheModels_.push_back(
+            std::make_unique<data::CacheModel>(config));
+        cacheModels_.back()->bindMetrics(app_.metrics(), def_.name);
+    }
+    unreachableMisses_ =
+        &app_.metrics().counter("data." + def_.name + ".misses");
+}
+
+data::CacheModel *
+Microservice::cacheModel(unsigned idx)
+{
+    if (idx >= cacheModels_.size())
+        return nullptr;
+    return cacheModels_[idx].get();
+}
+
+bool
+Microservice::keyedAccess(std::uint64_t key, Tick now, bool is_write)
+{
+    const unsigned idx = shardIndexForKey(key);
+    if (!instances_[idx]->active()) {
+        // The owning shard is down: its state is gone and must not be
+        // re-warmed by lookups, but the access still counts against
+        // the tier's hit ratio — this is the in-outage dip.
+        if (!is_write && unreachableMisses_)
+            unreachableMisses_->inc();
+        return false;
+    }
+    data::CacheModel *model = cacheModel(idx);
+    if (!model)
+        return false;
+    if (is_write) {
+        model->write(key, now);
+        return false;
+    }
+    return model->access(key, now);
+}
+
+data::CacheStats
+Microservice::dataStats() const
+{
+    data::CacheStats total;
+    for (const auto &model : cacheModels_) {
+        const data::CacheStats &s = model->stats();
+        total.hits += s.hits;
+        total.misses += s.misses;
+        total.inserts += s.inserts;
+        total.evictions += s.evictions;
+        total.expirations += s.expirations;
+        total.invalidations += s.invalidations;
+        total.writes += s.writes;
+        total.coldRestarts += s.coldRestarts;
+    }
+    return total;
 }
 
 unsigned

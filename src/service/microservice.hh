@@ -21,6 +21,8 @@
 #include "core/histogram.hh"
 #include "core/stats.hh"
 #include "core/types.hh"
+#include "data/cache_model.hh"
+#include "data/shard_map.hh"
 #include "cpu/microarch.hh"
 #include "cpu/server.hh"
 #include "rpc/protocol.hh"
@@ -243,6 +245,48 @@ class Microservice
      */
     Instance *trySelectInstance(const Request &req);
 
+    // -- Keyed data tier (opt-in; see src/data/) -----------------------
+
+    /**
+     * Shard this tier's key universe across its instances with a
+     * consistent-hash ring. Until called, stateful tiers keep the
+     * legacy userId-hash placement (digest-preserving).
+     */
+    void enableKeyedRouting(unsigned vnodes);
+    bool keyedRouting() const { return shardMap_ != nullptr; }
+
+    /** Ring owner index of @p key (fatal without keyed routing). */
+    unsigned shardIndexForKey(std::uint64_t key) const;
+
+    /**
+     * Ring owner of @p key if it is active, nullptr otherwise — a
+     * crashed shard's keys are unreachable, exactly like the legacy
+     * stateful selection.
+     */
+    Instance *tryInstanceForKey(std::uint64_t key);
+
+    /**
+     * Give every instance a bounded keyed store (capacity per
+     * instance). Later scale-outs get a fresh cold store.
+     */
+    void attachCacheModels(const data::CacheModelConfig &config);
+    bool hasCacheModels() const { return !cacheModels_.empty(); }
+
+    /** Instance @p idx's store (null when none attached). */
+    data::CacheModel *cacheModel(unsigned idx);
+
+    /**
+     * One keyed data access against the owning shard's store.
+     * @return true on a cache hit. Lookups routed to a downed shard
+     * count as misses without touching (and re-warming) its store;
+     * writes apply the write policy and always miss (the backing
+     * store must be written regardless).
+     */
+    bool keyedAccess(std::uint64_t key, Tick now, bool is_write);
+
+    /** Aggregate store accounting across instances. */
+    data::CacheStats dataStats() const;
+
     /**
      * Fault injection (Fig 22a): emulate a switch-routing
      * misconfiguration that funnels all of this tier's traffic to its
@@ -295,6 +339,14 @@ class Microservice
     std::vector<std::unique_ptr<Instance>> instances_;
     std::size_t rrCursor_ = 0;
     bool misrouted_ = false;
+
+    /** Consistent-hash placement (keyed mode only). */
+    std::unique_ptr<data::ShardMap> shardMap_;
+    /** Per-instance keyed stores, parallel to instances_. */
+    std::vector<std::unique_ptr<data::CacheModel>> cacheModels_;
+    data::CacheModelConfig cacheConfig_;
+    /** Tier-level miss counter for lookups against downed shards. */
+    Counter *unreachableMisses_ = nullptr;
 
     Histogram latency_;
     WindowedStat latencyWindow_;

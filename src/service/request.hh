@@ -86,6 +86,14 @@ struct Request
     /** Total time queued for worker threads across all hops. */
     Tick queueTime = 0;
 
+    /**
+     * Most recent data key sampled for this request (keyed cache
+     * stages; 0 until the first keyed access). Observability only:
+     * routing passes the key explicitly through the RPC path, because
+     * this object is shared by every concurrent hop of the request.
+     */
+    std::uint64_t dataKey = 0;
+
     /** Distributed-tracing id (0 when tracing is off). */
     trace::TraceId traceId = 0;
 

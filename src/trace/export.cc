@@ -51,6 +51,12 @@ emitSpan(std::ostream &os, const TraceStore &store, const Span &sp)
         os << ",\"error\":\"" << spanStatusName(sp.statusEnum()) << "\"";
     if (sp.attempt > 1)
         os << ",\"attempt\":\"" << unsigned{sp.attempt} << "\"";
+    // Keyed-data accounting: zero on non-keyed runs, so legacy
+    // exports stay byte-identical.
+    if (sp.dataHits > 0)
+        os << ",\"dataHits\":\"" << unsigned{sp.dataHits} << "\"";
+    if (sp.dataMisses > 0)
+        os << ",\"dataMisses\":\"" << unsigned{sp.dataMisses} << "\"";
     os << "}}";
 }
 
@@ -146,6 +152,10 @@ exportPerfettoJson(const TraceStore &store, std::ostream &os,
                << "\"";
         if (sp.attempt > 1)
             os << ",\"attempt\":" << unsigned{sp.attempt};
+        if (sp.dataHits > 0)
+            os << ",\"dataHits\":" << unsigned{sp.dataHits};
+        if (sp.dataMisses > 0)
+            os << ",\"dataMisses\":" << unsigned{sp.dataMisses};
         os << "}}";
     }
     os << "\n],\"otherData\":{"

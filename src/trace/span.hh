@@ -134,6 +134,15 @@ struct Span
     /** 1-based attempt number of the RPC this span records. */
     std::uint8_t attempt = 1;
 
+    /**
+     * Keyed data-tier accesses made by this handler: cache hits and
+     * misses (saturating at 255). Zero on non-keyed runs, so the
+     * exporters' emit-when-non-default rule keeps legacy output
+     * byte-identical.
+     */
+    std::uint8_t dataHits = 0;
+    std::uint8_t dataMisses = 0;
+
     /** Total server-side latency. */
     Tick duration() const { return end - start; }
 

@@ -46,6 +46,17 @@ fullScenario()
     s.retryBudget = 0.2;
     s.breaker = true;
     s.shed = 64;
+    s.dataKeys = 100000;
+    s.dataCapacity = 2048;
+    s.dataPolicy = "slru";
+    s.dataPopularity = "hotspot";
+    s.dataZipfS = 1.2;
+    s.dataHotFraction = 0.05;
+    s.dataHotMass = 0.8;
+    s.dataTtl = 500 * kTicksPerMs;
+    s.dataWrite = "invalidate";
+    s.dataShiftPeriod = 2 * kTicksPerSec;
+    s.dataVnodes = 32;
     s.traceCapacity = 1 << 12;
 
     fault::FaultSpec crash;
@@ -90,6 +101,41 @@ TEST(ScenarioTest, DumpParseDumpIsIdentity)
     EXPECT_EQ(parsed.faults[1].kind, fault::FaultKind::Partition);
     EXPECT_EQ(parsed.faults[1].groupB.last, 4u);
     EXPECT_DOUBLE_EQ(parsed.faults[1].loss, 0.5);
+    EXPECT_EQ(parsed.dataKeys, 100000u);
+    EXPECT_EQ(parsed.dataCapacity, 2048u);
+    EXPECT_EQ(parsed.dataPolicy, "slru");
+    EXPECT_EQ(parsed.dataPopularity, "hotspot");
+    EXPECT_DOUBLE_EQ(parsed.dataZipfS, 1.2);
+    EXPECT_EQ(parsed.dataTtl, 500 * kTicksPerMs);
+    EXPECT_EQ(parsed.dataWrite, "invalidate");
+    EXPECT_EQ(parsed.dataShiftPeriod, 2 * kTicksPerSec);
+    EXPECT_EQ(parsed.dataVnodes, 32u);
+}
+
+TEST(ScenarioTest, RejectsBadDataTierValues)
+{
+    apps::Scenario s;
+    std::string error;
+
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"data\": {\"keyz\": 10}}", s, error));
+    EXPECT_NE(error.find("unknown scenario key 'data.keyz'"),
+              std::string::npos);
+
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"data\": {\"policy\": \"mru\"}}", s, error));
+    EXPECT_NE(error.find("data.policy"), std::string::npos);
+
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"data\": {\"popularity\": \"pareto\"}}", s, error));
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"data\": {\"write\": \"back\"}}", s, error));
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"data\": {\"keys\": 10, \"capacity\": 0}}", s, error));
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"data\": {\"hot_fraction\": 1.5}}", s, error));
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"data\": {\"vnodes\": 0}}", s, error));
 }
 
 TEST(ScenarioTest, AbsentKeysKeepCallerDefaults)

@@ -35,6 +35,8 @@
 #include "apps/catalog.hh"
 #include "apps/scenario.hh"
 #include "core/logging.hh"
+#include "data/cache_model.hh"
+#include "data/keyspace.hh"
 #include "core/table.hh"
 #include "cpu/power.hh"
 #include "fault/fault.hh"
@@ -62,7 +64,8 @@ struct Options
 };
 
 const char *const kReportKinds[] = {"summary", "services", "traces",
-                                    "cost", "energy", "resilience"};
+                                    "cost",    "energy",   "resilience",
+                                    "data"};
 
 void
 usage()
@@ -94,7 +97,19 @@ usage()
         "                     override; see --dump-config)\n"
         "  --dump-config      print the effective scenario JSON, exit\n"
         "  --report KIND      summary | services | traces | cost | energy |\n"
-        "                     resilience\n"
+        "                     resilience | data\n"
+        "  --cache-keys N     keyed data tier: keys per app (0 = legacy\n"
+        "                     fixed-hit-probability caches, the default)\n"
+        "  --cache-capacity N entries per cache instance (default 4096)\n"
+        "  --cache-policy P   lru | lfu | slru (default lru)\n"
+        "  --cache-popularity P  zipf | uniform | hotspot (default zipf)\n"
+        "  --cache-zipf S     Zipf skew exponent (default 1.0)\n"
+        "  --cache-hot-fraction F  hotspot: hot key fraction (default 0.1)\n"
+        "  --cache-hot-mass M hotspot: mass on hot keys (default 0.9)\n"
+        "  --cache-ttl DUR    entry time-to-live (0 = no expiry)\n"
+        "  --cache-write P    through | invalidate (default through)\n"
+        "  --cache-shift DUR  hotspot rotation period (0 = static)\n"
+        "  --cache-vnodes N   consistent-hash vnodes per shard (default 64)\n"
         "  --faults FILE      JSON fault schedule (see docs/RESILIENCE.md)\n"
         "  --fault SPEC       one fault window, repeatable:\n"
         "                     crash@t=2s,dur=1s,service=X,instance=0\n"
@@ -256,7 +271,29 @@ parse(int argc, char **argv, Options &opt)
             if (!fault::parseFaultFlag(spec_text, spec, error))
                 fatal(strCat("bad --fault '", spec_text, "': ", error));
             scn.faults.push_back(std::move(spec));
-        } else if (a == "--rpc-timeout")
+        } else if (a == "--cache-keys")
+            scn.dataKeys = numU64(i);
+        else if (a == "--cache-capacity")
+            scn.dataCapacity = numU64(i);
+        else if (a == "--cache-policy")
+            scn.dataPolicy = need(i);
+        else if (a == "--cache-popularity")
+            scn.dataPopularity = need(i);
+        else if (a == "--cache-zipf")
+            scn.dataZipfS = numDouble(i);
+        else if (a == "--cache-hot-fraction")
+            scn.dataHotFraction = numDouble(i);
+        else if (a == "--cache-hot-mass")
+            scn.dataHotMass = numDouble(i);
+        else if (a == "--cache-ttl")
+            scn.dataTtl = durationVal(i);
+        else if (a == "--cache-write")
+            scn.dataWrite = need(i);
+        else if (a == "--cache-shift")
+            scn.dataShiftPeriod = durationVal(i);
+        else if (a == "--cache-vnodes")
+            scn.dataVnodes = numUnsigned(i);
+        else if (a == "--rpc-timeout")
             scn.rpcTimeout = durationVal(i);
         else if (a == "--deadline")
             scn.deadline = durationVal(i);
@@ -285,8 +322,8 @@ parse(int argc, char **argv, Options &opt)
         report_ok = report_ok || opt.report == kind;
     if (!report_ok)
         fatal(strCat("unknown report kind '", opt.report,
-                     "' (want summary, services, traces, cost, energy "
-                     "or resilience)"));
+                     "' (want summary, services, traces, cost, energy, "
+                     "resilience or data)"));
     if (scn.qps <= 0.0)
         fatal("--qps must be positive");
     if (scn.durationSec <= 0.0)
@@ -307,6 +344,33 @@ parse(int argc, char **argv, Options &opt)
     cpu::CoreModel core_check;
     if (!apps::coreModelByName(scn.core, core_check))
         fatal(strCat("unknown core model '", scn.core, "'"));
+    {
+        // Same rules the scenario-JSON parser enforces; flags must not
+        // be a loophole around them.
+        data::CachePolicy pol;
+        if (!data::cachePolicyByName(scn.dataPolicy, pol))
+            fatal(strCat("unknown --cache-policy '", scn.dataPolicy,
+                         "' (want lru, lfu or slru)"));
+        data::Popularity pop;
+        if (!data::popularityByName(scn.dataPopularity, pop))
+            fatal(strCat("unknown --cache-popularity '",
+                         scn.dataPopularity,
+                         "' (want zipf, uniform or hotspot)"));
+        data::WritePolicy wp;
+        if (!data::writePolicyByName(scn.dataWrite, wp))
+            fatal(strCat("unknown --cache-write '", scn.dataWrite,
+                         "' (want through or invalidate)"));
+        if (scn.dataKeys > 0 && scn.dataCapacity == 0)
+            fatal("--cache-capacity must be positive");
+        if (scn.dataZipfS < 0.0)
+            fatal("--cache-zipf must be non-negative");
+        if (scn.dataHotFraction <= 0.0 || scn.dataHotFraction > 1.0)
+            fatal("--cache-hot-fraction must be in (0, 1]");
+        if (scn.dataHotMass < 0.0 || scn.dataHotMass > 1.0)
+            fatal("--cache-hot-mass must be in [0, 1]");
+        if (scn.dataVnodes == 0)
+            fatal("--cache-vnodes must be positive");
+    }
     return true;
 }
 
@@ -599,6 +663,65 @@ main(int argc, char **argv)
         }
         printBanner(std::cout, "per-service outcomes");
         e.print(std::cout);
+    }
+    if (opt.report == "data") {
+        printBanner(std::cout, "keyed data tier");
+        if (scn.dataKeys == 0) {
+            std::cout << "keyed data tier disabled (--cache-keys 0): "
+                         "caches use fixed hit probabilities\n";
+        } else {
+            std::cout << scn.dataKeys << " keys, " << scn.dataPopularity
+                      << " popularity";
+            if (scn.dataPopularity == "zipf")
+                std::cout << " (s=" << fmtDouble(scn.dataZipfS, 2)
+                          << ")";
+            std::cout << ", " << scn.dataCapacity
+                      << " entries/instance, " << scn.dataPolicy << "/"
+                      << scn.dataWrite << "\n";
+            TextTable t({"tier", "lookups", "hit%", "evict", "expire",
+                         "inval", "writes", "cold"});
+            for (unsigned i = 0; i < app.services().size(); ++i) {
+                // Sum the emergent per-instance stats across shards;
+                // the tier counter adds misses on downed shards.
+                data::CacheStats total;
+                bool keyed = false;
+                std::uint64_t unreachable = 0;
+                for (unsigned s = 0; s < nshards; ++s) {
+                    service::Microservice *svc =
+                        sharded.shard(s).app->services()[i];
+                    if (!svc->hasCacheModels())
+                        continue;
+                    keyed = true;
+                    const data::CacheStats st = svc->dataStats();
+                    total.hits += st.hits;
+                    total.misses += st.misses;
+                    total.evictions += st.evictions;
+                    total.expirations += st.expirations;
+                    total.invalidations += st.invalidations;
+                    total.writes += st.writes;
+                    total.coldRestarts += st.coldRestarts;
+                    unreachable +=
+                        sharded.shard(s)
+                            .app->metrics()
+                            .counter("data." + svc->name() + ".misses")
+                            .value() -
+                        st.misses;
+                }
+                if (!keyed)
+                    continue;
+                const std::uint64_t misses =
+                    total.misses + unreachable;
+                const std::uint64_t lookups = total.hits + misses;
+                t.add(app.services()[i]->name(), lookups,
+                      fmtDouble(lookups ? 100.0 * total.hits / lookups
+                                        : 0.0,
+                                2),
+                      total.evictions, total.expirations,
+                      total.invalidations, total.writes,
+                      total.coldRestarts);
+            }
+            t.print(std::cout);
+        }
     }
     if (opt.report == "energy") {
         double joules = 0.0, watts = 0.0;
