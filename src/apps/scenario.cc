@@ -32,6 +32,32 @@ durationFromValue(const json::Value &v, Tick &out)
     return fault::parseDuration(text, out);
 }
 
+/** Split a comma-separated name list, trimming blanks. */
+std::vector<std::string>
+splitNameList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    auto flush = [&] {
+        const auto b = cur.find_first_not_of(" \t");
+        if (b == std::string::npos) {
+            cur.clear();
+            return;
+        }
+        const auto e = cur.find_last_not_of(" \t");
+        out.push_back(cur.substr(b, e - b + 1));
+        cur.clear();
+    };
+    for (char ch : text) {
+        if (ch == ',')
+            flush();
+        else
+            cur += ch;
+    }
+    flush();
+    return out;
+}
+
 void
 writeFault(json::Writer &w, const fault::FaultSpec &f)
 {
@@ -227,6 +253,53 @@ parseScenarioJson(const std::string &text, Scenario &out,
                 if (!dok)
                     return false;
             }
+        } else if (key == "qos") {
+            if (!v.isObject()) {
+                error = "scenario key 'qos' must be an object";
+                return false;
+            }
+            for (const auto &qkv : v.object) {
+                const std::string qkey = "qos." + qkv.first;
+                const json::Value &qv = qkv.second;
+                bool qok = true;
+                if (qkv.first == "enabled")
+                    qok = wantBool(qv, qkey, s.qosEnabled);
+                else if (qkv.first == "weights") {
+                    std::string triple;
+                    if ((qok = wantString(qv, qkey, triple)) &&
+                        !parseQosWeights(triple, s.qosWeightUser,
+                                         s.qosWeightBatch,
+                                         s.qosWeightBest)) {
+                        error = strCat(
+                            "scenario key 'qos.weights' must be three "
+                            "positive integers \"user,batch,best\", "
+                            "got '",
+                            triple, "'");
+                        return false;
+                    }
+                } else if (qkv.first == "queue") {
+                    if ((qok = wantUnsigned(qv, qkey, u)))
+                        s.qosQueue = static_cast<unsigned>(u);
+                } else if (qkv.first == "rate")
+                    qok = wantNumber(qv, qkey, s.qosRate);
+                else if (qkv.first == "burst")
+                    qok = wantNumber(qv, qkey, s.qosBurst);
+                else if (qkv.first == "shed_batch")
+                    qok = wantNumber(qv, qkey, s.qosShedBatch);
+                else if (qkv.first == "shed_best")
+                    qok = wantNumber(qv, qkey, s.qosShedBest);
+                else if (qkv.first == "batch")
+                    qok = wantString(qv, qkey, s.qosBatch);
+                else if (qkv.first == "best_effort")
+                    qok = wantString(qv, qkey, s.qosBestEffort);
+                else {
+                    error = strCat("unknown scenario key 'qos.",
+                                   qkv.first, "'");
+                    return false;
+                }
+                if (!qok)
+                    return false;
+            }
         } else if (key == "faults") {
             if (!v.isArray()) {
                 error = "scenario key 'faults' must be an array";
@@ -324,6 +397,27 @@ parseScenarioJson(const std::string &text, Scenario &out,
         error = "data.vnodes must be positive";
         return false;
     }
+    if (s.qosWeightUser == 0 || s.qosWeightBatch == 0 ||
+        s.qosWeightBest == 0) {
+        error = "qos.weights must all be >= 1";
+        return false;
+    }
+    if (s.qosRate < 0.0) {
+        error = "qos.rate must be >= 0";
+        return false;
+    }
+    if (s.qosBurst <= 0.0) {
+        error = "qos.burst must be positive";
+        return false;
+    }
+    if (s.qosShedBatch <= 0.0 || s.qosShedBatch > 1.0) {
+        error = "qos.shed_batch must be in (0, 1]";
+        return false;
+    }
+    if (s.qosShedBest <= 0.0 || s.qosShedBest > 1.0) {
+        error = "qos.shed_best must be in (0, 1]";
+        return false;
+    }
 
     out = std::move(s);
     return true;
@@ -372,6 +466,18 @@ scenarioToJson(const Scenario &s)
     w.field("shift_period", ticksField(s.dataShiftPeriod));
     w.field("vnodes", s.dataVnodes);
     w.endObject();
+    w.beginObject("qos");
+    w.field("enabled", s.qosEnabled);
+    w.field("weights", strCat(s.qosWeightUser, ",", s.qosWeightBatch,
+                              ",", s.qosWeightBest));
+    w.field("queue", s.qosQueue);
+    w.field("rate", s.qosRate);
+    w.field("burst", s.qosBurst);
+    w.field("shed_batch", s.qosShedBatch);
+    w.field("shed_best", s.qosShedBest);
+    w.field("batch", s.qosBatch);
+    w.field("best_effort", s.qosBestEffort);
+    w.endObject();
     w.beginArray("faults");
     for (const fault::FaultSpec &f : s.faults)
         writeFault(w, f);
@@ -412,6 +518,46 @@ dataTierConfigFor(const Scenario &s)
         fatal(strCat("unknown data write policy '", s.dataWrite, "'"));
     c.cache.ttl = s.dataTtl;
     c.vnodes = s.dataVnodes;
+    return c;
+}
+
+bool
+parseQosWeights(const std::string &text, unsigned &user,
+                unsigned &batch, unsigned &best)
+{
+    const std::vector<std::string> parts = splitNameList(text);
+    if (parts.size() != 3)
+        return false;
+    unsigned vals[3];
+    for (int i = 0; i < 3; ++i) {
+        const std::string &p = parts[i];
+        if (p.empty() ||
+            p.find_first_not_of("0123456789") != std::string::npos)
+            return false;
+        const unsigned long v = std::stoul(p);
+        if (v == 0 || v > 1000000)
+            return false;
+        vals[i] = static_cast<unsigned>(v);
+    }
+    user = vals[0];
+    batch = vals[1];
+    best = vals[2];
+    return true;
+}
+
+service::QosConfig
+qosConfigFor(const Scenario &s)
+{
+    service::QosConfig c;
+    c.policy.enabled = true;
+    c.policy.weights = {s.qosWeightUser, s.qosWeightBatch,
+                        s.qosWeightBest};
+    c.policy.classQueueCapacity = s.qosQueue;
+    c.policy.ratePerInstance = s.qosRate;
+    c.policy.burst = s.qosBurst;
+    c.policy.shedAt = {1.0, s.qosShedBatch, s.qosShedBest};
+    c.batchQueries = splitNameList(s.qosBatch);
+    c.bestEffortQueries = splitNameList(s.qosBestEffort);
     return c;
 }
 
@@ -466,6 +612,11 @@ buildScenarioApp(World &w, const Scenario &s)
     // above is byte-identical to every pre-data-tier scenario.
     if (s.dataKeys > 0)
         w.app->enableKeyedData(dataTierConfigFor(s));
+
+    // So is admission control: without a qos block no class queues
+    // exist and execution matches the legacy single-FIFO digest.
+    if (s.qosEnabled)
+        w.app->enableQos(qosConfigFor(s));
 }
 
 ShardedWorld::ShardedWorld(const WorldConfig &base, unsigned shards,

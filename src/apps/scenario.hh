@@ -74,6 +74,19 @@ struct Scenario
     bool breaker = false;
     unsigned shed = 0;
 
+    // -- server-side admission control / QoS classes ----------------
+    bool qosEnabled = false;
+    unsigned qosWeightUser = 8;  ///< WRR credits, user-facing
+    unsigned qosWeightBatch = 2; ///< WRR credits, batch
+    unsigned qosWeightBest = 1;  ///< WRR credits, best-effort
+    unsigned qosQueue = 0;    ///< per-class bound (0 = tier capacity)
+    double qosRate = 0.0;     ///< admitted req/s per instance (0 = off)
+    double qosBurst = 32.0;   ///< token-bucket burst
+    double qosShedBatch = 0.5;  ///< batch shed threshold (fraction)
+    double qosShedBest = 0.25;  ///< best-effort shed threshold
+    std::string qosBatch;       ///< comma-separated query-type names
+    std::string qosBestEffort;  ///< comma-separated query-type names
+
     // -- keyed data tier (0 keys = legacy fixed-hitProb caches) -----
     std::uint64_t dataKeys = 0;
     std::uint64_t dataCapacity = 4096; ///< entries per cache instance
@@ -94,6 +107,17 @@ struct Scenario
 
 /** The DataTierConfig a scenario's data fields describe. */
 data::DataTierConfig dataTierConfigFor(const Scenario &s);
+
+/** The QosConfig a scenario's qos fields describe. */
+service::QosConfig qosConfigFor(const Scenario &s);
+
+/**
+ * Parse a "user,batch,best" weight triple (the --qos-weights / qos
+ * weights format). @return false on malformed input or a zero weight
+ * (a zero-weight class would starve under WRR).
+ */
+bool parseQosWeights(const std::string &text, unsigned &user,
+                     unsigned &batch, unsigned &best);
 
 /**
  * Parse a scenario JSON document. Unknown keys are errors (typos must

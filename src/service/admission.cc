@@ -1,0 +1,89 @@
+#include "service/admission.hh"
+
+#include <algorithm>
+
+namespace uqsim::service {
+
+const char *
+qosClassName(QosClass c)
+{
+    switch (c) {
+    case QosClass::UserFacing:
+        return "user-facing";
+    case QosClass::Batch:
+        return "batch";
+    case QosClass::BestEffort:
+        return "best-effort";
+    }
+    return "unknown";
+}
+
+bool
+qosClassByName(const std::string &name, QosClass &out)
+{
+    if (name == "user-facing") {
+        out = QosClass::UserFacing;
+    } else if (name == "batch") {
+        out = QosClass::Batch;
+    } else if (name == "best-effort") {
+        out = QosClass::BestEffort;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+double
+qosTokenReserve(const AdmissionPolicy &pol, QosClass c)
+{
+    // Fraction of the burst kept out of reach per class; user-facing
+    // may drain the bucket completely.
+    static constexpr std::array<double, kQosClassCount> kReserveFrac = {
+        0.0, 0.25, 0.5};
+    const double frac = kReserveFrac[static_cast<std::size_t>(c)];
+    return 1.0 + frac * std::max(0.0, pol.burst - 1.0);
+}
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : ratePerTick_(rate_per_sec / static_cast<double>(kTicksPerSec)),
+      burst_(std::max(1.0, burst)),
+      tokens_(burst_)
+{
+}
+
+void
+TokenBucket::refill(Tick now)
+{
+    if (now <= last_)
+        return;
+    tokens_ = std::min(
+        burst_,
+        tokens_ + ratePerTick_ * static_cast<double>(now - last_));
+    last_ = now;
+}
+
+double
+TokenBucket::available(Tick now)
+{
+    refill(now);
+    return tokens_;
+}
+
+bool
+TokenBucket::tryAcquire(Tick now, double reserve)
+{
+    refill(now);
+    if (tokens_ < reserve)
+        return false;
+    tokens_ -= 1.0;
+    return true;
+}
+
+void
+TokenBucket::reset(Tick now)
+{
+    tokens_ = burst_;
+    last_ = now;
+}
+
+} // namespace uqsim::service

@@ -335,6 +335,8 @@ App::crashInstance(const std::string &service_name, unsigned idx)
     // closures), then drop the queue: the process and its state die.
     failInFlight(inst);
     inst.queue_.clear();
+    if (inst.admission_)
+        inst.admission_->clear();
     inst.freeThreads_ = 0;
     // Keyed state dies with the process: whatever replaces this shard
     // (a restart or a standby) starts with a cold store and must
@@ -355,6 +357,8 @@ App::restartInstance(const std::string &service_name, unsigned idx)
         return;
     inst.freeThreads_ = svc.def().threadsPerInstance;
     inst.queue_.clear();
+    if (inst.admission_)
+        inst.admission_->reset(ctx_.now());
     inst.active_ = true;
 }
 
@@ -384,6 +388,79 @@ App::enableKeyedData(const data::DataTierConfig &config)
                 st.keyed = true;
         }
     }
+}
+
+void
+App::enableQos(const QosConfig &config)
+{
+    if (!config.policy.enabled)
+        fatal("enableQos: policy.enabled must be true");
+    if (qosEnabled_)
+        fatal("enableQos called twice");
+    // A backlogged zero-weight class would never earn dequeue credit
+    // (the WRR grant loop would starve it forever), so reject it here
+    // as well as at the config surfaces.
+    for (unsigned w : config.policy.weights)
+        if (w == 0)
+            fatal("enableQos: every class weight must be >= 1");
+    for (double f : config.policy.shedAt)
+        if (f <= 0.0 || f > 1.0)
+            fatal("enableQos: shed thresholds must be in (0, 1]");
+    if (config.policy.ratePerInstance < 0.0)
+        fatal("enableQos: ratePerInstance must be >= 0");
+    if (config.policy.burst <= 0.0)
+        fatal("enableQos: burst must be > 0");
+
+    auto classify = [this](const std::vector<std::string> &names,
+                           QosClass cls) {
+        for (const std::string &name : names) {
+            bool found = false;
+            for (QueryType &qt : queryTypes_) {
+                if (qt.name == name) {
+                    qt.qosClass = cls;
+                    found = true;
+                }
+            }
+            if (!found)
+                fatal(strCat("enableQos: unknown query type '", name,
+                             "'"));
+        }
+    };
+    classify(config.batchQueries, QosClass::Batch);
+    classify(config.bestEffortQueries, QosClass::BestEffort);
+
+    // Counters are created here, not in the App constructor, so a run
+    // without QoS emits exactly the legacy metric set.
+    for (unsigned c = 0; c < kQosClassCount; ++c) {
+        const char *cls = qosClassName(static_cast<QosClass>(c));
+        admAdmitted_[c] =
+            &metrics_.counter(strCat("admission.admitted.", cls));
+        admServed_[c] =
+            &metrics_.counter(strCat("admission.served.", cls));
+        admShed_[c] = &metrics_.counter(strCat("admission.shed.", cls));
+        admThrottled_[c] =
+            &metrics_.counter(strCat("admission.throttled.", cls));
+        admOverflow_[c] =
+            &metrics_.counter(strCat("admission.overflow.", cls));
+    }
+
+    for (Microservice *svc : serviceOrder_) {
+        svc->mutableDef().admission = config.policy;
+        for (const auto &inst : svc->instances())
+            inst->admission_ =
+                std::make_unique<AdmissionQueue<Instance::Arrival>>(
+                    config.policy, svc->def().queueCapacity,
+                    ctx_.now());
+    }
+    qosEnabled_ = true;
+}
+
+QosClass
+App::qosClassOf(unsigned query_type) const
+{
+    return query_type < queryTypes_.size()
+               ? queryTypes_[query_type].qosClass
+               : QosClass::UserFacing;
 }
 
 void
@@ -431,6 +508,9 @@ App::recordErrorSpan(const RequestPtr &req, trace::SpanId parent_span,
     sp.end = ctx_.now();
     sp.status = static_cast<std::uint8_t>(status);
     sp.attempt = static_cast<std::uint8_t>(std::min(attempt_no, 255u));
+    if (qosEnabled_)
+        sp.qosClass =
+            static_cast<std::uint8_t>(qosClassOf(req->queryType));
     collector_.collect(sp);
 }
 
@@ -911,6 +991,49 @@ App::deliverToInstance(
         return;
     }
 
+    // Admission control (enableQos): the multi-class queue owns all
+    // queue bounds, so the legacy shed/overflow checks below never run
+    // while it is installed. Every refusal is a typed fast-reject on
+    // the reply wire — the caller's breaker and retry budget see an
+    // immediate error, not a timeout.
+    if (inst.admission_) {
+        const QosClass cls = qosClassOf(req->queryType);
+        const auto ci = static_cast<std::size_t>(cls);
+        switch (inst.admission_->offer(cls, ctx_.now())) {
+        case AdmissionVerdict::Admit:
+            break;
+        case AdmissionVerdict::Throttled:
+            admThrottled_[ci]->inc();
+            ++inst.failed_;
+            respond(nullptr, RpcStatus::Throttled);
+            return;
+        case AdmissionVerdict::Shed:
+            admShed_[ci]->inc();
+            rpcShed_->inc();
+            ++inst.failed_;
+            respond(nullptr, RpcStatus::Shed);
+            return;
+        case AdmissionVerdict::Overflow:
+            admOverflow_[ci]->inc();
+            ++inst.dropped_;
+            respond(nullptr, RpcStatus::Overflow);
+            return;
+        }
+        admAdmitted_[ci]->inc();
+        Instance::Arrival arrival;
+        arrival.req = std::move(req);
+        arrival.parentSpan = parent_span;
+        arrival.enqueued = ctx_.now();
+        arrival.preNetworkTime = pre_network;
+        arrival.attempt =
+            static_cast<std::uint8_t>(std::min(attempt_no, 255u));
+        arrival.abandoned = std::move(abandoned);
+        arrival.respondCtx = std::move(respond);
+        inst.admission_->push(cls, std::move(arrival));
+        maybeStartHandling(inst);
+        return;
+    }
+
     const rpc::ResiliencePolicy &pol = inst.svc().def().resilience;
     if (pol.shedQueueLength > 0 &&
         inst.queue_.size() >= pol.shedQueueLength) {
@@ -952,15 +1075,27 @@ App::deliverToInstance(
 void
 App::maybeStartHandling(Instance &inst)
 {
-    while (inst.freeThreads_ > 0 && !inst.queue_.empty()) {
-        Instance::Arrival a = std::move(inst.queue_.front());
-        inst.queue_.pop_front();
+    while (inst.freeThreads_ > 0) {
+        Instance::Arrival a;
+        QosClass cls = QosClass::UserFacing;
+        if (inst.admission_) {
+            // Weighted round robin across the class queues.
+            if (!inst.admission_->pop(cls, a))
+                break;
+        } else {
+            if (inst.queue_.empty())
+                break;
+            a = std::move(inst.queue_.front());
+            inst.queue_.pop_front();
+        }
         if (a.abandoned && *a.abandoned) {
             // The caller timed out while this sat in the queue; skip
             // it without burning a worker thread on dead work.
             rpcAbandonedArrivals_->inc();
             continue;
         }
+        if (inst.admission_)
+            admServed_[static_cast<std::size_t>(cls)]->inc();
         --inst.freeThreads_;
 
         auto ctx = std::make_shared<HandlerCtx>();
@@ -974,6 +1109,7 @@ App::maybeStartHandling(Instance &inst)
         ctx->span.instance = inst.index();
         ctx->span.queryType = a.req->queryType;
         ctx->span.attempt = a.attempt;
+        ctx->span.qosClass = static_cast<std::uint8_t>(cls);
         // Arrival is timestamped before kernel receive processing.
         ctx->span.start = a.enqueued >= a.preNetworkTime
                               ? a.enqueued - a.preNetworkTime

@@ -16,6 +16,7 @@
 #ifndef UQSIM_SERVICE_APP_HH
 #define UQSIM_SERVICE_APP_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -200,6 +201,25 @@ class App
 
     /** The key universe (null when keyed data is off). */
     const data::Keyspace *keyspace() const { return keyspace_.get(); }
+
+    // -- Admission control / QoS classes ----------------------------------
+
+    /**
+     * Turn on server-side admission control: assign every query type
+     * its QoS class, install the admission policy on every tier and
+     * give every instance a bounded multi-class queue. Call once,
+     * after the graph is built, instances are placed and query types
+     * are registered. Strictly opt-in: without this call no admission
+     * state exists and execution is bit-identical to the legacy
+     * single-FIFO runtime.
+     */
+    void enableQos(const QosConfig &config);
+
+    /** @return true once enableQos has been called. */
+    bool qosEnabled() const { return qosEnabled_; }
+
+    /** QoS class serving a query type (UserFacing while QoS is off). */
+    QosClass qosClassOf(unsigned query_type) const;
 
     // -- Fault injection --------------------------------------------------
 
@@ -405,6 +425,8 @@ class App
 
     RequestFaultHook *faultHook_ = nullptr;
     bool crashTracking_ = false;
+    /** Admission control armed (enableQos called). */
+    bool qosEnabled_ = false;
     /** In-flight attempts per target instance (crash tracking only). */
     std::unordered_map<const Instance *, std::vector<AttemptState *>>
         inflight_;
@@ -437,6 +459,15 @@ class App
     Counter *rpcPoolTimeouts_ = nullptr;
     Counter *rpcCrashedInFlight_ = nullptr;
     Counter *rpcAbandonedArrivals_ = nullptr;
+    /**
+     * Admission accounting, created lazily by enableQos so disabled
+     * runs emit exactly the legacy metric set. Indexed by QosClass.
+     */
+    std::array<Counter *, kQosClassCount> admAdmitted_{};
+    std::array<Counter *, kQosClassCount> admServed_{};
+    std::array<Counter *, kQosClassCount> admShed_{};
+    std::array<Counter *, kQosClassCount> admThrottled_{};
+    std::array<Counter *, kQosClassCount> admOverflow_{};
     double totalNetworkTime_ = 0.0;
     double totalAppTime_ = 0.0;
 };

@@ -27,6 +27,7 @@
 #include "cpu/server.hh"
 #include "rpc/protocol.hh"
 #include "rpc/resilience.hh"
+#include "service/admission.hh"
 #include "service/handler.hh"
 #include "service/request.hh"
 #include "trace/span.hh"
@@ -92,6 +93,13 @@ struct ServiceDef
     /** Load-balancing policy across instances (stateless tiers). */
     LbPolicy lbPolicy = LbPolicy::RoundRobin;
 
+    /**
+     * Server-side admission control (bounded per-class queues, WRR
+     * dequeue, token bucket, cost-based shedding). Inactive by
+     * default: instances keep the legacy single FIFO.
+     */
+    AdmissionPolicy admission;
+
     /** Default request payload bytes when the caller gives none. */
     Bytes defaultRequestBytes = 512;
 
@@ -128,8 +136,11 @@ class Instance
     /** Free worker threads right now. */
     unsigned freeThreads() const { return freeThreads_; }
 
-    /** Requests queued for a thread. */
-    std::size_t queueLength() const { return queue_.size(); }
+    /** Requests queued for a thread (all QoS classes). */
+    std::size_t queueLength() const
+    {
+        return queue_.size() + (admission_ ? admission_->size() : 0);
+    }
 
     /** Fraction of worker threads occupied (busy or blocked). */
     double occupancy() const;
@@ -188,6 +199,13 @@ class Instance
 
     unsigned freeThreads_;
     std::deque<Arrival> queue_;
+
+    /**
+     * Multi-class admission queue; null until App::enableQos. While
+     * set it replaces queue_ entirely, so only one of the two holds
+     * work at any time.
+     */
+    std::unique_ptr<AdmissionQueue<Arrival>> admission_;
 
     std::uint64_t served_ = 0;
     std::uint64_t dropped_ = 0;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/types.hh"
+#include "service/admission.hh"
 #include "trace/span.hh"
 
 namespace uqsim::service {
@@ -132,6 +133,13 @@ struct QueryType
      * onlyForTag runs only when that tag is in this set.
      */
     std::vector<std::string> tags;
+
+    /**
+     * Admission-control priority class. Only consulted when the App's
+     * QoS subsystem is enabled; the default keeps every query
+     * user-facing.
+     */
+    QosClass qosClass = QosClass::UserFacing;
 
     /** @return true if @p tag is in this query's tag set. */
     bool

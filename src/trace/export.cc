@@ -29,6 +29,24 @@ spanService(const TraceStore &store, const Span &sp)
                                     : store.serviceName(sp.service);
 }
 
+/**
+ * QoS class tag value. Mirrors service::qosClassName without a
+ * dependency cycle (trace cannot include service); class 0 is
+ * user-facing, which is also the legacy default and never emitted.
+ */
+const char *
+qosClassTag(std::uint8_t cls)
+{
+    switch (cls) {
+    case 1:
+        return "batch";
+    case 2:
+        return "best-effort";
+    default:
+        return "user-facing";
+    }
+}
+
 void
 emitSpan(std::ostream &os, const TraceStore &store, const Span &sp)
 {
@@ -57,6 +75,8 @@ emitSpan(std::ostream &os, const TraceStore &store, const Span &sp)
         os << ",\"dataHits\":\"" << unsigned{sp.dataHits} << "\"";
     if (sp.dataMisses > 0)
         os << ",\"dataMisses\":\"" << unsigned{sp.dataMisses} << "\"";
+    if (sp.qosClass > 0)
+        os << ",\"qosClass\":\"" << qosClassTag(sp.qosClass) << "\"";
     os << "}}";
 }
 
@@ -156,6 +176,9 @@ exportPerfettoJson(const TraceStore &store, std::ostream &os,
             os << ",\"dataHits\":" << unsigned{sp.dataHits};
         if (sp.dataMisses > 0)
             os << ",\"dataMisses\":" << unsigned{sp.dataMisses};
+        if (sp.qosClass > 0)
+            os << ",\"qosClass\":\"" << qosClassTag(sp.qosClass)
+               << "\"";
         os << "}}";
     }
     os << "\n],\"otherData\":{"

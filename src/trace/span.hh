@@ -56,6 +56,7 @@ enum class SpanStatus : std::uint8_t
     BreakerOpen,       ///< circuit breaker refused the call
     PoolTimeout,       ///< connection-pool acquire timed out
     Unreachable,       ///< no active instance to route to
+    Throttled,         ///< admission token bucket refused the class
 };
 
 /** @return a short printable status name ("ok", "timeout", ...). */
@@ -83,6 +84,8 @@ spanStatusName(SpanStatus s)
         return "pool_timeout";
       case SpanStatus::Unreachable:
         return "unreachable";
+      case SpanStatus::Throttled:
+        return "throttled";
     }
     return "unknown";
 }
@@ -142,6 +145,13 @@ struct Span
      */
     std::uint8_t dataHits = 0;
     std::uint8_t dataMisses = 0;
+
+    /**
+     * QoS class of the enclosing request (service::QosClass value).
+     * Zero — user-facing — on runs without admission control, keeping
+     * legacy exporter output byte-identical.
+     */
+    std::uint8_t qosClass = 0;
 
     /** Total server-side latency. */
     Tick duration() const { return end - start; }

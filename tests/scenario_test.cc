@@ -46,6 +46,17 @@ fullScenario()
     s.retryBudget = 0.2;
     s.breaker = true;
     s.shed = 64;
+    s.qosEnabled = true;
+    s.qosWeightUser = 16;
+    s.qosWeightBatch = 4;
+    s.qosWeightBest = 2;
+    s.qosQueue = 24;
+    s.qosRate = 500.0;
+    s.qosBurst = 12.0;
+    s.qosShedBatch = 0.6;
+    s.qosShedBest = 0.3;
+    s.qosBatch = "addToCart,wishlist";
+    s.qosBestEffort = "browseCatalogue";
     s.dataKeys = 100000;
     s.dataCapacity = 2048;
     s.dataPolicy = "slru";
@@ -110,6 +121,64 @@ TEST(ScenarioTest, DumpParseDumpIsIdentity)
     EXPECT_EQ(parsed.dataWrite, "invalidate");
     EXPECT_EQ(parsed.dataShiftPeriod, 2 * kTicksPerSec);
     EXPECT_EQ(parsed.dataVnodes, 32u);
+    EXPECT_TRUE(parsed.qosEnabled);
+    EXPECT_EQ(parsed.qosWeightUser, 16u);
+    EXPECT_EQ(parsed.qosWeightBatch, 4u);
+    EXPECT_EQ(parsed.qosWeightBest, 2u);
+    EXPECT_EQ(parsed.qosQueue, 24u);
+    EXPECT_DOUBLE_EQ(parsed.qosRate, 500.0);
+    EXPECT_DOUBLE_EQ(parsed.qosBurst, 12.0);
+    EXPECT_DOUBLE_EQ(parsed.qosShedBatch, 0.6);
+    EXPECT_DOUBLE_EQ(parsed.qosShedBest, 0.3);
+    EXPECT_EQ(parsed.qosBatch, "addToCart,wishlist");
+    EXPECT_EQ(parsed.qosBestEffort, "browseCatalogue");
+}
+
+TEST(ScenarioTest, RejectsBadQosValues)
+{
+    apps::Scenario s;
+    std::string error;
+
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"qos\": {\"wieghts\": \"8,2,1\"}}", s, error));
+    EXPECT_NE(error.find("unknown scenario key 'qos.wieghts'"),
+              std::string::npos);
+
+    // Malformed weight triples: wrong arity, junk, and a zero weight
+    // (a zero-weight class would starve under WRR).
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"qos\": {\"weights\": \"8,2\"}}", s, error));
+    EXPECT_NE(error.find("qos.weights"), std::string::npos);
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"qos\": {\"weights\": \"8,two,1\"}}", s, error));
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"qos\": {\"weights\": \"8,0,1\"}}", s, error));
+
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"qos\": {\"rate\": -1}}", s, error));
+    EXPECT_NE(error.find("qos.rate"), std::string::npos);
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"qos\": {\"burst\": 0}}", s, error));
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"qos\": {\"shed_batch\": 1.5}}", s, error));
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"qos\": {\"shed_best\": 0}}", s, error));
+}
+
+TEST(ScenarioTest, AbsentQosKeysKeepCallerDefaults)
+{
+    apps::Scenario s;
+    s.qosQueue = 48;
+    s.qosBatch = "wishlist";
+    std::string error;
+    ASSERT_TRUE(apps::parseScenarioJson(
+        "{\"qos\": {\"enabled\": true, \"rate\": 250}}", s, error))
+        << error;
+    EXPECT_TRUE(s.qosEnabled);
+    EXPECT_DOUBLE_EQ(s.qosRate, 250.0);
+    EXPECT_EQ(s.qosQueue, 48u);       // caller's default survives
+    EXPECT_EQ(s.qosBatch, "wishlist");
+    EXPECT_EQ(s.qosWeightUser, 8u);   // untouched struct default
 }
 
 TEST(ScenarioTest, RejectsBadDataTierValues)

@@ -65,7 +65,7 @@ struct Options
 
 const char *const kReportKinds[] = {"summary", "services", "traces",
                                     "cost",    "energy",   "resilience",
-                                    "data"};
+                                    "data",    "qos"};
 
 void
 usage()
@@ -97,7 +97,7 @@ usage()
         "                     override; see --dump-config)\n"
         "  --dump-config      print the effective scenario JSON, exit\n"
         "  --report KIND      summary | services | traces | cost | energy |\n"
-        "                     resilience | data\n"
+        "                     resilience | data | qos\n"
         "  --cache-keys N     keyed data tier: keys per app (0 = legacy\n"
         "                     fixed-hit-probability caches, the default)\n"
         "  --cache-capacity N entries per cache instance (default 4096)\n"
@@ -116,6 +116,22 @@ usage()
         "                     errors@t=1s,dur=2s,service=X,rate=0.5\n"
         "                     slow@t=1s,dur=2s,server=0,factor=10\n"
         "                     partition@t=3s,dur=1s,a=0-1,b=2-4,loss=1\n"
+        "  --qos              server-side admission control: bounded\n"
+        "                     per-class queues with weighted dequeue\n"
+        "                     (any --qos-* flag implies it)\n"
+        "  --qos-weights U,B,E  WRR credits for user-facing, batch,\n"
+        "                     best-effort (default 8,2,1)\n"
+        "  --qos-queue N      per-class queue bound (0 = tier capacity)\n"
+        "  --qos-rate R       token bucket: admitted req/s per instance\n"
+        "                     (default 0 = unlimited)\n"
+        "  --qos-burst N      token bucket burst (default 32)\n"
+        "  --qos-shed-batch F shed batch above this backlog fraction\n"
+        "                     (default 0.5)\n"
+        "  --qos-shed-best F  shed best-effort above this fraction\n"
+        "                     (default 0.25)\n"
+        "  --qos-batch LIST   comma-separated query types in the batch\n"
+        "                     class\n"
+        "  --qos-best-effort LIST  query types in the best-effort class\n"
         "  --rpc-timeout DUR  per-attempt RPC timeout (e.g. 50ms; 0 = off)\n"
         "  --deadline DUR     end-to-end request deadline (0 = off)\n"
         "  --retries N        RPC retries after a failed attempt\n"
@@ -293,7 +309,39 @@ parse(int argc, char **argv, Options &opt)
             scn.dataShiftPeriod = durationVal(i);
         else if (a == "--cache-vnodes")
             scn.dataVnodes = numUnsigned(i);
-        else if (a == "--rpc-timeout")
+        else if (a == "--qos")
+            scn.qosEnabled = true;
+        else if (a == "--qos-weights") {
+            const std::string &flag = args[i], &v = need(i);
+            if (!apps::parseQosWeights(v, scn.qosWeightUser,
+                                       scn.qosWeightBatch,
+                                       scn.qosWeightBest))
+                fatal(strCat("bad weights '", v, "' for ", flag,
+                             " (want three positive integers "
+                             "\"user,batch,best\")"));
+            scn.qosEnabled = true;
+        } else if (a == "--qos-queue") {
+            scn.qosQueue = numUnsigned(i);
+            scn.qosEnabled = true;
+        } else if (a == "--qos-rate") {
+            scn.qosRate = numDouble(i);
+            scn.qosEnabled = true;
+        } else if (a == "--qos-burst") {
+            scn.qosBurst = numDouble(i);
+            scn.qosEnabled = true;
+        } else if (a == "--qos-shed-batch") {
+            scn.qosShedBatch = numDouble(i);
+            scn.qosEnabled = true;
+        } else if (a == "--qos-shed-best") {
+            scn.qosShedBest = numDouble(i);
+            scn.qosEnabled = true;
+        } else if (a == "--qos-batch") {
+            scn.qosBatch = need(i);
+            scn.qosEnabled = true;
+        } else if (a == "--qos-best-effort") {
+            scn.qosBestEffort = need(i);
+            scn.qosEnabled = true;
+        } else if (a == "--rpc-timeout")
             scn.rpcTimeout = durationVal(i);
         else if (a == "--deadline")
             scn.deadline = durationVal(i);
@@ -323,7 +371,7 @@ parse(int argc, char **argv, Options &opt)
     if (!report_ok)
         fatal(strCat("unknown report kind '", opt.report,
                      "' (want summary, services, traces, cost, energy, "
-                     "resilience or data)"));
+                     "resilience, data or qos)"));
     if (scn.qps <= 0.0)
         fatal("--qps must be positive");
     if (scn.durationSec <= 0.0)
@@ -370,6 +418,14 @@ parse(int argc, char **argv, Options &opt)
             fatal("--cache-hot-mass must be in [0, 1]");
         if (scn.dataVnodes == 0)
             fatal("--cache-vnodes must be positive");
+        if (scn.qosRate < 0.0)
+            fatal("--qos-rate must be >= 0");
+        if (scn.qosBurst <= 0.0)
+            fatal("--qos-burst must be positive");
+        if (scn.qosShedBatch <= 0.0 || scn.qosShedBatch > 1.0)
+            fatal("--qos-shed-batch must be in (0, 1]");
+        if (scn.qosShedBest <= 0.0 || scn.qosShedBest > 1.0)
+            fatal("--qos-shed-best must be in (0, 1]");
     }
     return true;
 }
@@ -663,6 +719,33 @@ main(int argc, char **argv)
         }
         printBanner(std::cout, "per-service outcomes");
         e.print(std::cout);
+    }
+    if (opt.report == "qos") {
+        printBanner(std::cout, "admission control / qos classes");
+        if (!scn.qosEnabled) {
+            std::cout << "admission control disabled (--qos): tiers "
+                         "use the legacy single-FIFO queue\n";
+        } else {
+            TextTable t({"class", "admitted", "served", "shed",
+                         "throttled", "overflow"});
+            for (unsigned c = 0; c < service::kQosClassCount; ++c) {
+                const char *cls = service::qosClassName(
+                    static_cast<service::QosClass>(c));
+                auto sum = [&](const char *what) {
+                    std::uint64_t total = 0;
+                    for (unsigned s = 0; s < nshards; ++s)
+                        total += sharded.shard(s)
+                                     .app->metrics()
+                                     .counter(strCat("admission.",
+                                                     what, ".", cls))
+                                     .value();
+                    return total;
+                };
+                t.add(cls, sum("admitted"), sum("served"),
+                      sum("shed"), sum("throttled"), sum("overflow"));
+            }
+            t.print(std::cout);
+        }
     }
     if (opt.report == "data") {
         printBanner(std::cout, "keyed data tier");
