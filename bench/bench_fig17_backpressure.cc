@@ -16,6 +16,8 @@
 #include "apps/profiles.hh"
 #include "manager/autoscaler.hh"
 #include "manager/monitor.hh"
+#include "obs/culprit.hh"
+#include "obs/pipeline.hh"
 #include "workload/generators.hh"
 
 using namespace uqsim;
@@ -32,14 +34,11 @@ runCase(bool degraded_backend, double qps, const char *label)
     service::ServiceDef mc;
     mc.name = "memcached";
     mc.kind = service::ServiceKind::Cache;
-    // Case B: a seemingly negligible slowdown in memcached.
-    mc.handler.compute(
-        Dist::lognormalMean(degraded_backend ? 3200.0 * 1440.0
-                                             : 80.0 * 1440.0,
-                            0.4));
+    mc.handler.compute(Dist::lognormalMean(80.0 * 1440.0, 0.4));
     mc.profile = apps::memcachedProfile();
-    // The degraded instance also lost most of its worker threads
-    // (e.g. a bad config push): its own capacity is ~600 op/s.
+    // Case B: the instance lost most of its worker threads (e.g. a
+    // bad config push); the runtime slowdown below then caps it at
+    // ~600 op/s behind 4 HTTP/1 connections.
     mc.threadsPerInstance = degraded_backend ? 2 : 16;
     mc.protocol = rpc::ProtocolModel::restHttp1();
     mc.protocol.connectionsPerPair = 4;
@@ -63,6 +62,18 @@ runCase(bool degraded_backend, double qps, const char *label)
 
     manager::Monitor mon(app, secToTicks(1.0));
     mon.start();
+
+    // SLO monitor on the end-to-end stream: the same 5ms QoS target
+    // the autoscaler chases, evaluated per interval, so the localizer
+    // can name the tier that degraded first in each case.
+    obs::PipelineConfig pc;
+    pc.interval = secToTicks(1.0);
+    pc.ring = 128;
+    pc.slo.latency = 5 * kTicksPerMs;
+    pc.slo.window = 3;
+    obs::Pipeline pipe(app, pc);
+    pipe.start();
+
     manager::AutoScaler::Config cfg;
     cfg.threshold = 0.7;
     cfg.interval = secToTicks(1.0);
@@ -90,6 +101,18 @@ runCase(bool degraded_backend, double qps, const char *label)
         w->sim.schedule(secToTicks(28.0), [&gen, qps] {
             gen.setQps(5.0 * qps);
         });
+    } else {
+        // Case B: healthy until t=10s, then a co-scheduled antagonist
+        // slows the memcached server 40x (~80us/op becomes ~3.2ms/op)
+        // — a seemingly negligible per-op cost that saturates the
+        // 2-thread instance.
+        w->sim.schedule(secToTicks(10.0), [&] {
+            const unsigned mc_server = app.service("memcached")
+                                           .instances()[0]
+                                           ->server()
+                                           .id();
+            w->cluster.server(mc_server).setSlowFactor(40.0);
+        });
     }
 
     TextTable table({"t(s)", "nginx p99(ms)", "memcached p99(ms)",
@@ -110,6 +133,21 @@ runCase(bool degraded_backend, double qps, const char *label)
     for (const auto &e : scaler.events())
         std::cout << "t=" << fmtDouble(ticksToSec(e.time), 0) << "s ";
     std::cout << ")\n";
+
+    if (pipe.slo().violated()) {
+        const obs::SloViolation &v = pipe.slo().violations().front();
+        std::cout << "e2e p99 SLO (5ms) tripped at t="
+                  << fmtDouble(ticksToSec(v.time), 0) << "s; culprit "
+                  << "ranking (expect "
+                  << (degraded_backend ? "memcached" : "nginx")
+                  << " first):\n";
+        obs::CulpritLocalizer loc(pipe.store());
+        std::cout << obs::culpritTable(
+            loc.localize(pipe.slo().firstViolationTime(),
+                         obs::CulpritLocalizer::tierDepths(app)));
+    } else {
+        std::cout << "no e2e SLO violation recorded\n";
+    }
 }
 
 } // namespace

@@ -300,6 +300,40 @@ parseScenarioJson(const std::string &text, Scenario &out,
                 if (!qok)
                     return false;
             }
+        } else if (key == "slo") {
+            if (!v.isObject()) {
+                error = "scenario key 'slo' must be an object";
+                return false;
+            }
+            for (const auto &okv : v.object) {
+                const std::string okey = "slo." + okv.first;
+                const json::Value &ov = okv.second;
+                bool ook = true;
+                if (okv.first == "enabled")
+                    ook = wantBool(ov, okey, s.obsEnabled);
+                else if (okv.first == "interval")
+                    ook = wantDuration(ov, okey, s.obsInterval);
+                else if (okv.first == "ring")
+                    ook = wantUnsigned(ov, okey, s.obsRing);
+                else if (okv.first == "latency")
+                    ook = wantDuration(ov, okey, s.sloLatency);
+                else if (okv.first == "quantile")
+                    ook = wantNumber(ov, okey, s.sloQuantile);
+                else if (okv.first == "window") {
+                    if ((ook = wantUnsigned(ov, okey, u)))
+                        s.sloWindow = static_cast<unsigned>(u);
+                } else if (okv.first == "error_rate")
+                    ook = wantNumber(ov, okey, s.sloErrorRate);
+                else if (okv.first == "tier")
+                    ook = wantString(ov, okey, s.sloTier);
+                else {
+                    error = strCat("unknown scenario key 'slo.",
+                                   okv.first, "'");
+                    return false;
+                }
+                if (!ook)
+                    return false;
+            }
         } else if (key == "faults") {
             if (!v.isArray()) {
                 error = "scenario key 'faults' must be an array";
@@ -418,6 +452,26 @@ parseScenarioJson(const std::string &text, Scenario &out,
         error = "qos.shed_best must be in (0, 1]";
         return false;
     }
+    if (s.obsInterval == 0) {
+        error = "slo.interval must be positive";
+        return false;
+    }
+    if (s.obsRing == 0) {
+        error = "slo.ring must be positive";
+        return false;
+    }
+    if (s.sloQuantile <= 0.0 || s.sloQuantile >= 1.0) {
+        error = "slo.quantile must be in (0, 1)";
+        return false;
+    }
+    if (s.sloWindow == 0) {
+        error = "slo.window must be positive";
+        return false;
+    }
+    if (s.sloErrorRate < 0.0 || s.sloErrorRate > 1.0) {
+        error = "slo.error_rate must be in [0, 1]";
+        return false;
+    }
 
     out = std::move(s);
     return true;
@@ -477,6 +531,16 @@ scenarioToJson(const Scenario &s)
     w.field("shed_best", s.qosShedBest);
     w.field("batch", s.qosBatch);
     w.field("best_effort", s.qosBestEffort);
+    w.endObject();
+    w.beginObject("slo");
+    w.field("enabled", s.obsEnabled);
+    w.field("interval", ticksField(s.obsInterval));
+    w.field("ring", s.obsRing);
+    w.field("latency", ticksField(s.sloLatency));
+    w.field("quantile", s.sloQuantile);
+    w.field("window", s.sloWindow);
+    w.field("error_rate", s.sloErrorRate);
+    w.field("tier", s.sloTier);
     w.endObject();
     w.beginArray("faults");
     for (const fault::FaultSpec &f : s.faults)
@@ -559,6 +623,34 @@ qosConfigFor(const Scenario &s)
     c.batchQueries = splitNameList(s.qosBatch);
     c.bestEffortQueries = splitNameList(s.qosBestEffort);
     return c;
+}
+
+obs::PipelineConfig
+obsConfigFor(const Scenario &s)
+{
+    obs::PipelineConfig c;
+    c.interval = s.obsInterval;
+    c.ring = static_cast<std::size_t>(s.obsRing);
+    c.slo.tier = s.sloTier;
+    c.slo.latency = s.sloLatency;
+    c.slo.quantile = s.sloQuantile;
+    c.slo.window = s.sloWindow;
+    c.slo.errorRate = s.sloErrorRate;
+    return c;
+}
+
+std::unique_ptr<obs::Pipeline>
+attachObservability(World &w, const Scenario &s)
+{
+    // Arming an SLO objective implies telemetry: the monitor cannot
+    // run without the sampler feeding it.
+    const bool enabled =
+        s.obsEnabled || s.sloLatency > 0 || s.sloErrorRate > 0.0;
+    if (!enabled)
+        return nullptr;
+    auto p = std::make_unique<obs::Pipeline>(*w.app, obsConfigFor(s));
+    p->start();
+    return p;
 }
 
 WorldConfig

@@ -28,6 +28,7 @@
 #include "core/parallel.hh"
 #include "data/config.hh"
 #include "fault/fault.hh"
+#include "obs/pipeline.hh"
 #include "trace/collector.hh"
 #include "workload/load_sweep.hh"
 #include "workload/user_population.hh"
@@ -100,6 +101,16 @@ struct Scenario
     Tick dataShiftPeriod = 0;
     unsigned dataVnodes = 64;
 
+    // -- observability / SLO monitoring (opt-in) --------------------
+    bool obsEnabled = false;
+    Tick obsInterval = 100 * kTicksPerMs; ///< sampling boundary period
+    std::uint64_t obsRing = 4096;         ///< ring bound per series
+    Tick sloLatency = 0;       ///< latency bound at sloQuantile (0 = off)
+    double sloQuantile = 0.99; ///< in (0, 1)
+    unsigned sloWindow = 3;    ///< consecutive bad intervals to trip
+    double sloErrorRate = 0.0; ///< error-rate bound (0 = off)
+    std::string sloTier;       ///< series under the SLO ("" = e2e)
+
     // -- faults & tracing -------------------------------------------
     std::vector<fault::FaultSpec> faults;
     std::size_t traceCapacity = trace::TraceStore::kDefaultCapacity;
@@ -110,6 +121,19 @@ data::DataTierConfig dataTierConfigFor(const Scenario &s);
 
 /** The QosConfig a scenario's qos fields describe. */
 service::QosConfig qosConfigFor(const Scenario &s);
+
+/** The obs::PipelineConfig a scenario's obs/slo fields describe. */
+obs::PipelineConfig obsConfigFor(const Scenario &s);
+
+/**
+ * Attach and start an observability pipeline over @p w's app when the
+ * scenario enables one (obsEnabled, or any armed SLO objective).
+ * @return the pipeline, or nullptr when observability is off. The
+ * pipeline must outlive all driving of the world — declare it after
+ * the World/ShardedWorld so it is destroyed first.
+ */
+std::unique_ptr<obs::Pipeline> attachObservability(World &w,
+                                                   const Scenario &s);
 
 /**
  * Parse a "user,batch,best" weight triple (the --qos-weights / qos

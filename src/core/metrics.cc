@@ -1,6 +1,8 @@
 #include "core/metrics.hh"
 
 #include <iomanip>
+#include <locale>
+#include <sstream>
 
 namespace uqsim {
 
@@ -54,15 +56,32 @@ MetricsRegistry::dump(std::ostream &os) const
 
 namespace {
 
-/** Minimal JSON string escaping for metric names. */
+/**
+ * Full JSON string escaping for metric names: quote, backslash, the
+ * short escapes, and \u00XX for the remaining control characters. A
+ * name containing a newline or tab must not corrupt the document.
+ */
 void
 emitJsonString(std::ostream &os, const std::string &s)
 {
+    static const char *hex = "0123456789abcdef";
     os << '"';
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            os << '\\';
-        os << c;
+    for (char ch : s) {
+        const auto c = static_cast<unsigned char>(ch);
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\b': os << "\\b"; break;
+        case '\f': os << "\\f"; break;
+        case '\n': os << "\\n"; break;
+        case '\r': os << "\\r"; break;
+        case '\t': os << "\\t"; break;
+        default:
+            if (c < 0x20)
+                os << "\\u00" << hex[c >> 4] << hex[c & 0xf];
+            else
+                os << ch;
+        }
     }
     os << '"';
 }
@@ -105,6 +124,18 @@ MetricsRegistry::writeJson(std::ostream &os) const
            << ",\"max\":" << h->max() << "}";
     }
     os << "}}\n";
+}
+
+std::string
+MetricsRegistry::snapshotJson() const
+{
+    // A fresh stream carries no inherited precision/locale state, so
+    // the bytes depend only on registry contents (the maps are sorted
+    // by construction).
+    std::ostringstream os;
+    os.imbue(std::locale::classic());
+    writeJson(os);
+    return os.str();
 }
 
 void

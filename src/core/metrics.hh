@@ -61,6 +61,16 @@ class MetricsRegistry
      */
     void writeJson(std::ostream &os) const;
 
+    /**
+     * writeJson into a string, byte-stable: keys are emitted in
+     * sorted (std::map) order unconditionally, strings are fully
+     * JSON-escaped (quotes, backslashes, control characters), and the
+     * stream is freshly default-constructed so no ambient locale or
+     * formatting state can perturb the bytes. Two snapshots of equal
+     * registries are equal byte-for-byte on every platform.
+     */
+    std::string snapshotJson() const;
+
     /** Zero every metric (names and references stay valid). */
     void resetAll();
 

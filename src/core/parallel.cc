@@ -153,10 +153,45 @@ ParallelSimulator::minNextTick() const
 }
 
 void
+ParallelSimulator::addClockObserver(unsigned shard, Tick interval,
+                                    ClockObserverFn fn)
+{
+    if (shard >= shards_.size())
+        panic(strCat("addClockObserver(", shard, ") out of range; ",
+                     shards_.size(), " shards"));
+    if (interval == 0)
+        panic("addClockObserver with zero interval");
+    Shard &s = *shards_[shard];
+    Tick first = interval;
+    while (first <= s.now)
+        first += interval;
+    s.observers.push_back(ClockObserver{interval, first, std::move(fn)});
+    s.nextBoundary = std::min(s.nextBoundary, first);
+}
+
+void
 ParallelSimulator::runShard(Shard &s, Tick horizon)
 {
     EventQueue &q = s.queue;
+    if (s.observers.empty()) {
+        // Observer-free fast path: no per-event boundary check.
+        while (!q.empty() && q.nextTick() < horizon) {
+            auto [when, cb] = q.popNext();
+            s.now = when;
+            cb();
+        }
+        return;
+    }
     while (!q.empty() && q.nextTick() < horizon) {
+        // Boundaries <= the next local event time are due. Nothing
+        // below the horizon can still arrive by mail (the lookahead
+        // contract), so all events < boundary have already executed —
+        // the lazily-fired sample equals an eagerly-fired one. The
+        // cached earliest boundary keeps the idle cost at one compare.
+        if (q.nextTick() >= s.nextBoundary) {
+            fireClockObservers(s.observers, q.nextTick());
+            s.nextBoundary = nextClockBoundary(s.observers);
+        }
         auto [when, cb] = q.popNext();
         s.now = when;
         cb();
@@ -230,8 +265,15 @@ ParallelSimulator::runUntil(Tick deadline)
                                       satAdd(min_next, lookahead_));
         runRound(horizon);
     }
-    for (auto &s : shards_)
+    for (auto &s : shards_) {
         s->now = deadline;
+        // The window is fully executed on every shard: flush each
+        // shard's boundaries it covers (driver thread, deterministic).
+        if (deadline >= s->nextBoundary) {
+            fireClockObservers(s->observers, deadline);
+            s->nextBoundary = nextClockBoundary(s->observers);
+        }
+    }
 }
 
 void
@@ -304,6 +346,15 @@ SimContext::postToShard(unsigned dst, Tick delay, EventCallback cb)
         return;
     }
     engine_->postToShard(shard_, dst, when, std::move(cb));
+}
+
+void
+SimContext::addClockObserver(Tick interval, ClockObserverFn fn)
+{
+    if (engine_)
+        engine_->addClockObserver(shard_, interval, std::move(fn));
+    else
+        sim_->addClockObserver(interval, std::move(fn));
 }
 
 unsigned

@@ -93,6 +93,20 @@ class ParallelSimulator
     /** @return shard @p shard's current clock. */
     Tick now(unsigned shard) const;
 
+    /**
+     * Register a periodic clock observer on @p shard (see
+     * ClockObserver in core/simulator.hh for semantics): it fires at
+     * every multiple of @p interval between that shard's events, never
+     * as an event, so digests are untouched. Within a round the
+     * callback for boundary B runs after every local event with
+     * time < B; the conservative protocol guarantees no later mail can
+     * land below B, so the lazily-fired sample is identical to one
+     * taken eagerly — and therefore worker-thread-count invariant.
+     * Register before driving the engine.
+     */
+    void addClockObserver(unsigned shard, Tick interval,
+                          ClockObserverFn fn);
+
     /** Run until every queue and mailbox drains. */
     void run();
 
@@ -131,6 +145,10 @@ class ParallelSimulator
         Tick now = 0;
         /** Sequence of cross-shard sends originating here. */
         std::uint64_t mailSeq = 0;
+        /** Periodic sampling callbacks (empty on the common path). */
+        std::vector<ClockObserver> observers;
+        /** Earliest pending boundary (kMaxTick while none). */
+        Tick nextBoundary = kMaxTick;
     };
 
     /** One buffered cross-shard event. */

@@ -106,6 +106,16 @@ class SimContext
     /** @return true when this context belongs to a sharded world. */
     bool sharded() const { return engine_ != nullptr; }
 
+    /**
+     * Register a periodic clock observer on this shard: @p fn fires at
+     * every multiple of @p interval of this shard's clock, between
+     * events rather than as one, so the execution digest is untouched
+     * (see ClockObserver in core/simulator.hh). The observer must be
+     * read-only over model state and must outlive all driving of the
+     * world; there is no unregistration. Register before running.
+     */
+    void addClockObserver(Tick interval, ClockObserverFn fn);
+
     // -- Driver surface (top-level harnesses only, never event code) --
 
     /**

@@ -14,9 +14,35 @@ Simulator::scheduleAt(Tick when, EventCallback cb)
 }
 
 void
+Simulator::addClockObserver(Tick interval, ClockObserverFn fn)
+{
+    if (interval == 0)
+        panic("addClockObserver with zero interval");
+    // The first boundary is one interval in; boundaries already behind
+    // the clock would sample a world the observer never saw evolve.
+    Tick first = interval;
+    while (first <= now_)
+        first += interval;
+    observers_.push_back(ClockObserver{interval, first, std::move(fn)});
+    nextBoundary_ = std::min(nextBoundary_, first);
+}
+
+void
 Simulator::run()
 {
+    if (observers_.empty()) {
+        // Observer-free fast path: no per-event boundary check.
+        while (!queue_.empty()) {
+            auto [when, cb] = queue_.popNext();
+            now_ = when;
+            cb();
+        }
+        return;
+    }
     while (!queue_.empty()) {
+        // Boundaries <= the next event time are due: every event
+        // before them has executed, nothing at/after them has.
+        maybeFireObservers(queue_.nextTick());
         auto [when, cb] = queue_.popNext();
         now_ = when;
         cb();
@@ -28,12 +54,24 @@ Simulator::runUntil(Tick deadline)
 {
     if (deadline < now_)
         panic(strCat("runUntil(", deadline, ") in the past; now=", now_));
+    if (observers_.empty()) {
+        while (!queue_.empty() && queue_.nextTick() <= deadline) {
+            auto [when, cb] = queue_.popNext();
+            now_ = when;
+            cb();
+        }
+        now_ = deadline;
+        return;
+    }
     while (!queue_.empty() && queue_.nextTick() <= deadline) {
+        maybeFireObservers(queue_.nextTick());
         auto [when, cb] = queue_.popNext();
         now_ = when;
         cb();
     }
     now_ = deadline;
+    // The window is fully executed: flush every boundary it covers.
+    maybeFireObservers(deadline);
 }
 
 } // namespace uqsim

@@ -47,6 +47,7 @@ Monitor::sampleOnce()
         s.meanLatency = svc->latencyWindow().windowMean();
         s.occupancy = svc->meanOccupancy();
         s.queueDepth = svc->meanQueueLength();
+        s.inFlight = svc->meanInFlight();
         s.instances = svc->activeInstances();
 
         // CPU utilization: busy-time delta over capacity. Capacity is
@@ -122,6 +123,7 @@ Monitor::sampleOnce()
         g.cpuUtil->set(s.cpuUtil);
         g.occupancy->set(s.occupancy);
         g.queueDepth->set(s.queueDepth);
+        g.inFlight->set(s.inFlight);
         g.instances->set(static_cast<double>(s.instances));
         g.errorRate->set(s.errorRate);
         if (g.hitRatio)
@@ -146,6 +148,7 @@ Monitor::gaugesFor(const service::Microservice &svc)
     g.cpuUtil = &m.gauge("monitor.cpu_util." + svc.name());
     g.occupancy = &m.gauge("monitor.occupancy." + svc.name());
     g.queueDepth = &m.gauge("monitor.queue_depth." + svc.name());
+    g.inFlight = &m.gauge("monitor.in_flight." + svc.name());
     g.instances = &m.gauge("monitor.instances." + svc.name());
     g.errorRate = &m.gauge("monitor.error_rate." + svc.name());
     if (svc.hasCacheModels())

@@ -40,6 +40,12 @@ struct TierSample
     double occupancy = 0.0;
     /** Mean queue depth across instances. */
     double queueDepth = 0.0;
+    /**
+     * Mean in-flight RPCs across instances (occupying a worker thread
+     * or queued). Queue depth alone misses a tier saturated
+     * thread-for-thread with an empty queue.
+     */
+    double inFlight = 0.0;
     /** Active instances. */
     unsigned instances = 0;
     /**
@@ -104,6 +110,7 @@ class Monitor
         Gauge *cpuUtil = nullptr;
         Gauge *occupancy = nullptr;
         Gauge *queueDepth = nullptr;
+        Gauge *inFlight = nullptr;
         Gauge *instances = nullptr;
         Gauge *errorRate = nullptr;
         /** Only for keyed data tiers; null keeps legacy snapshots. */

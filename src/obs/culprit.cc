@@ -1,0 +1,163 @@
+#include "obs/culprit.hh"
+
+#include <algorithm>
+#include <deque>
+#include <iomanip>
+#include <sstream>
+
+#include "core/logging.hh"
+
+namespace uqsim::obs {
+
+CulpritLocalizer::CulpritLocalizer(const TimeSeriesStore &store,
+                                   CulpritConfig config)
+    : store_(store), config_(config)
+{
+    if (config_.factor <= 1.0)
+        fatal("CulpritLocalizer factor must exceed 1");
+    if (config_.sustain == 0 || config_.baselineIntervals == 0)
+        fatal("CulpritLocalizer with zero sustain/baseline window");
+}
+
+std::map<std::string, unsigned>
+CulpritLocalizer::tierDepths(const service::App &app)
+{
+    std::map<std::string, unsigned> depth;
+    for (const service::Microservice *svc : app.services())
+        depth[svc->name()] = 0;
+    std::deque<std::string> frontier{app.entry()};
+    while (!frontier.empty()) {
+        const std::string name = std::move(frontier.front());
+        frontier.pop_front();
+        const unsigned d = depth[name];
+        for (const std::string &callee :
+             app.service(name).def().handler.callTargets()) {
+            // First visit wins: BFS order guarantees the minimum hop
+            // count, and revisits would loop on diamond graphs.
+            if (callee != app.entry() && depth[callee] == 0 &&
+                d + 1 > 0) {
+                depth[callee] = d + 1;
+                frontier.push_back(callee);
+            }
+        }
+    }
+    return depth;
+}
+
+std::vector<CulpritEntry>
+CulpritLocalizer::localize(
+    Tick violation_time, const std::map<std::string, unsigned> &depths,
+    const std::vector<trace::CriticalPathEntry> &breakdown) const
+{
+    double exclusive_total = 0.0;
+    std::map<std::string, double> exclusive;
+    for (const trace::CriticalPathEntry &e : breakdown) {
+        exclusive[e.service] = e.exclusiveNs;
+        exclusive_total += e.exclusiveNs;
+    }
+
+    std::vector<CulpritEntry> out;
+    for (const std::string &name : store_.names()) {
+        if (name == kEndToEndSeries)
+            continue;
+        const Series *s = store_.find(name);
+        if (!s || s->size() == 0)
+            continue;
+
+        // Baseline: median interval mean over the earliest intervals
+        // that saw traffic and ended before the violation.
+        std::vector<double> base;
+        for (std::size_t i = 0;
+             i < s->size() && base.size() < config_.baselineIntervals;
+             ++i) {
+            const IntervalSample &row = s->at(i);
+            if (row.end > violation_time)
+                break;
+            if (row.count > 0 && row.meanLatencyNs > 0.0)
+                base.push_back(row.meanLatencyNs);
+        }
+        if (base.empty())
+            continue;
+        std::sort(base.begin(), base.end());
+        const double baseline = base[base.size() / 2];
+        const double bar = config_.factor * baseline;
+
+        // Onset: the first of `sustain` consecutive degraded
+        // intervals, strictly before the violation.
+        Tick onset = 0;
+        double peak = 0.0;
+        unsigned streak = 0;
+        for (std::size_t i = 0; i < s->size(); ++i) {
+            const IntervalSample &row = s->at(i);
+            if (row.start >= violation_time)
+                break;
+            const bool bad = row.count > 0 && row.meanLatencyNs > bar;
+            if (bad) {
+                if (streak == 0)
+                    onset = row.start;
+                ++streak;
+                peak = std::max(peak, row.meanLatencyNs);
+                if (streak >= config_.sustain)
+                    break;
+            } else if (row.count > 0) {
+                streak = 0;
+                onset = 0;
+            }
+            // Traffic-free intervals are neutral, as in SloMonitor.
+        }
+        if (streak < config_.sustain || onset >= violation_time)
+            continue;
+
+        CulpritEntry e;
+        e.tier = name;
+        e.onset = onset;
+        e.lead = violation_time - onset;
+        e.inflation = peak / baseline;
+        e.baselineNs = baseline;
+        auto dit = depths.find(name);
+        e.depth = dit == depths.end() ? 0 : dit->second;
+        auto xit = exclusive.find(name);
+        if (xit != exclusive.end() && exclusive_total > 0.0)
+            e.share = xit->second / exclusive_total;
+        out.push_back(std::move(e));
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const CulpritEntry &a, const CulpritEntry &b) {
+                  if (a.onset != b.onset)
+                      return a.onset < b.onset;
+                  if (a.depth != b.depth)
+                      return a.depth > b.depth;
+                  if (a.inflation != b.inflation)
+                      return a.inflation > b.inflation;
+                  return a.tier < b.tier;
+              });
+    return out;
+}
+
+std::string
+culpritTable(const std::vector<CulpritEntry> &ranking)
+{
+    std::ostringstream os;
+    os << "  rank  tier                   onset(s)  lead(s)  "
+          "inflation  depth  path-share\n";
+    unsigned rank = 1;
+    for (const CulpritEntry &e : ranking) {
+        os << "  " << std::left << std::setw(6) << rank++
+           << std::setw(22) << e.tier << std::right << std::fixed
+           << std::setprecision(2) << std::setw(9)
+           << static_cast<double>(e.onset) /
+                  static_cast<double>(kTicksPerSec)
+           << std::setw(9)
+           << static_cast<double>(e.lead) /
+                  static_cast<double>(kTicksPerSec)
+           << std::setw(10) << e.inflation << "x" << std::setw(6)
+           << e.depth << std::setw(11) << std::setprecision(3)
+           << e.share << "\n";
+    }
+    if (ranking.empty())
+        os << "  (no tier degraded ahead of the violation)\n";
+    return os.str();
+}
+
+} // namespace uqsim::obs

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Cascading-QoS culprit localization.
+ *
+ * When backpressure propagates a backend bottleneck up the tier graph
+ * (the paper's Figs 17/19), every tier on the path eventually looks
+ * slow — the operator's question is which one degraded *first*. The
+ * localizer answers it Seer-style, from the interval series alone:
+ *
+ *  1. Per tier, establish a baseline (median interval mean latency
+ *     over the earliest intervals with traffic) and find the onset —
+ *     the first of `sustain` consecutive intervals whose mean exceeds
+ *     `factor` x baseline, strictly before the end-to-end violation.
+ *  2. Rank tiers by onset (earlier first), breaking ties by graph
+ *     depth (deeper — further downstream from the entry — first,
+ *     because a cascade reaches the backend before its callers within
+ *     one interval), then by inflation over baseline.
+ *  3. Attribute shares from TraceAnalysis::criticalPathBreakdown so
+ *     the ranking carries "how much of the end-to-end path this tier
+ *     owns" next to "how early it degraded".
+ *
+ * The injected bottleneck of bench_fig19_cascade and
+ * bench_fig17_backpressure must rank first with a positive lead time
+ * (onset before the client-side violation); tests/obs_culprit_test.cc
+ * pins that.
+ */
+
+#ifndef UQSIM_OBS_CULPRIT_HH
+#define UQSIM_OBS_CULPRIT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+#include "obs/timeseries.hh"
+#include "service/app.hh"
+#include "trace/analysis.hh"
+
+namespace uqsim::obs {
+
+/** Localization knobs. */
+struct CulpritConfig
+{
+    /** Degradation threshold: mean latency > factor x baseline. */
+    double factor = 2.0;
+
+    /** Consecutive degraded intervals that define an onset. */
+    unsigned sustain = 2;
+
+    /** Earliest intervals with traffic forming the baseline median. */
+    unsigned baselineIntervals = 8;
+};
+
+/** One ranked tier. */
+struct CulpritEntry
+{
+    std::string tier;
+    /** Start tick of the first sustained degraded interval. */
+    Tick onset = 0;
+    /** violation time - onset; how early the tier flagged (ns). */
+    Tick lead = 0;
+    /** Peak interval mean latency before the violation / baseline. */
+    double inflation = 0.0;
+    /** Baseline interval mean latency (ns). */
+    double baselineNs = 0.0;
+    /** Hops below the entry tier (entry = 0; deeper = downstream). */
+    unsigned depth = 0;
+    /** Share of critical-path exclusive time in [0,1] (0 if unknown). */
+    double share = 0.0;
+};
+
+/**
+ * Ranks culprit tiers for one end-to-end violation.
+ */
+class CulpritLocalizer
+{
+  public:
+    explicit CulpritLocalizer(const TimeSeriesStore &store,
+                              CulpritConfig config = {});
+
+    /**
+     * Tier depths of @p app's graph: BFS from the entry over handler
+     * call targets (entry = 0). Unreachable tiers get depth 0.
+     */
+    static std::map<std::string, unsigned>
+    tierDepths(const service::App &app);
+
+    /**
+     * Rank culprits for the violation tripped at @p violation_time.
+     * Only tiers whose onset precedes the violation appear — a tier
+     * that degraded after the user noticed explains nothing.
+     * @p depths    graph depths (see tierDepths)
+     * @p breakdown optional critical-path attribution for the share
+     *              column (pass the result of criticalPathBreakdown)
+     */
+    std::vector<CulpritEntry>
+    localize(Tick violation_time,
+             const std::map<std::string, unsigned> &depths,
+             const std::vector<trace::CriticalPathEntry> &breakdown =
+                 {}) const;
+
+  private:
+    const TimeSeriesStore &store_;
+    CulpritConfig config_;
+};
+
+/** Render a culprit ranking as an aligned text table. */
+std::string culpritTable(const std::vector<CulpritEntry> &ranking);
+
+} // namespace uqsim::obs
+
+#endif // UQSIM_OBS_CULPRIT_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Streaming latency-quantile sketch.
+ *
+ * An HDR-style fixed-footprint sketch: values are grouped into
+ * power-of-two octaves, each split into 2^subBucketBits linear
+ * sub-buckets, so record() is O(1), memory is a few KB regardless of
+ * stream length, and any quantile query carries a *provable* relative
+ * error bound of 1/2^subBucketBits (~1.6% at the default 6 bits; the
+ * documented contract is <= 2%). Unlike the P² estimator — which
+ * tracks five markers and answers a single pre-chosen quantile
+ * approximately, with no hard bound — the histogram shape answers
+ * every quantile from one pass and is exactly mergeable, which is what
+ * the per-interval p50/p95/p99 columns of the time-series store need.
+ *
+ * The sketch differs from core/histogram.hh in its lifecycle: it is
+ * snapshot-and-reset once per sampling interval, so reset() is O(set
+ * of touched buckets), not O(table size).
+ */
+
+#ifndef UQSIM_OBS_SKETCH_HH
+#define UQSIM_OBS_SKETCH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace uqsim::obs {
+
+/**
+ * Fixed-precision streaming quantile sketch over non-negative values.
+ */
+class QuantileSketch
+{
+  public:
+    /** @param sub_bucket_bits linear resolution within each octave. */
+    explicit QuantileSketch(unsigned sub_bucket_bits = 6);
+
+    /** Record one sample, O(1). */
+    void record(std::uint64_t value);
+
+    /** Samples recorded since the last reset. */
+    std::uint64_t count() const { return count_; }
+
+    /** Smallest recorded value (0 if empty; exact). */
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+
+    /** Largest recorded value (0 if empty; exact). */
+    std::uint64_t max() const { return count_ ? max_ : 0; }
+
+    /** Arithmetic mean (0 if empty; exact). */
+    double mean() const;
+
+    /**
+     * Value at quantile @p q in [0, 1]: an upper bound of the bucket
+     * holding the requested rank, clamped to [min, max] (0 if empty).
+     * Relative error vs the exact order statistic is bounded by
+     * relativeErrorBound().
+     */
+    std::uint64_t quantile(double q) const;
+
+    /**
+     * Answer @p n quantiles (any order) in one pass over the touched
+     * bucket range — equivalent to n quantile() calls, but the
+     * histogram is scanned once. This is what keeps the per-interval
+     * snapshot (p50/p95/p99 + the SLO quantile) cheap enough for the
+     * telemetry pipeline's per-boundary budget.
+     */
+    void quantiles(const double *qs, std::size_t n,
+                   std::uint64_t *out) const;
+
+    std::uint64_t p50() const { return quantile(0.50); }
+    std::uint64_t p95() const { return quantile(0.95); }
+    std::uint64_t p99() const { return quantile(0.99); }
+
+    /** Merge another sketch (same resolution) into this one. */
+    void merge(const QuantileSketch &other);
+
+    /** Forget all samples; O(buckets touched since last reset). */
+    void reset();
+
+    /** The guaranteed relative error of quantile(): 1/2^bits. */
+    double relativeErrorBound() const
+    {
+        return 1.0 / static_cast<double>(subBucketCount_);
+    }
+
+  private:
+    std::size_t bucketIndex(std::uint64_t value) const;
+    std::uint64_t bucketUpperBound(std::size_t index) const;
+
+    unsigned subBucketBits_;
+    std::uint64_t subBucketCount_;
+    std::vector<std::uint64_t> buckets_;
+    /** Indices of non-zero buckets, for cheap interval resets. */
+    std::vector<std::uint32_t> touched_;
+    /** Touched index range: quantile scans skip the empty prefix. */
+    std::size_t lo_ = ~std::size_t{0};
+    std::size_t hi_ = 0;
+    std::uint64_t count_ = 0;
+    std::uint64_t min_ = ~0ull;
+    std::uint64_t max_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace uqsim::obs
+
+#endif // UQSIM_OBS_SKETCH_HH

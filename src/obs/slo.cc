@@ -1,0 +1,88 @@
+#include "obs/slo.hh"
+
+#include "core/logging.hh"
+
+namespace uqsim::obs {
+
+const char *
+sloViolationKindName(SloViolation::Kind kind)
+{
+    switch (kind) {
+    case SloViolation::Kind::Latency: return "latency";
+    case SloViolation::Kind::ErrorRate: return "error-rate";
+    }
+    return "?";
+}
+
+SloMonitor::SloMonitor(SloConfig config) : config_(std::move(config))
+{
+    if (config_.window == 0)
+        fatal("SloMonitor with zero window");
+    if (config_.quantile <= 0.0 || config_.quantile >= 1.0)
+        fatal("SloMonitor quantile outside (0, 1)");
+    if (config_.errorRate < 0.0 || config_.errorRate > 1.0)
+        fatal("SloMonitor error-rate bound outside [0, 1]");
+}
+
+std::string
+SloMonitor::targetSeries() const
+{
+    return config_.tier.empty() ? kEndToEndSeries : config_.tier;
+}
+
+void
+SloMonitor::update(Streak &st, bool is_bad, Tick boundary, Tick start,
+                   SloViolation::Kind kind, double value,
+                   double threshold)
+{
+    if (!is_bad) {
+        st.bad = 0;
+        st.open = false;
+        return;
+    }
+    if (st.bad == 0)
+        st.onset = start;
+    ++st.bad;
+    if (st.bad >= config_.window && !st.open) {
+        st.open = true;
+        SloViolation v;
+        v.kind = kind;
+        v.time = boundary;
+        v.onset = st.onset;
+        v.series = targetSeries();
+        v.value = value;
+        v.threshold = threshold;
+        violations_.push_back(std::move(v));
+    }
+}
+
+void
+SloMonitor::observe(Tick boundary, double latency_q_ns,
+                    const IntervalSample &s)
+{
+    // No finishing traffic at all: the interval says nothing about
+    // either objective, so it leaves both streaks untouched.
+    if (s.count + s.errors == 0)
+        return;
+    if (config_.latency > 0 && s.count > 0)
+        update(latency_, latency_q_ns >
+                             static_cast<double>(config_.latency),
+               boundary, s.start, SloViolation::Kind::Latency,
+               latency_q_ns, static_cast<double>(config_.latency));
+    if (config_.errorRate > 0.0)
+        update(errors_, s.errorRate > config_.errorRate, boundary,
+               s.start, SloViolation::Kind::ErrorRate, s.errorRate,
+               config_.errorRate);
+}
+
+Tick
+SloMonitor::firstViolationTime() const
+{
+    Tick first = 0;
+    for (const SloViolation &v : violations_)
+        if (first == 0 || v.time < first)
+            first = v.time;
+    return first;
+}
+
+} // namespace uqsim::obs

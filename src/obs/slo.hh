@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Declarative SLO evaluation over sliding interval windows.
+ *
+ * An SloConfig names one target series (a tier, or the end-to-end
+ * stream) and up to two objectives: a latency quantile bound and an
+ * error-rate bound. The monitor consumes one IntervalSample per
+ * boundary and trips after `window` *consecutive* bad intervals — one
+ * bad interval is noise, a filled window is an incident. Each sustained
+ * episode records exactly one typed SloViolation (the monitor re-arms
+ * only after a good interval), carrying both the trip time and the
+ * onset (the first bad interval), which is what the CulpritLocalizer
+ * measures its lead times against.
+ *
+ * The latency objective judges *completed* requests; under a total
+ * collapse nothing completes and the latency stream goes quiet, which
+ * is why operators pair it with the error-rate objective — failures
+ * and drops still finish and still count.
+ */
+
+#ifndef UQSIM_OBS_SLO_HH
+#define UQSIM_OBS_SLO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+#include "obs/timeseries.hh"
+
+namespace uqsim::obs {
+
+/** One app's service-level objectives. */
+struct SloConfig
+{
+    /** Series under the SLO: a tier name, or "" = end-to-end. */
+    std::string tier;
+
+    /** Latency bound in ns at `quantile` (0 = no latency objective). */
+    Tick latency = 0;
+
+    /** Quantile the latency bound applies to, in (0, 1). */
+    double quantile = 0.99;
+
+    /** Consecutive bad intervals before a violation trips. */
+    unsigned window = 3;
+
+    /** Error-rate bound in [0, 1] (0 = no error-rate objective). */
+    double errorRate = 0.0;
+
+    /** @return true when at least one objective is armed. */
+    bool armed() const { return latency > 0 || errorRate > 0.0; }
+};
+
+/** One tripped objective. */
+struct SloViolation
+{
+    enum class Kind : std::uint8_t
+    {
+        Latency,
+        ErrorRate,
+    };
+
+    Kind kind = Kind::Latency;
+    /** Boundary tick at which the window filled (the trip). */
+    Tick time = 0;
+    /** Start tick of the first bad interval of the episode. */
+    Tick onset = 0;
+    /** Series the objective watches ("e2e" or a tier name). */
+    std::string series;
+    /** Observed value at the trip (ns, or error rate). */
+    double value = 0.0;
+    /** The configured bound (ns, or error rate). */
+    double threshold = 0.0;
+};
+
+/** @return a short printable kind name. */
+const char *sloViolationKindName(SloViolation::Kind kind);
+
+/**
+ * Evaluates one SloConfig against the target series' interval stream.
+ */
+class SloMonitor
+{
+  public:
+    explicit SloMonitor(SloConfig config);
+
+    const SloConfig &config() const { return config_; }
+
+    /** The series name this monitor watches ("e2e" when tier empty). */
+    std::string targetSeries() const;
+
+    /**
+     * Feed the target series' sample for the interval ending at
+     * @p boundary. @p latency_q_ns is the configured quantile of the
+     * interval's latency sketch (the sample rows only carry the fixed
+     * p50/p95/p99 columns). Intervals without traffic are neutral:
+     * they neither extend nor reset a bad streak.
+     */
+    void observe(Tick boundary, double latency_q_ns,
+                 const IntervalSample &s);
+
+    /** All violations, in trip order. */
+    const std::vector<SloViolation> &violations() const
+    {
+        return violations_;
+    }
+
+    /** @return true once any objective has tripped. */
+    bool violated() const { return !violations_.empty(); }
+
+    /** Trip time of the earliest violation (0 if none). */
+    Tick firstViolationTime() const;
+
+  private:
+    /** Streak state of one objective. */
+    struct Streak
+    {
+        unsigned bad = 0;
+        Tick onset = 0;
+        /** Episode already reported; re-arm on a good interval. */
+        bool open = false;
+    };
+
+    void update(Streak &st, bool is_bad, Tick boundary, Tick start,
+                SloViolation::Kind kind, double value,
+                double threshold);
+
+    SloConfig config_;
+    Streak latency_;
+    Streak errors_;
+    std::vector<SloViolation> violations_;
+};
+
+} // namespace uqsim::obs
+
+#endif // UQSIM_OBS_SLO_HH

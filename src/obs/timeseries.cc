@@ -1,0 +1,81 @@
+#include "obs/timeseries.hh"
+
+#include "core/logging.hh"
+
+namespace uqsim::obs {
+
+Series::Series(std::string name, std::size_t capacity)
+    : name_(std::move(name)), capacity_(capacity)
+{
+    if (capacity == 0)
+        fatal("Series with zero capacity");
+    // Ring storage grows on demand up to the bound, so a short run
+    // with a large configured ring never pays for the idle tail.
+    ring_.reserve(std::min<std::size_t>(capacity, 64));
+}
+
+void
+Series::append(const IntervalSample &s)
+{
+    if (ring_.size() < capacity_) {
+        ring_.push_back(s);
+    } else {
+        ring_[head_] = s;
+        head_ = (head_ + 1) % capacity_;
+    }
+    size_ = ring_.size();
+    ++total_;
+}
+
+const IntervalSample &
+Series::at(std::size_t i) const
+{
+    if (i >= size_)
+        panic(strCat("Series::at(", i, ") out of range; size ", size_));
+    return ring_[(head_ + i) % size_];
+}
+
+const IntervalSample &
+Series::latest() const
+{
+    if (size_ == 0)
+        panic("Series::latest() on an empty series");
+    return at(size_ - 1);
+}
+
+TimeSeriesStore::TimeSeriesStore(Tick interval, std::size_t capacity)
+    : interval_(interval), capacity_(capacity)
+{
+    if (interval == 0)
+        fatal("TimeSeriesStore with zero interval");
+    if (capacity == 0)
+        fatal("TimeSeriesStore with zero ring capacity");
+}
+
+Series &
+TimeSeriesStore::series(const std::string &name)
+{
+    auto &slot = series_[name];
+    if (!slot)
+        slot = std::make_unique<Series>(name, capacity_);
+    return *slot;
+}
+
+const Series *
+TimeSeriesStore::find(const std::string &name) const
+{
+    auto it = series_.find(name);
+    return it == series_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string>
+TimeSeriesStore::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(series_.size());
+    for (const auto &[name, s] : series_)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace uqsim::obs

@@ -841,6 +841,8 @@ App::rpcAttempt(unsigned caller_server, Instance *caller_inst,
                             svc.latencyWindow().record(app->ctx_.now(),
                                                        dur);
                             ++ctx->inst->served_;
+                            if (app->obsTap_)
+                                app->obsTap_->onTierLatency(svc, dur);
                         } else {
                             ++ctx->inst->failed_;
                         }
@@ -1005,17 +1007,23 @@ App::deliverToInstance(
         case AdmissionVerdict::Throttled:
             admThrottled_[ci]->inc();
             ++inst.failed_;
+            if (obsTap_)
+                obsTap_->onAdmissionReject(inst.svc());
             respond(nullptr, RpcStatus::Throttled);
             return;
         case AdmissionVerdict::Shed:
             admShed_[ci]->inc();
             rpcShed_->inc();
             ++inst.failed_;
+            if (obsTap_)
+                obsTap_->onAdmissionReject(inst.svc());
             respond(nullptr, RpcStatus::Shed);
             return;
         case AdmissionVerdict::Overflow:
             admOverflow_[ci]->inc();
             ++inst.dropped_;
+            if (obsTap_)
+                obsTap_->onAdmissionReject(inst.svc());
             respond(nullptr, RpcStatus::Overflow);
             return;
         }
@@ -1406,6 +1414,9 @@ App::inject(unsigned query_type, std::uint64_t user_id, CompletionFn done)
             totalNetworkTime_ += static_cast<double>(req->networkTime);
             totalAppTime_ += static_cast<double>(req->appTime);
         }
+        if (obsTap_)
+            obsTap_->onEndToEnd(req->latency(),
+                                status == RpcStatus::Ok && !req->dropped);
         if (config_.tracing) {
             trace::Span client_span;
             client_span.traceId = req->traceId;

@@ -72,6 +72,32 @@ class RequestFaultHook
 };
 
 /**
+ * Interface the observability layer (src/obs) implements to receive
+ * per-request signals without the service layer depending on it.
+ * Mirrors RequestFaultHook: while no tap is installed — the default —
+ * the runtime never consults it, so the hot path carries exactly one
+ * null check per site and the execution digest is untouched (the tap
+ * itself must never schedule events or mutate model state).
+ */
+class ObsTap
+{
+  public:
+    virtual ~ObsTap() = default;
+
+    /** A request was served at @p svc in @p latency ns (server side). */
+    virtual void onTierLatency(const Microservice &svc, Tick latency) = 0;
+
+    /**
+     * An end-to-end request finished after @p latency ns; @p ok is
+     * false for failed or dropped requests.
+     */
+    virtual void onEndToEnd(Tick latency, bool ok) = 0;
+
+    /** Admission control refused an arrival at @p svc (any verdict). */
+    virtual void onAdmissionReject(const Microservice &svc) = 0;
+};
+
+/**
  * End-to-end application: graph + runtime.
  */
 class App
@@ -220,6 +246,19 @@ class App
 
     /** QoS class serving a query type (UserFacing while QoS is off). */
     QosClass qosClassOf(unsigned query_type) const;
+
+    // -- Observability taps -----------------------------------------------
+
+    /**
+     * Install (or clear, with nullptr) the observability tap. The tap
+     * is not owned and must outlive every run of this app (or be
+     * cleared first). While null — the default — no per-request signal
+     * is ever computed for it.
+     */
+    void setObsTap(ObsTap *tap) { obsTap_ = tap; }
+
+    /** The installed observability tap (null when none). */
+    ObsTap *obsTap() const { return obsTap_; }
 
     // -- Fault injection --------------------------------------------------
 
@@ -424,6 +463,7 @@ class App
     data::DataTierConfig dataConfig_;
 
     RequestFaultHook *faultHook_ = nullptr;
+    ObsTap *obsTap_ = nullptr;
     bool crashTracking_ = false;
     /** Admission control armed (enableQos called). */
     bool qosEnabled_ = false;

@@ -38,6 +38,13 @@ Instance::occupancy() const
            static_cast<double>(total);
 }
 
+std::size_t
+Instance::inFlight() const
+{
+    return (svc_.def().threadsPerInstance - freeThreads_) +
+           queueLength();
+}
+
 Microservice::Microservice(App &app, ServiceDef def)
     : app_(app), def_(std::move(def))
 {
@@ -270,6 +277,20 @@ Microservice::meanOccupancy() const
         if (!inst->active())
             continue;
         total += inst->occupancy();
+        ++n;
+    }
+    return n ? total / n : 0.0;
+}
+
+double
+Microservice::meanInFlight() const
+{
+    double total = 0.0;
+    unsigned n = 0;
+    for (const auto &inst : instances_) {
+        if (!inst->active())
+            continue;
+        total += static_cast<double>(inst->inFlight());
         ++n;
     }
     return n ? total / n : 0.0;

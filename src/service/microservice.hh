@@ -142,6 +142,14 @@ class Instance
         return queue_.size() + (admission_ ? admission_->size() : 0);
     }
 
+    /**
+     * RPCs in flight at this instance: admitted and not yet answered,
+     * i.e. occupying a worker thread or waiting in the queue. The
+     * signal queue depth alone misses — a tier can drain its queue yet
+     * still be saturated thread-for-thread.
+     */
+    std::size_t inFlight() const;
+
     /** Fraction of worker threads occupied (busy or blocked). */
     double occupancy() const;
 
@@ -332,6 +340,9 @@ class Microservice
 
     /** Mean queue length across active instances. */
     double meanQueueLength() const;
+
+    /** Mean in-flight RPCs across active instances (busy + queued). */
+    double meanInFlight() const;
 
     /** Total drops across instances. */
     std::uint64_t totalDropped() const;

@@ -109,7 +109,8 @@ toZipkinJson(const TraceStore &store, std::size_t max_spans)
 
 void
 exportPerfettoJson(const TraceStore &store, std::ostream &os,
-                   std::size_t max_spans)
+                   std::size_t max_spans,
+                   const std::string &extra_events)
 {
     const auto spans = store.spans();
     const std::size_t n = max_spans == 0
@@ -181,6 +182,10 @@ exportPerfettoJson(const TraceStore &store, std::ostream &os,
                << "\"";
         os << "}}";
     }
+    if (!extra_events.empty()) {
+        sep();
+        os << extra_events;
+    }
     os << "\n],\"otherData\":{"
        << "\"spansStored\":" << store.size()
        << ",\"spansInserted\":" << store.inserted()
@@ -189,10 +194,11 @@ exportPerfettoJson(const TraceStore &store, std::ostream &os,
 }
 
 std::string
-toPerfettoJson(const TraceStore &store, std::size_t max_spans)
+toPerfettoJson(const TraceStore &store, std::size_t max_spans,
+               const std::string &extra_events)
 {
     std::ostringstream oss;
-    exportPerfettoJson(store, oss, max_spans);
+    exportPerfettoJson(store, oss, max_spans, extra_events);
     return oss.str();
 }
 

@@ -41,13 +41,21 @@ std::string toZipkinJson(const TraceStore &store,
  * ui.perfetto.dev / chrome://tracing. Timestamps are microseconds.
  * Includes process/thread metadata so traces and services are
  * labelled, and a trailing record of the store's eviction accounting.
+ *
+ * @p extra_events, when non-empty, is appended verbatim inside the
+ * traceEvents array: a comma-separated sequence of complete JSON
+ * event objects with no leading or trailing comma. This is how the
+ * obs layer adds its counter ("ph":"C") tracks without the trace
+ * library depending on it.
  */
 void exportPerfettoJson(const TraceStore &store, std::ostream &os,
-                        std::size_t max_spans = 0);
+                        std::size_t max_spans = 0,
+                        const std::string &extra_events = {});
 
 /** Convenience wrapper returning a string. */
 std::string toPerfettoJson(const TraceStore &store,
-                           std::size_t max_spans = 0);
+                           std::size_t max_spans = 0,
+                           const std::string &extra_events = {});
 
 /**
  * Render a whole run as one JSON object: the simulator's execution

@@ -8,6 +8,7 @@
 
 #include <sstream>
 
+#include "core/json.hh"
 #include "core/metrics.hh"
 
 namespace uqsim {
@@ -90,6 +91,53 @@ TEST(MetricsRegistryTest, ResetAllZeroesEverything)
     EXPECT_EQ(reg.histogram("h").count(), 0u);
     // Same instance after reset: held references stay valid.
     EXPECT_EQ(&c, &reg.counter("c"));
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonIsByteStableAndRoundTrips)
+{
+    // Names inserted out of order, with every character class the
+    // emitter must escape for the snapshot to stay parseable.
+    MetricsRegistry reg;
+    reg.counter("zeta.\"quoted\"").inc(7);
+    reg.counter("alpha\\back").inc(1);
+    reg.gauge("tab\there").set(1.5);
+    reg.histogram("newline\nname").record(123);
+
+    const std::string a = reg.snapshotJson();
+    EXPECT_EQ(a, reg.snapshotJson()); // byte-stable across calls
+
+    // Round-trip through the strict parser: escaped names survive.
+    json::Value root;
+    std::string error;
+    ASSERT_TRUE(json::parse(a, root, error)) << error << "\n" << a;
+    const json::Value *counters = root.find("counters");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_TRUE(counters->isObject());
+    const json::Value *quoted = counters->find("zeta.\"quoted\"");
+    ASSERT_NE(quoted, nullptr);
+    EXPECT_EQ(quoted->number, 7.0);
+    ASSERT_NE(counters->find("alpha\\back"), nullptr);
+    const json::Value *gauges = root.find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    ASSERT_NE(gauges->find("tab\there"), nullptr);
+
+    // Keys are sorted unconditionally, whatever the insertion order.
+    ASSERT_EQ(counters->object.size(), 2u);
+    EXPECT_EQ(counters->object[0].first, "alpha\\back");
+
+    // Escapes the tiny parser cannot read back still render as valid
+    // JSON escape sequences, not raw control bytes.
+    MetricsRegistry ctrl;
+    ctrl.counter(std::string("bell\x07" "cr\rff\fbs\b")).inc();
+    const std::string c = ctrl.snapshotJson();
+    EXPECT_NE(c.find("\\u0007"), std::string::npos);
+    EXPECT_NE(c.find("\\r"), std::string::npos);
+    EXPECT_NE(c.find("\\f"), std::string::npos);
+    EXPECT_NE(c.find("\\b"), std::string::npos);
+    for (char ch : c)
+        EXPECT_TRUE(static_cast<unsigned char>(ch) >= 0x20 ||
+                    ch == '\n')
+            << "raw control byte leaked into the snapshot";
 }
 
 } // namespace

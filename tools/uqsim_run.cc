@@ -41,6 +41,8 @@
 #include "cpu/power.hh"
 #include "fault/fault.hh"
 #include "fault/injector.hh"
+#include "obs/culprit.hh"
+#include "obs/export.hh"
 #include "serverless/platform.hh"
 #include "trace/analysis.hh"
 #include "trace/export.hh"
@@ -59,13 +61,14 @@ struct Options
     std::string report = "summary"; // see kReportKinds
     std::string traceOut;           // Perfetto JSON file ("" = none)
     std::string metricsOut;         // metrics snapshot JSON ("" = none)
+    std::string timeseriesOut;      // interval series ("" = none)
     bool list = false;
     bool dumpConfig = false;
 };
 
 const char *const kReportKinds[] = {"summary", "services", "traces",
                                     "cost",    "energy",   "resilience",
-                                    "data",    "qos"};
+                                    "data",    "qos",      "slo"};
 
 void
 usage()
@@ -97,7 +100,7 @@ usage()
         "                     override; see --dump-config)\n"
         "  --dump-config      print the effective scenario JSON, exit\n"
         "  --report KIND      summary | services | traces | cost | energy |\n"
-        "                     resilience | data | qos\n"
+        "                     resilience | data | qos | slo\n"
         "  --cache-keys N     keyed data tier: keys per app (0 = legacy\n"
         "                     fixed-hit-probability caches, the default)\n"
         "  --cache-capacity N entries per cache instance (default 4096)\n"
@@ -138,8 +141,26 @@ usage()
         "  --retry-budget R   retry tokens earned per request (0 = unlimited)\n"
         "  --breaker          per-edge circuit breaker (default thresholds)\n"
         "  --shed N           shed arrivals above queue length N\n"
+        "  --slo-latency DUR  SLO: latency bound at --slo-quantile on\n"
+        "                     the target series (any --slo-* or\n"
+        "                     --timeseries-* flag enables telemetry\n"
+        "                     sampling)\n"
+        "  --slo-quantile Q   quantile the latency bound applies to,\n"
+        "                     in (0, 1) (default 0.99)\n"
+        "  --slo-window N     consecutive bad intervals before a\n"
+        "                     violation trips (default 3)\n"
+        "  --slo-error-rate R SLO: error-rate bound in [0, 1]\n"
+        "  --slo-tier NAME    series under the SLO (default: the\n"
+        "                     end-to-end stream)\n"
+        "  --timeseries-interval DUR  telemetry sampling interval\n"
+        "                     (default 100ms)\n"
+        "  --timeseries-ring N  ring bound per series (default 4096)\n"
+        "  --timeseries-out FILE  write the interval series (.csv gets\n"
+        "                     CSV, anything else JSON)\n"
         "  --trace-out FILE   write collected spans as Chrome/Perfetto\n"
-        "                     trace-event JSON (open in ui.perfetto.dev)\n"
+        "                     trace-event JSON (open in ui.perfetto.dev);\n"
+        "                     with telemetry enabled, per-tier counter\n"
+        "                     tracks ride along\n"
         "  --metrics-out FILE write the metrics-registry snapshot as JSON\n"
         "  --trace-capacity N span ring-buffer capacity (default "
             + std::to_string(trace::TraceStore::kDefaultCapacity) + ")\n"
@@ -341,6 +362,30 @@ parse(int argc, char **argv, Options &opt)
         } else if (a == "--qos-best-effort") {
             scn.qosBestEffort = need(i);
             scn.qosEnabled = true;
+        } else if (a == "--slo-latency") {
+            scn.sloLatency = durationVal(i);
+            scn.obsEnabled = true;
+        } else if (a == "--slo-quantile") {
+            scn.sloQuantile = numDouble(i);
+            scn.obsEnabled = true;
+        } else if (a == "--slo-window") {
+            scn.sloWindow = numUnsigned(i);
+            scn.obsEnabled = true;
+        } else if (a == "--slo-error-rate") {
+            scn.sloErrorRate = numDouble(i);
+            scn.obsEnabled = true;
+        } else if (a == "--slo-tier") {
+            scn.sloTier = need(i);
+            scn.obsEnabled = true;
+        } else if (a == "--timeseries-interval") {
+            scn.obsInterval = durationVal(i);
+            scn.obsEnabled = true;
+        } else if (a == "--timeseries-ring") {
+            scn.obsRing = numU64(i);
+            scn.obsEnabled = true;
+        } else if (a == "--timeseries-out") {
+            opt.timeseriesOut = need(i);
+            scn.obsEnabled = true;
         } else if (a == "--rpc-timeout")
             scn.rpcTimeout = durationVal(i);
         else if (a == "--deadline")
@@ -426,6 +471,16 @@ parse(int argc, char **argv, Options &opt)
             fatal("--qos-shed-batch must be in (0, 1]");
         if (scn.qosShedBest <= 0.0 || scn.qosShedBest > 1.0)
             fatal("--qos-shed-best must be in (0, 1]");
+        if (scn.obsInterval == 0)
+            fatal("--timeseries-interval must be positive");
+        if (scn.obsRing == 0)
+            fatal("--timeseries-ring must be positive");
+        if (scn.sloQuantile <= 0.0 || scn.sloQuantile >= 1.0)
+            fatal("--slo-quantile must be in (0, 1)");
+        if (scn.sloWindow == 0)
+            fatal("--slo-window must be positive");
+        if (scn.sloErrorRate < 0.0 || scn.sloErrorRate > 1.0)
+            fatal("--slo-error-rate must be in [0, 1]");
     }
     return true;
 }
@@ -478,6 +533,10 @@ main(int argc, char **argv)
     // driver step for step, so one shard reproduces it bit-for-bit.
     std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
     std::vector<std::unique_ptr<cpu::EnergyMeter>> meters;
+    // One pipeline per shard, sampling its own replica. Declared after
+    // the ShardedWorld so each pipeline dies first, while the app it
+    // taps is still alive.
+    std::vector<std::unique_ptr<obs::Pipeline>> pipelines;
     for (unsigned s = 0; s < nshards; ++s) {
         apps::World &world = sharded.shard(s);
         apps::buildScenarioApp(world, scn);
@@ -523,6 +582,9 @@ main(int argc, char **argv)
             world.ctx, world.cluster, cpu::PowerModel::xeon()));
         if (opt.report == "energy")
             meters.back()->start();
+
+        if (auto pipe = apps::attachObservability(world, scn))
+            pipelines.push_back(std::move(pipe));
     }
     if (!injectors.empty()) {
         // Every shard arms the same schedule; print it once.
@@ -604,7 +666,8 @@ main(int argc, char **argv)
     // spans; the shards are statistical replicas).
     if (nshards > 1 &&
         (opt.report == "services" || opt.report == "traces" ||
-         !opt.traceOut.empty() || !opt.metricsOut.empty()))
+         opt.report == "slo" || !opt.traceOut.empty() ||
+         !opt.metricsOut.empty() || !opt.timeseriesOut.empty()))
         std::cout << "note: trace/metrics sections cover shard 0 of "
                   << nshards << "\n";
     if (opt.report == "services" || opt.report == "traces") {
@@ -747,6 +810,76 @@ main(int argc, char **argv)
             t.print(std::cout);
         }
     }
+    if (opt.report == "slo") {
+        printBanner(std::cout, "slo / telemetry");
+        if (pipelines.empty()) {
+            std::cout << "observability disabled: pass an --slo-* or "
+                         "--timeseries-* flag (or a scenario slo: "
+                         "block) to sample telemetry\n";
+        } else {
+            obs::Pipeline &pipe = *pipelines.front();
+            const obs::SloConfig &sc = pipe.config().slo;
+            TextTable cfg({"setting", "value"});
+            cfg.add("target series", pipe.slo().targetSeries());
+            cfg.add("interval",
+                    fmtDouble(ticksToMs(pipe.config().interval), 0) +
+                        "ms");
+            cfg.add("intervals sampled",
+                    pipe.store().intervalsSampled());
+            cfg.add("latency objective",
+                    sc.latency
+                        ? strCat(fmtDouble(ticksToMs(sc.latency), 2),
+                                 "ms at quantile ",
+                                 fmtDouble(sc.quantile, 3))
+                        : std::string("off"));
+            cfg.add("error-rate objective",
+                    sc.errorRate > 0.0 ? fmtDouble(sc.errorRate, 3)
+                                       : std::string("off"));
+            cfg.add("window (intervals)", sc.window);
+            cfg.print(std::cout);
+
+            const auto &viol = pipe.slo().violations();
+            if (viol.empty()) {
+                std::cout << (sc.armed()
+                                  ? "no SLO violations\n"
+                                  : "no objectives armed (pure "
+                                    "telemetry; use --slo-latency / "
+                                    "--slo-error-rate)\n");
+            } else {
+                auto fmtVal = [](const obs::SloViolation &x, double v) {
+                    return x.kind ==
+                                   obs::SloViolation::Kind::Latency
+                               ? fmtDouble(v / 1e6, 2) + "ms"
+                               : fmtDouble(v, 3);
+                };
+                printBanner(std::cout, "slo violations");
+                TextTable v({"kind", "series", "onset(s)", "trip(s)",
+                             "value", "bound"});
+                for (const auto &x : viol)
+                    v.add(obs::sloViolationKindName(x.kind), x.series,
+                          fmtDouble(ticksToSec(x.onset), 2),
+                          fmtDouble(ticksToSec(x.time), 2),
+                          fmtVal(x, x.value), fmtVal(x, x.threshold));
+                v.print(std::cout);
+
+                // Walk the tier graph backwards from the first trip:
+                // which tier degraded first, and how long before the
+                // user-visible violation?
+                trace::TraceAnalysis ta(app.traceStore());
+                obs::CulpritLocalizer loc(pipe.store());
+                const auto ranking = loc.localize(
+                    pipe.slo().firstViolationTime(),
+                    obs::CulpritLocalizer::tierDepths(app),
+                    ta.criticalPathBreakdown());
+                printBanner(std::cout, "culprit ranking");
+                if (ranking.empty())
+                    std::cout << "no tier shows a sustained "
+                                 "pre-violation degradation\n";
+                else
+                    std::cout << obs::culpritTable(ranking);
+            }
+        }
+    }
     if (opt.report == "data") {
         printBanner(std::cout, "keyed data tier");
         if (scn.dataKeys == 0) {
@@ -827,9 +960,41 @@ main(int argc, char **argv)
         std::ofstream out(opt.traceOut);
         if (!out)
             fatal(strCat("cannot open '", opt.traceOut, "' for writing"));
-        trace::exportPerfettoJson(app.traceStore(), out);
+        // With telemetry on, the span timeline gains per-tier counter
+        // tracks (latency quantiles, load, rates) from shard 0.
+        const std::string counters =
+            pipelines.empty() ? std::string()
+                              : obs::perfettoCounterEvents(
+                                    pipelines.front()->store());
+        trace::exportPerfettoJson(app.traceStore(), out, 0, counters);
         std::cout << "wrote " << app.traceStore().size() << " spans to "
                   << opt.traceOut << " (open in ui.perfetto.dev)\n";
+    }
+    if (!opt.timeseriesOut.empty()) {
+        if (pipelines.empty()) {
+            // Possible when a --config after the flag disables the
+            // slo block; an empty export would just mislead.
+            std::cout << "note: telemetry disabled, skipping "
+                      << opt.timeseriesOut << "\n";
+        } else {
+            std::ofstream out(opt.timeseriesOut);
+            if (!out)
+                fatal(strCat("cannot open '", opt.timeseriesOut,
+                             "' for writing"));
+            const obs::TimeSeriesStore &store =
+                pipelines.front()->store();
+            const bool csv =
+                opt.timeseriesOut.size() >= 4 &&
+                opt.timeseriesOut.compare(opt.timeseriesOut.size() - 4,
+                                          4, ".csv") == 0;
+            if (csv)
+                obs::writeTimeSeriesCsv(store, out);
+            else
+                obs::writeTimeSeriesJson(store, out);
+            std::cout << "wrote " << store.intervalsSampled()
+                      << " sampled intervals to " << opt.timeseriesOut
+                      << (csv ? " (CSV)" : " (JSON)") << "\n";
+        }
     }
     if (!opt.metricsOut.empty()) {
         std::ofstream out(opt.metricsOut);
