@@ -68,7 +68,12 @@ writeFault(json::Writer &w, const fault::FaultSpec &f)
     switch (f.kind) {
       case fault::FaultKind::Crash:
         w.field("service", f.service);
-        w.field("instance", f.instance);
+        if (f.role != fault::CrashRole::None) {
+            w.field("group", f.instance);
+            w.field("role", fault::crashRoleName(f.role));
+        } else {
+            w.field("instance", f.instance);
+        }
         break;
       case fault::FaultKind::ErrorRate:
         w.field("service", f.service);
@@ -300,6 +305,43 @@ parseScenarioJson(const std::string &text, Scenario &out,
                 if (!qok)
                     return false;
             }
+        } else if (key == "replication") {
+            if (!v.isObject()) {
+                error = "scenario key 'replication' must be an object";
+                return false;
+            }
+            for (const auto &rkv : v.object) {
+                const std::string rkey = "replication." + rkv.first;
+                const json::Value &rv = rkv.second;
+                bool rok = true;
+                if (rkv.first == "factor") {
+                    if ((rok = wantUnsigned(rv, rkey, u)))
+                        s.replicaFactor = static_cast<unsigned>(u);
+                } else if (rkv.first == "quorum") {
+                    if ((rok = wantUnsigned(rv, rkey, u)))
+                        s.replicaQuorum = static_cast<unsigned>(u);
+                } else if (rkv.first == "apply_lag")
+                    rok = wantDuration(rv, rkey, s.replicaApplyLag);
+                else if (rkv.first == "election_timeout")
+                    rok = wantDuration(rv, rkey,
+                                       s.replicaElectionTimeout);
+                else if (rkv.first == "catch_up")
+                    rok = wantDuration(rv, rkey, s.replicaCatchUp);
+                else if (rkv.first == "read")
+                    rok = wantString(rv, rkey, s.replicaRead);
+                else if (rkv.first == "txn_keys") {
+                    if ((rok = wantUnsigned(rv, rkey, u)))
+                        s.txnKeys = static_cast<unsigned>(u);
+                } else if (rkv.first == "txn_prepare_timeout")
+                    rok = wantDuration(rv, rkey, s.txnPrepareTimeout);
+                else {
+                    error = strCat("unknown scenario key 'replication.",
+                                   rkv.first, "'");
+                    return false;
+                }
+                if (!rok)
+                    return false;
+            }
         } else if (key == "slo") {
             if (!v.isObject()) {
                 error = "scenario key 'slo' must be an object";
@@ -452,6 +494,44 @@ parseScenarioJson(const std::string &text, Scenario &out,
         error = "qos.shed_best must be in (0, 1]";
         return false;
     }
+    replica::ReadPreference rp;
+    if (!replica::readPreferenceByName(s.replicaRead, rp)) {
+        error = strCat("unknown replication.read '", s.replicaRead,
+                       "' (want leader, nearest or ryw)");
+        return false;
+    }
+    if (s.replicaFactor >= 2 && s.dataKeys == 0) {
+        error = "replication.factor needs data.keys > 0";
+        return false;
+    }
+    if (s.replicaFactor == 1) {
+        error = "replication.factor must be 0 (off) or >= 2";
+        return false;
+    }
+    if (s.replicaQuorum > s.replicaFactor) {
+        error = "replication.quorum must be <= replication.factor";
+        return false;
+    }
+    if (s.txnKeys == 1) {
+        error = "replication.txn_keys must be 0 (off) or >= 2";
+        return false;
+    }
+    if (s.txnKeys >= 2 && s.replicaFactor < 2) {
+        error = "replication.txn_keys needs replication.factor >= 2";
+        return false;
+    }
+    if (s.replicaFactor >= 2 && s.replicaApplyLag == 0) {
+        error = "replication.apply_lag must be positive";
+        return false;
+    }
+    if (s.replicaFactor >= 2 && s.replicaElectionTimeout == 0) {
+        error = "replication.election_timeout must be positive";
+        return false;
+    }
+    if (s.txnKeys >= 2 && s.txnPrepareTimeout == 0) {
+        error = "replication.txn_prepare_timeout must be positive";
+        return false;
+    }
     if (s.obsInterval == 0) {
         error = "slo.interval must be positive";
         return false;
@@ -532,6 +612,16 @@ scenarioToJson(const Scenario &s)
     w.field("batch", s.qosBatch);
     w.field("best_effort", s.qosBestEffort);
     w.endObject();
+    w.beginObject("replication");
+    w.field("factor", s.replicaFactor);
+    w.field("quorum", s.replicaQuorum);
+    w.field("apply_lag", ticksField(s.replicaApplyLag));
+    w.field("election_timeout", ticksField(s.replicaElectionTimeout));
+    w.field("catch_up", ticksField(s.replicaCatchUp));
+    w.field("read", s.replicaRead);
+    w.field("txn_keys", s.txnKeys);
+    w.field("txn_prepare_timeout", ticksField(s.txnPrepareTimeout));
+    w.endObject();
     w.beginObject("slo");
     w.field("enabled", s.obsEnabled);
     w.field("interval", ticksField(s.obsInterval));
@@ -582,6 +672,22 @@ dataTierConfigFor(const Scenario &s)
         fatal(strCat("unknown data write policy '", s.dataWrite, "'"));
     c.cache.ttl = s.dataTtl;
     c.vnodes = s.dataVnodes;
+    return c;
+}
+
+replica::ReplicationConfig
+replicationConfigFor(const Scenario &s)
+{
+    replica::ReplicationConfig c;
+    c.factor = s.replicaFactor;
+    c.writeQuorum = s.replicaQuorum;
+    c.applyLag = s.replicaApplyLag;
+    c.electionTimeout = s.replicaElectionTimeout;
+    c.catchUp = s.replicaCatchUp;
+    if (!replica::readPreferenceByName(s.replicaRead, c.readPreference))
+        fatal(strCat("unknown read preference '", s.replicaRead, "'"));
+    c.txnKeys = s.txnKeys;
+    c.txnPrepareTimeout = s.txnPrepareTimeout;
     return c;
 }
 
@@ -704,6 +810,11 @@ buildScenarioApp(World &w, const Scenario &s)
     // above is byte-identical to every pre-data-tier scenario.
     if (s.dataKeys > 0)
         w.app->enableKeyedData(dataTierConfigFor(s));
+
+    // Replica groups layer on top of the keyed tier — and are just as
+    // strictly opt-in (factor < 2 leaves no replica state behind).
+    if (s.replicaFactor >= 2)
+        w.app->enableReplication(replicationConfigFor(s));
 
     // So is admission control: without a qos block no class queues
     // exist and execution matches the legacy single-FIFO digest.

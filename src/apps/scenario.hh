@@ -29,6 +29,7 @@
 #include "data/config.hh"
 #include "fault/fault.hh"
 #include "obs/pipeline.hh"
+#include "replica/replication.hh"
 #include "trace/collector.hh"
 #include "workload/load_sweep.hh"
 #include "workload/user_population.hh"
@@ -101,6 +102,16 @@ struct Scenario
     Tick dataShiftPeriod = 0;
     unsigned dataVnodes = 64;
 
+    // -- replicated keyed-data tier (factor < 2 = unreplicated) -----
+    unsigned replicaFactor = 0;    ///< replicas per group (>= 2 enables)
+    unsigned replicaQuorum = 0;    ///< write quorum W (0 = majority)
+    Tick replicaApplyLag = 1 * kTicksPerMs;    ///< lag per ring hop
+    Tick replicaElectionTimeout = 50 * kTicksPerMs;
+    Tick replicaCatchUp = 100 * kTicksPerMs;   ///< restart log replay
+    std::string replicaRead = "leader"; ///< leader | nearest | ryw
+    unsigned txnKeys = 0;          ///< >= 2: 2PC on write-tagged stages
+    Tick txnPrepareTimeout = 10 * kTicksPerMs;
+
     // -- observability / SLO monitoring (opt-in) --------------------
     bool obsEnabled = false;
     Tick obsInterval = 100 * kTicksPerMs; ///< sampling boundary period
@@ -118,6 +129,13 @@ struct Scenario
 
 /** The DataTierConfig a scenario's data fields describe. */
 data::DataTierConfig dataTierConfigFor(const Scenario &s);
+
+/**
+ * The ReplicationConfig a scenario's replica/txn fields describe.
+ * Valid only when replicaFactor >= 2 (and replicaRead names a real
+ * read preference — buildScenarioApp dies otherwise).
+ */
+replica::ReplicationConfig replicationConfigFor(const Scenario &s);
 
 /** The QosConfig a scenario's qos fields describe. */
 service::QosConfig qosConfigFor(const Scenario &s);

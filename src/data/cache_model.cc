@@ -1,6 +1,7 @@
 #include "data/cache_model.hh"
 
 #include <algorithm>
+#include <vector>
 
 #include "core/logging.hh"
 
@@ -94,6 +95,7 @@ CacheModel::bindMetrics(MetricsRegistry &m, const std::string &tier)
     invalidations_ = &m.counter("data." + tier + ".invalidations");
     writes_ = &m.counter("data." + tier + ".writes");
     coldRestarts_ = &m.counter("data." + tier + ".cold_restarts");
+    replayDrops_ = &m.counter("data." + tier + ".replay_drops");
 }
 
 bool
@@ -155,6 +157,27 @@ CacheModel::clearCold()
     freqBuckets_.clear();
     ++stats_.coldRestarts;
     bump(coldRestarts_);
+}
+
+std::uint64_t
+CacheModel::dropWrittenAfter(Tick cutoff)
+{
+    // Collect first: erasing while iterating an unordered_map is UB-
+    // adjacent, and a sorted victim list keeps the walk deterministic
+    // across library implementations (the final store state is
+    // order-independent, but determinism should not rest on that).
+    std::vector<std::uint64_t> victims;
+    for (const auto &[key, e] : entries_)
+        if (e.written > cutoff)
+            victims.push_back(key);
+    std::sort(victims.begin(), victims.end());
+    for (std::uint64_t key : victims) {
+        eraseEntry(key, entries_.find(key)->second);
+        ++stats_.replayDrops;
+        if (replayDrops_)
+            replayDrops_->inc();
+    }
+    return victims.size();
 }
 
 void

@@ -82,6 +82,8 @@ struct CacheStats
     std::uint64_t writes = 0;
     /** Cold restarts (crash or fresh scale-out replica). */
     std::uint64_t coldRestarts = 0;
+    /** Entries lost to the un-replicated log tail on a failover. */
+    std::uint64_t replayDrops = 0;
 
     double
     hitRatio() const
@@ -122,6 +124,16 @@ class CacheModel
 
     /** Drop everything: the process died or just started. */
     void clearCold();
+
+    /**
+     * Log-replay trim: drop every entry written (inserted or
+     * refreshed) after @p cutoff. A promoted follower's store is the
+     * leader's store minus the un-applied log tail — everything older
+     * than its lag survives, which is what makes failover a *warm*
+     * restart instead of clearCold()'s full dip. @return entries
+     * dropped (counted as replayDrops).
+     */
+    std::uint64_t dropWrittenAfter(Tick cutoff);
 
     /** Resident entries right now. */
     std::uint64_t size() const { return entries_.size(); }
@@ -168,6 +180,7 @@ class CacheModel
     Counter *invalidations_ = nullptr;
     Counter *writes_ = nullptr;
     Counter *coldRestarts_ = nullptr;
+    Counter *replayDrops_ = nullptr;
 };
 
 } // namespace uqsim::data

@@ -46,6 +46,14 @@ struct RouteHint
 
     /** Route by consistent-hash shard of `key` instead of user id. */
     bool byKey = false;
+
+    /**
+     * The access is a write. Replicated tiers route writes to the
+     * group leader and reads per the read preference; without
+     * replication the flag is ignored (reads and writes both hit the
+     * ring owner).
+     */
+    bool write = false;
 };
 
 /**

@@ -34,6 +34,34 @@ ShardMap::rebuild(unsigned shards)
               });
 }
 
+void
+ShardMap::removeShard(unsigned shard)
+{
+    if (!hasShard(shard))
+        fatal("ShardMap::removeShard of a shard not on the ring");
+    if (shards_ <= 1)
+        fatal("ShardMap::removeShard would empty the ring");
+    // Dropping the shard's points keeps every other point in place, so
+    // only keys whose successor was a removed point move — and they
+    // move to the next point clockwise, exactly the consistent-hash
+    // shrink property the tests pin.
+    ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                               [shard](const Point &p) {
+                                   return p.shard == shard;
+                               }),
+                ring_.end());
+    --shards_;
+}
+
+bool
+ShardMap::hasShard(unsigned shard) const
+{
+    for (const Point &p : ring_)
+        if (p.shard == shard)
+            return true;
+    return false;
+}
+
 unsigned
 ShardMap::shardFor(std::uint64_t key) const
 {

@@ -46,8 +46,21 @@ class ShardMap
     /** (Re)build the ring for @p shards shards. */
     void rebuild(unsigned shards);
 
+    /**
+     * Retire shard @p shard: its ring points disappear and its keys
+     * remap to their ring successors (~1/n of the keyspace). Remaining
+     * shard ids are untouched, so owners of every other key are stable
+     * — the shrink mirror of the grow-remap bound. Fatal on an unknown
+     * shard or when it is the last one standing.
+     */
+    void removeShard(unsigned shard);
+
+    /** Shards still on the ring (rebuild count minus removals). */
     unsigned shards() const { return shards_; }
     unsigned vnodes() const { return vnodes_; }
+
+    /** @return true while @p shard still owns ring points. */
+    bool hasShard(unsigned shard) const;
 
     /** The shard owning @p key (ring successor of the key's hash). */
     unsigned shardFor(std::uint64_t key) const;

@@ -26,6 +26,34 @@ faultKindName(FaultKind kind)
 }
 
 std::string
+crashRoleName(CrashRole role)
+{
+    switch (role) {
+      case CrashRole::None:
+        return "none";
+      case CrashRole::Leader:
+        return "leader";
+      case CrashRole::Follower:
+        return "follower";
+    }
+    return "unknown";
+}
+
+bool
+crashRoleByName(const std::string &name, CrashRole &out)
+{
+    if (name == "leader")
+        out = CrashRole::Leader;
+    else if (name == "follower")
+        out = CrashRole::Follower;
+    else if (name == "none")
+        out = CrashRole::None;
+    else
+        return false;
+    return true;
+}
+
+std::string
 FaultSpec::describe() const
 {
     std::string s = strCat(faultKindName(kind),
@@ -34,7 +62,11 @@ FaultSpec::describe() const
         s += strCat(" dur=", ticksToMs(duration), "ms");
     switch (kind) {
       case FaultKind::Crash:
-        s += strCat(" ", service, "[", instance, "]");
+        if (role != CrashRole::None)
+            s += strCat(" ", service, " group=", instance,
+                        " role=", crashRoleName(role));
+        else
+            s += strCat(" ", service, "[", instance, "]");
         break;
       case FaultKind::ErrorRate:
         s += strCat(" ", service, " rate=", rate);
@@ -187,6 +219,18 @@ applyKey(FaultSpec &spec, const std::string &key, const std::string &value,
             error = strCat("bad instance '", value, "'");
             return false;
         }
+    } else if (key == "role") {
+        if (!crashRoleByName(value, spec.role)) {
+            error = strCat("bad role '", value,
+                           "' (want leader|follower|none)");
+            return false;
+        }
+    } else if (key == "group") {
+        // Alias for instance= that reads naturally with role=.
+        if (!parseUnsigned(value, spec.instance)) {
+            error = strCat("bad group '", value, "'");
+            return false;
+        }
     } else if (key == "rate") {
         if (!parseDouble(value, spec.rate) || spec.rate < 0.0 ||
             spec.rate > 1.0) {
@@ -230,6 +274,10 @@ applyKey(FaultSpec &spec, const std::string &key, const std::string &value,
 bool
 validateSpec(const FaultSpec &spec, std::string &error)
 {
+    if (spec.role != CrashRole::None && spec.kind != FaultKind::Crash) {
+        error = "role= only applies to crash faults";
+        return false;
+    }
     switch (spec.kind) {
       case FaultKind::Crash:
         if (spec.service.empty()) {

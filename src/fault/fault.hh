@@ -38,6 +38,26 @@ enum class FaultKind
 /** @return a short printable kind name ("crash", "errors", ...). */
 std::string faultKindName(FaultKind kind);
 
+/**
+ * Role-addressed crash target within a replica group. With a role set,
+ * FaultSpec::instance names the *group* (ring shard) index and the
+ * concrete victim instance is resolved when the window fires — so
+ * "crash the leader of group 2 at t=3s" keeps meaning the leader even
+ * after earlier failovers moved leadership.
+ */
+enum class CrashRole
+{
+    None,     ///< instance is a literal tier instance index
+    Leader,   ///< the group's current leader at fire time
+    Follower, ///< the group's first live non-leader member at fire time
+};
+
+/** @return a printable role name ("leader", "follower", "none"). */
+std::string crashRoleName(CrashRole role);
+
+/** Parse a role name; @return false (out untouched) on bad input. */
+bool crashRoleByName(const std::string &name, CrashRole &out);
+
 /** An inclusive range of server ids (partition group). */
 struct ServerRange
 {
@@ -71,8 +91,15 @@ struct FaultSpec
     /** Target tier (Crash, ErrorRate). */
     std::string service;
 
-    /** Target instance index within the tier (Crash). */
+    /**
+     * Target instance index within the tier (Crash). With a role set
+     * this is the replica-*group* index instead and the victim is
+     * resolved at fire time.
+     */
     unsigned instance = 0;
+
+    /** Role-addressed crash target (Crash on a replicated tier). */
+    CrashRole role = CrashRole::None;
 
     /** Probability an arrival fails during the window (ErrorRate). */
     double rate = 1.0;

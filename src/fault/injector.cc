@@ -45,6 +45,7 @@ FaultInjector::arm()
         fatal("FaultInjector::arm called twice");
     armed_ = true;
     live_.assign(schedule_.size(), false);
+    resolved_.assign(schedule_.size(), -1);
 
     bool any_errors = false, any_partitions = false, any_crashes = false;
     for (const FaultSpec &spec : schedule_) {
@@ -54,12 +55,27 @@ FaultInjector::arm()
             if (!app_.hasService(spec.service))
                 fatal(strCat("fault targets unknown service '",
                              spec.service, "'"));
-            const auto &insts = app_.service(spec.service).instances();
+            const service::Microservice &svc =
+                app_.service(spec.service);
             if (spec.kind == FaultKind::Crash &&
-                spec.instance >= insts.size())
+                spec.role != CrashRole::None) {
+                // Role-addressed: instance names the replica group.
+                if (!svc.replicated())
+                    fatal(strCat("fault targets ",
+                                 crashRoleName(spec.role), " of '",
+                                 spec.service,
+                                 "' which is not replicated"));
+                if (spec.instance >= svc.replicaSet()->groups())
+                    fatal(strCat("fault targets group ", spec.instance,
+                                 " of '", spec.service,
+                                 "' which has only ",
+                                 svc.replicaSet()->groups()));
+            } else if (spec.kind == FaultKind::Crash &&
+                       spec.instance >= svc.instances().size()) {
                 fatal(strCat("fault targets instance ", spec.instance,
                              " of '", spec.service, "' which has only ",
-                             insts.size()));
+                             svc.instances().size()));
+            }
             (spec.kind == FaultKind::Crash ? any_crashes : any_errors) =
                 true;
             break;
@@ -79,10 +95,28 @@ FaultInjector::arm()
     // that code path — and the execution digest — untouched.
     if (any_errors)
         app_.setFaultHook(this);
-    if (any_partitions)
+    if (any_partitions) {
         app_.network().setDropHook([this](unsigned src, unsigned dst) {
             return shouldDropMessage(src, dst);
         });
+        // Replica groups see the same partitions the wire does: a
+        // deterministically severed leader cannot hold its quorum, so
+        // the isolated side deposes it and elects in the majority
+        // component.
+        for (service::Microservice *svc : app_.services()) {
+            if (!svc->replicated())
+                continue;
+            service::Microservice *s = svc;
+            svc->replicaSet()->setSevered(
+                [this, s](unsigned a, unsigned b) {
+                    const auto &insts = s->instances();
+                    if (a >= insts.size() || b >= insts.size())
+                        return false;
+                    return linkSevered(insts[a]->server().id(),
+                                       insts[b]->server().id());
+                });
+        }
+    }
     if (any_crashes)
         app_.enableCrashTracking();
 
@@ -96,6 +130,49 @@ FaultInjector::arm()
     }
 }
 
+int
+FaultInjector::resolveCrashVictim(const FaultSpec &spec)
+{
+    service::Microservice &svc = app_.service(spec.service);
+    if (spec.role == CrashRole::None)
+        return static_cast<int>(spec.instance);
+
+    replica::ReplicaSet *rs = svc.replicaSet();
+    const unsigned group = spec.instance;
+    const auto &insts = svc.instances();
+    const int lead = rs->leaderOf(group, app_.ctx().now());
+
+    if (spec.role == CrashRole::Leader) {
+        if (lead >= 0 && insts[static_cast<unsigned>(lead)]->active())
+            return lead;
+        // Mid-election (or the leader is already down): hit the member
+        // the pending election would promote — the first live one.
+        for (unsigned p = 0; p < rs->replicas(); ++p) {
+            const unsigned i = rs->memberAt(group, p);
+            if (insts[i]->active())
+                return static_cast<int>(i);
+        }
+        return -1;
+    }
+
+    // Follower: the first live member that is not the current leader.
+    for (unsigned p = 0; p < rs->replicas(); ++p) {
+        const unsigned i = rs->memberAt(group, p);
+        if (static_cast<int>(i) == lead || !insts[i]->active())
+            continue;
+        return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+FaultInjector::notifyTopologyChange()
+{
+    for (service::Microservice *svc : app_.services())
+        if (svc->replicated())
+            svc->replicaSet()->onTopologyChange(app_.ctx().now());
+}
+
 void
 FaultInjector::startFault(std::size_t idx)
 {
@@ -103,16 +180,25 @@ FaultInjector::startFault(std::size_t idx)
     live_[idx] = true;
     ++active_;
     switch (spec.kind) {
-      case FaultKind::Crash:
+      case FaultKind::Crash: {
+        const int victim = resolveCrashVictim(spec);
+        resolved_[idx] = victim;
+        if (victim < 0)
+            break; // whole group already down: nothing left to kill
         crashes_->inc();
-        app_.crashInstance(spec.service, spec.instance);
+        app_.crashInstance(spec.service,
+                           static_cast<unsigned>(victim));
         break;
+      }
       case FaultKind::Slowdown:
         app_.cluster().server(spec.server).setSlowFactor(spec.factor);
         break;
       case FaultKind::ErrorRate:
+        break;
       case FaultKind::Partition:
-        // Window-gated hooks; nothing to flip besides live_.
+        // The drop hook is window-gated by live_; replica groups need
+        // an explicit poke to depose leaders that just lost quorum.
+        notifyTopologyChange();
         break;
     }
 }
@@ -124,14 +210,21 @@ FaultInjector::endFault(std::size_t idx)
     live_[idx] = false;
     --active_;
     switch (spec.kind) {
-      case FaultKind::Crash:
-        app_.restartInstance(spec.service, spec.instance);
+      case FaultKind::Crash: {
+        const int victim = resolved_[idx];
+        if (victim < 0)
+            break;
+        app_.restartInstance(spec.service,
+                             static_cast<unsigned>(victim));
         break;
+      }
       case FaultKind::Slowdown:
         app_.cluster().server(spec.server).setSlowFactor(1.0);
         break;
       case FaultKind::ErrorRate:
+        break;
       case FaultKind::Partition:
+        notifyTopologyChange();
         break;
     }
 }
@@ -150,6 +243,28 @@ FaultInjector::shouldFailRequest(const service::Microservice &svc)
             requestsFailed_->inc();
             return true;
         }
+    }
+    return false;
+}
+
+bool
+FaultInjector::linkSevered(unsigned server_a, unsigned server_b) const
+{
+    if (active_ == 0 || server_a == server_b)
+        return false;
+    for (std::size_t i = 0; i < schedule_.size(); ++i) {
+        if (!live_[i] || schedule_[i].kind != FaultKind::Partition)
+            continue;
+        const FaultSpec &spec = schedule_[i];
+        if (spec.loss < 1.0)
+            continue; // lossy links still eventually carry acks
+        const bool crosses =
+            (spec.groupA.contains(server_a) &&
+             spec.groupB.contains(server_b)) ||
+            (spec.groupA.contains(server_b) &&
+             spec.groupB.contains(server_a));
+        if (crosses)
+            return true;
     }
     return false;
 }

@@ -86,6 +86,22 @@ class FaultInjector : public service::RequestFaultHook
     /** @return true if any partition window wants this message dead. */
     bool shouldDropMessage(unsigned src, unsigned dst);
 
+    /**
+     * Replica-quorum link oracle: a pair of servers is severed only by
+     * an active *deterministic* partition window (loss >= 1), since a
+     * lossy link still eventually carries acks and heartbeats.
+     */
+    bool linkSevered(unsigned server_a, unsigned server_b) const;
+
+    /**
+     * Resolve a role-addressed crash to a concrete instance at fire
+     * time. @return -1 when no live member matches (no-op crash).
+     */
+    int resolveCrashVictim(const FaultSpec &spec);
+
+    /** Tell every replicated tier that connectivity changed. */
+    void notifyTopologyChange();
+
     void startFault(std::size_t idx);
     void endFault(std::size_t idx);
 
@@ -95,6 +111,12 @@ class FaultInjector : public service::RequestFaultHook
     std::vector<FaultSpec> schedule_;
     /** Parallel to schedule_: whether each window is currently live. */
     std::vector<bool> live_;
+    /**
+     * Parallel to schedule_: the instance a role-addressed crash
+     * resolved to at fire time (-1 = none), so the window's end
+     * restarts the actual victim even after leadership moved on.
+     */
+    std::vector<int> resolved_;
     bool armed_ = false;
     unsigned active_ = 0;
 

@@ -25,12 +25,16 @@ emitSampleJson(std::ostream &os, const IntervalSample &s)
        << ",\"count\":" << s.count << ",\"errors\":" << s.errors
        << ",\"admission_rejects\":" << s.admissionRejects
        << ",\"cache_lookups\":" << s.cacheLookups
+       << ",\"stale_reads\":" << s.staleReads
+       << ",\"quorum_lost\":" << s.quorumLost
+       << ",\"txn_aborts\":" << s.txnAborts
        << ",\"rps\":" << fmt(s.rps)
        << ",\"error_rate\":" << fmt(s.errorRate)
        << ",\"queue_depth\":" << fmt(s.queueDepth)
        << ",\"in_flight\":" << fmt(s.inFlight)
        << ",\"utilization\":" << fmt(s.utilization)
        << ",\"hit_ratio\":" << fmt(s.hitRatio)
+       << ",\"replica_lag_ns\":" << fmt(s.replicaLagNs)
        << ",\"mean_latency_ns\":" << fmt(s.meanLatencyNs)
        << ",\"p50\":" << s.p50 << ",\"p95\":" << s.p95
        << ",\"p99\":" << s.p99 << "}";
@@ -76,9 +80,9 @@ void
 writeTimeSeriesCsv(const TimeSeriesStore &store, std::ostream &os)
 {
     os << "series,start_ns,end_ns,count,errors,admission_rejects,"
-          "cache_lookups,rps,error_rate,queue_depth,in_flight,"
-          "utilization,hit_ratio,mean_latency_ns,p50_ns,p95_ns,"
-          "p99_ns\n";
+          "cache_lookups,stale_reads,quorum_lost,txn_aborts,rps,"
+          "error_rate,queue_depth,in_flight,utilization,hit_ratio,"
+          "replica_lag_ns,mean_latency_ns,p50_ns,p95_ns,p99_ns\n";
     for (const std::string &name : store.names()) {
         const Series *s = store.find(name);
         for (std::size_t i = 0; i < s->size(); ++i) {
@@ -86,10 +90,12 @@ writeTimeSeriesCsv(const TimeSeriesStore &store, std::ostream &os)
             os << name << "," << row.start << "," << row.end << ","
                << row.count << "," << row.errors << ","
                << row.admissionRejects << "," << row.cacheLookups
-               << "," << fmt(row.rps) << "," << fmt(row.errorRate)
-               << "," << fmt(row.queueDepth) << ","
-               << fmt(row.inFlight) << "," << fmt(row.utilization)
-               << "," << fmt(row.hitRatio) << ","
+               << "," << row.staleReads << "," << row.quorumLost
+               << "," << row.txnAborts << "," << fmt(row.rps) << ","
+               << fmt(row.errorRate) << "," << fmt(row.queueDepth)
+               << "," << fmt(row.inFlight) << ","
+               << fmt(row.utilization) << "," << fmt(row.hitRatio)
+               << "," << fmt(row.replicaLagNs) << ","
                << fmt(row.meanLatencyNs) << "," << row.p50 << ","
                << row.p95 << "," << row.p99 << "\n";
         }

@@ -45,6 +45,13 @@ Pipeline::start()
             live.misses = &app_.metrics().counter("data." + svc->name() +
                                                   ".misses");
         }
+        if (svc->replicated()) {
+            const std::string p = "replica." + svc->name() + ".";
+            live.staleReads = &app_.metrics().counter(p + "stale_reads");
+            live.quorumLost = &app_.metrics().counter(p + "quorum_lost");
+            live.txnAborts = &app_.metrics().counter(p + "txn_aborts");
+            live.replicatedTier = svc;
+        }
     }
     e2eSeries_ = &store_.series(kEndToEndSeries);
     e2eTarget_ = config_.slo.armed() && target == kEndToEndSeries;
@@ -156,6 +163,21 @@ Pipeline::sampleAt(Tick boundary)
                              ? static_cast<double>(h) /
                                    static_cast<double>(s.cacheLookups)
                              : 0.0;
+        }
+
+        if (live.replicatedTier) {
+            auto delta = [](const Counter *c, std::uint64_t &last) {
+                const std::uint64_t cur = c->value();
+                const std::uint64_t d = cur >= last ? cur - last : cur;
+                last = cur;
+                return d;
+            };
+            s.staleReads = delta(live.staleReads, live.lastStaleReads);
+            s.quorumLost = delta(live.quorumLost, live.lastQuorumLost);
+            s.txnAborts = delta(live.txnAborts, live.lastTxnAborts);
+            s.replicaLagNs = static_cast<double>(
+                live.replicatedTier->replicaSet()->maxStalenessBound(
+                    boundary));
         }
 
         s.meanLatencyNs = live.sketch.mean();

@@ -101,11 +101,21 @@ class Pipeline : public service::ObsTap
         Tick lastBusy = 0;
         std::uint64_t lastHits = 0;
         std::uint64_t lastMisses = 0;
+        std::uint64_t lastStaleReads = 0;
+        std::uint64_t lastQuorumLost = 0;
+        std::uint64_t lastTxnAborts = 0;
         // Resolved once at start(): both the registry counters and
         // the series are reference-stable, so boundary sampling never
         // touches a string.
         const Counter *hits = nullptr;
         const Counter *misses = nullptr;
+        // Replication signals (null on unreplicated tiers). The tier
+        // pointer reads the staleness bound — a pure function of
+        // replica-group state — at each boundary.
+        const Counter *staleReads = nullptr;
+        const Counter *quorumLost = nullptr;
+        const Counter *txnAborts = nullptr;
+        const service::Microservice *replicatedTier = nullptr;
         Series *series = nullptr;
         /** Whether this tier is the SLO monitor's target series. */
         bool sloTarget = false;

@@ -45,6 +45,12 @@ struct IntervalSample
     std::uint64_t admissionRejects = 0;
     /** Keyed-cache lookups (0 for non-cache tiers and e2e). */
     std::uint64_t cacheLookups = 0;
+    /** Stale replicated reads served (0 on unreplicated tiers). */
+    std::uint64_t staleReads = 0;
+    /** Typed quorum-lost rejects (writes + reads) at this tier. */
+    std::uint64_t quorumLost = 0;
+    /** 2PC transactions aborted with this tier as a participant. */
+    std::uint64_t txnAborts = 0;
 
     /** Finishing requests (count + errors) per second. */
     double rps = 0.0;
@@ -58,6 +64,12 @@ struct IntervalSample
     double utilization = 0.0;
     /** Keyed-cache hit ratio over the interval (0 without lookups). */
     double hitRatio = 0.0;
+    /**
+     * Worst replica-group staleness bound at the boundary (ns): the
+     * election gap while a group is leaderless, else the worst
+     * eligible-follower apply lag. 0 on unreplicated tiers.
+     */
+    double replicaLagNs = 0.0;
 
     /** Latency over the interval, from the per-tier sketch (ns). */
     double meanLatencyNs = 0.0;

@@ -338,11 +338,20 @@ App::crashInstance(const std::string &service_name, unsigned idx)
     if (inst.admission_)
         inst.admission_->clear();
     inst.freeThreads_ = 0;
-    // Keyed state dies with the process: whatever replaces this shard
-    // (a restart or a standby) starts with a cold store and must
-    // re-learn the hot set — the Fig 20 recovery transient.
-    if (data::CacheModel *model = svc.cacheModel(idx))
+    if (svc.replicated()) {
+        // Replicated tier: the process dies but the group's logical
+        // store lives on at the surviving members. Leadership moves by
+        // election; a failover replays the log into the warm store
+        // (trim of the un-applied tail) instead of clearing it. Only a
+        // whole-group death loses the data — the replica layer flags
+        // that and the next access clears the store.
+        svc.replicaSet()->onInstanceDown(idx, ctx_.now());
+    } else if (data::CacheModel *model = svc.cacheModel(idx)) {
+        // Keyed state dies with the process: whatever replaces this
+        // shard (a restart or a standby) starts with a cold store and
+        // must re-learn the hot set — the Fig 20 recovery transient.
         model->clearCold();
+    }
 }
 
 void
@@ -360,6 +369,10 @@ App::restartInstance(const std::string &service_name, unsigned idx)
     if (inst.admission_)
         inst.admission_->reset(ctx_.now());
     inst.active_ = true;
+    if (svc.replicated())
+        // The restarted member replays the replication log before it
+        // may vote, serve, or ack again (the catch-up window).
+        svc.replicaSet()->onInstanceUp(idx, ctx_.now());
 }
 
 void
@@ -388,6 +401,44 @@ App::enableKeyedData(const data::DataTierConfig &config)
                 st.keyed = true;
         }
     }
+}
+
+void
+App::enableReplication(const replica::ReplicationConfig &config)
+{
+    if (!config.enabled())
+        fatal("enableReplication: factor must be >= 2");
+    if (replicationEnabled_)
+        fatal("enableReplication called twice");
+    if (!keyspace_)
+        fatal("enableReplication requires enableKeyedData first");
+    if (config.writeQuorum > config.factor)
+        fatal("enableReplication: writeQuorum must be <= factor");
+    if (config.txnKeys == 1)
+        fatal("enableReplication: txnKeys must be 0 or >= 2");
+    replicationConfig_ = config;
+
+    bool any = false;
+    for (Microservice *svc : serviceOrder_) {
+        if (svc->def().kind == ServiceKind::Cache &&
+            svc->keyedRouting() && svc->hasCacheModels()) {
+            svc->enableReplication(config);
+            any = true;
+        }
+    }
+    if (!any)
+        fatal("enableReplication: no keyed cache tier to replicate");
+
+    // Counters are created here, not in the App constructor, so a run
+    // without replication emits exactly the legacy metric set.
+    rpcQuorumLost_ = &metrics_.counter("rpc.quorum_lost");
+    rpcStaleRejects_ = &metrics_.counter("rpc.stale_rejects");
+    if (config.txnEnabled()) {
+        rpcTxnStarted_ = &metrics_.counter("rpc.txn_started");
+        rpcTxnCommits_ = &metrics_.counter("rpc.txn_commits");
+        rpcTxnAborts_ = &metrics_.counter("rpc.txn_aborts");
+    }
+    replicationEnabled_ = true;
 }
 
 void
@@ -774,12 +825,24 @@ App::rpcAttempt(unsigned caller_server, Instance *caller_inst,
 
             Instance *ti;
             if (route.byKey) {
-                // Keyed mode: the call is addressed to the key's ring
-                // shard. A downed shard means the key's data is
-                // unreachable — fail fast regardless of policy.
-                ti = tgt->tryInstanceForKey(route.key);
+                // Keyed mode: the call is addressed to the key's
+                // serving instance — the ring owner, or with
+                // replication the group leader / read-preference pick.
+                // Unservable keys fail fast with a typed status
+                // (Unreachable, QuorumLost, StaleRead) regardless of
+                // policy; the client retry loop treats all three as
+                // retryable.
+                RpcStatus key_status = RpcStatus::Ok;
+                ti = tgt->resolveKeyInstance(route, app->ctx_.now(),
+                                             key_status);
                 if (!ti) {
-                    app->settleAttempt(*as, RpcStatus::Unreachable);
+                    if (key_status == RpcStatus::QuorumLost &&
+                        app->rpcQuorumLost_)
+                        app->rpcQuorumLost_->inc();
+                    else if (key_status == RpcStatus::StaleRead &&
+                             app->rpcStaleRejects_)
+                        app->rpcStaleRejects_->inc();
+                    app->settleAttempt(*as, key_status);
                     return;
                 }
             } else if (resilient) {
@@ -1301,14 +1364,41 @@ App::runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
         // at the same point in the event stream, so configurations
         // without a keyspace stay bit-identical.
         bool hit;
+        Tick quorum_delay = 0;
         data::RouteHint route;
         if (st.keyed && keyspace_) {
             const std::uint64_t key =
                 keyspace_->sampleKey(rng_, ctx_.now());
             ctx->req->dataKey = key;
-            route = {key, true};
             const bool is_write = qt.hasTag(data::kWriteTag);
-            hit = cache_tier->keyedAccess(key, ctx_.now(), is_write);
+            route = {key, true, is_write};
+            if (cache_tier->replicated()) {
+                if (is_write && replicationConfig_.txnEnabled()) {
+                    // Multi-partition transaction: this write touches
+                    // txnKeys keys; distinct groups go through 2PC.
+                    // Extra key draws happen only on this opt-in path.
+                    std::vector<std::uint64_t> keys{key};
+                    for (unsigned k = 1; k < replicationConfig_.txnKeys;
+                         ++k)
+                        keys.push_back(
+                            keyspace_->sampleKey(rng_, ctx_.now()));
+                    if (ctx->span.dataMisses != 255)
+                        ++ctx->span.dataMisses;
+                    runTxnStage(ctx, &st, cache_tier, std::move(keys),
+                                std::move(next));
+                    return;
+                }
+                const Microservice::ReplicatedAccess acc =
+                    cache_tier->replicatedAccess(key, ctx_.now(),
+                                                 is_write);
+                // A typed reject leaves the store untouched; the RPC
+                // below fails with the same status at attempt time and
+                // degrades to a miss (db fallthrough keeps serving).
+                hit = acc.hit;
+                quorum_delay = acc.quorumDelay;
+            } else {
+                hit = cache_tier->keyedAccess(key, ctx_.now(), is_write);
+            }
             if (hit) {
                 if (ctx->span.dataHits != 255)
                     ++ctx->span.dataHits;
@@ -1324,46 +1414,211 @@ App::runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
         rpcCall(server_id, ctx->inst, *cache_tier, ctx->req,
                 ctx->span.spanId, st.requestBytes, st.responseBytes,
                 st.carriesMedia,
-                [this, ctx, stage, server_id, hit, route,
+                [this, ctx, stage, server_id, hit, quorum_delay, route,
                  next_shared](RpcStatus status, Tick wall, Tick caller_net) {
             ctx->span.networkTime += caller_net;
             ctx->span.downstreamWait +=
                 wall > caller_net ? wall - caller_net : 0;
-            // A failed cache lookup degrades to a miss: fall through to
-            // the backing store when one exists (cache-aside pattern).
-            const bool effective_hit = hit && status == RpcStatus::Ok;
-            if (effective_hit || stage->dbTarget.empty()) {
-                if (status != RpcStatus::Ok && stage->dbTarget.empty() &&
-                    ctx->span.status == 0)
-                    ctx->span.status = static_cast<std::uint8_t>(status);
-                (*next_shared)();
-                return;
+            auto cont = [this, ctx, stage, server_id, hit, route,
+                         next_shared, status]() {
+                // A failed cache lookup degrades to a miss: fall
+                // through to the backing store when one exists
+                // (cache-aside pattern).
+                const bool effective_hit =
+                    hit && status == RpcStatus::Ok;
+                if (effective_hit || stage->dbTarget.empty()) {
+                    if (status != RpcStatus::Ok &&
+                        stage->dbTarget.empty() && ctx->span.status == 0)
+                        ctx->span.status =
+                            static_cast<std::uint8_t>(status);
+                    (*next_shared)();
+                    return;
+                }
+                Microservice *db = &service(stage->dbTarget);
+                // The backing store shards by the same key when it is
+                // ring-managed, so hot keys hammer one DB shard too.
+                const data::RouteHint db_route =
+                    db->keyedRouting() ? route : data::RouteHint{};
+                rpcCall(server_id, ctx->inst, *db, ctx->req,
+                        ctx->span.spanId, stage->requestBytes,
+                        stage->responseBytes, stage->carriesMedia,
+                        [ctx, next_shared](RpcStatus status2, Tick wall2,
+                                           Tick caller_net2) {
+                    ctx->span.networkTime += caller_net2;
+                    ctx->span.downstreamWait += wall2 > caller_net2
+                                                    ? wall2 - caller_net2
+                                                    : 0;
+                    if (status2 != RpcStatus::Ok &&
+                        ctx->span.status == 0)
+                        ctx->span.status =
+                            static_cast<std::uint8_t>(status2);
+                    (*next_shared)();
+                },
+                        db_route);
+            };
+            if (quorum_delay > 0 && status == RpcStatus::Ok) {
+                // Quorum write: the handler blocks until the W-th ack
+                // — the (W-1)-th fastest follower's apply lag.
+                ctx->span.downstreamWait += quorum_delay;
+                ctx_.schedule(quorum_delay, std::move(cont));
+            } else {
+                cont();
             }
-            Microservice *db = &service(stage->dbTarget);
-            // The backing store shards by the same key when it is
-            // ring-managed, so hot keys hammer one DB shard too.
-            const data::RouteHint db_route =
-                db->keyedRouting() ? route : data::RouteHint{};
-            rpcCall(server_id, ctx->inst, *db, ctx->req, ctx->span.spanId,
-                    stage->requestBytes, stage->responseBytes,
-                    stage->carriesMedia,
-                    [ctx, next_shared](RpcStatus status2, Tick wall2,
-                                       Tick caller_net2) {
-                ctx->span.networkTime += caller_net2;
-                ctx->span.downstreamWait += wall2 > caller_net2
-                                                ? wall2 - caller_net2
-                                                : 0;
-                if (status2 != RpcStatus::Ok && ctx->span.status == 0)
-                    ctx->span.status = static_cast<std::uint8_t>(status2);
-                (*next_shared)();
-            },
-                    db_route);
         },
                 route);
         return;
       }
     }
     panic("unhandled stage kind");
+}
+
+void
+App::runTxnStage(std::shared_ptr<HandlerCtx> ctx, const Stage *stage,
+                 Microservice *cache_tier, std::vector<std::uint64_t> keys,
+                 std::function<void()> next)
+{
+    if (rpcTxnStarted_)
+        rpcTxnStarted_->inc();
+    const unsigned server_id = ctx->inst->server().id();
+
+    // One prepare per distinct replica group, addressed by the first
+    // key that mapped there. A transaction whose keys all hash to one
+    // group degenerates to single-partition 2PC: one prepare, one
+    // commit, no cross-group coordination cost.
+    std::vector<std::uint64_t> group_keys;
+    std::vector<unsigned> groups;
+    for (std::uint64_t k : keys) {
+        const unsigned g = cache_tier->shardIndexForKey(k);
+        bool seen = false;
+        for (unsigned have : groups)
+            if (have == g) {
+                seen = true;
+                break;
+            }
+        if (!seen) {
+            groups.push_back(g);
+            group_keys.push_back(k);
+        }
+    }
+
+    struct TxnState
+    {
+        unsigned remaining = 0;
+        bool failed = false;
+        bool settled = false;
+    };
+    auto st = std::make_shared<TxnState>();
+    st->remaining = static_cast<unsigned>(group_keys.size());
+    auto next_shared =
+        std::make_shared<std::function<void()>>(std::move(next));
+
+    App *app = this;
+    Microservice *tier = cache_tier;
+    const Stage *stg = stage;
+    const std::uint64_t primary = keys.front();
+
+    // The coordinator's decision point: fired once, by the last
+    // prepare ack or by the abort timer — whichever comes first.
+    auto settle = std::make_shared<std::function<void(bool)>>();
+    *settle = [app, ctx, tier, stg, server_id, st, group_keys, primary,
+               next_shared](bool ok) {
+        if (st->settled)
+            return;
+        st->settled = true;
+        auto abort_txn = [&]() {
+            if (app->rpcTxnAborts_)
+                app->rpcTxnAborts_->inc();
+            tier->noteTxnAbort();
+            if (ctx->span.status == 0)
+                ctx->span.status =
+                    static_cast<std::uint8_t>(RpcStatus::TxnAborted);
+            (*next_shared)();
+        };
+        if (!ok) {
+            abort_txn();
+            return;
+        }
+        // Commit phase: apply every group's write. Quorum membership
+        // may have shifted since the prepares acked (a leader crash in
+        // the window), in which case the transaction still aborts.
+        Tick delay = 0;
+        bool commit_ok = true;
+        for (std::uint64_t k : group_keys) {
+            const Microservice::ReplicatedAccess acc =
+                tier->replicatedAccess(k, app->ctx_.now(), true);
+            if (acc.status != trace::SpanStatus::Ok) {
+                commit_ok = false;
+                break;
+            }
+            delay = std::max(delay, acc.quorumDelay);
+        }
+        if (!commit_ok) {
+            abort_txn();
+            return;
+        }
+        if (app->rpcTxnCommits_)
+            app->rpcTxnCommits_->inc();
+        auto after = [app, ctx, stg, server_id, primary, next_shared]() {
+            if (stg->dbTarget.empty()) {
+                (*next_shared)();
+                return;
+            }
+            // Write-through: the transaction's primary key carries the
+            // backing-store update, same as the single-key miss path.
+            Microservice *db = &app->service(stg->dbTarget);
+            const data::RouteHint db_route =
+                db->keyedRouting()
+                    ? data::RouteHint{primary, true, true}
+                    : data::RouteHint{};
+            app->rpcCall(server_id, ctx->inst, *db, ctx->req,
+                         ctx->span.spanId, stg->requestBytes,
+                         stg->responseBytes, stg->carriesMedia,
+                         [ctx, next_shared](RpcStatus status2, Tick wall2,
+                                            Tick caller_net2) {
+                ctx->span.networkTime += caller_net2;
+                ctx->span.downstreamWait += wall2 > caller_net2
+                                                ? wall2 - caller_net2
+                                                : 0;
+                if (status2 != RpcStatus::Ok && ctx->span.status == 0)
+                    ctx->span.status =
+                        static_cast<std::uint8_t>(status2);
+                (*next_shared)();
+            },
+                         db_route);
+        };
+        if (delay > 0) {
+            // The coordinator blocks until the slowest group's W-th
+            // ack has landed.
+            ctx->span.downstreamWait += delay;
+            app->ctx_.schedule(delay, std::move(after));
+        } else {
+            after();
+        }
+    };
+
+    // Coordinator deadline on the prepare phase: a late ack finds the
+    // transaction already settled (the guard makes the timer a no-op
+    // once a decision is taken).
+    ctx_.schedule(replicationConfig_.txnPrepareTimeout,
+                  [settle]() { (*settle)(false); });
+
+    for (std::size_t i = 0; i < group_keys.size(); ++i) {
+        const data::RouteHint prep_route{group_keys[i], true, true};
+        rpcCall(server_id, ctx->inst, *cache_tier, ctx->req,
+                ctx->span.spanId, stg->requestBytes, stg->responseBytes,
+                stg->carriesMedia,
+                [ctx, st, settle](RpcStatus status, Tick wall,
+                                  Tick caller_net) {
+            ctx->span.networkTime += caller_net;
+            ctx->span.downstreamWait +=
+                wall > caller_net ? wall - caller_net : 0;
+            if (status != RpcStatus::Ok)
+                st->failed = true;
+            if (--st->remaining == 0)
+                (*settle)(!st->failed);
+        },
+                prep_route);
+    }
 }
 
 void

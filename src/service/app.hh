@@ -33,6 +33,7 @@
 #include "cpu/server.hh"
 #include "data/config.hh"
 #include "net/network.hh"
+#include "replica/replication.hh"
 #include "rpc/connection_pool.hh"
 #include "rpc/protocol.hh"
 #include "rpc/resilience.hh"
@@ -227,6 +228,28 @@ class App
 
     /** The key universe (null when keyed data is off). */
     const data::Keyspace *keyspace() const { return keyspace_.get(); }
+
+    // -- Replicated keyed-data tier ----------------------------------------
+
+    /**
+     * Layer leader/follower replica groups over every keyed Cache
+     * tier: quorum-acknowledged writes, read preferences with bounded
+     * follower staleness, failover with log catch-up instead of a cold
+     * restart, and (txnKeys >= 2) 2PC multi-partition transactions on
+     * write-tagged keyed stages. Requires enableKeyedData first; call
+     * once. Strictly opt-in: without this call no replica state exists
+     * and execution is bit-identical to the unreplicated runtime.
+     */
+    void enableReplication(const replica::ReplicationConfig &config);
+
+    /** @return true once enableReplication has been called. */
+    bool replicationEnabled() const { return replicationEnabled_; }
+
+    /** The replication configuration (valid once enabled). */
+    const replica::ReplicationConfig &replicationConfig() const
+    {
+        return replicationConfig_;
+    }
 
     // -- Admission control / QoS classes ----------------------------------
 
@@ -424,6 +447,17 @@ class App
     void runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
                   std::function<void()> done);
 
+    /**
+     * Drive one 2PC multi-partition transaction from a write-tagged
+     * keyed cache stage: prepare RPCs to every touched group's leader
+     * under a coordinator abort timer, then commit (apply all writes,
+     * wait out the slowest quorum ack) or mark the handler TxnAborted.
+     */
+    void runTxnStage(std::shared_ptr<HandlerCtx> ctx, const Stage *stage,
+                     Microservice *cache_tier,
+                     std::vector<std::uint64_t> keys,
+                     std::function<void()> next);
+
     /** Charge a compute task's cycles to user/lib modes. */
     void chargeCompute(Microservice &svc, double cycles, double ipc);
 
@@ -467,6 +501,9 @@ class App
     bool crashTracking_ = false;
     /** Admission control armed (enableQos called). */
     bool qosEnabled_ = false;
+    /** Replica groups armed (enableReplication called). */
+    bool replicationEnabled_ = false;
+    replica::ReplicationConfig replicationConfig_;
     /** In-flight attempts per target instance (crash tracking only). */
     std::unordered_map<const Instance *, std::vector<AttemptState *>>
         inflight_;
@@ -499,6 +536,15 @@ class App
     Counter *rpcPoolTimeouts_ = nullptr;
     Counter *rpcCrashedInFlight_ = nullptr;
     Counter *rpcAbandonedArrivals_ = nullptr;
+    /**
+     * Replication accounting, created lazily by enableReplication so
+     * unreplicated runs emit exactly the legacy metric set.
+     */
+    Counter *rpcQuorumLost_ = nullptr;
+    Counter *rpcStaleRejects_ = nullptr;
+    Counter *rpcTxnStarted_ = nullptr;
+    Counter *rpcTxnCommits_ = nullptr;
+    Counter *rpcTxnAborts_ = nullptr;
     /**
      * Admission accounting, created lazily by enableQos so disabled
      * runs emit exactly the legacy metric set. Indexed by QosClass.

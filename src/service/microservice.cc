@@ -58,6 +58,11 @@ Microservice::Microservice(App &app, ServiceDef def)
 Instance &
 Microservice::addInstance(cpu::Server &server)
 {
+    if (replicas_)
+        // Group membership is fixed at enableReplication: growing the
+        // ring would silently reshuffle every group's successor set.
+        fatal(strCat("addInstance on replicated tier '", def_.name,
+                     "'"));
     instances_.push_back(std::make_unique<Instance>(
         *this, static_cast<unsigned>(instances_.size()), server));
     if (def_.admission.active())
@@ -175,8 +180,168 @@ Microservice::dataStats() const
         total.invalidations += s.invalidations;
         total.writes += s.writes;
         total.coldRestarts += s.coldRestarts;
+        total.replayDrops += s.replayDrops;
     }
     return total;
+}
+
+void
+Microservice::enableReplication(const replica::ReplicationConfig &config)
+{
+    if (replicas_)
+        fatal(strCat("replication already enabled on '", def_.name,
+                     "'"));
+    if (!shardMap_)
+        fatal(strCat("enableReplication on '", def_.name,
+                     "' without keyed routing"));
+    if (cacheModels_.empty())
+        fatal(strCat("enableReplication on '", def_.name,
+                     "' without cache models"));
+    replicas_ = std::make_unique<replica::ReplicaSet>(
+        config, static_cast<unsigned>(instances_.size()));
+    // Counters are created here, not up-front, so unreplicated runs
+    // emit exactly the legacy metric set (same discipline as QoS).
+    MetricsRegistry &m = app_.metrics();
+    const std::string &t = def_.name;
+    replStaleReads_ = &m.counter("replica." + t + ".stale_reads");
+    replStaleRejects_ = &m.counter("replica." + t + ".stale_rejects");
+    replQuorumLost_ = &m.counter("replica." + t + ".quorum_lost");
+    replRywRedirects_ = &m.counter("replica." + t + ".ryw_redirects");
+    replElections_ = &m.counter("replica." + t + ".elections");
+    replFailovers_ = &m.counter("replica." + t + ".failovers");
+    replTrims_ = &m.counter("replica." + t + ".log_trims");
+    replStoreLosses_ = &m.counter("replica." + t + ".store_losses");
+    replTxnAborts_ = &m.counter("replica." + t + ".txn_aborts");
+}
+
+void
+Microservice::applyReplicaMaintenance(unsigned group, Tick now)
+{
+    const replica::Maintenance m = replicas_->poll(group, now);
+    data::CacheModel *model = cacheModel(group);
+    if (!model)
+        return;
+    if (m.clearStore)
+        // Every member died: the logical store is lost for real.
+        model->clearCold();
+    else if (m.trim)
+        // Failover: the promoted follower replays its log into the
+        // warm group store, minus the un-replicated tail.
+        model->dropWrittenAfter(m.trimCutoff);
+}
+
+void
+Microservice::syncReplicaMetrics()
+{
+    const replica::ReplicaCounts &c = replicas_->counts();
+    auto delta = [](Counter *ctr, std::uint64_t cur,
+                    std::uint64_t &last) {
+        if (cur > last) {
+            if (ctr)
+                ctr->inc(cur - last);
+            last = cur;
+        }
+    };
+    delta(replStaleReads_, c.staleReads, mirrored_.staleReads);
+    delta(replStaleRejects_, c.staleRejects, mirrored_.staleRejects);
+    delta(replQuorumLost_, c.quorumLostWrites,
+          mirrored_.quorumLostWrites);
+    delta(replQuorumLost_, c.quorumLostReads,
+          mirrored_.quorumLostReads);
+    delta(replRywRedirects_, c.rywRedirects, mirrored_.rywRedirects);
+    delta(replElections_, c.electionsStarted,
+          mirrored_.electionsStarted);
+    delta(replFailovers_, c.failovers, mirrored_.failovers);
+    delta(replTrims_, c.trims, mirrored_.trims);
+    delta(replStoreLosses_, c.storeLosses, mirrored_.storeLosses);
+}
+
+Microservice::ReplicatedAccess
+Microservice::replicatedAccess(std::uint64_t key, Tick now,
+                               bool is_write)
+{
+    ReplicatedAccess acc;
+    const unsigned group = shardIndexForKey(key);
+    applyReplicaMaintenance(group, now);
+    const replica::RouteDecision d =
+        replicas_->route(group, key, is_write, now);
+    syncReplicaMetrics();
+    switch (d.verdict) {
+      case replica::Verdict::Ok:
+        break;
+      case replica::Verdict::QuorumLost:
+        acc.status = trace::SpanStatus::QuorumLost;
+        return acc;
+      case replica::Verdict::StaleRead:
+        acc.status = trace::SpanStatus::StaleRead;
+        return acc;
+      case replica::Verdict::Unreachable:
+        // Dead group: data unreachable, same accounting as a downed
+        // unreplicated shard.
+        if (!is_write && unreachableMisses_)
+            unreachableMisses_->inc();
+        acc.status = trace::SpanStatus::Unreachable;
+        return acc;
+    }
+    data::CacheModel *model = cacheModel(group);
+    if (is_write) {
+        if (model)
+            model->write(key, now);
+        replicas_->recordWrite(group, now);
+        acc.quorumDelay = d.quorumDelay;
+        return acc;
+    }
+    acc.hit = model && model->access(key, now);
+    return acc;
+}
+
+Instance *
+Microservice::resolveKeyInstance(const data::RouteHint &route, Tick now,
+                                 trace::SpanStatus &status)
+{
+    status = trace::SpanStatus::Ok;
+    if (!replicas_) {
+        Instance *inst = tryInstanceForKey(route.key);
+        if (!inst)
+            status = trace::SpanStatus::Unreachable;
+        return inst;
+    }
+    if (misrouted_)
+        return instances_.front().get();
+    const unsigned group = shardIndexForKey(route.key);
+    applyReplicaMaintenance(group, now);
+    // Second resolution of this access (the stage already counted it):
+    // count = false keeps the event counts per-access.
+    const replica::RouteDecision d = replicas_->route(
+        group, route.key, route.write, now, /*count=*/false);
+    switch (d.verdict) {
+      case replica::Verdict::Ok:
+        break;
+      case replica::Verdict::QuorumLost:
+        status = trace::SpanStatus::QuorumLost;
+        return nullptr;
+      case replica::Verdict::StaleRead:
+        status = trace::SpanStatus::StaleRead;
+        return nullptr;
+      case replica::Verdict::Unreachable:
+        status = trace::SpanStatus::Unreachable;
+        return nullptr;
+    }
+    Instance &inst = *instances_[d.instance];
+    if (!inst.active()) {
+        // The member went down between the decision inputs changing
+        // and this attempt; fail like any crashed target.
+        status = trace::SpanStatus::Unreachable;
+        return nullptr;
+    }
+    return &inst;
+}
+
+void
+Microservice::noteTxnAbort()
+{
+    if (replTxnAborts_)
+        replTxnAborts_->inc();
 }
 
 unsigned

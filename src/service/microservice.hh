@@ -22,7 +22,9 @@
 #include "core/stats.hh"
 #include "core/types.hh"
 #include "data/cache_model.hh"
+#include "data/config.hh"
 #include "data/shard_map.hh"
+#include "replica/replication.hh"
 #include "cpu/microarch.hh"
 #include "cpu/server.hh"
 #include "rpc/protocol.hh"
@@ -313,6 +315,62 @@ class Microservice
     /** Aggregate store accounting across instances. */
     data::CacheStats dataStats() const;
 
+    // -- Replica groups (opt-in; see src/replica/) ---------------------
+
+    /**
+     * Layer leader/follower replica groups over the keyed stores:
+     * every ring shard g becomes group g served by the factor ring
+     * successors, with the group's logical store pinned to model slot
+     * g. Requires keyed routing and attached cache models; fatal when
+     * called twice or on a tier that later grows (replicated tiers are
+     * provisioned up-front).
+     */
+    void enableReplication(const replica::ReplicationConfig &config);
+    bool replicated() const { return replicas_ != nullptr; }
+
+    /** The group state machine (null while unreplicated). */
+    replica::ReplicaSet *replicaSet() { return replicas_.get(); }
+    const replica::ReplicaSet *replicaSet() const
+    {
+        return replicas_.get();
+    }
+
+    /** Outcome of one replicated stage-time store access. */
+    struct ReplicatedAccess
+    {
+        /** Read served from the group store and hit. */
+        bool hit = false;
+
+        /** Write: simulated wait until the quorum ack. */
+        Tick quorumDelay = 0;
+
+        /** Typed reject when the group cannot serve right now. */
+        trace::SpanStatus status = trace::SpanStatus::Ok;
+    };
+
+    /**
+     * One keyed access through the replica layer: owed maintenance
+     * (failover trim / total-loss clear) is applied to the group
+     * store first, then the route decision is made and — when
+     * servable — the access lands on the group's pinned store.
+     */
+    ReplicatedAccess replicatedAccess(std::uint64_t key, Tick now,
+                                      bool is_write);
+
+    /**
+     * Attempt-time instance resolution for a keyed RPC. Unreplicated
+     * tiers: the ring owner, Unreachable when it is down (the legacy
+     * tryInstanceForKey contract). Replicated tiers: the serving
+     * member per the route decision — leader for writes, preference
+     * pick for reads — with typed QuorumLost/StaleRead rejects in
+     * @p status when nothing can serve.
+     */
+    Instance *resolveKeyInstance(const data::RouteHint &route, Tick now,
+                                 trace::SpanStatus &status);
+
+    /** Count one aborted multi-partition transaction at this tier. */
+    void noteTxnAbort();
+
     /**
      * Fault injection (Fig 22a): emulate a switch-routing
      * misconfiguration that funnels all of this tier's traffic to its
@@ -369,6 +427,12 @@ class Microservice
     std::size_t rrCursor_ = 0;
     bool misrouted_ = false;
 
+    /** Apply owed replica-store maintenance to @p group's model. */
+    void applyReplicaMaintenance(unsigned group, Tick now);
+
+    /** Mirror ReplicaSet event counts into replica.<tier>.* metrics. */
+    void syncReplicaMetrics();
+
     /** Consistent-hash placement (keyed mode only). */
     std::unique_ptr<data::ShardMap> shardMap_;
     /** Per-instance keyed stores, parallel to instances_. */
@@ -376,6 +440,21 @@ class Microservice
     data::CacheModelConfig cacheConfig_;
     /** Tier-level miss counter for lookups against downed shards. */
     Counter *unreachableMisses_ = nullptr;
+
+    /** Replica-group state machine (null while unreplicated). */
+    std::unique_ptr<replica::ReplicaSet> replicas_;
+    /** Last mirrored snapshot of the replica event counts. */
+    replica::ReplicaCounts mirrored_;
+    /** replica.<tier>.* counters, created by enableReplication. */
+    Counter *replStaleReads_ = nullptr;
+    Counter *replStaleRejects_ = nullptr;
+    Counter *replQuorumLost_ = nullptr;
+    Counter *replRywRedirects_ = nullptr;
+    Counter *replElections_ = nullptr;
+    Counter *replFailovers_ = nullptr;
+    Counter *replTrims_ = nullptr;
+    Counter *replStoreLosses_ = nullptr;
+    Counter *replTxnAborts_ = nullptr;
 
     Histogram latency_;
     WindowedStat latencyWindow_;

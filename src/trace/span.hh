@@ -57,6 +57,9 @@ enum class SpanStatus : std::uint8_t
     PoolTimeout,       ///< connection-pool acquire timed out
     Unreachable,       ///< no active instance to route to
     Throttled,         ///< admission token bucket refused the class
+    StaleRead,         ///< freshness requirement unsatisfiable (replica)
+    TxnAborted,        ///< multi-partition transaction aborted (2PC)
+    QuorumLost,        ///< replica group below write/election quorum
 };
 
 /** @return a short printable status name ("ok", "timeout", ...). */
@@ -86,6 +89,12 @@ spanStatusName(SpanStatus s)
         return "unreachable";
       case SpanStatus::Throttled:
         return "throttled";
+      case SpanStatus::StaleRead:
+        return "stale_read";
+      case SpanStatus::TxnAborted:
+        return "txn_aborted";
+      case SpanStatus::QuorumLost:
+        return "quorum_lost";
     }
     return "unknown";
 }

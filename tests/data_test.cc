@@ -279,6 +279,25 @@ TEST(CacheModelTest, ClearColdDropsEverything)
     EXPECT_FALSE(m.access(0, 0)); // everything must re-warm
 }
 
+TEST(CacheModelTest, DropWrittenAfterTrimsExactlyTheLogTail)
+{
+    CacheModel m(cacheCfg(16));
+    for (std::uint64_t k = 0; k < 4; ++k)
+        m.access(k, 100 * k); // written at 0, 100, 200, 300
+    m.write(0, 350);          // refresh moves key 0 past the cutoff
+
+    const std::uint64_t dropped = m.dropWrittenAfter(250);
+    EXPECT_EQ(dropped, 2u); // keys 3 (t=300) and 0 (refreshed t=350)
+    EXPECT_EQ(m.stats().replayDrops, 2u);
+    EXPECT_EQ(m.size(), 2u);
+    EXPECT_TRUE(m.access(1, 400)); // the applied prefix survives
+    EXPECT_TRUE(m.access(2, 400));
+    EXPECT_FALSE(m.access(3, 400)); // the un-replicated tail is gone
+
+    // Trimming at or past the newest write is a no-op.
+    EXPECT_EQ(m.dropWrittenAfter(1000), 0u);
+}
+
 // -- shard placement ----------------------------------------------------
 
 TEST(ShardMapTest, DeterministicAndReasonablyBalanced)
@@ -314,6 +333,39 @@ TEST(ShardMapTest, GrowingMovesAboutOneNth)
     const double frac = static_cast<double>(moved) / n;
     EXPECT_GT(frac, 0.03);
     EXPECT_LT(frac, 0.25);
+}
+
+TEST(ShardMapTest, RemovingAShardMovesOnlyItsOwnKeys)
+{
+    ShardMap before(64), after(64);
+    before.rebuild(8);
+    after.rebuild(8);
+    after.removeShard(3);
+    EXPECT_FALSE(after.hasShard(3));
+    EXPECT_TRUE(after.hasShard(2));
+    EXPECT_EQ(after.shards(), 7u);
+
+    std::uint64_t moved = 0, evacuated = 0;
+    const std::uint64_t n = 100000;
+    for (std::uint64_t k = 0; k < n; ++k) {
+        const unsigned was = before.shardFor(k);
+        const unsigned now = after.shardFor(k);
+        EXPECT_NE(now, 3u) << "key " << k << " still on the dead shard";
+        if (was == 3u) {
+            ++evacuated;
+            EXPECT_NE(now, was);
+        } else {
+            // Every other key's owner is stable: the shrink mirror of
+            // the grow-remap bound (modulo would reshuffle ~7/8).
+            EXPECT_EQ(now, was) << "key " << k << " moved gratuitously";
+        }
+        if (was != now)
+            ++moved;
+    }
+    EXPECT_EQ(moved, evacuated);
+    const double frac = static_cast<double>(moved) / n;
+    EXPECT_GT(frac, 0.03); // ~1/8 of the keyspace, not 0
+    EXPECT_LT(frac, 0.25); // and nowhere near a full reshuffle
 }
 
 TEST(ShardMapTest, HotKeyOwnsExactlyOneShard)

@@ -66,9 +66,9 @@ struct Options
     bool dumpConfig = false;
 };
 
-const char *const kReportKinds[] = {"summary", "services", "traces",
-                                    "cost",    "energy",   "resilience",
-                                    "data",    "qos",      "slo"};
+const char *const kReportKinds[] = {
+    "summary", "services", "traces", "cost",        "energy",
+    "resilience", "data",  "qos",    "replication", "slo"};
 
 void
 usage()
@@ -100,7 +100,7 @@ usage()
         "                     override; see --dump-config)\n"
         "  --dump-config      print the effective scenario JSON, exit\n"
         "  --report KIND      summary | services | traces | cost | energy |\n"
-        "                     resilience | data | qos | slo\n"
+        "                     resilience | data | qos | replication | slo\n"
         "  --cache-keys N     keyed data tier: keys per app (0 = legacy\n"
         "                     fixed-hit-probability caches, the default)\n"
         "  --cache-capacity N entries per cache instance (default 4096)\n"
@@ -113,9 +113,29 @@ usage()
         "  --cache-write P    through | invalidate (default through)\n"
         "  --cache-shift DUR  hotspot rotation period (0 = static)\n"
         "  --cache-vnodes N   consistent-hash vnodes per shard (default 64)\n"
+        "  --replica-factor N replicate each keyed cache shard across N\n"
+        "                     instances (leader + N-1 followers; needs\n"
+        "                     --cache-keys; 0 = unreplicated, the default)\n"
+        "  --replica-quorum W write quorum: acks a write needs before the\n"
+        "                     handler unblocks (0 = majority of factor)\n"
+        "  --replica-apply-lag DUR  follower apply lag per ring hop\n"
+        "                     (default 1ms)\n"
+        "  --replica-election-timeout DUR  leaderless window before a\n"
+        "                     follower is promoted (default 50ms)\n"
+        "  --replica-catch-up DUR  log replay a restarted replica needs\n"
+        "                     before it is quorum-eligible (default 100ms)\n"
+        "  --replica-read P   leader | nearest | ryw (read-your-writes;\n"
+        "                     default leader)\n"
+        "  --txn-keys N       2PC: write-tagged keyed stages touch N keys\n"
+        "                     as one multi-partition transaction (0 = off,\n"
+        "                     needs --replica-factor)\n"
+        "  --txn-prepare-timeout DUR  coordinator deadline on the 2PC\n"
+        "                     prepare phase (default 10ms)\n"
         "  --faults FILE      JSON fault schedule (see docs/RESILIENCE.md)\n"
         "  --fault SPEC       one fault window, repeatable:\n"
         "                     crash@t=2s,dur=1s,service=X,instance=0\n"
+        "                     crash@t=2s,dur=1s,service=X,group=0,\n"
+        "                       role=leader   (replicated tiers)\n"
         "                     errors@t=1s,dur=2s,service=X,rate=0.5\n"
         "                     slow@t=1s,dur=2s,server=0,factor=10\n"
         "                     partition@t=3s,dur=1s,a=0-1,b=2-4,loss=1\n"
@@ -330,6 +350,22 @@ parse(int argc, char **argv, Options &opt)
             scn.dataShiftPeriod = durationVal(i);
         else if (a == "--cache-vnodes")
             scn.dataVnodes = numUnsigned(i);
+        else if (a == "--replica-factor")
+            scn.replicaFactor = numUnsigned(i);
+        else if (a == "--replica-quorum")
+            scn.replicaQuorum = numUnsigned(i);
+        else if (a == "--replica-apply-lag")
+            scn.replicaApplyLag = durationVal(i);
+        else if (a == "--replica-election-timeout")
+            scn.replicaElectionTimeout = durationVal(i);
+        else if (a == "--replica-catch-up")
+            scn.replicaCatchUp = durationVal(i);
+        else if (a == "--replica-read")
+            scn.replicaRead = need(i);
+        else if (a == "--txn-keys")
+            scn.txnKeys = numUnsigned(i);
+        else if (a == "--txn-prepare-timeout")
+            scn.txnPrepareTimeout = durationVal(i);
         else if (a == "--qos")
             scn.qosEnabled = true;
         else if (a == "--qos-weights") {
@@ -416,7 +452,7 @@ parse(int argc, char **argv, Options &opt)
     if (!report_ok)
         fatal(strCat("unknown report kind '", opt.report,
                      "' (want summary, services, traces, cost, energy, "
-                     "resilience, data or qos)"));
+                     "resilience, data, qos, replication or slo)"));
     if (scn.qps <= 0.0)
         fatal("--qps must be positive");
     if (scn.durationSec <= 0.0)
@@ -463,6 +499,26 @@ parse(int argc, char **argv, Options &opt)
             fatal("--cache-hot-mass must be in [0, 1]");
         if (scn.dataVnodes == 0)
             fatal("--cache-vnodes must be positive");
+        replica::ReadPreference rp;
+        if (!replica::readPreferenceByName(scn.replicaRead, rp))
+            fatal(strCat("unknown --replica-read '", scn.replicaRead,
+                         "' (want leader, nearest or ryw)"));
+        if (scn.replicaFactor == 1)
+            fatal("--replica-factor must be 0 (off) or >= 2");
+        if (scn.replicaFactor >= 2 && scn.dataKeys == 0)
+            fatal("--replica-factor needs --cache-keys");
+        if (scn.replicaQuorum > scn.replicaFactor)
+            fatal("--replica-quorum must be <= --replica-factor");
+        if (scn.replicaFactor >= 2 && scn.replicaApplyLag == 0)
+            fatal("--replica-apply-lag must be positive");
+        if (scn.replicaFactor >= 2 && scn.replicaElectionTimeout == 0)
+            fatal("--replica-election-timeout must be positive");
+        if (scn.txnKeys == 1)
+            fatal("--txn-keys must be 0 (off) or >= 2");
+        if (scn.txnKeys >= 2 && scn.replicaFactor < 2)
+            fatal("--txn-keys needs --replica-factor");
+        if (scn.txnKeys >= 2 && scn.txnPrepareTimeout == 0)
+            fatal("--txn-prepare-timeout must be positive");
         if (scn.qosRate < 0.0)
             fatal("--qos-rate must be >= 0");
         if (scn.qosBurst <= 0.0)
@@ -937,6 +993,54 @@ main(int argc, char **argv)
                       total.coldRestarts);
             }
             t.print(std::cout);
+        }
+    }
+    if (opt.report == "replication") {
+        printBanner(std::cout, "replicated keyed-data tier");
+        if (scn.replicaFactor < 2) {
+            std::cout << "replication disabled (--replica-factor): "
+                         "keyed shards are single copies\n";
+        } else {
+            std::cout << "factor " << scn.replicaFactor << ", quorum "
+                      << (scn.replicaQuorum
+                              ? scn.replicaQuorum
+                              : scn.replicaFactor / 2 + 1)
+                      << ", read preference " << scn.replicaRead;
+            if (scn.txnKeys >= 2)
+                std::cout << ", 2PC over " << scn.txnKeys << " keys";
+            std::cout << "\n";
+            auto sum = [&](const std::string &name) {
+                std::uint64_t v = 0;
+                for (unsigned s = 0; s < nshards; ++s)
+                    v += sharded.shard(s)
+                             .app->metrics()
+                             .counter(name)
+                             .value();
+                return v;
+            };
+            TextTable t({"tier", "elections", "failovers", "trims",
+                         "lost", "stale", "redirect", "quorum-", "stale-"});
+            for (unsigned i = 0; i < app.services().size(); ++i) {
+                const service::Microservice *svc = app.services()[i];
+                if (!svc->replicated())
+                    continue;
+                const std::string p = "replica." + svc->name() + ".";
+                t.add(svc->name(), sum(p + "elections"),
+                      sum(p + "failovers"), sum(p + "log_trims"),
+                      sum(p + "store_losses"), sum(p + "stale_reads"),
+                      sum(p + "ryw_redirects"), sum(p + "quorum_lost"),
+                      sum(p + "stale_rejects"));
+            }
+            t.print(std::cout);
+            std::cout << "typed rejects settled by callers: quorum_lost="
+                      << sum("rpc.quorum_lost")
+                      << " stale=" << sum("rpc.stale_rejects") << "\n";
+            if (scn.txnKeys >= 2)
+                std::cout << "transactions: started="
+                          << sum("rpc.txn_started")
+                          << " committed=" << sum("rpc.txn_commits")
+                          << " aborted=" << sum("rpc.txn_aborts")
+                          << "\n";
         }
     }
     if (opt.report == "energy") {
