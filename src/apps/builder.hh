@@ -9,10 +9,14 @@
  * protocol costs are modelled but never bottleneck).
  *
  * Standalone, a World owns its Simulator and is driven through it, as
- * before. Inside a ShardedWorld (apps/scenario.hh) each World is one
+ * before. Inside a WorldHandle (apps/scenario.hh) each World is one
  * shard: it is constructed with the shard's SimContext, all of its
  * components schedule into that shard's queue/clock, and the
- * ParallelSimulator drives every shard together.
+ * ParallelSimulator drives every shard together. Under the Replicate
+ * deployment the N worlds are independent replicas; under Partition
+ * they are N identical builds of ONE graph whose tiers are pinned to
+ * home shards by the placement layer, with cross-shard RPCs riding
+ * SimContext::postToShard at the inter-shard wire latency.
  */
 
 #ifndef UQSIM_APPS_BUILDER_HH

@@ -376,6 +376,66 @@ parseScenarioJson(const std::string &text, Scenario &out,
                 if (!ook)
                     return false;
             }
+        } else if (key == "placement") {
+            if (!v.isObject()) {
+                error = "scenario key 'placement' must be an object";
+                return false;
+            }
+            for (const auto &pkv : v.object) {
+                const std::string pkey = "placement." + pkv.first;
+                const json::Value &pv = pkv.second;
+                if (pkv.first == "mode") {
+                    if (!wantString(pv, pkey, s.placement))
+                        return false;
+                } else if (pkv.first == "pin") {
+                    if (!pv.isArray()) {
+                        error =
+                            "scenario key 'placement.pin' must be an "
+                            "array";
+                        return false;
+                    }
+                    s.pins.clear();
+                    for (const json::Value &entry : pv.array) {
+                        if (!entry.isObject()) {
+                            error = "placement.pin entries must be "
+                                    "objects";
+                            return false;
+                        }
+                        data::PlacementPin pin;
+                        bool have_tier = false;
+                        for (const auto &ekv : entry.object) {
+                            const json::Value &ev = ekv.second;
+                            if (ekv.first == "tier") {
+                                if (!wantString(ev, "placement.pin.tier",
+                                                pin.tier))
+                                    return false;
+                                have_tier = true;
+                            } else if (ekv.first == "shard") {
+                                if (!wantUnsigned(
+                                        ev, "placement.pin.shard", u))
+                                    return false;
+                                pin.shard = static_cast<unsigned>(u);
+                            } else {
+                                error = strCat(
+                                    "unknown scenario key "
+                                    "'placement.pin.",
+                                    ekv.first, "'");
+                                return false;
+                            }
+                        }
+                        if (!have_tier) {
+                            error = "placement.pin entries need a "
+                                    "'tier' name";
+                            return false;
+                        }
+                        s.pins.push_back(std::move(pin));
+                    }
+                } else {
+                    error = strCat("unknown scenario key 'placement.",
+                                   pkv.first, "'");
+                    return false;
+                }
+            }
         } else if (key == "faults") {
             if (!v.isArray()) {
                 error = "scenario key 'faults' must be an array";
@@ -552,6 +612,61 @@ parseScenarioJson(const std::string &text, Scenario &out,
         error = "slo.error_rate must be in [0, 1]";
         return false;
     }
+    if (s.placement != "none" && s.placement != "replicate" &&
+        s.placement != "partition") {
+        error = strCat("unknown placement.mode '", s.placement,
+                       "' (want none, replicate or partition)");
+        return false;
+    }
+    if (!s.pins.empty() && s.placement != "partition") {
+        error = "placement.pin needs placement.mode 'partition'";
+        return false;
+    }
+    if (s.placement == "partition") {
+        // Partitioning splits ONE world across shards; features that
+        // assume either replica worlds or whole-world ownership of the
+        // fault/offload machinery are rejected rather than silently
+        // mis-modelled.
+        if (!s.faults.empty()) {
+            error = "placement 'partition' does not support faults";
+            return false;
+        }
+        if (s.replicaFactor >= 2) {
+            error =
+                "placement 'partition' does not support replication";
+            return false;
+        }
+        if (s.fpga) {
+            error = "placement 'partition' does not support fpga";
+            return false;
+        }
+        if (!s.lambda.empty()) {
+            error =
+                "placement 'partition' does not support lambda tiers";
+            return false;
+        }
+        if (s.app.rfind("swarm-", 0) == 0) {
+            error = strCat("placement 'partition' does not support "
+                           "app '",
+                           s.app, "'");
+            return false;
+        }
+        for (const data::PlacementPin &pin : s.pins) {
+            if (pin.shard >= s.shards) {
+                error = strCat("placement pin '", pin.tier,
+                               "' targets shard ", pin.shard,
+                               " but only ", s.shards, " shards exist");
+                return false;
+            }
+        }
+        for (std::size_t i = 0; i < s.pins.size(); ++i)
+            for (std::size_t j = 0; j < i; ++j)
+                if (s.pins[i].tier == s.pins[j].tier) {
+                    error = strCat("duplicate placement pin for tier '",
+                                   s.pins[i].tier, "'");
+                    return false;
+                }
+    }
 
     out = std::move(s);
     return true;
@@ -631,6 +746,17 @@ scenarioToJson(const Scenario &s)
     w.field("window", s.sloWindow);
     w.field("error_rate", s.sloErrorRate);
     w.field("tier", s.sloTier);
+    w.endObject();
+    w.beginObject("placement");
+    w.field("mode", s.placement);
+    w.beginArray("pin");
+    for (const data::PlacementPin &p : s.pins) {
+        w.beginObject();
+        w.field("tier", p.tier);
+        w.field("shard", p.shard);
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
     w.beginArray("faults");
     for (const fault::FaultSpec &f : s.faults)
@@ -822,75 +948,140 @@ buildScenarioApp(World &w, const Scenario &s)
         w.app->enableQos(qosConfigFor(s));
 }
 
-ShardedWorld::ShardedWorld(const WorldConfig &base, unsigned shards,
-                           unsigned threads)
-    : engine_({shards, kMaxTick, threads})
+WorldHandle::WorldHandle(const WorldConfig &base, unsigned shards,
+                         unsigned threads, Deployment deployment)
+    : deployment_(deployment),
+      // Partitioned shards exchange messages whose minimum delay is
+      // the wire latency, so that is the engine's conservative
+      // lookahead. Replica worlds (and any one-shard deployment)
+      // never talk across shards: unbounded.
+      engine_({shards,
+               deployment == Deployment::Partition && shards > 1
+                   ? base.netConfig.wireLatency
+                   : kMaxTick,
+               threads})
 {
     worlds_.reserve(shards);
     for (unsigned i = 0; i < shards; ++i) {
         WorldConfig config = base;
-        config.seed = shardSeed(base.seed, i);
+        // Replicas are N distinct experiments (stride-derived seeds);
+        // a partition is ONE world, so every shard must draw the
+        // identical construction randomness.
+        config.seed = deployment == Deployment::Partition
+                          ? base.seed
+                          : shardSeed(base.seed, i);
         worlds_.push_back(
             std::make_unique<World>(config, engine_.context(i)));
     }
 }
 
+void
+WorldHandle::enablePartition(const std::vector<data::PlacementPin> &pins)
+{
+    if (deployment_ != Deployment::Partition)
+        fatal("enablePartition on a non-partition deployment");
+
+    const World &w0 = *worlds_[0];
+    std::vector<std::string> tiers;
+    tiers.reserve(w0.app->services().size());
+    for (const service::Microservice *svc : w0.app->services())
+        tiers.push_back(svc->name());
+
+    // Cross-shard calls address tiers by service-order index, so every
+    // shard must have built the identical graph.
+    for (unsigned i = 1; i < shards(); ++i) {
+        const auto &svcs = worlds_[i]->app->services();
+        if (svcs.size() != tiers.size())
+            fatal("partitioned shards built different graphs");
+        for (std::size_t t = 0; t < tiers.size(); ++t)
+            if (svcs[t]->name() != tiers[t])
+                fatal("partitioned shards built different graphs");
+    }
+
+    std::map<std::string, unsigned> homes;
+    std::string error;
+    if (!data::assignPlacement(tiers, w0.app->entry(), shards(), pins,
+                               homes, error))
+        fatal(error);
+
+    std::vector<service::App *> peers;
+    peers.reserve(shards());
+    for (unsigned i = 0; i < shards(); ++i)
+        peers.push_back(worlds_[i]->app.get());
+    for (unsigned i = 0; i < shards(); ++i)
+        worlds_[i]->app->enablePartition(peers, homes);
+}
+
 std::uint64_t
-ShardedWorld::shardSeed(std::uint64_t seed, unsigned shard)
+WorldHandle::shardSeed(std::uint64_t seed, unsigned shard)
 {
     return seed + shard * kSeedStride;
 }
 
 workload::LoadResult
-runShardedLoad(ShardedWorld &w, double qps, Tick warmup, Tick measure,
-               const workload::UserPopulation &users, std::uint64_t seed)
+runWorld(WorldHandle &w, const LoadSpec &spec)
 {
     const unsigned shards = w.shards();
+    const bool partitioned = w.deployment() == Deployment::Partition;
     ParallelSimulator &engine = w.engine();
 
-    // Per-shard generators: each shard is an independent replica fed
-    // its slice of the offered load with a shard-derived workload
-    // seed. Construction/start order mirrors workload::runLoad() so
-    // the one-shard call sequence (and digest) is unchanged.
+    // Replicate: per-shard generators, each shard an independent
+    // replica fed its slice of the offered load with a shard-derived
+    // workload seed. Construction/start order mirrors
+    // workload::runLoad() so the one-shard call sequence (and digest)
+    // is unchanged.
+    //
+    // Partition: one generator on shard 0 — the world's single entry
+    // point — at the full rate with the plain seed; handler work lands
+    // on whichever shard each tier calls home.
     std::vector<std::unique_ptr<workload::OpenLoopGenerator>> gens;
-    gens.reserve(shards);
-    for (unsigned i = 0; i < shards; ++i) {
+    const unsigned gen_shards = partitioned ? 1u : shards;
+    gens.reserve(gen_shards);
+    for (unsigned i = 0; i < gen_shards; ++i) {
         service::App &app = *w.shard(i).app;
         gens.push_back(std::make_unique<workload::OpenLoopGenerator>(
-            app, workload::QueryMix::fromApp(app), users,
-            ShardedWorld::shardSeed(seed, i)));
-        gens.back()->setQps(qps / shards);
+            app, workload::QueryMix::fromApp(app), spec.users,
+            partitioned ? spec.seed
+                        : WorldHandle::shardSeed(spec.seed, i)));
+        gens.back()->setQps(partitioned ? spec.qps
+                                        : spec.qps / shards);
         gens.back()->start();
     }
-    engine.runFor(warmup);
+    engine.runFor(spec.warmup);
     for (unsigned i = 0; i < shards; ++i)
         w.shard(i).app->statReset();
-    engine.runFor(measure);
+    engine.runFor(spec.measure);
     for (auto &gen : gens)
         gen->stop();
     // Bounded drain window, as in runLoad(): completions of arrivals
     // inside the window are kept; rates use the arrival window only.
-    engine.runFor(measure / 5);
-    const double span_sec = ticksToSec(measure);
+    engine.runFor(spec.measure / 5);
+    const double span_sec = ticksToSec(spec.measure);
 
-    // Aggregate the measured window across shards. With one shard
-    // every expression degenerates to runLoad()'s own.
+    // Aggregate the measured window. Replicate sums end-to-end results
+    // across all shards (with one shard every expression degenerates
+    // to runLoad()'s own); a partition completes every request on the
+    // injecting shard 0, remote per-tier work already folded back into
+    // each request, so only shard 0 carries end-to-end numbers.
+    // Utilization spans every shard's servers in both modes.
     workload::LoadResult r;
-    r.offeredQps = qps;
+    r.offeredQps = spec.qps;
     Histogram latency;
     std::uint64_t within_qos = 0;
     double util_sum = 0.0, net_sum = 0.0, comp_sum = 0.0;
-    for (unsigned i = 0; i < shards; ++i) {
+    const unsigned e2e_shards = partitioned ? 1u : shards;
+    for (unsigned i = 0; i < e2e_shards; ++i) {
         service::App &app = *w.shard(i).app;
         r.completed += app.completed();
         r.dropped += app.droppedRequests();
         within_qos += app.completedWithinQos();
         latency.merge(app.endToEndLatency());
-        util_sum += app.cluster().averageUtilization();
         const double n = static_cast<double>(app.completed());
         net_sum += app.meanNetworkTimePerRequest() * n;
         comp_sum += app.meanAppTimePerRequest() * n;
     }
+    for (unsigned i = 0; i < shards; ++i)
+        util_sum += w.shard(i).app->cluster().averageUtilization();
     r.p50 = latency.p50();
     r.p95 = latency.p95();
     r.p99 = latency.p99();
@@ -904,6 +1095,19 @@ runShardedLoad(ShardedWorld &w, double qps, Tick warmup, Tick measure,
     r.networkShare =
         (net_sum + comp_sum) > 0.0 ? net_sum / (net_sum + comp_sum) : 0.0;
     return r;
+}
+
+workload::LoadResult
+runShardedLoad(ShardedWorld &w, double qps, Tick warmup, Tick measure,
+               const workload::UserPopulation &users, std::uint64_t seed)
+{
+    LoadSpec spec;
+    spec.qps = qps;
+    spec.warmup = warmup;
+    spec.measure = measure;
+    spec.users = users;
+    spec.seed = seed;
+    return runWorld(w, spec);
 }
 
 } // namespace uqsim::apps

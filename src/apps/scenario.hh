@@ -4,16 +4,31 @@
  *
  * A Scenario is the complete declarative description of one uqsim_run
  * invocation: which app, how much hardware, the load window, the
- * client-side resilience policy, the fault schedule and the shard
- * layout. It round-trips through JSON (`--config` / `--dump-config`),
- * so a run is fully described by one file plus the binary version.
+ * client-side resilience policy, the fault schedule, the shard layout
+ * and the placement. It round-trips through JSON (`--config` /
+ * `--dump-config`), so a run is fully described by one file plus the
+ * binary version.
  *
- * ShardedWorld is the parallel deployment built from a Scenario: N
- * replica Worlds, each bound to one shard of a ParallelSimulator, with
- * shard-derived seeds. Shard 0 of an N=1 deployment is bit-identical
- * to a standalone World (same seed, same construction order), which is
- * what keeps `--shards 1` digests equal to the classic single-queue
- * path.
+ * WorldHandle is the parallel deployment built from a Scenario — one
+ * World per ParallelSimulator shard — in one of two modes:
+ *
+ * - Deployment::Replicate: N independent replica worlds with
+ *   shard-derived seeds, each serving 1/N of the load. No cross-shard
+ *   channels exist, so the engine runs with unbounded lookahead. This
+ *   scales offered throughput, not one application.
+ *
+ * - Deployment::Partition: every shard builds the identical world
+ *   from the *same* seed, each tier is pinned to one home shard by the
+ *   placement layer (data/placement.hh), and calls to a tier homed
+ *   elsewhere cross the engine mailbox. The conservative lookahead is
+ *   the inter-shard wire latency — the minimum delay any cross-shard
+ *   message experiences in the network model — which is what lets
+ *   shards advance in parallel without ever reordering a delivery.
+ *   This scales one application graph.
+ *
+ * In both modes a one-shard deployment is bit-identical to a
+ * standalone World (same seed, same construction order), which is what
+ * keeps `--shards 1` digests equal to the classic single-queue path.
  */
 
 #ifndef UQSIM_APPS_SCENARIO_HH
@@ -27,6 +42,7 @@
 #include "apps/builder.hh"
 #include "core/parallel.hh"
 #include "data/config.hh"
+#include "data/placement.hh"
 #include "fault/fault.hh"
 #include "obs/pipeline.hh"
 #include "replica/replication.hh"
@@ -67,6 +83,16 @@ struct Scenario
     // -- shard layout -----------------------------------------------
     unsigned shards = 1;
     unsigned threads = 1;
+
+    // -- placement across shards ------------------------------------
+    /**
+     * Deployment mode: "none" — the legacy default, N replica worlds
+     * exactly as before this surface existed — "replicate" (the same
+     * thing, spelled explicitly), or "partition" (one world split
+     * across shards, tiers pinned to home shards per `pins`).
+     */
+    std::string placement = "none";
+    std::vector<data::PlacementPin> pins; ///< partition mode only
 
     // -- client-side resilience ------------------------------------
     Tick rpcTimeout = 0;
@@ -191,47 +217,108 @@ WorldConfig worldConfigFor(const Scenario &s);
  */
 void buildScenarioApp(World &w, const Scenario &s);
 
+/** How a WorldHandle spreads one Scenario over engine shards. */
+enum class Deployment
+{
+    /**
+     * N independent replica worlds with shard-derived seeds, each
+     * serving 1/N of the load. No cross-shard channels, so the engine
+     * runs with unbounded lookahead. Scales offered throughput.
+     */
+    Replicate,
+
+    /**
+     * One application graph split across shards: every shard builds
+     * the identical world from the *same* seed and each tier runs
+     * only on its home shard (App::enablePartition). Cross-shard RPCs
+     * travel through SimContext::postToShard with conservative
+     * lookahead = the inter-shard wire latency. Scales one app.
+     */
+    Partition,
+};
+
 /**
- * A sharded deployment: @p shards replica Worlds, each one shard of a
- * ParallelSimulator. Shard i seeds its World with shardSeed(seed, i),
- * where shardSeed(seed, 0) == seed — so a one-shard ShardedWorld
- * reproduces the standalone World bit-for-bit. Replicas have no
- * cross-shard channels, so the engine runs with unbounded lookahead;
- * cross-shard traffic through SimContext::postToShard() requires an
- * explicit finite lookahead (see core/parallel.hh).
+ * A sharded deployment: one World per shard of a ParallelSimulator,
+ * in either Deployment mode. Replicate seeds shard i's World with
+ * shardSeed(seed, i); Partition reuses the base seed on every shard —
+ * the shards are one world, not N experiments — and bounds the engine
+ * lookahead by the net model's wire latency (unbounded at one shard,
+ * where no cross-shard message can exist). In both modes a one-shard
+ * handle reproduces the standalone World bit-for-bit.
  */
-class ShardedWorld
+class WorldHandle
 {
   public:
-    ShardedWorld(const WorldConfig &base, unsigned shards,
-                 unsigned threads);
+    WorldHandle(const WorldConfig &base, unsigned shards,
+                unsigned threads,
+                Deployment deployment = Deployment::Replicate);
 
-    ShardedWorld(const ShardedWorld &) = delete;
-    ShardedWorld &operator=(const ShardedWorld &) = delete;
+    WorldHandle(const WorldHandle &) = delete;
+    WorldHandle &operator=(const WorldHandle &) = delete;
 
     ParallelSimulator &engine() { return engine_; }
     const ParallelSimulator &engine() const { return engine_; }
 
     unsigned shards() const { return engine_.shardCount(); }
 
+    Deployment deployment() const { return deployment_; }
+
     World &shard(unsigned i) { return *worlds_[i]; }
     const World &shard(unsigned i) const { return *worlds_[i]; }
+
+    /**
+     * Partition-mode wiring, called once after every shard's app has
+     * been built: compute the tier -> home-shard map from @p pins
+     * (data::assignPlacement over shard 0's service order, strict
+     * validation) and arm every shard's App with it plus the peer
+     * vector. Fatal outside Partition mode, on invalid pins, or when
+     * the shards' graphs disagree.
+     */
+    void enablePartition(const std::vector<data::PlacementPin> &pins);
 
     /** The deterministic per-shard seed derivation (i=0 -> seed). */
     static std::uint64_t shardSeed(std::uint64_t seed, unsigned shard);
 
   private:
+    Deployment deployment_;
     ParallelSimulator engine_;
     std::vector<std::unique_ptr<World>> worlds_;
 };
 
+/** Deprecated name for WorldHandle (replica-worlds-era API). */
+using ShardedWorld = WorldHandle;
+
+/** The load window runWorld() drives a WorldHandle through. */
+struct LoadSpec
+{
+    double qps = 300.0;
+    Tick warmup = 0;
+    Tick measure = 0;
+    workload::UserPopulation users = workload::UserPopulation::uniform(1000);
+    std::uint64_t seed = 42;
+};
+
 /**
- * The sharded counterpart of workload::runLoad(): drive every shard
- * with its own open-loop generator at qps/shards (workload seed
- * shardSeed(seed, i)), then aggregate the measured window across
- * shards (histograms merged, counts summed, utilization averaged).
- * With one shard this issues the exact call sequence of runLoad(), so
- * digests and printed numbers match the classic path bit-for-bit.
+ * The unified load driver for both deployment modes.
+ *
+ * Replicate: every shard gets its own open-loop generator at
+ * qps/shards (workload seed shardSeed(seed, i)); the measured window
+ * is aggregated across shards (histograms merged, counts summed,
+ * utilization averaged). With one shard this issues the exact call
+ * sequence of workload::runLoad(), so digests and printed numbers
+ * match the classic path bit-for-bit.
+ *
+ * Partition: one generator drives shard 0's app — the world's single
+ * entry point — at the full qps with the plain seed; handler work
+ * lands on whichever shard each tier calls home. End-to-end results
+ * come from shard 0's app (the only one injecting); utilization is
+ * averaged across shards.
+ */
+workload::LoadResult runWorld(WorldHandle &w, const LoadSpec &spec);
+
+/**
+ * Deprecated shim over runWorld() (the pre-placement entry point);
+ * kept so existing call sites compile unchanged.
  */
 workload::LoadResult runShardedLoad(ShardedWorld &w, double qps,
                                     Tick warmup, Tick measure,

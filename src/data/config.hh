@@ -54,6 +54,14 @@ struct RouteHint
      * ring owner).
      */
     bool write = false;
+
+    /**
+     * Perform the cache store lookup/write on the callee's shard when
+     * the target tier lives on another shard of a partitioned world.
+     * Only the cache-tier hop of a keyed stage sets this; the database
+     * fallthrough routes by the same key but touches no store.
+     */
+    bool storeAccess = false;
 };
 
 /**

@@ -1,0 +1,53 @@
+#include "data/placement.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace uqsim::data {
+
+bool
+assignPlacement(const std::vector<std::string> &tiers,
+                const std::string &entry, unsigned shards,
+                const std::vector<PlacementPin> &pins,
+                std::map<std::string, unsigned> &homes, std::string &error)
+{
+    homes.clear();
+    if (shards == 0) {
+        error = "placement requires a positive shard count";
+        return false;
+    }
+
+    for (const PlacementPin &pin : pins) {
+        if (std::find(tiers.begin(), tiers.end(), pin.tier) == tiers.end()) {
+            error = strCat("placement pin names unknown tier '", pin.tier,
+                           "'");
+            return false;
+        }
+        if (pin.shard >= shards) {
+            error = strCat("placement pin '", pin.tier, "' targets shard ",
+                           pin.shard, " but only ", shards,
+                           " shards exist");
+            return false;
+        }
+        if (homes.count(pin.tier)) {
+            error = strCat("duplicate placement pin for tier '", pin.tier,
+                           "'");
+            return false;
+        }
+        homes[pin.tier] = pin.shard;
+    }
+
+    // The entry tier hosts the load generator's injection point, so an
+    // unpinned entry stays on shard 0 rather than drifting with the
+    // round-robin cursor as other tiers are pinned.
+    unsigned next = 0;
+    for (const std::string &tier : tiers) {
+        if (homes.count(tier))
+            continue;
+        homes[tier] = tier == entry ? 0 : next++ % shards;
+    }
+    return true;
+}
+
+} // namespace uqsim::data

@@ -58,6 +58,18 @@ Network::txQueue(unsigned server_id)
     return txQueues_[server_id];
 }
 
+std::pair<Tick, Tick>
+Network::crossShardDelay(unsigned src, Bytes size)
+{
+    const Tick now = ctx_.now();
+    TxQueue &tx = txQueue(src);
+    const Tick tx_start = std::max(now, tx.busyUntil);
+    tx.busyUntil = tx_start + serializationDelay(size, config_.linkGbps);
+    ++messages_;
+    bytes_ += size;
+    return {tx.busyUntil - now, config_.wireLatency};
+}
+
 void
 Network::send(unsigned src, unsigned dst, Bytes size, DeliverFn deliver)
 {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/distributions.hh"
@@ -157,6 +158,23 @@ class Network
      * fires at the destination when the last byte lands.
      */
     void send(unsigned src, unsigned dst, Bytes size, DeliverFn deliver);
+
+    /**
+     * Account for one leg of a cross-shard message in a partitioned
+     * world: the sender's NIC pays the usual serialization/queueing
+     * time, the wire pays `wireLatency`. Returns (queueing_tx,
+     * propagation); the caller schedules delivery on the peer shard
+     * via `SimContext::postToShard` with their sum as the delay.
+     *
+     * Unlike send() this never takes the loopback path: the same
+     * server id on two shards names two different physical machines,
+     * which is also why the engine's conservative lookahead can be
+     * exactly `wireLatency`. The drop hook is not consulted (fault
+     * schedules are rejected in partition mode), and the message is
+     * counted at send time because the receiving shard must not
+     * mutate this shard's counters.
+     */
+    std::pair<Tick, Tick> crossShardDelay(unsigned src, Bytes size);
 
     /**
      * Fault-injection drop hook, consulted per message *after* the

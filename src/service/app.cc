@@ -404,6 +404,44 @@ App::enableKeyedData(const data::DataTierConfig &config)
 }
 
 void
+App::enablePartition(std::vector<App *> peers,
+                     const std::map<std::string, unsigned> &homes)
+{
+    if (partitioned_)
+        fatal("enablePartition called twice");
+    if (replicationEnabled_)
+        fatal("enablePartition: replicated tiers cannot be partitioned");
+    if (config_.fpga.enabled)
+        fatal("enablePartition: FPGA offload is unsupported in "
+              "partition mode");
+    if (peers.size() != ctx_.shardCount())
+        fatal(strCat("enablePartition: ", peers.size(), " peer apps for ",
+                     ctx_.shardCount(), " shards"));
+    // The engine only guarantees cross-shard causality for deliveries
+    // at least one lookahead ahead; every cross-shard message here
+    // travels >= one wire latency, so that is the ceiling.
+    if (ctx_.shardCount() > 1 &&
+        ctx_.lookahead() > network_.config().wireLatency)
+        fatal("enablePartition: engine lookahead exceeds the "
+              "inter-shard wire latency");
+    for (unsigned i = 0; i < serviceOrder_.size(); ++i) {
+        Microservice *svc = serviceOrder_[i];
+        auto it = homes.find(svc->name());
+        if (it == homes.end())
+            fatal(strCat("enablePartition: no home shard for tier '",
+                         svc->name(), "'"));
+        if (it->second >= ctx_.shardCount())
+            fatal(strCat("enablePartition: tier '", svc->name(),
+                         "' pinned to shard ", it->second, " of ",
+                         ctx_.shardCount()));
+        svc->setOrderIndex(i);
+        svc->setHomeShard(it->second);
+    }
+    peerApps_ = std::move(peers);
+    partitioned_ = true;
+}
+
+void
 App::enableReplication(const replica::ReplicationConfig &config)
 {
     if (!config.enabled())
@@ -823,6 +861,19 @@ App::rpcAttempt(unsigned caller_server, Instance *caller_inst,
                 send_tcp_frac * static_cast<double>(send_busy));
             as->callerNet += send_busy;
 
+            // Partitioned deployment: a target homed on another shard
+            // is a different machine reachable only through the engine
+            // mailbox — hand the attempt to the cross-shard leg. Every
+            // path below this point (instance selection, delivery,
+            // reply) then runs on the target's home shard.
+            if (app->partitioned_ &&
+                tgt->homeShard() != app->ctx_.shard()) {
+                app->remoteAttempt(caller_server, as, *tgt, req,
+                                   parent_span, req_payload, resp_payload,
+                                   req_wire, resp_wire, attempt_no, route);
+                return;
+            }
+
             Instance *ti;
             if (route.byKey) {
                 // Keyed mode: the call is addressed to the key's
@@ -1027,6 +1078,234 @@ App::rpcAttempt(unsigned caller_server, Instance *caller_inst,
             app->settleAttempt(*as, RpcStatus::PoolTimeout);
         });
     }
+}
+
+void
+App::remoteAttempt(unsigned caller_server, std::shared_ptr<AttemptState> as,
+                   Microservice &target, RequestPtr req,
+                   trace::SpanId parent_span, Bytes req_payload,
+                   Bytes resp_payload, Bytes req_wire, Bytes resp_wire,
+                   unsigned attempt_no, const data::RouteHint &route)
+{
+    App *app = this;
+    const unsigned home = target.homeShard();
+
+    // Forward leg: the caller's NIC pays serialization/queueing here;
+    // the wire pays the inter-shard latency the engine lookahead is
+    // derived from, so the delivery delay below is always >= lookahead.
+    const std::pair<Tick, Tick> fwd =
+        network_.crossShardDelay(caller_server, req_wire);
+    req->networkTime += fwd.first;
+    req->wireTime += fwd.second;
+    as->callerNet += fwd.first;
+
+    RemoteCall call;
+    call.srcShard = ctx_.shard();
+    call.tier = target.orderIndex();
+    call.requestId = req->id;
+    call.queryType = req->queryType;
+    call.userId = req->userId;
+    call.deadline = req->deadline;
+    call.dataKey = route.key;
+    call.traceId = req->traceId;
+    call.parentSpan = parent_span;
+    call.attemptNo = attempt_no;
+    call.reqPayload = req_payload;
+    call.respPayload = resp_payload;
+    call.reqWire = req_wire;
+    call.respWire = resp_wire;
+    call.routeByKey = route.byKey;
+    call.routeIsWrite = route.write;
+    call.routeStoreAccess = route.storeAccess;
+
+    const rpc::ProtocolModel *proto = &target.def().protocol;
+
+    // Runs back on this shard when the home shard posts the delta.
+    auto reply = [app, caller_server, req, resp_payload, resp_wire, proto,
+                  as](const RemoteDelta &d) {
+        if (*as->settled)
+            return; // late reply; the caller's timeout already won
+        req->networkTime += d.networkTime + d.replyQueueing;
+        req->tcpProcTime += d.tcpProcTime;
+        req->wireTime += d.wireTime;
+        req->appTime += d.appTime;
+        req->queueTime += d.queueTime;
+        req->retries += d.retries;
+        if (d.dropped)
+            req->dropped = true;
+        as->callerNet += d.replyQueueing;
+        cpu::Server &csrv = app->cluster_.server(caller_server);
+        const Cycles recv_tcp = app->config_.tcp.recvCost(resp_wire);
+        const Cycles recv_cycles =
+            proto->deserializeCost(resp_payload) + recv_tcp;
+        const double recv_tcp_frac =
+            static_cast<double>(recv_tcp) /
+            static_cast<double>(std::max<Cycles>(1, recv_cycles));
+        const std::uint8_t remote_hit = d.remoteHit;
+        const RpcStatus status = d.status;
+        csrv.execute(recv_cycles, app->kernelIpc(csrv),
+                     [app, req, recv_tcp_frac, remote_hit, as,
+                      status](Tick recv_busy) {
+            if (*as->settled)
+                return;
+            req->networkTime += recv_busy;
+            req->tcpProcTime += static_cast<Tick>(
+                recv_tcp_frac * static_cast<double>(recv_busy));
+            as->callerNet += recv_busy;
+            // Published in the same event that settles the attempt:
+            // settleAttempt unwinds synchronously into the issuing
+            // stage's continuation, so a concurrent sibling's delta
+            // cannot overwrite the outcome before it is read.
+            if (remote_hit)
+                req->remoteHit = remote_hit;
+            app->settleAttempt(*as, status);
+        });
+    };
+
+    App *peer = peerApps_[home];
+    ctx_.postToShard(home, fwd.first + fwd.second,
+                     [peer, call, reply = std::move(reply)]() {
+        peer->serveRemote(call, reply);
+    });
+}
+
+void
+App::serveRemote(const RemoteCall &call,
+                 std::function<void(const RemoteDelta &)> done)
+{
+    App *app = this;
+    if (call.tier >= serviceOrder_.size())
+        fatal("serveRemote: tier index out of range");
+    Microservice *tgt = serviceOrder_[call.tier];
+
+    // Shard-local twin of the caller's request: identity copied,
+    // accounting zeroed — this shard accumulates its own delta and the
+    // caller merges it, so nothing is double counted.
+    auto rreq = std::make_shared<Request>();
+    rreq->id = call.requestId;
+    rreq->queryType = call.queryType;
+    rreq->userId = call.userId;
+    rreq->deadline = call.deadline;
+    rreq->dataKey = call.dataKey;
+    rreq->traceId = call.traceId;
+
+    data::RouteHint route;
+    route.key = call.dataKey;
+    route.byKey = call.routeByKey;
+    route.write = call.routeIsWrite;
+
+    // The keyed store access the issuing stage could not perform
+    // locally: done here, on the shard that owns the store, with the
+    // outcome shipped back in the delta.
+    std::uint8_t remote_hit = 0;
+    if (call.routeStoreAccess)
+        remote_hit = tgt->keyedAccess(call.dataKey, ctx_.now(),
+                                      call.routeIsWrite)
+                         ? 2
+                         : 1;
+
+    Instance *ti = nullptr;
+    RpcStatus key_status = RpcStatus::Ok;
+    if (route.byKey)
+        ti = tgt->resolveKeyInstance(route, ctx_.now(), key_status);
+    else
+        ti = &tgt->selectInstance(*rreq);
+    if (!ti) {
+        // Unservable key (downed ring owner). Partition mode rejects
+        // fault schedules so this is defensive, but reply rather than
+        // abort: the typed status travels back like any other outcome.
+        RemoteDelta d;
+        d.remoteHit = remote_hit;
+        d.status = key_status;
+        ctx_.postToShard(call.srcShard, network_.config().wireLatency,
+                         [done = std::move(done), d]() { done(d); });
+        return;
+    }
+
+    const unsigned callee_server = ti->server().id();
+    const rpc::ProtocolModel *proto = &tgt->def().protocol;
+
+    // Reply continuation: the mirror of the local path's `respond`,
+    // except the last leg is a marshalled delta through the mailbox
+    // instead of a network_.send back to the caller.
+    auto respond = [app, tgt, ti, rreq, callee_server, call, proto,
+                    remote_hit, done = std::move(done)](
+                       std::shared_ptr<HandlerCtx> ctx, RpcStatus status) {
+        const Cycles reply_tcp = app->config_.tcp.sendCost(call.respWire);
+        const Cycles reply_cycles =
+            proto->serializeCost(call.respPayload) + reply_tcp;
+        const double reply_tcp_frac =
+            static_cast<double>(reply_tcp) /
+            static_cast<double>(std::max<Cycles>(1, reply_cycles));
+        const double kipc_t = app->kernelIpc(ti->server());
+        app->chargeNetwork(tgt, static_cast<double>(reply_cycles), kipc_t);
+        ti->server().execute(reply_cycles, kipc_t,
+                             [app, ti, rreq, callee_server, call,
+                              reply_tcp_frac, remote_hit, ctx, status,
+                              done](Tick reply_busy) {
+            rreq->networkTime += reply_busy;
+            rreq->tcpProcTime += static_cast<Tick>(
+                reply_tcp_frac * static_cast<double>(reply_busy));
+            if (ctx) {
+                ctx->span.networkTime += reply_busy;
+                ctx->span.end = app->ctx_.now();
+                const Tick dur = ctx->span.duration();
+                Microservice &svc = ctx->inst->svc();
+                if (status == RpcStatus::Ok) {
+                    svc.mutableLatency().record(dur);
+                    svc.latencyWindow().record(app->ctx_.now(), dur);
+                    ++ctx->inst->served_;
+                    if (app->obsTap_)
+                        app->obsTap_->onTierLatency(svc, dur);
+                } else {
+                    ++ctx->inst->failed_;
+                }
+                if (app->config_.tracing)
+                    app->collector_.collect(ctx->span);
+            }
+            // Reply leg: this shard's NIC pays the tx queueing, the
+            // wire pays the inter-shard latency — so the post delay is
+            // always >= the engine lookahead.
+            const std::pair<Tick, Tick> rep =
+                app->network_.crossShardDelay(callee_server,
+                                              call.respWire);
+            RemoteDelta d;
+            d.networkTime = rreq->networkTime;
+            d.tcpProcTime = rreq->tcpProcTime;
+            d.wireTime = rreq->wireTime + rep.second;
+            d.appTime = rreq->appTime;
+            d.queueTime = rreq->queueTime;
+            d.replyQueueing = rep.first;
+            d.retries = rreq->retries;
+            d.remoteHit = remote_hit;
+            d.dropped = rreq->dropped;
+            d.status = status;
+            app->ctx_.postToShard(call.srcShard, rep.first + rep.second,
+                                  [done, d]() { done(d); });
+        });
+    };
+
+    // Receive-side kernel work for the marshalled message, charged to
+    // the callee exactly as on the local path.
+    const Cycles rr_tcp = config_.tcp.recvCost(call.reqWire);
+    const Cycles recv_cycles =
+        proto->deserializeCost(call.reqPayload) + rr_tcp;
+    const double rr_tcp_frac =
+        static_cast<double>(rr_tcp) /
+        static_cast<double>(std::max<Cycles>(1, recv_cycles));
+    const double kipc_t = kernelIpc(ti->server());
+    chargeNetwork(tgt, static_cast<double>(recv_cycles), kipc_t);
+    ti->server().execute(recv_cycles, kipc_t,
+                         [app, ti, rreq, call, rr_tcp_frac,
+                          respond = std::move(respond)](
+                             Tick recv_busy) mutable {
+        rreq->networkTime += recv_busy;
+        rreq->tcpProcTime += static_cast<Tick>(
+            rr_tcp_frac * static_cast<double>(recv_busy));
+        app->deliverToInstance(*ti, rreq, call.parentSpan, recv_busy,
+                               call.attemptNo, nullptr,
+                               std::move(respond));
+    });
 }
 
 void
@@ -1366,13 +1645,22 @@ App::runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
         bool hit;
         Tick quorum_delay = 0;
         data::RouteHint route;
+        // Partitioned worlds: a keyed store homed on another shard
+        // cannot be touched from here — the access rides the RPC to
+        // the home shard (route.storeAccess) and the outcome returns
+        // in req->remoteHit, counted in the continuation below.
+        bool remote_keyed = false;
         if (st.keyed && keyspace_) {
             const std::uint64_t key =
                 keyspace_->sampleKey(rng_, ctx_.now());
             ctx->req->dataKey = key;
             const bool is_write = qt.hasTag(data::kWriteTag);
             route = {key, true, is_write};
-            if (cache_tier->replicated()) {
+            remote_keyed =
+                partitioned_ && cache_tier->homeShard() != ctx_.shard();
+            if (remote_keyed) {
+                hit = false;
+            } else if (cache_tier->replicated()) {
                 if (is_write && replicationConfig_.txnEnabled()) {
                     // Multi-partition transaction: this write touches
                     // txnKeys keys; distinct groups go through 2PC.
@@ -1399,11 +1687,13 @@ App::runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
             } else {
                 hit = cache_tier->keyedAccess(key, ctx_.now(), is_write);
             }
-            if (hit) {
-                if (ctx->span.dataHits != 255)
-                    ++ctx->span.dataHits;
-            } else if (ctx->span.dataMisses != 255) {
-                ++ctx->span.dataMisses;
+            if (!remote_keyed) {
+                if (hit) {
+                    if (ctx->span.dataHits != 255)
+                        ++ctx->span.dataHits;
+                } else if (ctx->span.dataMisses != 255) {
+                    ++ctx->span.dataMisses;
+                }
             }
         } else {
             hit = rng_.bernoulli(st.hitRatio);
@@ -1411,21 +1701,41 @@ App::runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
         const Stage *stage = &st;
         auto next_shared =
             std::make_shared<std::function<void()>>(std::move(next));
+        // Only the cache-tier hop carries the store access; the db
+        // fallthrough routes by the same key but touches no store.
+        data::RouteHint cache_route = route;
+        cache_route.storeAccess = remote_keyed;
         rpcCall(server_id, ctx->inst, *cache_tier, ctx->req,
                 ctx->span.spanId, st.requestBytes, st.responseBytes,
                 st.carriesMedia,
-                [this, ctx, stage, server_id, hit, quorum_delay, route,
+                [this, ctx, stage, server_id, hit, remote_keyed,
+                 quorum_delay, route,
                  next_shared](RpcStatus status, Tick wall, Tick caller_net) {
             ctx->span.networkTime += caller_net;
             ctx->span.downstreamWait +=
                 wall > caller_net ? wall - caller_net : 0;
-            auto cont = [this, ctx, stage, server_id, hit, route,
-                         next_shared, status]() {
+            auto cont = [this, ctx, stage, server_id, hit, remote_keyed,
+                         route, next_shared, status]() {
+                bool h = hit;
+                if (remote_keyed) {
+                    // The home shard's outcome, published in the same
+                    // event that settled the attempt. A failed RPC
+                    // counts as a miss: the reply (and the outcome)
+                    // never arrived.
+                    h = status == RpcStatus::Ok &&
+                        ctx->req->remoteHit == 2;
+                    if (h) {
+                        if (ctx->span.dataHits != 255)
+                            ++ctx->span.dataHits;
+                    } else if (ctx->span.dataMisses != 255) {
+                        ++ctx->span.dataMisses;
+                    }
+                }
                 // A failed cache lookup degrades to a miss: fall
                 // through to the backing store when one exists
                 // (cache-aside pattern).
                 const bool effective_hit =
-                    hit && status == RpcStatus::Ok;
+                    h && status == RpcStatus::Ok;
                 if (effective_hit || stage->dbTarget.empty()) {
                     if (status != RpcStatus::Ok &&
                         stage->dbTarget.empty() && ctx->span.status == 0)
@@ -1465,7 +1775,7 @@ App::runStage(std::shared_ptr<HandlerCtx> ctx, std::size_t idx,
                 cont();
             }
         },
-                route);
+                cache_route);
         return;
       }
     }

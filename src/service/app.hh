@@ -99,6 +99,55 @@ class ObsTap
 };
 
 /**
+ * One RPC marshalled across shards of a partitioned world: a caller
+ * shard invoking a tier homed elsewhere. Plain values only — the two
+ * shards share no object graph, so the call carries the request's
+ * identity, payload sizes and the key route, never pointers. Every
+ * shard builds the identical service graph, so `tier` (the target's
+ * insertion-order index) resolves to the same tier everywhere.
+ */
+struct RemoteCall
+{
+    unsigned srcShard = 0;
+    unsigned tier = 0;
+    std::uint64_t requestId = 0;
+    unsigned queryType = 0;
+    std::uint64_t userId = 0;
+    Tick deadline = 0;
+    std::uint64_t dataKey = 0;
+    trace::TraceId traceId = 0;
+    trace::SpanId parentSpan = 0;
+    unsigned attemptNo = 1;
+    Bytes reqPayload = 0;
+    Bytes respPayload = 0;
+    Bytes reqWire = 0;
+    Bytes respWire = 0;
+    bool routeByKey = false;
+    bool routeIsWrite = false;
+    bool routeStoreAccess = false;
+};
+
+/**
+ * What the home shard hands back for one RemoteCall: the request
+ * accounting accumulated during remote handling (merged into the
+ * caller's shared Request on arrival), the NIC queueing of the reply
+ * leg, and the RPC outcome.
+ */
+struct RemoteDelta
+{
+    Tick networkTime = 0;
+    Tick tcpProcTime = 0;
+    Tick wireTime = 0;
+    Tick appTime = 0;
+    Tick queueTime = 0;
+    Tick replyQueueing = 0;
+    std::uint32_t retries = 0;
+    std::uint8_t remoteHit = 0;
+    bool dropped = false;
+    RpcStatus status = RpcStatus::Ok;
+};
+
+/**
  * End-to-end application: graph + runtime.
  */
 class App
@@ -250,6 +299,36 @@ class App
     {
         return replicationConfig_;
     }
+
+    // -- Partitioned deployment -------------------------------------------
+
+    /**
+     * Split this graph across the engine's shards: @p homes assigns
+     * every tier its home shard (see data::assignPlacement) and
+     * @p peers is the per-shard App vector — every shard's identical
+     * replica of the graph, index == shard. Calls targeting a tier
+     * whose home differs from this app's shard then travel through
+     * `SimContext::postToShard` as marshalled RemoteCall/RemoteDelta
+     * pairs instead of the local RPC path. Call once per shard, after
+     * the graph is built; requires a sharded engine whose lookahead is
+     * at most the network's wire latency. Strictly opt-in: without
+     * this call execution is bit-identical to the colocated runtime.
+     */
+    void enablePartition(std::vector<App *> peers,
+                         const std::map<std::string, unsigned> &homes);
+
+    /** @return true once enablePartition has been called. */
+    bool partitioned() const { return partitioned_; }
+
+    /**
+     * Serve one marshalled call on this (the target tier's home)
+     * shard: rebuild a shard-local Request, perform the keyed store
+     * access when the route asks for one, run the tier's handler, and
+     * hand the accounting delta to @p done — which posts it back to
+     * the calling shard.
+     */
+    void serveRemote(const RemoteCall &call,
+                     std::function<void(const RemoteDelta &)> done);
 
     // -- Admission control / QoS classes ----------------------------------
 
@@ -414,6 +493,19 @@ class App
                     unsigned attempt_no, RpcDone done,
                     data::RouteHint route = {});
 
+    /**
+     * Cross-shard leg of one attempt: charge the forward NIC/wire leg
+     * on the caller, marshal the call, and post it to the target
+     * tier's home shard; the home shard's serveRemote posts the delta
+     * back, where it merges into @p req and settles the attempt.
+     */
+    void remoteAttempt(unsigned caller_server,
+                       std::shared_ptr<AttemptState> as,
+                       Microservice &target, RequestPtr req,
+                       trace::SpanId parent_span, Bytes req_payload,
+                       Bytes resp_payload, Bytes req_wire, Bytes resp_wire,
+                       unsigned attempt_no, const data::RouteHint &route);
+
     /** Settle one attempt exactly once and fire its completion. */
     void settleAttempt(AttemptState &as, RpcStatus status);
 
@@ -499,6 +591,10 @@ class App
     RequestFaultHook *faultHook_ = nullptr;
     ObsTap *obsTap_ = nullptr;
     bool crashTracking_ = false;
+    /** Partitioned deployment armed (enablePartition called). */
+    bool partitioned_ = false;
+    /** Per-shard peer apps of a partitioned world (index == shard). */
+    std::vector<App *> peerApps_;
     /** Admission control armed (enableQos called). */
     bool qosEnabled_ = false;
     /** Replica groups armed (enableReplication called). */

@@ -371,6 +371,26 @@ class Microservice
     /** Count one aborted multi-partition transaction at this tier. */
     void noteTxnAbort();
 
+    // -- Partitioned deployment (opt-in; see src/data/placement.hh) ----
+
+    /**
+     * Home shard of this tier in a partitioned world. Calls from a
+     * tier with a different home cross the engine mailbox instead of
+     * the local RPC path. 0 (everything colocated) until
+     * `App::enablePartition` assigns the placement.
+     */
+    void setHomeShard(unsigned shard) { homeShard_ = shard; }
+    unsigned homeShard() const { return homeShard_; }
+
+    /**
+     * Position of this tier in the app's service insertion order —
+     * the tier's identity in cross-shard call marshalling (every
+     * shard builds the identical graph, so the index resolves to the
+     * same tier everywhere).
+     */
+    void setOrderIndex(unsigned index) { orderIndex_ = index; }
+    unsigned orderIndex() const { return orderIndex_; }
+
     /**
      * Fault injection (Fig 22a): emulate a switch-routing
      * misconfiguration that funnels all of this tier's traffic to its
@@ -426,6 +446,8 @@ class Microservice
     std::vector<std::unique_ptr<Instance>> instances_;
     std::size_t rrCursor_ = 0;
     bool misrouted_ = false;
+    unsigned homeShard_ = 0;
+    unsigned orderIndex_ = 0;
 
     /** Apply owed replica-store maintenance to @p group's model. */
     void applyReplicaMaintenance(unsigned group, Tick now);

@@ -95,6 +95,15 @@ struct Request
      */
     std::uint64_t dataKey = 0;
 
+    /**
+     * Outcome of the most recent keyed store access performed on a
+     * *remote* shard of a partitioned world: 0 = none, 1 = miss,
+     * 2 = hit. Written by the home shard's delta merge and read by the
+     * caller's cache-stage continuation; both happen inside the same
+     * atomic engine event, so the shared field cannot race.
+     */
+    std::uint8_t remoteHit = 0;
+
     /** Distributed-tracing id (0 when tracing is off). */
     trace::TraceId traceId = 0;
 

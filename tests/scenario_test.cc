@@ -286,6 +286,92 @@ TEST(ScenarioTest, ShardedWorldStructure)
     }
 }
 
+TEST(ScenarioTest, PlacementRoundTrip)
+{
+    apps::Scenario s;
+    s.placement = "partition";
+    s.shards = 4;
+    s.pins = {{"posts-db", 3}, {"nginx-lb", 0}};
+    const std::string doc = apps::scenarioToJson(s);
+
+    apps::Scenario parsed;
+    std::string error;
+    ASSERT_TRUE(apps::parseScenarioJson(doc, parsed, error)) << error;
+    EXPECT_EQ(apps::scenarioToJson(parsed), doc);
+    EXPECT_EQ(parsed.placement, "partition");
+    ASSERT_EQ(parsed.pins.size(), 2u);
+    EXPECT_EQ(parsed.pins[0].tier, "posts-db");
+    EXPECT_EQ(parsed.pins[0].shard, 3u);
+    EXPECT_EQ(parsed.pins[1].tier, "nginx-lb");
+    EXPECT_EQ(parsed.pins[1].shard, 0u);
+}
+
+TEST(ScenarioTest, RejectsBadPlacement)
+{
+    apps::Scenario s;
+    std::string error;
+
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"placement\": {\"mode\": \"sharded\"}}", s, error));
+    EXPECT_NE(error.find("unknown placement.mode"), std::string::npos);
+
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"placement\": {\"mdoe\": \"partition\"}}", s, error));
+    EXPECT_NE(error.find("unknown scenario key 'placement.mdoe'"),
+              std::string::npos);
+
+    // Pins without partition mode.
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"placement\": {\"pin\": [{\"tier\": \"a\", \"shard\": 0}]}}",
+        s, error));
+    EXPECT_NE(error.find("placement.mode 'partition'"),
+              std::string::npos);
+
+    // Pin shard out of range for the shard count.
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"shards\": 2, \"placement\": {\"mode\": \"partition\", "
+        "\"pin\": [{\"tier\": \"a\", \"shard\": 2}]}}",
+        s, error));
+    EXPECT_NE(error.find("only 2 shards exist"), std::string::npos);
+
+    // Duplicate pin.
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"shards\": 2, \"placement\": {\"mode\": \"partition\", "
+        "\"pin\": [{\"tier\": \"a\", \"shard\": 0}, "
+        "{\"tier\": \"a\", \"shard\": 1}]}}",
+        s, error));
+    EXPECT_NE(error.find("duplicate placement pin"), std::string::npos);
+
+    // Malformed pin entries.
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"shards\": 2, \"placement\": {\"mode\": \"partition\", "
+        "\"pin\": [{\"shard\": 0}]}}",
+        s, error));
+    EXPECT_NE(error.find("'tier' name"), std::string::npos);
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"placement\": {\"mode\": \"partition\", "
+        "\"pin\": [{\"tier\": \"a\", \"shardd\": 0}]}}",
+        s, error));
+    EXPECT_NE(error.find("placement.pin.shardd"), std::string::npos);
+
+    // Partition excludes replica-worlds-only features.
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"placement\": {\"mode\": \"partition\"}, \"fpga\": true}", s,
+        error));
+    EXPECT_NE(error.find("does not support fpga"), std::string::npos);
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"placement\": {\"mode\": \"partition\"}, "
+        "\"app\": \"swarm-edge\"}",
+        s, error));
+    EXPECT_FALSE(apps::parseScenarioJson(
+        "{\"placement\": {\"mode\": \"partition\"}, \"data\": "
+        "{\"keys\": 100, \"capacity\": 64}, \"replication\": "
+        "{\"factor\": 3}}",
+        s, error));
+    EXPECT_NE(error.find("does not support replication"),
+              std::string::npos);
+}
+
 TEST(ScenarioTest, CoreModelNames)
 {
     cpu::CoreModel m;

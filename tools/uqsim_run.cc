@@ -12,6 +12,7 @@
  *   uqsim_run --app swarm-edge --qps 4 --drones 24
  *   uqsim_run --app social-network --slow-servers 2 --skew 90
  *   uqsim_run --app social-network --shards 4 --threads 4
+ *   uqsim_run --app social-network --placement partition --shards 4
  *   uqsim_run --config scenario.json
  *   uqsim_run --list
  *
@@ -96,6 +97,14 @@ usage()
         "                     (default 1; load splits evenly)\n"
         "  --threads N        worker threads driving the shards\n"
         "                     (default 1; never changes results)\n"
+        "  --placement MODE   none | replicate | partition: how --shards\n"
+        "                     deploys the world (default none; replicate\n"
+        "                     is the same replica-worlds layout spelled\n"
+        "                     explicitly; partition splits ONE world\n"
+        "                     with each tier pinned to a home shard)\n"
+        "  --pin TIER=SHARD   partition: pin a tier to a home shard\n"
+        "                     (repeatable; unpinned tiers round-robin,\n"
+        "                     the entry tier defaults to shard 0)\n"
         "  --config FILE      load a scenario JSON (flags after it\n"
         "                     override; see --dump-config)\n"
         "  --dump-config      print the effective scenario JSON, exit\n"
@@ -286,7 +295,32 @@ parse(int argc, char **argv, Options &opt)
             scn.shards = numUnsigned(i);
         else if (a == "--threads")
             scn.threads = numUnsigned(i);
-        else if (a == "--config") {
+        else if (a == "--placement")
+            scn.placement = need(i);
+        else if (a == "--pin") {
+            const std::string &flag = args[i], &v = need(i);
+            const std::size_t eq = v.find('=');
+            data::PlacementPin pin;
+            bool ok = eq != std::string::npos && eq > 0;
+            if (ok) {
+                pin.tier = v.substr(0, eq);
+                const std::string num = v.substr(eq + 1);
+                try {
+                    std::size_t consumed = 0;
+                    const unsigned long shard =
+                        std::stoul(num, &consumed);
+                    ok = !num.empty() && consumed == num.size() &&
+                         num[0] != '-';
+                    pin.shard = static_cast<unsigned>(shard);
+                } catch (...) {
+                    ok = false;
+                }
+            }
+            if (!ok)
+                fatal(strCat("bad pin '", v, "' for ", flag,
+                             " (want TIER=SHARD, e.g. user-db=1)"));
+            scn.pins.push_back(std::move(pin));
+        } else if (a == "--config") {
             // Processed in flag order: flags before act as defaults
             // the file overrides, flags after override the file.
             const std::string &path = need(i);
@@ -465,6 +499,37 @@ parse(int argc, char **argv, Options &opt)
         fatal("--shards must be positive");
     if (scn.threads == 0)
         fatal("--threads must be positive");
+    if (scn.placement != "none" && scn.placement != "replicate" &&
+        scn.placement != "partition")
+        fatal(strCat("unknown --placement mode '", scn.placement,
+                     "' (want none, replicate or partition)"));
+    if (!scn.pins.empty() && scn.placement != "partition")
+        fatal("--pin needs --placement partition");
+    if (scn.placement == "partition") {
+        // Same feature matrix the scenario-JSON parser enforces.
+        if (!scn.faults.empty())
+            fatal("--placement partition does not support faults");
+        if (scn.replicaFactor >= 2)
+            fatal("--placement partition does not support replication");
+        if (scn.fpga)
+            fatal("--placement partition does not support --fpga");
+        if (!scn.lambda.empty())
+            fatal("--placement partition does not support --lambda");
+        if (scn.app.rfind("swarm-", 0) == 0)
+            fatal(strCat("--placement partition does not support app '",
+                         scn.app, "'"));
+        for (const data::PlacementPin &pin : scn.pins)
+            if (pin.shard >= scn.shards)
+                fatal(strCat("placement pin '", pin.tier,
+                             "' targets shard ", pin.shard,
+                             " but only ", scn.shards,
+                             " shards exist"));
+        for (std::size_t pi = 0; pi < scn.pins.size(); ++pi)
+            for (std::size_t pj = 0; pj < pi; ++pj)
+                if (scn.pins[pi].tier == scn.pins[pj].tier)
+                    fatal(strCat("duplicate placement pin for tier '",
+                                 scn.pins[pi].tier, "'"));
+    }
     if (scn.skew >= 100.0)
         fatal("--skew must be below 100");
     if (!scn.lambda.empty() && scn.lambda != "s3" && scn.lambda != "mem")
@@ -574,7 +639,11 @@ main(int argc, char **argv)
     const apps::Scenario &scn = opt.scn;
 
     const apps::WorldConfig config = apps::worldConfigFor(scn);
-    apps::ShardedWorld sharded(config, scn.shards, scn.threads);
+    const apps::Deployment deployment =
+        scn.placement == "partition" ? apps::Deployment::Partition
+                                     : apps::Deployment::Replicate;
+    apps::WorldHandle sharded(config, scn.shards, scn.threads,
+                              deployment);
     const unsigned nshards = sharded.shards();
 
     serverless::LambdaConfig lambda_cfg;
@@ -649,14 +718,25 @@ main(int argc, char **argv)
             std::cout << "  " << spec.describe() << "\n";
     }
 
+    // Partitioned deployment: pin every tier to its home shard now
+    // that each shard's (identical) graph exists. Dies on a pin naming
+    // an unknown tier — the one placement error flag validation alone
+    // cannot catch.
+    if (deployment == apps::Deployment::Partition)
+        sharded.enablePartition(scn.pins);
+
     service::App &app = *sharded.shard(0).app;
     const workload::UserPopulation users =
         scn.skew >= 0.0
             ? workload::UserPopulation::skewed(scn.users, scn.skew)
             : workload::UserPopulation::uniform(scn.users);
-    const auto r = apps::runShardedLoad(
-        sharded, scn.qps, secToTicks(scn.warmupSec),
-        secToTicks(scn.durationSec), users, scn.seed + 1);
+    apps::LoadSpec load;
+    load.qps = scn.qps;
+    load.warmup = secToTicks(scn.warmupSec);
+    load.measure = secToTicks(scn.durationSec);
+    load.users = users;
+    load.seed = scn.seed + 1;
+    const auto r = apps::runWorld(sharded, load);
 
     // Cross-shard sums for the summary/report sections.
     std::uint64_t failed_total = 0;
@@ -668,6 +748,9 @@ main(int argc, char **argv)
               << "x " << config.coreModel.name;
     if (nshards > 1)
         std::cout << " (" << nshards << " shards, "
+                  << (deployment == apps::Deployment::Partition
+                          ? "partitioned, "
+                          : "")
                   << sharded.engine().threads() << " threads)";
     std::cout << "\n";
     TextTable summary({"metric", "value"});
