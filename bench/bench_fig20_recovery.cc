@@ -152,7 +152,7 @@ runCacheRecovery(bool replicated)
         scn.replicaQuorum = 1; // the lone survivor can still lead
     }
 
-    apps::ShardedWorld sw(apps::worldConfigFor(scn), 1, 1);
+    apps::WorldHandle sw(apps::worldConfigFor(scn), 1, 1);
     apps::buildScenarioApp(sw.shard(0), scn);
     service::App &app = *sw.shard(0).app;
 
@@ -171,9 +171,12 @@ runCacheRecovery(bool replicated)
     manager::Monitor mon(app, simTime(0.25));
     mon.start();
 
-    apps::runShardedLoad(sw, scn.qps, 0, simTime(20.0),
-                         workload::UserPopulation::uniform(scn.users),
-                         scn.seed + 1);
+    apps::LoadSpec load;
+    load.qps = scn.qps;
+    load.measure = simTime(20.0);
+    load.users = workload::UserPopulation::uniform(scn.users);
+    load.seed = scn.seed + 1;
+    apps::runWorld(sw, load);
 
     RecoveryOutcome out;
     for (const auto &round : mon.history()) {

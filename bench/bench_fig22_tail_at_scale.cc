@@ -213,11 +213,15 @@ panelD(const std::string &out_path)
         scn.dataKeys = 100000;
         scn.dataCapacity = 1024;
         scn.dataZipfS = s;
-        apps::ShardedWorld sw(apps::worldConfigFor(scn), 1, 1);
+        apps::WorldHandle sw(apps::worldConfigFor(scn), 1, 1);
         apps::buildScenarioApp(sw.shard(0), scn);
-        const auto r = apps::runShardedLoad(
-            sw, scn.qps, simTime(1.0), simTime(4.0),
-            workload::UserPopulation::uniform(scn.users), scn.seed + 1);
+        apps::LoadSpec load;
+        load.qps = scn.qps;
+        load.warmup = simTime(1.0);
+        load.measure = simTime(4.0);
+        load.users = workload::UserPopulation::uniform(scn.users);
+        load.seed = scn.seed + 1;
+        const auto r = apps::runWorld(sw, load);
 
         // Aggregate hit ratio over every keyed tier (registry counters
         // include misses on downed shards, none here).

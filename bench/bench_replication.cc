@@ -47,12 +47,16 @@ struct RunStats
 RunStats
 runOnce(const apps::Scenario &scn)
 {
-    apps::ShardedWorld w(apps::worldConfigFor(scn), 1, 1);
+    apps::WorldHandle w(apps::worldConfigFor(scn), 1, 1);
     apps::buildScenarioApp(w.shard(0), scn);
+    apps::LoadSpec spec;
+    spec.qps = scn.qps;
+    spec.warmup = simTime(1.0);
+    spec.measure = simTime(3.0);
+    spec.users = workload::UserPopulation::uniform(scn.users);
+    spec.seed = scn.seed + 1;
     RunStats out;
-    out.load = apps::runShardedLoad(
-        w, scn.qps, simTime(1.0), simTime(3.0),
-        workload::UserPopulation::uniform(scn.users), scn.seed + 1);
+    out.load = apps::runWorld(w, spec);
     MetricsRegistry &m = w.shard(0).app->metrics();
     auto tier = [&m](const char *event) {
         return m.counter(std::string("replica.posts-memcached.") +

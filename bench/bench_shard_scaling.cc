@@ -64,17 +64,19 @@ runConfig(unsigned shards, double qps_per_shard, double duration_sec)
     scn.shards = shards;
     scn.threads = shards;
 
-    apps::ShardedWorld w(apps::worldConfigFor(scn), scn.shards,
-                         scn.threads);
+    apps::WorldHandle w(apps::worldConfigFor(scn), scn.shards,
+                        scn.threads);
     for (unsigned s = 0; s < shards; ++s)
         apps::buildScenarioApp(w.shard(s), scn);
-    const workload::UserPopulation users =
-        workload::UserPopulation::uniform(scn.users);
+    apps::LoadSpec load;
+    load.qps = scn.qps;
+    load.warmup = secToTicks(scn.warmupSec);
+    load.measure = secToTicks(scn.durationSec);
+    load.users = workload::UserPopulation::uniform(scn.users);
+    load.seed = scn.seed + 1;
 
     const auto t0 = std::chrono::steady_clock::now();
-    apps::runShardedLoad(w, scn.qps, secToTicks(scn.warmupSec),
-                         secToTicks(scn.durationSec), users,
-                         scn.seed + 1);
+    apps::runWorld(w, load);
     const auto t1 = std::chrono::steady_clock::now();
 
     Row row;

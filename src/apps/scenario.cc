@@ -8,6 +8,9 @@
 #include "apps/swarm.hh"
 #include "core/json.hh"
 #include "core/logging.hh"
+#include "fault/injector.hh"
+#include "gen/topology.hh"
+#include "serverless/platform.hh"
 #include "workload/generators.hh"
 
 namespace uqsim::apps {
@@ -16,6 +19,13 @@ namespace {
 
 /** Golden-ratio stride: distinct shard seeds from one root seed. */
 constexpr std::uint64_t kSeedStride = 0x9e3779b97f4a7c15ull;
+
+/**
+ * XORed into the workload seed to derive each arrival process's RNG
+ * stream, so arrival draws never collide with the generator's own
+ * query-mix/user draws from the same root seed.
+ */
+constexpr std::uint64_t kArrivalSeedTag = 0xa0761d6478bd642full;
 
 std::string
 ticksField(Tick t)
@@ -436,6 +446,72 @@ parseScenarioJson(const std::string &text, Scenario &out,
                     return false;
                 }
             }
+        } else if (key == "generate") {
+            if (!v.isObject()) {
+                error = "scenario key 'generate' must be an object";
+                return false;
+            }
+            for (const auto &gkv : v.object) {
+                const std::string gkey = "generate." + gkv.first;
+                const json::Value &gv = gkv.second;
+                bool gok = true;
+                if (gkv.first == "profile")
+                    gok = wantString(gv, gkey, s.genProfile);
+                else if (gkv.first == "seed")
+                    gok = wantUnsigned(gv, gkey, s.genSeed);
+                else if (gkv.first == "depth") {
+                    if ((gok = wantUnsigned(gv, gkey, u)))
+                        s.genDepth = static_cast<unsigned>(u);
+                } else if (gkv.first == "width") {
+                    if ((gok = wantUnsigned(gv, gkey, u)))
+                        s.genWidth = static_cast<unsigned>(u);
+                } else if (gkv.first == "fanout")
+                    gok = wantNumber(gv, gkey, s.genFanout);
+                else {
+                    error = strCat("unknown scenario key 'generate.",
+                                   gkv.first, "'");
+                    return false;
+                }
+                if (!gok)
+                    return false;
+            }
+        } else if (key == "arrival") {
+            if (!v.isObject()) {
+                error = "scenario key 'arrival' must be an object";
+                return false;
+            }
+            for (const auto &akv : v.object) {
+                const std::string akey = "arrival." + akv.first;
+                const json::Value &av = akv.second;
+                bool aok = true;
+                if (akv.first == "kind")
+                    aok = wantString(av, akey, s.arrival);
+                else if (akv.first == "burst")
+                    aok = wantNumber(av, akey, s.arrivalBurst);
+                else if (akv.first == "duty")
+                    aok = wantNumber(av, akey, s.arrivalDuty);
+                else if (akv.first == "dwell")
+                    aok = wantDuration(av, akey, s.arrivalDwell);
+                else if (akv.first == "period")
+                    aok = wantDuration(av, akey, s.arrivalPeriod);
+                else if (akv.first == "low")
+                    aok = wantNumber(av, akey, s.arrivalLow);
+                else if (akv.first == "flash_at")
+                    aok = wantDuration(av, akey, s.arrivalFlashAt);
+                else if (akv.first == "flash_ramp")
+                    aok = wantDuration(av, akey, s.arrivalFlashRamp);
+                else if (akv.first == "flash_mult")
+                    aok = wantNumber(av, akey, s.arrivalFlashMult);
+                else if (akv.first == "flash_hold")
+                    aok = wantDuration(av, akey, s.arrivalFlashHold);
+                else {
+                    error = strCat("unknown scenario key 'arrival.",
+                                   akv.first, "'");
+                    return false;
+                }
+                if (!aok)
+                    return false;
+            }
         } else if (key == "faults") {
             if (!v.isArray()) {
                 error = "scenario key 'faults' must be an array";
@@ -667,6 +743,63 @@ parseScenarioJson(const std::string &text, Scenario &out,
                     return false;
                 }
     }
+    if (!s.genProfile.empty() &&
+        gen::genProfileByName(s.genProfile) == nullptr) {
+        error = strCat("unknown generate.profile '", s.genProfile,
+                       "' (try --list-gen-profiles)");
+        return false;
+    }
+    if (s.genProfile.empty() &&
+        (s.genDepth != 0 || s.genWidth != 0 || s.genFanout != 0.0)) {
+        error = "generate.depth/width/fanout need generate.profile";
+        return false;
+    }
+    if (s.genDepth > 8) {
+        error = "generate.depth must be <= 8";
+        return false;
+    }
+    if (s.genWidth > 8) {
+        error = "generate.width must be <= 8";
+        return false;
+    }
+    if (s.genFanout < 0.0 || s.genFanout > 8.0) {
+        error = "generate.fanout must be in [0, 8]";
+        return false;
+    }
+    workload::ArrivalKind arrival_kind;
+    if (!workload::arrivalKindByName(s.arrival, arrival_kind)) {
+        error = strCat("unknown arrival.kind '", s.arrival,
+                       "' (want poisson, mmpp, diurnal or flash)");
+        return false;
+    }
+    if (s.arrivalBurst < 1.0) {
+        error = "arrival.burst must be >= 1";
+        return false;
+    }
+    if (s.arrivalDuty <= 0.0 || s.arrivalDuty >= 1.0) {
+        error = "arrival.duty must be in (0, 1)";
+        return false;
+    }
+    if (s.arrivalDwell == 0) {
+        error = "arrival.dwell must be positive";
+        return false;
+    }
+    if (s.arrivalPeriod == 0) {
+        error = "arrival.period must be positive";
+        return false;
+    }
+    if (s.arrivalLow <= 0.0 || s.arrivalLow > 1.0) {
+        error = "arrival.low must be in (0, 1]";
+        return false;
+    }
+    if (s.arrivalFlashMult < 1.0) {
+        error = "arrival.flash_mult must be >= 1";
+        return false;
+    }
+    if (s.arrivalFlashRamp == 0) {
+        error = "arrival.flash_ramp must be positive";
+        return false;
+    }
 
     out = std::move(s);
     return true;
@@ -757,6 +890,25 @@ scenarioToJson(const Scenario &s)
         w.endObject();
     }
     w.endArray();
+    w.endObject();
+    w.beginObject("generate");
+    w.field("profile", s.genProfile);
+    w.field("seed", s.genSeed);
+    w.field("depth", s.genDepth);
+    w.field("width", s.genWidth);
+    w.field("fanout", s.genFanout);
+    w.endObject();
+    w.beginObject("arrival");
+    w.field("kind", s.arrival);
+    w.field("burst", s.arrivalBurst);
+    w.field("duty", s.arrivalDuty);
+    w.field("dwell", ticksField(s.arrivalDwell));
+    w.field("period", ticksField(s.arrivalPeriod));
+    w.field("low", s.arrivalLow);
+    w.field("flash_at", ticksField(s.arrivalFlashAt));
+    w.field("flash_ramp", ticksField(s.arrivalFlashRamp));
+    w.field("flash_mult", s.arrivalFlashMult);
+    w.field("flash_hold", ticksField(s.arrivalFlashHold));
     w.endObject();
     w.beginArray("faults");
     for (const fault::FaultSpec &f : s.faults)
@@ -857,6 +1009,24 @@ qosConfigFor(const Scenario &s)
     return c;
 }
 
+workload::ArrivalConfig
+arrivalConfigFor(const Scenario &s)
+{
+    workload::ArrivalConfig c;
+    if (!workload::arrivalKindByName(s.arrival, c.kind))
+        fatal(strCat("unknown arrival kind '", s.arrival, "'"));
+    c.burst = s.arrivalBurst;
+    c.duty = s.arrivalDuty;
+    c.dwell = s.arrivalDwell;
+    c.period = s.arrivalPeriod;
+    c.low = s.arrivalLow;
+    c.flashAt = s.arrivalFlashAt;
+    c.flashRamp = s.arrivalFlashRamp;
+    c.flashMult = s.arrivalFlashMult;
+    c.flashHold = s.arrivalFlashHold;
+    return c;
+}
+
 obs::PipelineConfig
 obsConfigFor(const Scenario &s)
 {
@@ -902,6 +1072,29 @@ worldConfigFor(const Scenario &s)
 void
 buildScenarioApp(World &w, const Scenario &s)
 {
+    // A generate block replaces the hand-written app with a sampled
+    // topology; every opt-in layer below composes with it unchanged.
+    if (!s.genProfile.empty()) {
+        const gen::GenProfile *p = gen::genProfileByName(s.genProfile);
+        if (p == nullptr)
+            fatal(strCat("unknown gen profile '", s.genProfile,
+                         "' (try --list-gen-profiles)"));
+        gen::GenOverrides ov;
+        ov.depth = s.genDepth;
+        ov.width = s.genWidth;
+        ov.fanout = s.genFanout;
+        gen::buildGeneratedApp(w,
+                               gen::sampleTopology(*p, s.genSeed, ov));
+
+        if (s.dataKeys > 0)
+            w.app->enableKeyedData(dataTierConfigFor(s));
+        if (s.replicaFactor >= 2)
+            w.app->enableReplication(replicationConfigFor(s));
+        if (s.qosEnabled)
+            w.app->enableQos(qosConfigFor(s));
+        return;
+    }
+
     const std::string &n = s.app;
     SwarmOptions so;
     so.drones = s.drones;
@@ -1039,12 +1232,23 @@ runWorld(WorldHandle &w, const LoadSpec &spec)
     gens.reserve(gen_shards);
     for (unsigned i = 0; i < gen_shards; ++i) {
         service::App &app = *w.shard(i).app;
+        const std::uint64_t gen_seed =
+            partitioned ? spec.seed : WorldHandle::shardSeed(spec.seed, i);
+        const double gen_qps =
+            partitioned ? spec.qps : spec.qps / shards;
         gens.push_back(std::make_unique<workload::OpenLoopGenerator>(
             app, workload::QueryMix::fromApp(app), spec.users,
-            partitioned ? spec.seed
-                        : WorldHandle::shardSeed(spec.seed, i)));
-        gens.back()->setQps(partitioned ? spec.qps
-                                        : spec.qps / shards);
+            gen_seed));
+        gens.back()->setQps(gen_qps);
+        // The Poisson default attaches nothing: the generator keeps
+        // drawing gaps from its own stream, bit-identical to every
+        // pre-arrival-library run. Other processes get a disjoint
+        // stream so only the arrival instants change.
+        if (spec.arrival.kind != workload::ArrivalKind::Poisson)
+            gens.back()->setArrivalProcess(
+                workload::ArrivalProcess::make(
+                    spec.arrival, gen_qps,
+                    gen_seed ^ kArrivalSeedTag));
         gens.back()->start();
     }
     engine.runFor(spec.warmup);
@@ -1097,17 +1301,88 @@ runWorld(WorldHandle &w, const LoadSpec &spec)
     return r;
 }
 
-workload::LoadResult
-runShardedLoad(ShardedWorld &w, double qps, Tick warmup, Tick measure,
-               const workload::UserPopulation &users, std::uint64_t seed)
+ScenarioRunResult
+runScenario(const Scenario &s)
 {
-    LoadSpec spec;
-    spec.qps = qps;
-    spec.warmup = warmup;
-    spec.measure = measure;
-    spec.users = users;
-    spec.seed = seed;
-    return runWorld(w, spec);
+    const WorldConfig config = worldConfigFor(s);
+    const Deployment deployment = s.placement == "partition"
+                                      ? Deployment::Partition
+                                      : Deployment::Replicate;
+    WorldHandle sharded(config, s.shards, s.threads, deployment);
+    const unsigned nshards = sharded.shards();
+
+    serverless::LambdaConfig lambda_cfg;
+    if (!s.lambda.empty())
+        lambda_cfg.stateStore =
+            s.lambda == "s3" ? serverless::StateStoreKind::S3
+                             : serverless::StateStoreKind::RemoteMemory;
+
+    // Per-shard application order mirrors uqsim_run step for step, so
+    // a headless sweep run reproduces the CLI's digest bit-for-bit.
+    std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
+    std::vector<std::unique_ptr<obs::Pipeline>> pipelines;
+    for (unsigned i = 0; i < nshards; ++i) {
+        World &world = sharded.shard(i);
+        buildScenarioApp(world, s);
+        service::App &app = *world.app;
+
+        if (!s.lambda.empty())
+            serverless::LambdaPlatform::applyToApp(app, lambda_cfg,
+                                                   world.cluster);
+        if (s.freqMhz > 0.0)
+            world.cluster.setAllFrequenciesMhz(s.freqMhz);
+        if (s.slowServers > 0)
+            world.cluster.injectSlowServers(s.slowServers,
+                                            s.slowFactor);
+
+        if (s.rpcTimeout || s.retries || s.breaker || s.shed) {
+            for (service::Microservice *svc : app.services()) {
+                rpc::ResiliencePolicy &pol =
+                    svc->mutableDef().resilience;
+                pol.timeout = s.rpcTimeout;
+                if (s.retries) {
+                    pol.retry.maxAttempts = s.retries + 1;
+                    pol.retry.budgetRatio = s.retryBudget;
+                }
+                pol.breaker.enabled = s.breaker;
+                pol.shedQueueLength = s.shed;
+            }
+        }
+        if (s.deadline)
+            app.setRequestDeadline(s.deadline);
+
+        if (!s.faults.empty()) {
+            auto injector = std::make_unique<fault::FaultInjector>(
+                app, WorldHandle::shardSeed(s.seed, i));
+            injector->addAll(s.faults);
+            injector->arm();
+            injectors.push_back(std::move(injector));
+        }
+
+        if (auto pipe = attachObservability(world, s))
+            pipelines.push_back(std::move(pipe));
+    }
+    if (deployment == Deployment::Partition)
+        sharded.enablePartition(s.pins);
+
+    LoadSpec load;
+    load.qps = s.qps;
+    load.warmup = secToTicks(s.warmupSec);
+    load.measure = secToTicks(s.durationSec);
+    load.users =
+        s.skew >= 0.0
+            ? workload::UserPopulation::skewed(s.users, s.skew)
+            : workload::UserPopulation::uniform(s.users);
+    load.seed = s.seed + 1;
+    load.arrival = arrivalConfigFor(s);
+
+    ScenarioRunResult out;
+    out.load = runWorld(sharded, load);
+    out.digest = sharded.engine().executionDigest();
+    out.events = sharded.engine().eventsExecuted();
+    for (unsigned i = 0; i < nshards; ++i)
+        out.failed += sharded.shard(i).app->failedRequests();
+    return out;
 }
 
 } // namespace uqsim::apps

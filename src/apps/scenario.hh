@@ -47,6 +47,7 @@
 #include "obs/pipeline.hh"
 #include "replica/replication.hh"
 #include "trace/collector.hh"
+#include "workload/generators.hh"
 #include "workload/load_sweep.hh"
 #include "workload/user_population.hh"
 
@@ -148,6 +149,31 @@ struct Scenario
     double sloErrorRate = 0.0; ///< error-rate bound (0 = off)
     std::string sloTier;       ///< series under the SLO ("" = e2e)
 
+    // -- generated topology (opt-in; "" = the hand-written `app`) ---
+    /**
+     * Name of a gen::GenProfile. When non-empty, buildScenarioApp()
+     * samples a topology from (profile, genSeed) instead of building
+     * `app` — everything else (data/qos/slo/replication/placement)
+     * layers on the generated world unchanged.
+     */
+    std::string genProfile;
+    std::uint64_t genSeed = 1;
+    unsigned genDepth = 0;  ///< pin logic levels (0 = profile draw)
+    unsigned genWidth = 0;  ///< pin tiers per level (0 = profile draw)
+    double genFanout = 0.0; ///< override mean fan-out (0 = profile)
+
+    // -- arrival process (poisson = legacy byte-identical path) -----
+    std::string arrival = "poisson"; ///< poisson|mmpp|diurnal|flash
+    double arrivalBurst = 4.0;       ///< mmpp peak/base rate ratio
+    double arrivalDuty = 0.1;        ///< mmpp peak-state time fraction
+    Tick arrivalDwell = 200 * kTicksPerMs; ///< mmpp mean peak sojourn
+    Tick arrivalPeriod = 10 * kTicksPerSec; ///< diurnal "day" length
+    double arrivalLow = 0.2;         ///< diurnal night fraction
+    Tick arrivalFlashAt = 2 * kTicksPerSec;
+    Tick arrivalFlashRamp = 200 * kTicksPerMs;
+    double arrivalFlashMult = 8.0;
+    Tick arrivalFlashHold = 1 * kTicksPerSec;
+
     // -- faults & tracing -------------------------------------------
     std::vector<fault::FaultSpec> faults;
     std::size_t traceCapacity = trace::TraceStore::kDefaultCapacity;
@@ -166,6 +192,12 @@ replica::ReplicationConfig replicationConfigFor(const Scenario &s);
 /** The QosConfig a scenario's qos fields describe. */
 service::QosConfig qosConfigFor(const Scenario &s);
 
+/**
+ * The ArrivalConfig a scenario's arrival fields describe. Dies on an
+ * unknown process name (parse/CLI validation rejects those earlier).
+ */
+workload::ArrivalConfig arrivalConfigFor(const Scenario &s);
+
 /** The obs::PipelineConfig a scenario's obs/slo fields describe. */
 obs::PipelineConfig obsConfigFor(const Scenario &s);
 
@@ -174,7 +206,7 @@ obs::PipelineConfig obsConfigFor(const Scenario &s);
  * scenario enables one (obsEnabled, or any armed SLO objective).
  * @return the pipeline, or nullptr when observability is off. The
  * pipeline must outlive all driving of the world — declare it after
- * the World/ShardedWorld so it is destroyed first.
+ * the World/WorldHandle so it is destroyed first.
  */
 std::unique_ptr<obs::Pipeline> attachObservability(World &w,
                                                    const Scenario &s);
@@ -285,9 +317,6 @@ class WorldHandle
     std::vector<std::unique_ptr<World>> worlds_;
 };
 
-/** Deprecated name for WorldHandle (replica-worlds-era API). */
-using ShardedWorld = WorldHandle;
-
 /** The load window runWorld() drives a WorldHandle through. */
 struct LoadSpec
 {
@@ -296,6 +325,15 @@ struct LoadSpec
     Tick measure = 0;
     workload::UserPopulation users = workload::UserPopulation::uniform(1000);
     std::uint64_t seed = 42;
+
+    /**
+     * Arrival process driving each generator. The Poisson default
+     * attaches nothing and runs the legacy byte-identical sampler;
+     * any other kind gets its own RNG stream (derived from `seed`,
+     * disjoint from the query-mix/user draws), so switching processes
+     * never perturbs anything but the arrival instants.
+     */
+    workload::ArrivalConfig arrival;
 };
 
 /**
@@ -316,14 +354,24 @@ struct LoadSpec
  */
 workload::LoadResult runWorld(WorldHandle &w, const LoadSpec &spec);
 
+/** What one whole-scenario run produced (the sweep-harness surface). */
+struct ScenarioRunResult
+{
+    workload::LoadResult load;
+    std::uint64_t digest = 0; ///< engine execution digest
+    std::uint64_t events = 0; ///< events executed
+    std::uint64_t failed = 0; ///< failed requests across shards
+};
+
 /**
- * Deprecated shim over runWorld() (the pre-placement entry point);
- * kept so existing call sites compile unchanged.
+ * Run @p s end to end exactly as uqsim_run does — build the
+ * WorldHandle, apply lambda/frequency/slow-server/resilience knobs,
+ * arm faults, wire placement, drive the load window — and return the
+ * aggregate result. This is the headless driver uqsim_sweep maps over
+ * a corpus; uqsim_run keeps its own copy of the sequence because it
+ * also renders per-shard report sections.
  */
-workload::LoadResult runShardedLoad(ShardedWorld &w, double qps,
-                                    Tick warmup, Tick measure,
-                                    const workload::UserPopulation &users,
-                                    std::uint64_t seed);
+ScenarioRunResult runScenario(const Scenario &s);
 
 } // namespace uqsim::apps
 

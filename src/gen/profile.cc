@@ -1,0 +1,227 @@
+#include "gen/profile.hh"
+
+namespace uqsim::gen {
+
+namespace {
+
+std::vector<GenProfile>
+makeProfiles()
+{
+    std::vector<GenProfile> out;
+
+    {
+        // The densest seed graph (Table 1: 36 unique microservices):
+        // wide mid-tiers, heavy caching, parallel read fan-outs.
+        GenProfile p;
+        p.name = "social-network";
+        p.summary = "deep wide graph, heavy caching, parallel reads";
+        p.depthMin = 3;
+        p.depthMax = 4;
+        p.widthMin = 3;
+        p.widthMax = 5;
+        p.fanoutMean = 2.4;
+        p.fanoutMax = 4;
+        p.parallelProb = 0.35;
+        p.parallelWidthMax = 3;
+        p.skipProb = 0.15;
+        p.cachePairsMin = 2;
+        p.cachePairsMax = 3;
+        p.cacheProb = 0.6;
+        p.hitMin = 0.85;
+        p.hitMax = 0.98;
+        p.frontendUs = 900.0;
+        p.logicUsLo = 150.0;
+        p.logicUsHi = 1100.0;
+        p.queryTypesMin = 3;
+        p.queryTypesMax = 6;
+        p.queryZipfS = 0.9;
+        p.writeTagProb = 0.3;
+        // Deep samples carry unloaded end-to-end latencies well past
+        // 100ms; the target leaves headroom for moderate queueing.
+        p.qosLatency = 250 * kTicksPerMs;
+        out.push_back(p);
+    }
+
+    {
+        // Media streaming: fewer but heavier logic tiers (encode,
+        // serve), large-payload paths, moderate caching.
+        GenProfile p;
+        p.name = "media";
+        p.summary = "heavier logic tiers, large payloads, moderate caching";
+        p.depthMin = 3;
+        p.depthMax = 4;
+        p.widthMin = 2;
+        p.widthMax = 4;
+        p.fanoutMean = 2.0;
+        p.fanoutMax = 4;
+        p.parallelProb = 0.25;
+        p.parallelWidthMax = 3;
+        p.skipProb = 0.1;
+        p.cachePairsMin = 1;
+        p.cachePairsMax = 2;
+        p.cacheProb = 0.5;
+        p.hitMin = 0.8;
+        p.hitMax = 0.95;
+        p.frontendUs = 1000.0;
+        p.logicUsLo = 200.0;
+        p.logicUsHi = 1400.0;
+        p.queryTypesMin = 2;
+        p.queryTypesMax = 4;
+        p.queryZipfS = 0.7;
+        p.writeTagProb = 0.2;
+        p.qosLatency = 150 * kTicksPerMs;
+        out.push_back(p);
+    }
+
+    {
+        // E-commerce: the deepest synchronous chains of the suite
+        // (checkout touches everything), modest fan-out per hop.
+        GenProfile p;
+        p.name = "ecommerce";
+        p.summary = "deepest call chains, modest fan-out, mixed queries";
+        p.depthMin = 4;
+        p.depthMax = 5;
+        p.widthMin = 2;
+        p.widthMax = 3;
+        p.fanoutMean = 1.8;
+        p.fanoutMax = 3;
+        p.parallelProb = 0.2;
+        p.parallelWidthMax = 2;
+        p.skipProb = 0.1;
+        p.cachePairsMin = 1;
+        p.cachePairsMax = 2;
+        p.cacheProb = 0.45;
+        p.hitMin = 0.75;
+        p.hitMax = 0.95;
+        p.frontendUs = 850.0;
+        p.logicUsLo = 150.0;
+        p.logicUsHi = 900.0;
+        p.queryTypesMin = 3;
+        p.queryTypesMax = 5;
+        p.queryZipfS = 0.7;
+        p.writeTagProb = 0.25;
+        p.qosLatency = 150 * kTicksPerMs;
+        out.push_back(p);
+    }
+
+    {
+        // Banking: shallow graph, relational store, write-heavy mix
+        // and a relaxed latency target.
+        GenProfile p;
+        p.name = "banking";
+        p.summary = "shallow graph, mysql-backed, write-heavy";
+        p.depthMin = 2;
+        p.depthMax = 3;
+        p.widthMin = 2;
+        p.widthMax = 3;
+        p.fanoutMean = 1.6;
+        p.fanoutMax = 3;
+        p.parallelProb = 0.15;
+        p.parallelWidthMax = 2;
+        p.skipProb = 0.1;
+        p.cachePairsMin = 1;
+        p.cachePairsMax = 1;
+        p.cacheProb = 0.5;
+        p.hitMin = 0.7;
+        p.hitMax = 0.9;
+        p.dbKind = "mysql";
+        p.dbUs = 450.0;
+        p.frontendUs = 800.0;
+        p.logicUsLo = 200.0;
+        p.logicUsHi = 1000.0;
+        p.queryTypesMin = 2;
+        p.queryTypesMax = 4;
+        p.queryZipfS = 0.5;
+        p.writeTagProb = 0.45;
+        p.qosLatency = 60 * kTicksPerMs;
+        out.push_back(p);
+    }
+
+    {
+        // Swarm coordination: tiny edge-style graphs, light tiers,
+        // tight latency, wide parallel drone-style fan-outs.
+        GenProfile p;
+        p.name = "swarm";
+        p.summary = "tiny edge graph, light tiers, tight latency";
+        p.depthMin = 1;
+        p.depthMax = 2;
+        p.widthMin = 1;
+        p.widthMax = 3;
+        p.fanoutMean = 1.3;
+        p.fanoutMax = 3;
+        p.parallelProb = 0.4;
+        p.parallelWidthMax = 4;
+        p.skipProb = 0.0;
+        p.cachePairsMin = 0;
+        p.cachePairsMax = 1;
+        p.cacheProb = 0.3;
+        p.hitMin = 0.8;
+        p.hitMax = 0.95;
+        p.frontendUs = 600.0;
+        p.logicUsLo = 120.0;
+        p.logicUsHi = 600.0;
+        p.frontendThreads = 32;
+        p.logicThreads = 8;
+        p.queryTypesMin = 1;
+        p.queryTypesMax = 2;
+        p.queryZipfS = 0.3;
+        p.writeTagProb = 0.1;
+        p.qosLatency = 20 * kTicksPerMs;
+        out.push_back(p);
+    }
+
+    {
+        // Degenerate validation profile: one exponential-service tier,
+        // one query type, no skew — a generated world that must land
+        // on the closed-form M/M/1 / Erlang-C results.
+        GenProfile p;
+        p.name = "single-tier";
+        p.summary = "degenerate M/M/k tier for closed-form validation";
+        p.depthMin = 0;
+        p.depthMax = 0;
+        p.widthMin = 0;
+        p.widthMax = 0;
+        p.fanoutMean = 0.0;
+        p.fanoutMax = 0;
+        p.parallelProb = 0.0;
+        p.parallelWidthMax = 0;
+        p.skipProb = 0.0;
+        p.cachePairsMin = 0;
+        p.cachePairsMax = 0;
+        p.cacheProb = 0.0;
+        p.frontendUs = 500.0;
+        p.sigmaLo = 0.0;
+        p.sigmaHi = 0.0;
+        p.exponentialService = true;
+        p.frontendInstances = 1;
+        p.frontendThreads = 1;
+        p.queryTypesMin = 1;
+        p.queryTypesMax = 1;
+        p.queryZipfS = 0.0;
+        p.writeTagProb = 0.0;
+        p.qosLatency = 10 * kTicksPerMs;
+        out.push_back(p);
+    }
+
+    return out;
+}
+
+} // namespace
+
+const std::vector<GenProfile> &
+allGenProfiles()
+{
+    static const std::vector<GenProfile> profiles = makeProfiles();
+    return profiles;
+}
+
+const GenProfile *
+genProfileByName(const std::string &name)
+{
+    for (const GenProfile &p : allGenProfiles())
+        if (p.name == name)
+            return &p;
+    return nullptr;
+}
+
+} // namespace uqsim::gen

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Declarative topology-sampling profiles.
+ *
+ * A GenProfile is the distributional fingerprint of one microservice
+ * app family: graph depth, per-level width, call fan-out, cache/db
+ * usage, per-tier service times and query-mix skew. The shipped
+ * profiles are fit to the six seed apps in src/apps (in the spirit of
+ * Ditto's fitted dependency graphs): sampling a profile yields a fresh
+ * DAG that is statistically like its family but structurally new.
+ *
+ * The degenerate "single-tier" profile pins every distribution (one
+ * tier, exponential service, no skew) so generated worlds land exactly
+ * on the closed-form M/M/1 / Erlang-C territory the validation tier
+ * checks.
+ */
+
+#ifndef UQSIM_GEN_PROFILE_HH
+#define UQSIM_GEN_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace uqsim::gen {
+
+/**
+ * The sampling distributions for one app family. Ranges are inclusive;
+ * a min == max range pins the value.
+ */
+struct GenProfile
+{
+    std::string name;
+    std::string summary; ///< one line for --list-gen-profiles
+
+    // -- graph shape ------------------------------------------------
+    unsigned depthMin = 2;  ///< logic levels below the frontend
+    unsigned depthMax = 3;
+    unsigned widthMin = 2;  ///< logic tiers per level
+    unsigned widthMax = 4;
+    double fanoutMean = 2.0; ///< mean downstream calls per logic tier
+    unsigned fanoutMax = 4;  ///< hard cap on calls per tier
+    double parallelProb = 0.3;    ///< a call fans out concurrently
+    unsigned parallelWidthMax = 3; ///< concurrent RPCs per parallel call
+    double skipProb = 0.15;  ///< a call skips past the next level
+
+    // -- stateful tiers ---------------------------------------------
+    unsigned cachePairsMin = 1; ///< cache+db pool pairs
+    unsigned cachePairsMax = 2;
+    double cacheProb = 0.5;  ///< a logic tier reads a cache/db pair
+    double hitMin = 0.7;     ///< cache hit-ratio range
+    double hitMax = 0.98;
+    std::string dbKind = "mongo"; ///< "mongo" | "mysql"
+
+    // -- service times (microseconds on the reference core) ---------
+    double frontendUs = 900.0;
+    double logicUsLo = 150.0;
+    double logicUsHi = 1200.0;
+    double cacheUs = 55.0;
+    double dbUs = 320.0;
+    double sigmaLo = 0.3; ///< lognormal sigma range for logic tiers
+    double sigmaHi = 0.7;
+    /**
+     * Validation mode: draw service times exponentially (no lognormal
+     * tail, no clamping) so a generated single tier is an M/M/k
+     * station the closed-form tests can pin.
+     */
+    bool exponentialService = false;
+
+    // -- scale-out --------------------------------------------------
+    unsigned frontendInstances = 2;
+    unsigned instancesPerTier = 1;
+    unsigned cacheShards = 2;
+    unsigned dbShards = 2;
+    unsigned frontendThreads = 64;
+    unsigned logicThreads = 16;
+
+    // -- workload ---------------------------------------------------
+    unsigned queryTypesMin = 2;
+    unsigned queryTypesMax = 4;
+    double queryZipfS = 0.8;  ///< query-weight skew (0 = uniform)
+    double writeTagProb = 0.25; ///< a query is tagged "write"
+    Tick qosLatency = 35 * kTicksPerMs;
+};
+
+/** The shipped profiles, fit to the six seed app families. */
+const std::vector<GenProfile> &allGenProfiles();
+
+/** Look up a profile by name; @return null if unknown. */
+const GenProfile *genProfileByName(const std::string &name);
+
+} // namespace uqsim::gen
+
+#endif // UQSIM_GEN_PROFILE_HH

@@ -1,0 +1,330 @@
+#include "gen/topology.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/builder.hh"
+#include "apps/profiles.hh"
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "data/config.hh"
+#include "service/app.hh"
+
+namespace uqsim::gen {
+
+namespace {
+
+/** Inclusive uniform integer draw over [lo, hi]. */
+unsigned
+uniformRange(Rng &rng, unsigned lo, unsigned hi)
+{
+    if (hi <= lo)
+        return lo;
+    return lo + static_cast<unsigned>(rng.uniformInt(hi - lo + 1));
+}
+
+/**
+ * Truncated-geometric call count with the profile's mean: start at 1
+ * and keep adding with the continuation probability that gives the
+ * untruncated distribution mean @p mean.
+ */
+unsigned
+sampleCallCount(Rng &rng, double mean, unsigned cap)
+{
+    if (cap == 0 || mean <= 0.0)
+        return 0;
+    const double p = mean <= 1.0 ? 0.0 : 1.0 - 1.0 / mean;
+    unsigned k = 1;
+    while (k < cap && rng.bernoulli(p))
+        ++k;
+    return k;
+}
+
+} // namespace
+
+unsigned
+Topology::edges() const
+{
+    unsigned n = 0;
+    for (const GenTier &t : tiers) {
+        n += static_cast<unsigned>(t.calls.size());
+        n += 2 * static_cast<unsigned>(t.caches.size());
+    }
+    return n;
+}
+
+Topology
+sampleTopology(const GenProfile &profile, std::uint64_t seed,
+               const GenOverrides &overrides)
+{
+    Rng rng(seed);
+    Topology t;
+    t.profile = profile.name;
+    t.seed = seed;
+    t.qosLatency = profile.qosLatency;
+
+    // -- shape draws (fixed order: depth, widths, cache pairs) ------
+    t.depth = overrides.depth > 0
+                  ? overrides.depth
+                  : uniformRange(rng, profile.depthMin, profile.depthMax);
+    std::vector<unsigned> width(t.depth + 1, 0);
+    for (unsigned level = 1; level <= t.depth; ++level)
+        width[level] =
+            overrides.width > 0
+                ? overrides.width
+                : std::max(1u, uniformRange(rng, profile.widthMin,
+                                            profile.widthMax));
+    const unsigned cache_pairs =
+        uniformRange(rng, profile.cachePairsMin, profile.cachePairsMax);
+    const double fanout_mean = overrides.fanout > 0.0
+                                   ? overrides.fanout
+                                   : profile.fanoutMean;
+
+    // -- tier skeleton: frontend, logic by level, caches, dbs -------
+    std::vector<std::vector<unsigned>> by_level(t.depth + 1);
+    {
+        GenTier fe;
+        fe.name = "gen-fe";
+        fe.role = GenRole::Frontend;
+        fe.level = 0;
+        fe.serviceUs = profile.frontendUs;
+        fe.sigma = profile.sigmaLo;
+        fe.exponential = profile.exponentialService;
+        fe.instances = std::max(1u, profile.frontendInstances);
+        fe.threads = std::max(1u, profile.frontendThreads);
+        by_level[0].push_back(static_cast<unsigned>(t.tiers.size()));
+        t.tiers.push_back(std::move(fe));
+    }
+    for (unsigned level = 1; level <= t.depth; ++level) {
+        for (unsigned i = 0; i < width[level]; ++i) {
+            GenTier tier;
+            tier.name = strCat("gen-l", level, "-", i);
+            tier.role = GenRole::Logic;
+            tier.level = level;
+            tier.serviceUs =
+                rng.uniform(profile.logicUsLo, profile.logicUsHi);
+            tier.sigma = rng.uniform(profile.sigmaLo, profile.sigmaHi);
+            tier.exponential = profile.exponentialService;
+            tier.instances = std::max(1u, profile.instancesPerTier);
+            tier.threads = std::max(1u, profile.logicThreads);
+            by_level[level].push_back(
+                static_cast<unsigned>(t.tiers.size()));
+            t.tiers.push_back(std::move(tier));
+        }
+    }
+    std::vector<unsigned> cache_idx, db_idx;
+    for (unsigned j = 0; j < cache_pairs; ++j) {
+        GenTier c;
+        c.name = strCat("gen-cache", j);
+        c.role = GenRole::Cache;
+        c.level = t.depth + 1;
+        c.serviceUs = profile.cacheUs;
+        c.instances = std::max(1u, profile.cacheShards);
+        c.threads = 32;
+        cache_idx.push_back(static_cast<unsigned>(t.tiers.size()));
+        t.tiers.push_back(std::move(c));
+    }
+    for (unsigned j = 0; j < cache_pairs; ++j) {
+        GenTier d;
+        d.name = strCat("gen-db", j);
+        d.role = GenRole::Db;
+        d.level = t.depth + 1;
+        d.serviceUs = profile.dbUs;
+        d.instances = std::max(1u, profile.dbShards);
+        d.threads = 32;
+        db_idx.push_back(static_cast<unsigned>(t.tiers.size()));
+        t.tiers.push_back(std::move(d));
+    }
+
+    // -- call edges -------------------------------------------------
+    // The frontend orchestrates: it calls every first-level tier, like
+    // the seed apps' entry tiers fanning out over their mid-tiers.
+    if (t.depth >= 1)
+        for (unsigned idx : by_level[1])
+            t.tiers[0].calls.push_back({idx, 1, false});
+
+    // Logic tiers call strictly deeper levels: acyclic by construction.
+    for (unsigned level = 1; level < t.depth; ++level) {
+        for (unsigned u : by_level[level]) {
+            const unsigned k =
+                sampleCallCount(rng, fanout_mean, profile.fanoutMax);
+            for (unsigned c = 0; c < k; ++c) {
+                unsigned target_level = level + 1;
+                if (target_level < t.depth &&
+                    rng.bernoulli(profile.skipProb))
+                    target_level =
+                        uniformRange(rng, target_level + 1, t.depth);
+                const auto &pool = by_level[target_level];
+                const unsigned v = pool[static_cast<unsigned>(
+                    rng.uniformInt(pool.size()))];
+                GenCall call;
+                call.target = v;
+                if (profile.parallelWidthMax >= 2 &&
+                    rng.bernoulli(profile.parallelProb)) {
+                    call.parallel = true;
+                    call.fanout = uniformRange(rng, 2,
+                                               profile.parallelWidthMax);
+                }
+                t.tiers[u].calls.push_back(call);
+            }
+        }
+    }
+
+    // Connectivity fix-up: any tier below level 1 that no sampled edge
+    // reached gets one caller from the level above (deterministic
+    // order: level ascending, index ascending).
+    std::vector<bool> reached(t.tiers.size(), false);
+    for (const GenTier &tier : t.tiers)
+        for (const GenCall &c : tier.calls)
+            reached[c.target] = true;
+    for (unsigned level = 2; level <= t.depth; ++level) {
+        for (unsigned v : by_level[level]) {
+            if (reached[v])
+                continue;
+            const auto &pool = by_level[level - 1];
+            const unsigned u = pool[static_cast<unsigned>(
+                rng.uniformInt(pool.size()))];
+            t.tiers[u].calls.push_back({v, 1, false});
+            reached[v] = true;
+        }
+    }
+
+    // -- cache/db accesses ------------------------------------------
+    if (cache_pairs > 0) {
+        for (unsigned level = 1; level <= t.depth; ++level) {
+            for (unsigned u : by_level[level]) {
+                if (!rng.bernoulli(profile.cacheProb))
+                    continue;
+                const unsigned j = static_cast<unsigned>(
+                    rng.uniformInt(cache_pairs));
+                GenCacheRef ref;
+                ref.cacheTier = cache_idx[j];
+                ref.dbTier = db_idx[j];
+                ref.hitRatio =
+                    rng.uniform(profile.hitMin, profile.hitMax);
+                t.tiers[u].caches.push_back(ref);
+            }
+        }
+        // A graph whose profile caches must cache somewhere: if no
+        // tier drew an access, the frontend reads pair 0 (keeps the
+        // data/replication blocks meaningful on every sample).
+        bool any = false;
+        for (const GenTier &tier : t.tiers)
+            any = any || !tier.caches.empty();
+        if (!any) {
+            GenCacheRef ref;
+            ref.cacheTier = cache_idx[0];
+            ref.dbTier = db_idx[0];
+            ref.hitRatio = rng.uniform(profile.hitMin, profile.hitMax);
+            t.tiers[0].caches.push_back(ref);
+        }
+    }
+
+    // -- query mix --------------------------------------------------
+    const unsigned nq = std::max(
+        1u,
+        uniformRange(rng, profile.queryTypesMin, profile.queryTypesMax));
+    for (unsigned i = 0; i < nq; ++i) {
+        GenQuery q;
+        q.name = strCat("q", i);
+        q.weight = 1.0 / std::pow(static_cast<double>(i + 1),
+                                  profile.queryZipfS);
+        q.computeScale = rng.uniform(0.8, 1.4);
+        q.write = rng.bernoulli(profile.writeTagProb);
+        t.queries.push_back(std::move(q));
+    }
+
+    return t;
+}
+
+void
+buildGeneratedApp(apps::World &w, const Topology &t)
+{
+    using service::ServiceDef;
+    using service::ServiceKind;
+
+    auto compute_dist = [](const GenTier &tier) {
+        // 1440 cycles per microsecond of work on the reference core
+        // (apps::computeUs); exponential mode feeds the closed-form
+        // M/M/k validation and must not clamp the tail away.
+        return tier.exponential
+                   ? Dist::exponential(tier.serviceUs * 1440.0)
+                         .clampedMin(1.0)
+                   : apps::computeUs(tier.serviceUs, tier.sigma);
+    };
+
+    for (const GenTier &tier : t.tiers) {
+        if (tier.role == GenRole::Cache) {
+            apps::addCacheTier(w, tier.name, tier.instances,
+                               tier.serviceUs);
+            continue;
+        }
+        if (tier.role == GenRole::Db) {
+            const GenProfile *p = genProfileByName(t.profile);
+            if (p && p->dbKind == "mysql")
+                apps::addMysqlTier(w, tier.name, tier.instances,
+                                   tier.serviceUs);
+            else
+                apps::addMongoTier(w, tier.name, tier.instances,
+                                   tier.serviceUs);
+            continue;
+        }
+
+        ServiceDef def;
+        def.name = tier.name;
+        def.kind = tier.role == GenRole::Frontend
+                       ? ServiceKind::Frontend
+                       : ServiceKind::Stateless;
+        def.profile = tier.role == GenRole::Frontend
+                          ? apps::nginxProfile(tier.name)
+                          : apps::cppMicroProfile(tier.name);
+        if (tier.role == GenRole::Frontend)
+            def.protocol = rpc::ProtocolModel::restHttp1();
+        def.threadsPerInstance = tier.threads;
+        def.handler.compute(compute_dist(tier));
+        for (const GenCacheRef &ref : tier.caches)
+            def.handler.cache(t.tiers[ref.cacheTier].name,
+                              t.tiers[ref.dbTier].name, ref.hitRatio);
+        for (const GenCall &call : tier.calls) {
+            if (call.parallel)
+                def.handler.parallelCall(t.tiers[call.target].name,
+                                         call.fanout);
+            else
+                def.handler.call(t.tiers[call.target].name,
+                                 call.fanout);
+        }
+        apps::addLogicTier(w, std::move(def), tier.instances);
+    }
+
+    for (const GenQuery &q : t.queries) {
+        std::vector<std::string> tags;
+        if (q.write)
+            tags.push_back(data::kWriteTag);
+        w.app->addQueryType(
+            {q.name, q.weight, q.computeScale, 0, std::move(tags)});
+    }
+    w.app->setEntry(t.tiers[0].name);
+    w.app->setQosLatency(t.qosLatency);
+    w.app->validate();
+}
+
+std::string
+topologySummary(const Topology &t)
+{
+    unsigned logic = 0, caches = 0, dbs = 0;
+    for (const GenTier &tier : t.tiers) {
+        if (tier.role == GenRole::Logic)
+            ++logic;
+        else if (tier.role == GenRole::Cache)
+            ++caches;
+        else if (tier.role == GenRole::Db)
+            ++dbs;
+    }
+    return strCat("profile=", t.profile, " seed=", t.seed, ": ",
+                  t.tiers.size(), " tiers (1 frontend, ", logic,
+                  " logic over ", t.depth, " levels, ", caches,
+                  " caches, ", dbs, " dbs), ", t.edges(), " edges, ",
+                  t.queries.size(), " query types");
+}
+
+} // namespace uqsim::gen

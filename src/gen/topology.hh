@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Topology sampling: profile + seed -> a concrete microservice DAG.
+ *
+ * sampleTopology() draws a dependency graph from a GenProfile with a
+ * private Rng, in one fixed draw order, so the same (profile, seed,
+ * overrides) triple yields the identical Topology on every platform —
+ * the property that lets a generated scenario file pin nothing but the
+ * seed and still be bit-reproducible.
+ *
+ * The sampled graph is acyclic by construction (calls only ever target
+ * strictly deeper levels; stateful tiers have no outgoing edges) and
+ * connected by construction (the frontend calls every first-level
+ * tier; deeper tiers that no sampled edge reached get one fix-up
+ * caller from the level above).
+ *
+ * buildGeneratedApp() lowers a Topology into an ordinary World/App
+ * using the same tier-building helpers as the hand-written seed apps,
+ * so every opt-in subsystem (keyed data, replication, QoS, telemetry,
+ * placement) composes with generated worlds unchanged.
+ */
+
+#ifndef UQSIM_GEN_TOPOLOGY_HH
+#define UQSIM_GEN_TOPOLOGY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+#include "gen/profile.hh"
+
+namespace uqsim::apps {
+class World;
+}
+
+namespace uqsim::gen {
+
+/** One downstream RPC edge of a sampled handler. */
+struct GenCall
+{
+    unsigned target = 0;   ///< index into Topology::tiers
+    unsigned fanout = 1;   ///< RPCs issued by this stage
+    bool parallel = false; ///< issue the fan-out concurrently
+};
+
+/** One cache-with-database-fallback access of a sampled handler. */
+struct GenCacheRef
+{
+    unsigned cacheTier = 0; ///< index into Topology::tiers
+    unsigned dbTier = 0;    ///< index into Topology::tiers
+    double hitRatio = 0.95;
+};
+
+/** Structural role of a sampled tier. */
+enum class GenRole
+{
+    Frontend,
+    Logic,
+    Cache,
+    Db,
+};
+
+/** One sampled microservice tier. */
+struct GenTier
+{
+    std::string name;
+    GenRole role = GenRole::Logic;
+    unsigned level = 0; ///< 0 = frontend; stateful tiers: depth + 1
+    double serviceUs = 0.0;
+    double sigma = 0.5;        ///< lognormal sigma (ignored if exponential)
+    bool exponential = false;  ///< exponential service (validation mode)
+    unsigned instances = 1;    ///< instances (stateless) / shards (stateful)
+    unsigned threads = 16;
+    std::vector<GenCall> calls;      ///< logic/frontend tiers only
+    std::vector<GenCacheRef> caches; ///< logic/frontend tiers only
+};
+
+/** One sampled query type. */
+struct GenQuery
+{
+    std::string name;
+    double weight = 1.0;
+    double computeScale = 1.0;
+    bool write = false; ///< tagged "write" (keyed-data/txn stages)
+};
+
+/**
+ * A complete sampled application graph. Tier order is deterministic:
+ * frontend, logic levels ascending (index ascending within a level),
+ * caches, then databases.
+ */
+struct Topology
+{
+    std::string profile;
+    std::uint64_t seed = 0;
+    unsigned depth = 0; ///< logic levels below the frontend
+    std::vector<GenTier> tiers;
+    std::vector<GenQuery> queries;
+    Tick qosLatency = 0;
+
+    /** Total sampled RPC edges (cache/db fallback pairs count 2). */
+    unsigned edges() const;
+};
+
+/**
+ * Optional per-scenario overrides of a profile's shape draws
+ * (the --gen-depth/--gen-width/--gen-fanout flags). 0 keeps the
+ * profile's own distribution.
+ */
+struct GenOverrides
+{
+    unsigned depth = 0;  ///< pin the number of logic levels
+    unsigned width = 0;  ///< pin tiers per level
+    double fanout = 0.0; ///< override the mean call fan-out
+};
+
+/** Sample a topology; deterministic in (profile, seed, overrides). */
+Topology sampleTopology(const GenProfile &profile, std::uint64_t seed,
+                        const GenOverrides &overrides = {});
+
+/**
+ * Lower @p t into @p w's App: add every tier, wire handlers, register
+ * query types, set the entry/QoS latency and validate. The app is
+ * ready for any load driver afterwards.
+ */
+void buildGeneratedApp(apps::World &w, const Topology &t);
+
+/** One-line human summary ("14 tiers over 3 levels, 17 edges, ..."). */
+std::string topologySummary(const Topology &t);
+
+} // namespace uqsim::gen
+
+#endif // UQSIM_GEN_TOPOLOGY_HH

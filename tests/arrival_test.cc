@@ -1,0 +1,434 @@
+/**
+ * @file
+ * Statistical and structural validation of the arrival-process
+ * library (workload/generators.hh).
+ *
+ * The processes are validated against closed forms, not against
+ * golden numbers: Poisson gaps must pass an exponential chi-square
+ * test, MMPP(2) must reproduce its solved base/peak rates and its
+ * analytic index of dispersion of counts, the diurnal shape must keep
+ * the configured long-run mean rate, and a flash crowd must elevate
+ * arrivals exactly over its window. A final test drives an M/M/k
+ * station from an ArrivalProcess and pins the sojourn time to the
+ * Erlang-C prediction, tying the library into the same closed-form
+ * chain the core validation tier uses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/rng.hh"
+#include "core/simulator.hh"
+#include "core/types.hh"
+#include "workload/generators.hh"
+
+namespace uqsim {
+namespace {
+
+using workload::ArrivalConfig;
+using workload::ArrivalKind;
+using workload::ArrivalProcess;
+using workload::MmppProcess;
+using workload::PoissonProcess;
+
+/** Draw @p n consecutive gaps, advancing absolute time. */
+std::vector<Tick>
+drawGaps(ArrivalProcess &p, std::size_t n)
+{
+    std::vector<Tick> gaps;
+    gaps.reserve(n);
+    Tick now = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Tick g = p.nextGap(now);
+        gaps.push_back(g);
+        now += g;
+    }
+    return gaps;
+}
+
+/**
+ * Chi-square statistic of @p gaps against Exponential(@p meanTicks),
+ * using @p bins equal-probability bins (expected count n/bins each).
+ * Degrees of freedom: bins - 1 (the mean is the nominal rate, not
+ * fitted from the sample, so no parameter is lost).
+ */
+double
+chiSquareExponential(const std::vector<Tick> &gaps, double meanTicks,
+                     unsigned bins)
+{
+    // Upper boundary of bin j (0-based): -mean * ln(1 - (j+1)/bins).
+    std::vector<double> bounds;
+    for (unsigned j = 0; j + 1 < bins; ++j)
+        bounds.push_back(
+            -meanTicks *
+            std::log(1.0 - static_cast<double>(j + 1) /
+                               static_cast<double>(bins)));
+    std::vector<double> counts(bins, 0.0);
+    for (const Tick g : gaps) {
+        const double x = static_cast<double>(g);
+        unsigned j = 0;
+        while (j < bounds.size() && x > bounds[j])
+            ++j;
+        counts[j] += 1.0;
+    }
+    const double expected =
+        static_cast<double>(gaps.size()) / static_cast<double>(bins);
+    double chi2 = 0.0;
+    for (const double c : counts)
+        chi2 += (c - expected) * (c - expected) / expected;
+    return chi2;
+}
+
+// Chi-square(df=19) upper 0.001 quantile is 43.82; a fixed seed makes
+// each run deterministic, so a small margin only guards the seeds we
+// actually draw.
+constexpr unsigned kBins = 20;
+constexpr double kChi2Bound = 45.0;
+constexpr std::uint64_t kSeeds[] = {9001, 9002, 9003};
+
+TEST(ArrivalProcessTest, PoissonGapsAreExponential)
+{
+    const double qps = 1000.0;
+    const double mean = static_cast<double>(kTicksPerSec) / qps;
+    for (const std::uint64_t seed : kSeeds) {
+        PoissonProcess p(qps, seed);
+        const std::vector<Tick> gaps = drawGaps(p, 20000);
+        EXPECT_LT(chiSquareExponential(gaps, mean, kBins), kChi2Bound)
+            << "seed=" << seed;
+    }
+}
+
+TEST(ArrivalProcessTest, MmppWithBurstOneIsPoisson)
+{
+    const double qps = 1000.0;
+    const double mean = static_cast<double>(kTicksPerSec) / qps;
+    for (const std::uint64_t seed : kSeeds) {
+        MmppProcess p(qps, 1.0, 0.1, 200 * kTicksPerMs, seed);
+        EXPECT_DOUBLE_EQ(p.lowRate(), p.highRate());
+        EXPECT_NEAR(p.idc(), 1.0, 1e-9);
+        const std::vector<Tick> gaps = drawGaps(p, 20000);
+        EXPECT_LT(chiSquareExponential(gaps, mean, kBins), kChi2Bound)
+            << "seed=" << seed;
+    }
+}
+
+TEST(ArrivalProcessTest, MmppRatesSolveTheStationaryMean)
+{
+    // lambda_low = qps / (1 - duty + duty * burst), lambda_high =
+    // burst * lambda_low; the duty-weighted mix must be exactly qps.
+    MmppProcess p(1000.0, 4.0, 0.25, 50 * kTicksPerMs, 1);
+    EXPECT_NEAR(p.lowRate(), 1000.0 / 1.75, 1e-9);
+    EXPECT_NEAR(p.highRate(), 4.0 * 1000.0 / 1.75, 1e-9);
+    EXPECT_NEAR(0.75 * p.lowRate() + 0.25 * p.highRate(), 1000.0,
+                1e-9);
+    EXPECT_DOUBLE_EQ(p.meanRate(), 1000.0);
+
+    // And the realized long-run rate must land on it.
+    const std::size_t n = 200000;
+    std::vector<Tick> gaps = drawGaps(p, n);
+    double span = 0.0;
+    for (const Tick g : gaps)
+        span += static_cast<double>(g);
+    const double rate =
+        static_cast<double>(n) / (span / static_cast<double>(kTicksPerSec));
+    EXPECT_NEAR(rate, 1000.0, 0.03 * 1000.0);
+}
+
+TEST(ArrivalProcessTest, MmppWindowCountsMatchAnalyticIdc)
+{
+    // Symmetric chain (duty 0.5, dwell 20ms in both states) counted
+    // over 500ms windows: theta*t = 50, so the finite-window IDC
+    //   IDC(t) = IDC - (IDC - 1) * (1 - e^{-theta t}) / (theta t)
+    // sits within 2% of the asymptote the process reports.
+    const double qps = 2000.0;
+    MmppProcess p(qps, 4.0, 0.5, 20 * kTicksPerMs, 9007);
+    const double idc = p.idc();
+    EXPECT_GT(idc, 5.0); // genuinely bursty configuration
+
+    const Tick window = 500 * kTicksPerMs;
+    const unsigned windows = 2000;
+    std::vector<double> counts(windows, 0.0);
+    Tick now = 0;
+    while (true) {
+        now += p.nextGap(now);
+        const std::uint64_t w = now / window;
+        if (w >= windows)
+            break;
+        counts[w] += 1.0;
+    }
+    double mean = 0.0;
+    for (const double c : counts)
+        mean += c;
+    mean /= windows;
+    double var = 0.0;
+    for (const double c : counts)
+        var += (c - mean) * (c - mean);
+    var /= windows - 1;
+    EXPECT_NEAR(var / mean, idc, 0.15 * idc);
+
+    // The window-count mean recovers the stationary rate too.
+    EXPECT_NEAR(mean, qps * ticksToSec(window), 0.05 * qps * ticksToSec(window));
+}
+
+TEST(ArrivalProcessTest, DiurnalKeepsTheConfiguredMeanRate)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Diurnal;
+    cfg.period = 1 * kTicksPerSec;
+    cfg.low = 0.2;
+    const double qps = 500.0;
+    auto p = ArrivalProcess::make(cfg, qps, 9100);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->kind(), ArrivalKind::Diurnal);
+    // The shape is normalized by its own mean multiplier, so the
+    // reported long-run rate is exactly qps...
+    EXPECT_NEAR(p->meanRate(), qps, 1e-6);
+    // ...and the realized rate over many whole periods matches.
+    const Tick horizon = 200 * cfg.period;
+    std::uint64_t n = 0;
+    Tick now = 0;
+    while (true) {
+        now += p->nextGap(now);
+        if (now >= horizon)
+            break;
+        ++n;
+    }
+    const double rate = static_cast<double>(n) / ticksToSec(horizon);
+    EXPECT_NEAR(rate, qps, 0.025 * qps);
+}
+
+TEST(ArrivalProcessTest, FlashMultiplierIsPiecewise)
+{
+    const Tick at = 2 * kTicksPerSec;
+    const Tick ramp = 200 * kTicksPerMs;
+    const Tick hold = 1 * kTicksPerSec;
+    const double mult = 8.0;
+    auto f = [&](Tick t) {
+        return workload::flashMultiplierAt(t, at, ramp, mult, hold);
+    };
+    EXPECT_DOUBLE_EQ(f(0), 1.0);
+    EXPECT_DOUBLE_EQ(f(at - 1), 1.0);
+    EXPECT_NEAR(f(at + ramp / 2), (1.0 + mult) / 2.0, 0.05);
+    EXPECT_NEAR(f(at + ramp), mult, 1e-9);
+    EXPECT_NEAR(f(at + ramp + hold / 2), mult, 1e-9); // plateau
+    // Exponential decay with time constant `ramp`: monotone toward 1.
+    const Tick decay0 = at + ramp + hold;
+    double prev = f(decay0);
+    for (unsigned i = 1; i <= 5; ++i) {
+        const double cur = f(decay0 + i * ramp);
+        EXPECT_LT(cur, prev);
+        prev = cur;
+    }
+    EXPECT_LT(f(decay0 + 5 * ramp), 1.0 + 0.05 * (mult - 1.0));
+}
+
+TEST(ArrivalProcessTest, FlashCrowdElevatesItsWindow)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Flash;
+    cfg.flashAt = 2 * kTicksPerSec;
+    cfg.flashRamp = 200 * kTicksPerMs;
+    cfg.flashMult = 8.0;
+    cfg.flashHold = 1 * kTicksPerSec;
+    const double qps = 200.0;
+    auto p = ArrivalProcess::make(cfg, qps, 9200);
+    ASSERT_NE(p, nullptr);
+    std::uint64_t before = 0, plateau = 0;
+    Tick now = 0;
+    while (now < 4 * kTicksPerSec) {
+        now += p->nextGap(now);
+        if (now >= kTicksPerSec / 2 && now < kTicksPerSec + kTicksPerSec / 2)
+            ++before; // 1s baseline window well before the crowd
+        else if (now >= 2200 * kTicksPerMs && now < 3200 * kTicksPerMs)
+            ++plateau; // the 1s plateau at full multiplier
+    }
+    // Baseline ~200 arrivals, plateau ~1600; demand a 5x elevation to
+    // stay far from both tails.
+    EXPECT_GT(before, 120u);
+    EXPECT_LT(before, 300u);
+    EXPECT_GT(plateau, 5 * before);
+}
+
+TEST(ArrivalProcessTest, SameSeedSameGapsDifferentSeedDiffers)
+{
+    for (const ArrivalKind kind :
+         {ArrivalKind::Poisson, ArrivalKind::Mmpp, ArrivalKind::Diurnal,
+          ArrivalKind::Flash}) {
+        ArrivalConfig cfg;
+        cfg.kind = kind;
+        auto a = ArrivalProcess::make(cfg, 500.0, 77);
+        auto b = ArrivalProcess::make(cfg, 500.0, 77);
+        auto c = ArrivalProcess::make(cfg, 500.0, 78);
+        ASSERT_NE(a, nullptr);
+        EXPECT_EQ(a->kind(), kind);
+        const std::vector<Tick> ga = drawGaps(*a, 500);
+        const std::vector<Tick> gb = drawGaps(*b, 500);
+        const std::vector<Tick> gc = drawGaps(*c, 500);
+        EXPECT_EQ(ga, gb) << arrivalKindName(kind);
+        EXPECT_NE(ga, gc) << arrivalKindName(kind);
+    }
+}
+
+TEST(ArrivalProcessTest, KindNamesRoundTrip)
+{
+    for (const ArrivalKind kind :
+         {ArrivalKind::Poisson, ArrivalKind::Mmpp, ArrivalKind::Diurnal,
+          ArrivalKind::Flash}) {
+        ArrivalKind parsed;
+        ASSERT_TRUE(
+            workload::arrivalKindByName(arrivalKindName(kind), parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    ArrivalKind parsed;
+    EXPECT_FALSE(workload::arrivalKindByName("weibull", parsed));
+    EXPECT_FALSE(workload::arrivalKindByName("", parsed));
+}
+
+TEST(ArrivalProcessTest, GapsAreAtLeastOneTick)
+{
+    for (const ArrivalKind kind :
+         {ArrivalKind::Poisson, ArrivalKind::Mmpp, ArrivalKind::Diurnal,
+          ArrivalKind::Flash}) {
+        ArrivalConfig cfg;
+        cfg.kind = kind;
+        // A rate so high the continuous gap rounds to zero ticks.
+        auto p = ArrivalProcess::make(cfg, 1e12, 5);
+        Tick now = 0;
+        for (unsigned i = 0; i < 200; ++i) {
+            const Tick g = p->nextGap(now);
+            EXPECT_GE(g, 1u);
+            now += g;
+        }
+    }
+}
+
+// -- Erlang-C with process-driven arrivals ------------------------------
+
+/**
+ * M/M/k FCFS station whose arrivals come from an ArrivalProcess
+ * (service times exponential from a separate stream). Returns the
+ * mean sojourn over @p jobs measured completions.
+ */
+double
+stationMeanSojourn(ArrivalProcess &arrivals, double meanServiceTicks,
+                   unsigned k, std::uint64_t jobs, std::uint64_t seed)
+{
+    const std::uint64_t warmup = jobs / 5;
+    const std::uint64_t total = warmup + jobs + jobs / 5;
+
+    Simulator sim;
+    Rng service(seed);
+
+    std::deque<Tick> waiting;
+    unsigned busy = 0;
+    std::uint64_t arrived = 0, completed = 0, measured = 0;
+    double sumSojourn = 0.0;
+
+    std::function<void(Tick)> startService;
+    startService = [&](Tick when) {
+        sim.schedule(
+            static_cast<Tick>(service.exponential(meanServiceTicks)) + 1,
+            [&, when] {
+                ++completed;
+                if (completed > warmup && measured < jobs) {
+                    sumSojourn += static_cast<double>(sim.now() - when);
+                    ++measured;
+                }
+                if (!waiting.empty()) {
+                    const Tick next = waiting.front();
+                    waiting.pop_front();
+                    startService(next);
+                } else {
+                    --busy;
+                }
+            });
+    };
+
+    std::function<void()> arrive = [&] {
+        if (arrived < total) {
+            ++arrived;
+            sim.schedule(arrivals.nextGap(sim.now()), arrive);
+            if (busy < k) {
+                ++busy;
+                startService(sim.now());
+            } else {
+                waiting.push_back(sim.now());
+            }
+        }
+    };
+
+    sim.schedule(0, arrive);
+    sim.run();
+    return sumSojourn / static_cast<double>(measured);
+}
+
+/** Erlang-C: probability an M/M/k arrival waits (offered load a). */
+double
+erlangC(unsigned k, double a)
+{
+    double invSum = 0.0, term = 1.0;
+    for (unsigned i = 0; i < k; ++i) {
+        invSum += term;
+        term *= a / static_cast<double>(i + 1);
+    }
+    const double last =
+        term * static_cast<double>(k) / (static_cast<double>(k) - a);
+    return last / (invSum + last);
+}
+
+TEST(ArrivalProcessTest, ProcessDrivenStationMatchesErlangC)
+{
+    const unsigned k = 2;
+    const double rho = 0.7;
+    const double meanServiceTicks = 100.0 * kTicksPerUs;
+    const double mu = 1.0 / meanServiceTicks;
+    const double a = rho * static_cast<double>(k);
+    const double lambdaTicks = a * mu; // arrivals per tick
+    const double qps =
+        lambdaTicks * static_cast<double>(kTicksPerSec);
+    const double expected =
+        erlangC(k, a) / (static_cast<double>(k) * mu - lambdaTicks) +
+        meanServiceTicks;
+
+    // Both the plain Poisson process and the burst=1 MMPP degenerate
+    // case must land on the same closed form.
+    for (const std::uint64_t seed : kSeeds) {
+        PoissonProcess pp(qps, seed);
+        EXPECT_NEAR(
+            stationMeanSojourn(pp, meanServiceTicks, k, 100000, seed + 50),
+            expected, 0.05 * expected)
+            << "poisson seed=" << seed;
+        MmppProcess mp(qps, 1.0, 0.2, 50 * kTicksPerMs, seed);
+        EXPECT_NEAR(
+            stationMeanSojourn(mp, meanServiceTicks, k, 100000, seed + 50),
+            expected, 0.05 * expected)
+            << "mmpp seed=" << seed;
+    }
+}
+
+TEST(ArrivalProcessTest, BurstyArrivalsQueueLongerAtEqualMeanRate)
+{
+    // Same station, same stationary rate: an MMPP with a real burst
+    // ratio must wait strictly longer than Poisson — burstiness, not
+    // mean load, drives the excess (the IDC story of the paper's
+    // tail studies).
+    const double meanServiceTicks = 100.0 * kTicksPerUs;
+    const double qps = 0.7 / meanServiceTicks *
+                       static_cast<double>(kTicksPerSec);
+    PoissonProcess pp(qps, 4242);
+    const double poisson =
+        stationMeanSojourn(pp, meanServiceTicks, 1, 60000, 4293);
+    MmppProcess mp(qps, 6.0, 0.15, 20 * kTicksPerMs, 4242);
+    const double bursty =
+        stationMeanSojourn(mp, meanServiceTicks, 1, 60000, 4293);
+    EXPECT_GT(bursty, 1.5 * poisson);
+}
+
+} // namespace
+} // namespace uqsim

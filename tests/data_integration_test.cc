@@ -34,13 +34,17 @@ struct RunOutcome
 RunOutcome
 runScenario(const apps::Scenario &scn, Tick warmup, Tick measure)
 {
-    apps::ShardedWorld w(apps::worldConfigFor(scn), scn.shards,
-                         scn.threads);
+    apps::WorldHandle w(apps::worldConfigFor(scn), scn.shards,
+                        scn.threads);
     for (unsigned s = 0; s < scn.shards; ++s)
         apps::buildScenarioApp(w.shard(s), scn);
-    const auto r = apps::runShardedLoad(
-        w, scn.qps, warmup, measure,
-        workload::UserPopulation::uniform(scn.users), scn.seed + 1);
+    apps::LoadSpec load;
+    load.qps = scn.qps;
+    load.warmup = warmup;
+    load.measure = measure;
+    load.users = workload::UserPopulation::uniform(scn.users);
+    load.seed = scn.seed + 1;
+    const auto r = apps::runWorld(w, load);
     RunOutcome out;
     out.digest = w.engine().executionDigest();
     out.completed = r.completed;
@@ -141,7 +145,7 @@ TEST(DataIntegrationTest, CrashColdCacheDipsAndRecovers)
     scn.dataKeys = 5000;
     scn.dataCapacity = 2048;
 
-    apps::ShardedWorld w(apps::worldConfigFor(scn), 1, 1);
+    apps::WorldHandle w(apps::worldConfigFor(scn), 1, 1);
     apps::buildScenarioApp(w.shard(0), scn);
     service::App &app = *w.shard(0).app;
 
@@ -158,9 +162,12 @@ TEST(DataIntegrationTest, CrashColdCacheDipsAndRecovers)
     manager::Monitor monitor(app, kTicksPerSec / 4);
     monitor.start();
 
-    apps::runShardedLoad(w, scn.qps, 0, 9 * kTicksPerSec,
-                         workload::UserPopulation::uniform(scn.users),
-                         scn.seed + 1);
+    apps::LoadSpec load;
+    load.qps = scn.qps;
+    load.measure = 9 * kTicksPerSec;
+    load.users = workload::UserPopulation::uniform(scn.users);
+    load.seed = scn.seed + 1;
+    apps::runWorld(w, load);
     monitor.stop();
 
     // The restart wiped the shard's store.

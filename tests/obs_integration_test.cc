@@ -49,8 +49,8 @@ struct ObsRun
 ObsRun
 runScenario(const apps::Scenario &scn, Tick warmup, Tick measure)
 {
-    apps::ShardedWorld w(apps::worldConfigFor(scn), scn.shards,
-                         scn.threads);
+    apps::WorldHandle w(apps::worldConfigFor(scn), scn.shards,
+                        scn.threads);
     // Declared after the world: destroyed first, while the tapped
     // apps are still alive (the uqsim_run layering).
     std::vector<std::unique_ptr<obs::Pipeline>> pipes;
@@ -59,9 +59,13 @@ runScenario(const apps::Scenario &scn, Tick warmup, Tick measure)
         if (auto p = apps::attachObservability(w.shard(s), scn))
             pipes.push_back(std::move(p));
     }
-    const auto r = apps::runShardedLoad(
-        w, scn.qps, warmup, measure,
-        workload::UserPopulation::uniform(scn.users), scn.seed + 1);
+    apps::LoadSpec load;
+    load.qps = scn.qps;
+    load.warmup = warmup;
+    load.measure = measure;
+    load.users = workload::UserPopulation::uniform(scn.users);
+    load.seed = scn.seed + 1;
+    const auto r = apps::runWorld(w, load);
     ObsRun out;
     out.digest = w.engine().executionDigest();
     out.completed = r.completed;

@@ -2,10 +2,10 @@
  * @file
  * Determinism of the sharded engine under full application models.
  *
- * Extends tests/determinism_test.cc to ShardedWorld: at any fixed
+ * Extends tests/determinism_test.cc to WorldHandle: at any fixed
  * shard count the composed execution digest must be identical for
  * --threads 1 and --threads 4 (determinism by construction, not by
- * accident of scheduling), a one-shard ShardedWorld must reproduce the
+ * accident of scheduling), a one-shard WorldHandle must reproduce the
  * standalone World digest bit-for-bit, and the M/M/k statistical
  * validation must keep holding when the stations run as shards of a
  * parallel engine.
@@ -47,12 +47,16 @@ runSharded(const std::string &app_name, unsigned shards,
     scn.threads = threads;
     if (app_name == "swarm-cloud")
         scn.drones = 8;
-    apps::ShardedWorld w(apps::worldConfigFor(scn), shards, threads);
+    apps::WorldHandle w(apps::worldConfigFor(scn), shards, threads);
     for (unsigned s = 0; s < shards; ++s)
         apps::buildScenarioApp(w.shard(s), scn);
-    const auto r = apps::runShardedLoad(
-        w, qps, measure / 3, measure,
-        workload::UserPopulation::uniform(100), seed);
+    apps::LoadSpec load;
+    load.qps = qps;
+    load.warmup = measure / 3;
+    load.measure = measure;
+    load.users = workload::UserPopulation::uniform(100);
+    load.seed = seed;
+    const auto r = apps::runWorld(w, load);
     ShardedRun out;
     out.digest = w.engine().executionDigest();
     out.events = w.engine().eventsExecuted();

@@ -45,13 +45,17 @@ struct RunOutcome
 RunOutcome
 runScenario(const apps::Scenario &scn, Tick warmup, Tick measure)
 {
-    apps::ShardedWorld w(apps::worldConfigFor(scn), scn.shards,
-                         scn.threads);
+    apps::WorldHandle w(apps::worldConfigFor(scn), scn.shards,
+                        scn.threads);
     for (unsigned s = 0; s < scn.shards; ++s)
         apps::buildScenarioApp(w.shard(s), scn);
-    const auto r = apps::runShardedLoad(
-        w, scn.qps, warmup, measure,
-        workload::UserPopulation::uniform(scn.users), scn.seed + 1);
+    apps::LoadSpec load;
+    load.qps = scn.qps;
+    load.warmup = warmup;
+    load.measure = measure;
+    load.users = workload::UserPopulation::uniform(scn.users);
+    load.seed = scn.seed + 1;
+    const auto r = apps::runWorld(w, load);
     RunOutcome out;
     out.digest = w.engine().executionDigest();
     out.completed = r.completed;

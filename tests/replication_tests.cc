@@ -297,13 +297,17 @@ RunOutcome
 runScenario(const apps::Scenario &scn, Tick warmup, Tick measure,
             const std::vector<std::string> &counters)
 {
-    apps::ShardedWorld w(apps::worldConfigFor(scn), scn.shards,
-                         scn.threads);
+    apps::WorldHandle w(apps::worldConfigFor(scn), scn.shards,
+                        scn.threads);
     for (unsigned s = 0; s < scn.shards; ++s)
         apps::buildScenarioApp(w.shard(s), scn);
-    const auto r = apps::runShardedLoad(
-        w, scn.qps, warmup, measure,
-        workload::UserPopulation::uniform(scn.users), scn.seed + 1);
+    apps::LoadSpec load;
+    load.qps = scn.qps;
+    load.warmup = warmup;
+    load.measure = measure;
+    load.users = workload::UserPopulation::uniform(scn.users);
+    load.seed = scn.seed + 1;
+    const auto r = apps::runWorld(w, load);
     RunOutcome out;
     out.digest = w.engine().executionDigest();
     out.completed = r.completed;
@@ -418,7 +422,7 @@ runLeaderCrash(bool replicated, fault::CrashRole role)
         scn.replicaQuorum = 1;
     }
 
-    apps::ShardedWorld w(apps::worldConfigFor(scn), 1, 1);
+    apps::WorldHandle w(apps::worldConfigFor(scn), 1, 1);
     apps::buildScenarioApp(w.shard(0), scn);
     service::App &app = *w.shard(0).app;
 
@@ -435,9 +439,12 @@ runLeaderCrash(bool replicated, fault::CrashRole role)
 
     manager::Monitor monitor(app, kTicksPerSec / 4);
     monitor.start();
-    const auto r = apps::runShardedLoad(
-        w, scn.qps, 0, 9 * kTicksPerSec,
-        workload::UserPopulation::uniform(scn.users), scn.seed + 1);
+    apps::LoadSpec load;
+    load.qps = scn.qps;
+    load.measure = 9 * kTicksPerSec;
+    load.users = workload::UserPopulation::uniform(scn.users);
+    load.seed = scn.seed + 1;
+    const auto r = apps::runWorld(w, load);
     monitor.stop();
 
     CrashRun out;
@@ -519,16 +526,19 @@ TEST(ReplicationIntegrationTest, QuorumLossRejectsTypedAndNeverHangs)
     crash.start = 1 * kTicksPerSec;
     crash.duration = kTicksPerSec;
 
-    apps::ShardedWorld w(apps::worldConfigFor(scn), 1, 1);
+    apps::WorldHandle w(apps::worldConfigFor(scn), 1, 1);
     apps::buildScenarioApp(w.shard(0), scn);
     service::App &app = *w.shard(0).app;
     fault::FaultInjector inj(app, scn.seed);
     inj.add(crash);
     inj.arm();
 
-    const auto r = apps::runShardedLoad(
-        w, scn.qps, 0, 4 * kTicksPerSec,
-        workload::UserPopulation::uniform(scn.users), scn.seed + 1);
+    apps::LoadSpec load;
+    load.qps = scn.qps;
+    load.measure = 4 * kTicksPerSec;
+    load.users = workload::UserPopulation::uniform(scn.users);
+    load.seed = scn.seed + 1;
+    const auto r = apps::runWorld(w, load);
 
     EXPECT_GT(r.completed, 0u);
     EXPECT_GT(app.metrics().counter("rpc.quorum_lost").value(), 0u);
@@ -562,16 +572,19 @@ TEST(ReplicationIntegrationTest, TxnCommitsAndRetryableAborts)
     crash.start = 1 * kTicksPerSec;
     crash.duration = kTicksPerSec;
 
-    apps::ShardedWorld w(apps::worldConfigFor(scn), 1, 1);
+    apps::WorldHandle w(apps::worldConfigFor(scn), 1, 1);
     apps::buildScenarioApp(w.shard(0), scn);
     service::App &app = *w.shard(0).app;
     fault::FaultInjector inj(app, scn.seed);
     inj.add(crash);
     inj.arm();
 
-    const auto r = apps::runShardedLoad(
-        w, scn.qps, 0, 4 * kTicksPerSec,
-        workload::UserPopulation::uniform(scn.users), scn.seed + 1);
+    apps::LoadSpec load;
+    load.qps = scn.qps;
+    load.measure = 4 * kTicksPerSec;
+    load.users = workload::UserPopulation::uniform(scn.users);
+    load.seed = scn.seed + 1;
+    const auto r = apps::runWorld(w, load);
 
     EXPECT_GT(r.completed, 0u);
     const std::uint64_t started =

@@ -263,24 +263,24 @@ TEST(ScenarioTest, RejectsMalformedInput)
 TEST(ScenarioTest, ShardSeedDerivation)
 {
     // Shard 0 must reuse the root seed exactly: that is what makes a
-    // one-shard ShardedWorld bit-identical to a standalone World.
-    EXPECT_EQ(apps::ShardedWorld::shardSeed(42, 0), 42u);
-    EXPECT_NE(apps::ShardedWorld::shardSeed(42, 1), 42u);
-    EXPECT_NE(apps::ShardedWorld::shardSeed(42, 1),
-              apps::ShardedWorld::shardSeed(42, 2));
+    // one-shard WorldHandle bit-identical to a standalone World.
+    EXPECT_EQ(apps::WorldHandle::shardSeed(42, 0), 42u);
+    EXPECT_NE(apps::WorldHandle::shardSeed(42, 1), 42u);
+    EXPECT_NE(apps::WorldHandle::shardSeed(42, 1),
+              apps::WorldHandle::shardSeed(42, 2));
 }
 
-TEST(ScenarioTest, ShardedWorldStructure)
+TEST(ScenarioTest, WorldHandleStructure)
 {
     apps::Scenario scn;
     scn.servers = 3;
-    apps::ShardedWorld w(apps::worldConfigFor(scn), 3, 2);
+    apps::WorldHandle w(apps::worldConfigFor(scn), 3, 2);
     EXPECT_EQ(w.shards(), 3u);
     EXPECT_EQ(w.engine().shardCount(), 3u);
     EXPECT_EQ(w.engine().threads(), 2u);
     for (unsigned s = 0; s < 3; ++s) {
         EXPECT_EQ(w.shard(s).config().seed,
-                  apps::ShardedWorld::shardSeed(scn.seed, s));
+                  apps::WorldHandle::shardSeed(scn.seed, s));
         EXPECT_TRUE(w.shard(s).ctx.sharded());
         EXPECT_EQ(w.shard(s).ctx.shard(), s);
     }

@@ -1,0 +1,40 @@
+# Re-emit the scenario corpus into a scratch directory and verify it
+# is bit-identical to the committed scenarios/ files — the property
+# that makes the corpus reviewable (any generator change must show up
+# as a corpus diff in the same commit).
+#
+# Inputs: SWEEP (uqsim_sweep binary), WORK_DIR (scratch directory),
+# SCENARIOS_DIR (the committed corpus).
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(COMMAND "${SWEEP}" --emit "${WORK_DIR}"
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "uqsim_sweep --emit failed (${rc})")
+endif()
+
+file(GLOB emitted RELATIVE "${WORK_DIR}" "${WORK_DIR}/*.json")
+file(GLOB committed RELATIVE "${SCENARIOS_DIR}" "${SCENARIOS_DIR}/*.json")
+list(LENGTH emitted n_emitted)
+list(LENGTH committed n_committed)
+if(n_emitted EQUAL 0)
+    message(FATAL_ERROR "uqsim_sweep --emit produced no scenarios")
+endif()
+if(NOT n_emitted EQUAL n_committed)
+    message(FATAL_ERROR "corpus size mismatch: emitted ${n_emitted}, "
+        "committed ${n_committed} — re-run uqsim_sweep --emit scenarios/")
+endif()
+
+foreach(f ${emitted})
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+        "${WORK_DIR}/${f}" "${SCENARIOS_DIR}/${f}"
+        RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+        message(FATAL_ERROR "emitted ${f} differs from the committed "
+            "corpus — re-run uqsim_sweep --emit scenarios/")
+    endif()
+endforeach()
+
+message(STATUS "corpus re-emission matches: ${n_emitted} scenarios")

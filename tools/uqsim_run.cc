@@ -42,6 +42,8 @@
 #include "cpu/power.hh"
 #include "fault/fault.hh"
 #include "fault/injector.hh"
+#include "gen/profile.hh"
+#include "gen/topology.hh"
 #include "obs/culprit.hh"
 #include "obs/export.hh"
 #include "serverless/platform.hh"
@@ -64,7 +66,10 @@ struct Options
     std::string metricsOut;         // metrics snapshot JSON ("" = none)
     std::string timeseriesOut;      // interval series ("" = none)
     bool list = false;
+    bool listGenProfiles = false;
     bool dumpConfig = false;
+    /** --app was given explicitly (conflicts with --generate). */
+    bool appFlag = false;
 };
 
 const char *const kReportKinds[] = {
@@ -79,6 +84,28 @@ usage()
         "  --app NAME         social-network | media | ecommerce | banking |\n"
         "                     swarm-cloud | swarm-edge | social-monolith |\n"
         "                     nginx | memcached | mongodb | xapian | recommender\n"
+        "  --generate PROFILE sample a microservice topology from a\n"
+        "                     profile instead of building --app (see\n"
+        "                     --list-gen-profiles; conflicts with --app)\n"
+        "  --gen-seed N       topology sampling seed (default 1)\n"
+        "  --gen-depth N      pin the logic levels (0 = profile draw)\n"
+        "  --gen-width N      pin tiers per level (0 = profile draw)\n"
+        "  --gen-fanout X     override mean call fan-out (0 = profile)\n"
+        "  --arrival KIND     arrival process: poisson | mmpp | diurnal\n"
+        "                     | flash (default poisson, the legacy\n"
+        "                     byte-identical sampler)\n"
+        "  --arrival-burst X  mmpp peak/base rate ratio (default 4)\n"
+        "  --arrival-duty F   mmpp peak-state time fraction, in (0, 1)\n"
+        "                     (default 0.1)\n"
+        "  --arrival-dwell DUR  mmpp mean peak sojourn (default 200ms)\n"
+        "  --arrival-period DUR diurnal day length (default 10s)\n"
+        "  --arrival-low F    diurnal trough rate fraction (default 0.2)\n"
+        "  --arrival-flash-at DUR    flash-crowd onset (default 2s)\n"
+        "  --arrival-flash-ramp DUR  flash ramp-up / decay constant\n"
+        "                     (default 200ms)\n"
+        "  --arrival-flash-mult X    flash peak rate multiplier\n"
+        "                     (default 8)\n"
+        "  --arrival-flash-hold DUR  flash plateau length (default 1s)\n"
         "  --qps N            offered load (default 300)\n"
         "  --duration SEC     measured window (default 10)\n"
         "  --warmup SEC       warmup window (default 2)\n"
@@ -193,7 +220,8 @@ usage()
         "  --metrics-out FILE write the metrics-registry snapshot as JSON\n"
         "  --trace-capacity N span ring-buffer capacity (default "
             + std::to_string(trace::TraceStore::kDefaultCapacity) + ")\n"
-        "  --list             list applications and exit\n"
+        "  --list, --list-apps  list applications and exit\n"
+        "  --list-gen-profiles  list topology-sampling profiles, exit\n"
         "\nOptions taking a value also accept --opt=value.\n";
 }
 
@@ -261,8 +289,39 @@ parse(int argc, char **argv, Options &opt)
     apps::Scenario &scn = opt.scn;
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &a = args[i];
-        if (a == "--app")
+        if (a == "--app") {
             scn.app = need(i);
+            opt.appFlag = true;
+        } else if (a == "--generate")
+            scn.genProfile = need(i);
+        else if (a == "--gen-seed")
+            scn.genSeed = numU64(i);
+        else if (a == "--gen-depth")
+            scn.genDepth = numUnsigned(i);
+        else if (a == "--gen-width")
+            scn.genWidth = numUnsigned(i);
+        else if (a == "--gen-fanout")
+            scn.genFanout = numDouble(i);
+        else if (a == "--arrival")
+            scn.arrival = need(i);
+        else if (a == "--arrival-burst")
+            scn.arrivalBurst = numDouble(i);
+        else if (a == "--arrival-duty")
+            scn.arrivalDuty = numDouble(i);
+        else if (a == "--arrival-dwell")
+            scn.arrivalDwell = durationVal(i);
+        else if (a == "--arrival-period")
+            scn.arrivalPeriod = durationVal(i);
+        else if (a == "--arrival-low")
+            scn.arrivalLow = numDouble(i);
+        else if (a == "--arrival-flash-at")
+            scn.arrivalFlashAt = durationVal(i);
+        else if (a == "--arrival-flash-ramp")
+            scn.arrivalFlashRamp = durationVal(i);
+        else if (a == "--arrival-flash-mult")
+            scn.arrivalFlashMult = numDouble(i);
+        else if (a == "--arrival-flash-hold")
+            scn.arrivalFlashHold = durationVal(i);
         else if (a == "--qps")
             scn.qps = numDouble(i);
         else if (a == "--duration")
@@ -470,8 +529,10 @@ parse(int argc, char **argv, Options &opt)
             scn.breaker = true;
         else if (a == "--shed")
             scn.shed = numUnsigned(i);
-        else if (a == "--list")
+        else if (a == "--list" || a == "--list-apps")
             opt.list = true;
+        else if (a == "--list-gen-profiles")
+            opt.listGenProfiles = true;
         else if (a == "--help" || a == "-h") {
             usage();
             return false;
@@ -603,7 +664,55 @@ parse(int argc, char **argv, Options &opt)
         if (scn.sloErrorRate < 0.0 || scn.sloErrorRate > 1.0)
             fatal("--slo-error-rate must be in [0, 1]");
     }
+    if (opt.appFlag && !scn.genProfile.empty())
+        fatal("--generate conflicts with --app (the sampled topology "
+              "replaces the hand-written app)");
+    if (!scn.genProfile.empty() &&
+        gen::genProfileByName(scn.genProfile) == nullptr)
+        fatal(strCat("unknown gen profile '", scn.genProfile,
+                     "' (try --list-gen-profiles)"));
+    if (scn.genProfile.empty() &&
+        (scn.genDepth != 0 || scn.genWidth != 0 || scn.genFanout != 0.0))
+        fatal("--gen-depth/--gen-width/--gen-fanout need --generate");
+    if (scn.genDepth > 8)
+        fatal("--gen-depth must be <= 8");
+    if (scn.genWidth > 8)
+        fatal("--gen-width must be <= 8");
+    if (scn.genFanout < 0.0 || scn.genFanout > 8.0)
+        fatal("--gen-fanout must be in [0, 8]");
+    workload::ArrivalKind arrival_kind;
+    if (!workload::arrivalKindByName(scn.arrival, arrival_kind))
+        fatal(strCat("unknown --arrival kind '", scn.arrival,
+                     "' (want poisson, mmpp, diurnal or flash)"));
+    if (scn.arrivalBurst < 1.0)
+        fatal("--arrival-burst must be >= 1");
+    if (scn.arrivalDuty <= 0.0 || scn.arrivalDuty >= 1.0)
+        fatal("--arrival-duty must be in (0, 1)");
+    if (scn.arrivalDwell == 0)
+        fatal("--arrival-dwell must be positive");
+    if (scn.arrivalPeriod == 0)
+        fatal("--arrival-period must be positive");
+    if (scn.arrivalLow <= 0.0 || scn.arrivalLow > 1.0)
+        fatal("--arrival-low must be in (0, 1]");
+    if (scn.arrivalFlashMult < 1.0)
+        fatal("--arrival-flash-mult must be >= 1");
+    if (scn.arrivalFlashRamp == 0)
+        fatal("--arrival-flash-ramp must be positive");
     return true;
+}
+
+const char *
+appFlagName(apps::AppId id)
+{
+    switch (id) {
+    case apps::AppId::SocialNetwork: return "social-network";
+    case apps::AppId::MediaService: return "media";
+    case apps::AppId::Ecommerce: return "ecommerce";
+    case apps::AppId::Banking: return "banking";
+    case apps::AppId::SwarmCloud: return "swarm-cloud";
+    case apps::AppId::SwarmEdge: return "swarm-edge";
+    }
+    return "";
 }
 
 void
@@ -612,12 +721,20 @@ listApps()
     std::cout << "End-to-end services (Table 1):\n";
     for (apps::AppId id : apps::allApps()) {
         const auto &info = apps::appInfo(id);
-        std::cout << "  " << info.name << ": "
-                  << info.uniqueMicroservices << " microservices, "
-                  << info.protocol << "\n";
+        std::cout << "  " << appFlagName(id) << ": " << info.name
+                  << ", " << info.uniqueMicroservices
+                  << " microservices, " << info.protocol << "\n";
     }
     std::cout << "Single-tier baselines: nginx, memcached, mongodb, "
                  "xapian, recommender\nMonolith: social-monolith\n";
+}
+
+void
+listGenProfiles()
+{
+    std::cout << "Topology-sampling profiles (--generate):\n";
+    for (const gen::GenProfile &p : gen::allGenProfiles())
+        std::cout << "  " << p.name << ": " << p.summary << "\n";
 }
 
 } // namespace
@@ -630,6 +747,10 @@ main(int argc, char **argv)
         return 0;
     if (opt.list) {
         listApps();
+        return 0;
+    }
+    if (opt.listGenProfiles) {
+        listGenProfiles();
         return 0;
     }
     if (opt.dumpConfig) {
@@ -659,7 +780,7 @@ main(int argc, char **argv)
     std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
     std::vector<std::unique_ptr<cpu::EnergyMeter>> meters;
     // One pipeline per shard, sampling its own replica. Declared after
-    // the ShardedWorld so each pipeline dies first, while the app it
+    // the WorldHandle so each pipeline dies first, while the app it
     // taps is still alive.
     std::vector<std::unique_ptr<obs::Pipeline>> pipelines;
     for (unsigned s = 0; s < nshards; ++s) {
@@ -697,7 +818,7 @@ main(int argc, char **argv)
 
         if (!scn.faults.empty()) {
             auto injector = std::make_unique<fault::FaultInjector>(
-                app, apps::ShardedWorld::shardSeed(scn.seed, s));
+                app, apps::WorldHandle::shardSeed(scn.seed, s));
             injector->addAll(scn.faults);
             injector->arm();
             injectors.push_back(std::move(injector));
@@ -736,6 +857,7 @@ main(int argc, char **argv)
     load.measure = secToTicks(scn.durationSec);
     load.users = users;
     load.seed = scn.seed + 1;
+    load.arrival = apps::arrivalConfigFor(scn);
     const auto r = apps::runWorld(sharded, load);
 
     // Cross-shard sums for the summary/report sections.
@@ -744,7 +866,21 @@ main(int argc, char **argv)
         failed_total += sharded.shard(s).app->failedRequests();
 
     // ---- summary ---------------------------------------------------------
-    std::cout << scn.app << " @ " << scn.qps << " qps on " << scn.servers
+    if (!scn.genProfile.empty()) {
+        // Re-sampling is cheap and deterministic; every shard built
+        // this same shape.
+        gen::GenOverrides ov;
+        ov.depth = scn.genDepth;
+        ov.width = scn.genWidth;
+        ov.fanout = scn.genFanout;
+        std::cout << gen::topologySummary(gen::sampleTopology(
+                         *gen::genProfileByName(scn.genProfile),
+                         scn.genSeed, ov))
+                  << "\n";
+    }
+    std::cout << (scn.genProfile.empty() ? scn.app
+                                         : "gen:" + scn.genProfile)
+              << " @ " << scn.qps << " qps on " << scn.servers
               << "x " << config.coreModel.name;
     if (nshards > 1)
         std::cout << " (" << nshards << " shards, "
